@@ -1,0 +1,47 @@
+//! Ablation: LVM-Stack depth.
+//!
+//! The paper uses a 16-entry LVM-Stack and reports that it captures nearly
+//! 100% of the benefit of an unbounded structure (94% on `li`, the deepest
+//! call chains). This ablation sweeps the depth and reports how the
+//! restore-elimination rate responds, alongside the wall-clock cost of each
+//! configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dvi_core::DviConfig;
+use dvi_experiments::{Binaries, Budget};
+use dvi_sim::SimConfig;
+use dvi_workloads::presets;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_lvm_stack_depth");
+    g.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(6));
+
+    let budget = Budget { instrs_per_run: 20_000 };
+    let binaries = Binaries::build(&presets::li_like());
+
+    // Report the elimination rate for each depth once (printed to stderr so
+    // it shows up in the bench log), then measure the simulation cost.
+    for depth in [1usize, 2, 4, 16, 64] {
+        let dvi = DviConfig::full().with_lvm_stack_entries(depth);
+        let config = SimConfig::micro97().with_dvi(dvi);
+        let trace = dvi_program::Interpreter::new(&binaries.edvi).with_step_limit(budget.instrs_per_run);
+        let once = dvi_sim::Simulator::new(config.clone()).run(trace);
+        eprintln!(
+            "lvm-stack depth {depth:>3}: {:.1}% of saves+restores eliminated ({} restores eliminated)",
+            once.pct_save_restores_eliminated(),
+            once.dvi.restores_eliminated
+        );
+        g.bench_with_input(BenchmarkId::new("simulate", depth), &depth, |b, _| {
+            b.iter(|| {
+                let trace = dvi_program::Interpreter::new(&binaries.edvi)
+                    .with_step_limit(budget.instrs_per_run);
+                dvi_sim::Simulator::new(config.clone()).run(trace)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Bench: regenerate Figure 3 (benchmark characterization).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dvi_bench::bench_budget;
+use dvi_experiments::fig03;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig03_characterization");
+    g.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(6));
+    g.bench_function("all_presets", |b| {
+        b.iter(|| {
+            let fig = fig03::run(bench_budget());
+            assert_eq!(fig.rows.len(), 7);
+            fig
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Bench: regenerate Figure 5 (IPC vs. physical register file size).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dvi_bench::{bench_budget, bench_sizes, bench_suite};
+use dvi_experiments::fig05;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig05_regfile_ipc");
+    g.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(10));
+    let suite = bench_suite();
+    let sizes = bench_sizes();
+    g.bench_function("sweep", |b| {
+        b.iter(|| {
+            let fig = fig05::run_with(bench_budget(), &suite, &sizes);
+            assert_eq!(fig.points.len(), sizes.len());
+            fig
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

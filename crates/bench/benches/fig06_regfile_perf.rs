@@ -1,0 +1,30 @@
+//! Bench: regenerate Figure 6 (system performance vs. register file size).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dvi_bench::{bench_budget, bench_sizes, bench_suite};
+use dvi_experiments::{fig05, fig06};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig06_regfile_perf");
+    g.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(10));
+    let suite = bench_suite();
+    let sizes = bench_sizes();
+    // The sweep dominates; benchmark the timing-model post-processing
+    // separately from the end-to-end run.
+    let sweep = fig05::run_with(bench_budget(), &suite, &sizes);
+    g.bench_function("timing_model_postprocessing", |b| {
+        b.iter(|| fig06::from_fig05(&sweep));
+    });
+    g.bench_function("end_to_end", |b| {
+        b.iter(|| {
+            let fig = fig06::from_fig05(&fig05::run_with(bench_budget(), &suite, &sizes));
+            assert!(fig.peak_dvi.0 <= fig.peak_no_dvi.0);
+            fig
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Bench: regenerate Figure 9 (dynamic saves and restores eliminated).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dvi_bench::{bench_budget, bench_suite};
+use dvi_experiments::fig09;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig09_save_restore");
+    g.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(8));
+    let suite = bench_suite();
+    g.bench_function("lvm_and_lvm_stack", |b| {
+        b.iter(|| {
+            let fig = fig09::run_with(bench_budget(), &suite);
+            assert!(fig.lvm_stack_averages().0 > 0.0);
+            fig
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Bench: regenerate Figure 10 (IPC speedups from save/restore elimination).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dvi_bench::{bench_budget, bench_suite};
+use dvi_experiments::fig10;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_ipc_speedup");
+    g.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(8));
+    let suite = bench_suite();
+    g.bench_function("lvm_vs_lvm_stack_speedups", |b| {
+        b.iter(|| {
+            let fig = fig10::run_with(bench_budget(), &suite);
+            assert_eq!(fig.rows.len(), suite.len());
+            fig
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Bench: regenerate Figure 11 (cache-port / issue-width sensitivity).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dvi_bench::bench_budget;
+use dvi_experiments::fig11;
+use dvi_workloads::presets;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_bandwidth");
+    g.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(10));
+    let suite = vec![presets::ijpeg_like()];
+    g.bench_function("port_and_width_sweep", |b| {
+        b.iter(|| {
+            let fig = fig11::run_with(bench_budget(), &suite, &[4, 8], &[1, 2, 3]);
+            assert_eq!(fig.rows.len(), 6);
+            fig
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Bench: regenerate Figure 12 (context-switch save/restore elimination).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dvi_bench::bench_budget;
+use dvi_experiments::fig12;
+use dvi_workloads::presets;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_context_switch");
+    g.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(8));
+    let suite = vec![presets::perl_like()];
+    g.bench_function("idvi_vs_edvi_reduction", |b| {
+        b.iter(|| {
+            let fig = fig12::run_with(bench_budget(), &suite);
+            assert!(fig.avg_edvi_reduction() > 0.0);
+            fig
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

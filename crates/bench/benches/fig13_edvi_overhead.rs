@@ -1,0 +1,24 @@
+//! Bench: regenerate Figure 13 (E-DVI overhead).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dvi_bench::bench_budget;
+use dvi_experiments::fig13;
+use dvi_workloads::presets;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13_edvi_overhead");
+    g.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(8));
+    let suite = vec![presets::li_like()];
+    g.bench_function("overhead_both_icache_sizes", |b| {
+        b.iter(|| {
+            let fig = fig13::run_with(bench_budget(), &suite);
+            assert_eq!(fig.rows.len(), 1);
+            fig
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

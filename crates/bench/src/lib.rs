@@ -1,0 +1,47 @@
+//! # dvi-bench
+//!
+//! Criterion benchmark harness for the DVI reproduction. Each bench target
+//! regenerates one of the paper's tables or figures on a reduced budget (the
+//! full-budget versions are produced by the `dvi-experiments` binary), plus
+//! micro-benchmarks of the core hardware structures and an ablation of the
+//! LVM-Stack depth.
+//!
+//! The shared helpers here keep the individual bench files small and make
+//! sure every bench uses the same reduced scope.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dvi_experiments::Budget;
+use dvi_workloads::{presets, WorkloadSpec};
+
+/// The reduced instruction budget used by every figure bench.
+#[must_use]
+pub fn bench_budget() -> Budget {
+    Budget { instrs_per_run: 20_000 }
+}
+
+/// A small, representative benchmark pair (one call-heavy, one call-light)
+/// used by the sweep benches so a single Criterion sample stays fast.
+#[must_use]
+pub fn bench_suite() -> Vec<WorkloadSpec> {
+    vec![presets::perl_like(), presets::ijpeg_like()]
+}
+
+/// The coarse register-file size grid used by the Figure 5/6 benches.
+#[must_use]
+pub fn bench_sizes() -> Vec<usize> {
+    vec![34, 40, 48, 64, 80]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_scope_is_small_but_nonempty() {
+        assert!(bench_budget().instrs_per_run <= Budget::quick().instrs_per_run);
+        assert_eq!(bench_suite().len(), 2);
+        assert!(bench_sizes().len() >= 3);
+    }
+}

@@ -1,0 +1,93 @@
+//! Branch target buffer.
+
+/// Geometry of the branch target buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BtbConfig {
+    /// Number of entries (power of two).
+    pub entries: usize,
+}
+
+impl BtbConfig {
+    /// A 4K-entry BTB, in line with the large predictor of Figure 2.
+    #[must_use]
+    pub fn micro97() -> Self {
+        BtbConfig { entries: 4096 }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BtbEntry {
+    valid: bool,
+    tag: u64,
+    target: u64,
+}
+
+/// A direct-mapped branch target buffer: maps a branch PC to its most recent
+/// target so fetch can redirect without decoding the branch.
+#[derive(Debug, Clone)]
+pub struct Btb {
+    entries: Vec<BtbEntry>,
+    index_mask: u64,
+}
+
+impl Btb {
+    /// Creates an empty BTB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry count is not a power of two.
+    #[must_use]
+    pub fn new(config: BtbConfig) -> Self {
+        assert!(config.entries.is_power_of_two(), "BTB size must be a power of two");
+        Btb {
+            entries: vec![BtbEntry::default(); config.entries],
+            index_mask: config.entries as u64 - 1,
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) & self.index_mask) as usize
+    }
+
+    /// Looks up the predicted target for the branch at `pc`.
+    #[must_use]
+    pub fn lookup(&self, pc: u64) -> Option<u64> {
+        let e = &self.entries[self.index(pc)];
+        (e.valid && e.tag == pc).then_some(e.target)
+    }
+
+    /// Records the actual target of the branch at `pc`.
+    pub fn update(&mut self, pc: u64, target: u64) {
+        let idx = self.index(pc);
+        self.entries[idx] = BtbEntry { valid: true, tag: pc, target };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut btb = Btb::new(BtbConfig { entries: 64 });
+        assert_eq!(btb.lookup(0x100), None);
+        btb.update(0x100, 0x400);
+        assert_eq!(btb.lookup(0x100), Some(0x400));
+    }
+
+    #[test]
+    fn aliasing_entries_are_tag_checked() {
+        let mut btb = Btb::new(BtbConfig { entries: 64 });
+        btb.update(0x100, 0x400);
+        // 0x100 + 64*4 maps to the same index but has a different tag.
+        assert_eq!(btb.lookup(0x100 + 64 * 4), None);
+    }
+
+    #[test]
+    fn update_overwrites_target() {
+        let mut btb = Btb::new(BtbConfig::micro97());
+        btb.update(0x80, 0x1000);
+        btb.update(0x80, 0x2000);
+        assert_eq!(btb.lookup(0x80), Some(0x2000));
+    }
+}

@@ -1,0 +1,37 @@
+//! # dvi-bpred
+//!
+//! Branch-prediction substrate for the DVI reproduction, modelled on the
+//! machine of Figure 2 of *Exploiting Dead Value Information*: a
+//! combinational gshare/bimodal predictor with 16 bits of global history, a
+//! branch target buffer, and a return-address stack.
+//!
+//! # Example
+//!
+//! ```
+//! use dvi_bpred::{CombiningPredictor, PredictorConfig};
+//!
+//! let mut bp = CombiningPredictor::new(PredictorConfig::micro97());
+//! // Train on an always-taken branch.
+//! for _ in 0..16 {
+//!     let _ = bp.predict(0x400);
+//!     bp.update(0x400, true);
+//! }
+//! assert!(bp.predict(0x400));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bimodal;
+mod btb;
+mod combining;
+mod counter;
+mod gshare;
+mod ras;
+
+pub use bimodal::Bimodal;
+pub use btb::{Btb, BtbConfig};
+pub use combining::{CombiningPredictor, PredictorConfig, PredictorStats};
+pub use counter::TwoBitCounter;
+pub use gshare::Gshare;
+pub use ras::ReturnAddressStack;

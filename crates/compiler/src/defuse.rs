@@ -1,0 +1,102 @@
+//! Def/use model of instructions under the calling convention.
+//!
+//! The liveness analysis needs to know, for every instruction, which
+//! registers it reads (*uses*) and which it writes (*defs*). For ordinary
+//! instructions these come straight from the ISA. Calls and returns
+//! additionally encode the calling convention:
+//!
+//! * a `call` *clobbers* (defs) every caller-saved register and the return
+//!   address, and *uses* the argument registers and the stack pointer —
+//!   callee-saved registers pass through untouched, which is exactly what
+//!   lets the analysis reason about their liveness across calls;
+//! * a `return` *uses* the return-address register, the return-value
+//!   register, the stack pointer and every callee-saved register — the
+//!   conservative boundary condition that makes intra-procedural analysis
+//!   safe without knowing the caller.
+
+use dvi_isa::{Abi, ArchReg, Instr, RegMask};
+
+/// Registers defined (written) by `instr` under `abi`.
+#[must_use]
+pub fn defs(instr: &Instr, abi: &Abi) -> RegMask {
+    match instr {
+        Instr::Call { .. } => abi.caller_saved().with(ArchReg::RA),
+        _ => instr.dst_reg().map(|r| RegMask::empty().with(r)).unwrap_or_default(),
+    }
+}
+
+/// Registers used (read) by `instr` under `abi`.
+#[must_use]
+pub fn uses(instr: &Instr, abi: &Abi) -> RegMask {
+    match instr {
+        Instr::Call { .. } => {
+            RegMask::from_regs(abi.arg_regs().iter().copied()).with(ArchReg::SP)
+        }
+        Instr::Return => abi
+            .callee_saved()
+            .with(ArchReg::RA)
+            .with(abi.ret_reg())
+            .with(ArchReg::SP),
+        _ => instr.src_mask(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvi_isa::AluOp;
+
+    fn r(i: u8) -> ArchReg {
+        ArchReg::new(i)
+    }
+
+    #[test]
+    fn plain_instructions_use_isa_defs_and_uses() {
+        let abi = Abi::mips_like();
+        let add = Instr::Alu { op: AluOp::Add, rd: r(10), rs: r(8), rt: r(9) };
+        assert_eq!(defs(&add, &abi), RegMask::empty().with(r(10)));
+        assert_eq!(uses(&add, &abi), RegMask::from_regs([r(8), r(9)]));
+    }
+
+    #[test]
+    fn calls_clobber_caller_saved_and_pass_callee_saved_through() {
+        let abi = Abi::mips_like();
+        let call = Instr::Call { target: 0 };
+        let d = defs(&call, &abi);
+        assert!(abi.caller_saved().is_subset(d));
+        assert!(d.contains(ArchReg::RA));
+        assert!(d.is_disjoint(abi.callee_saved()));
+        let u = uses(&call, &abi);
+        assert!(u.contains(ArchReg::A0));
+        assert!(u.contains(ArchReg::SP));
+        assert!(u.is_disjoint(abi.callee_saved()));
+    }
+
+    #[test]
+    fn returns_keep_callee_saved_registers_live() {
+        let abi = Abi::mips_like();
+        let u = uses(&Instr::Return, &abi);
+        assert!(abi.callee_saved().is_subset(u));
+        assert!(u.contains(ArchReg::RA));
+        assert!(u.contains(abi.ret_reg()));
+        assert!(defs(&Instr::Return, &abi).is_empty());
+    }
+
+    #[test]
+    fn kill_is_transparent_to_dataflow() {
+        let abi = Abi::mips_like();
+        let kill = Instr::Kill { mask: RegMask::from_range(16, 23) };
+        assert!(defs(&kill, &abi).is_empty());
+        assert!(uses(&kill, &abi).is_empty());
+    }
+
+    #[test]
+    fn live_store_uses_its_data_register() {
+        let abi = Abi::mips_like();
+        let save = Instr::LiveStore { rs: r(16), base: ArchReg::SP, offset: 0 };
+        assert!(uses(&save, &abi).contains(r(16)));
+        assert!(defs(&save, &abi).is_empty());
+        let restore = Instr::LiveLoad { rd: r(16), base: ArchReg::SP, offset: 0 };
+        assert!(defs(&restore, &abi).contains(r(16)));
+    }
+}

@@ -1,0 +1,72 @@
+//! # dvi-compiler
+//!
+//! The compiler support the paper relies on, implemented over the
+//! `dvi-program` IR:
+//!
+//! * a **def/use model** of every instruction including the calling
+//!   convention's clobber behaviour ([`defuse`]),
+//! * **intra-procedural backward liveness analysis** — the standard
+//!   dataflow the paper says is enough to compute explicit DVI
+//!   ([`Liveness`]),
+//! * a **prologue/epilogue pass** that saves and restores the callee-saved
+//!   registers a procedure writes, using the paper's `live-store` /
+//!   `live-load` instructions ([`add_prologue_epilogue`]),
+//! * an **E-DVI insertion pass** that places a single `kill` instruction
+//!   with a callee-saved kill mask before every call site that needs one —
+//!   only when the register is dead at the call site *and* assigned to in
+//!   the callee, exactly the two filters Section 5.1 describes
+//!   ([`insert_edvi`]),
+//! * **static code-size accounting** used by the E-DVI overhead experiment
+//!   of Figure 13 ([`CodeSizeReport`]).
+//!
+//! The [`compile`] driver runs the passes in order and reports what was
+//! added.
+//!
+//! # Example
+//!
+//! ```
+//! use dvi_compiler::{compile, CompileOptions};
+//! use dvi_core::EdviPlacement;
+//! use dvi_isa::Abi;
+//! # use dvi_isa::{ArchReg, Instr, AluOp};
+//! # use dvi_program::{ProcBuilder, ProgramBuilder};
+//! # fn toy_program() -> dvi_program::Program {
+//! #     let mut b = ProgramBuilder::new();
+//! #     let mut main = ProcBuilder::new("main");
+//! #     main.emit(Instr::load_imm(ArchReg::new(16), 5));
+//! #     main.emit(Instr::mov(ArchReg::new(8), ArchReg::new(16)));
+//! #     main.emit_call("leaf");
+//! #     main.emit(Instr::Halt);
+//! #     b.add_procedure(main).unwrap();
+//! #     let mut leaf = ProcBuilder::new("leaf");
+//! #     leaf.emit(Instr::load_imm(ArchReg::new(16), 9));
+//! #     leaf.emit(Instr::Return);
+//! #     b.add_procedure(leaf).unwrap();
+//! #     b.build("main").unwrap()
+//! # }
+//!
+//! let program = toy_program();
+//! let abi = Abi::mips_like();
+//! let compiled = compile(&program, &abi, CompileOptions { edvi: EdviPlacement::BeforeCalls })?;
+//! // The leaf procedure writes r16, so it now saves and restores it, and the
+//! // caller kills r16 before the call because its value is dead there.
+//! assert!(compiled.report.kill_instructions >= 1);
+//! assert!(compiled.report.saves_inserted >= 1);
+//! # Ok::<(), dvi_program::ProgramError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod defuse;
+mod edvi;
+mod liveness;
+mod pipeline;
+mod prologue;
+mod size;
+
+pub use edvi::insert_edvi;
+pub use liveness::Liveness;
+pub use pipeline::{compile, CompileOptions, CompileReport, CompiledProgram};
+pub use prologue::{add_prologue_epilogue, clobbered_callee_saved};
+pub use size::CodeSizeReport;

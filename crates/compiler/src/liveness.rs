@@ -1,0 +1,234 @@
+//! Intra-procedural backward liveness dataflow.
+
+use crate::defuse::{defs, uses};
+use dvi_isa::{Abi, RegMask};
+use dvi_program::{BlockId, Procedure};
+
+/// The result of liveness analysis on one procedure.
+///
+/// The analysis is the textbook backward may-analysis over basic blocks
+/// (worklist iteration to a fixed point), refined to per-instruction
+/// precision on demand: [`Liveness::live_after_instrs`] walks a block
+/// backward from its live-out set and reports the set of live registers
+/// *after* each instruction — which is exactly what the E-DVI pass needs at
+/// call sites.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    live_in: Vec<RegMask>,
+    live_out: Vec<RegMask>,
+}
+
+impl Liveness {
+    /// Runs the analysis on `proc` under the calling convention `abi`.
+    #[must_use]
+    pub fn analyze(proc: &Procedure, abi: &Abi) -> Self {
+        let n = proc.blocks.len();
+        let mut live_in = vec![RegMask::empty(); n];
+        let mut live_out = vec![RegMask::empty(); n];
+
+        // Per-block gen (upward-exposed uses) and kill (defs) sets.
+        let mut gen = vec![RegMask::empty(); n];
+        let mut kill = vec![RegMask::empty(); n];
+        for (bi, block) in proc.blocks.iter().enumerate() {
+            for instr in &block.instrs {
+                let u = uses(instr, abi);
+                let d = defs(instr, abi);
+                gen[bi] |= u - kill[bi];
+                kill[bi] |= d;
+            }
+        }
+
+        // Worklist iteration to a fixed point.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for bi in (0..n).rev() {
+                let mut out = RegMask::empty();
+                for succ in proc.successors(BlockId(bi)) {
+                    out |= live_in[succ.0];
+                }
+                let inp = gen[bi] | (out - kill[bi]);
+                if out != live_out[bi] || inp != live_in[bi] {
+                    live_out[bi] = out;
+                    live_in[bi] = inp;
+                    changed = true;
+                }
+            }
+        }
+
+        Liveness { live_in, live_out }
+    }
+
+    /// Registers live at the entry of `block`.
+    #[must_use]
+    pub fn live_in(&self, block: BlockId) -> RegMask {
+        self.live_in[block.0]
+    }
+
+    /// Registers live at the exit of `block`.
+    #[must_use]
+    pub fn live_out(&self, block: BlockId) -> RegMask {
+        self.live_out[block.0]
+    }
+
+    /// The set of registers live immediately *after* each instruction of
+    /// `block`, in instruction order.
+    #[must_use]
+    pub fn live_after_instrs(&self, proc: &Procedure, abi: &Abi, block: BlockId) -> Vec<RegMask> {
+        let instrs = &proc.blocks[block.0].instrs;
+        let mut after = vec![RegMask::empty(); instrs.len()];
+        let mut live = self.live_out[block.0];
+        for (i, instr) in instrs.iter().enumerate().rev() {
+            after[i] = live;
+            live = uses(instr, abi) | (live - defs(instr, abi));
+        }
+        after
+    }
+
+    /// The set of registers live immediately *before* each instruction of
+    /// `block`, in instruction order.
+    #[must_use]
+    pub fn live_before_instrs(&self, proc: &Procedure, abi: &Abi, block: BlockId) -> Vec<RegMask> {
+        let instrs = &proc.blocks[block.0].instrs;
+        let mut before = vec![RegMask::empty(); instrs.len()];
+        let mut live = self.live_out[block.0];
+        for (i, instr) in instrs.iter().enumerate().rev() {
+            live = uses(instr, abi) | (live - defs(instr, abi));
+            before[i] = live;
+        }
+        before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvi_isa::{AluOp, ArchReg, CmpOp, Instr};
+    use dvi_program::{ProcBuilder, ProgramBuilder};
+
+    fn r(i: u8) -> ArchReg {
+        ArchReg::new(i)
+    }
+
+    fn build_proc(f: impl FnOnce(&mut ProcBuilder)) -> Procedure {
+        let mut b = ProgramBuilder::new();
+        let mut p = ProcBuilder::new("main");
+        f(&mut p);
+        b.add_procedure(p).unwrap();
+        // A callee placeholder so calls in tests resolve.
+        let mut callee = ProcBuilder::new("callee");
+        callee.emit(Instr::Return);
+        b.add_procedure(callee).unwrap();
+        b.build("main").unwrap().procedures[0].clone()
+    }
+
+    #[test]
+    fn straight_line_liveness_ends_at_last_use() {
+        // r8 <- 1 ; r9 <- r8 + r8 ; halt       — r8 dead after the add.
+        let proc = build_proc(|p| {
+            p.emit(Instr::load_imm(r(8), 1));
+            p.emit(Instr::Alu { op: AluOp::Add, rd: r(9), rs: r(8), rt: r(8) });
+            p.emit(Instr::Halt);
+        });
+        let abi = Abi::mips_like();
+        let lv = Liveness::analyze(&proc, &abi);
+        let after = lv.live_after_instrs(&proc, &abi, BlockId(0));
+        assert!(after[0].contains(r(8)), "r8 live after its definition");
+        assert!(!after[1].contains(r(8)), "r8 dead after its last use");
+        assert!(!after[1].contains(r(9)), "r9 never used again");
+    }
+
+    #[test]
+    fn loop_carried_values_stay_live_around_the_back_edge() {
+        // r16 is a loop counter: live at the loop header's entry.
+        let proc = build_proc(|p| {
+            let body = p.new_block();
+            let exit = p.new_block();
+            p.emit(Instr::load_imm(r(16), 4));
+            p.switch_to(body);
+            p.emit(Instr::AluImm { op: AluOp::Sub, rd: r(16), rs: r(16), imm: 1 });
+            p.emit_branch(CmpOp::Ne, r(16), ArchReg::ZERO, body);
+            p.switch_to(exit);
+            p.emit(Instr::Halt);
+        });
+        let abi = Abi::mips_like();
+        let lv = Liveness::analyze(&proc, &abi);
+        assert!(lv.live_in(BlockId(1)).contains(r(16)));
+        assert!(lv.live_out(BlockId(0)).contains(r(16)));
+        assert!(!lv.live_out(BlockId(1)).contains(r(16)) || lv.live_in(BlockId(1)).contains(r(16)));
+    }
+
+    #[test]
+    fn callee_saved_registers_survive_calls_but_caller_saved_do_not() {
+        // r16 (callee-saved) and r8 (caller-saved) both defined before a
+        // call and used after it: r16 stays live across the call; r8 is
+        // clobbered by the call, so its pre-call value is *not* live across
+        // it (the use after the call sees the call's def).
+        let proc = build_proc(|p| {
+            p.emit(Instr::load_imm(r(16), 1));
+            p.emit(Instr::load_imm(r(8), 2));
+            p.emit_call("callee");
+            p.emit(Instr::Alu { op: AluOp::Add, rd: r(9), rs: r(16), rt: r(8) });
+            p.emit(Instr::Halt);
+        });
+        let abi = Abi::mips_like();
+        let lv = Liveness::analyze(&proc, &abi);
+        let before = lv.live_before_instrs(&proc, &abi, BlockId(0));
+        // Before the call (index 2): r16 must be live, r8 need not be.
+        assert!(before[2].contains(r(16)));
+        assert!(!before[2].contains(r(8)), "caller-saved r8 is clobbered by the call");
+    }
+
+    #[test]
+    fn return_keeps_callee_saved_live_when_untouched() {
+        let proc = build_proc(|p| {
+            p.emit(Instr::load_imm(r(8), 3));
+            p.emit(Instr::Halt);
+        });
+        // Use a procedure that ends in Return rather than Halt.
+        let mut b = ProgramBuilder::new();
+        let mut q = ProcBuilder::new("q");
+        q.emit(Instr::load_imm(r(8), 3));
+        q.emit(Instr::Return);
+        b.add_procedure(q).unwrap();
+        let prog = {
+            let mut main = ProcBuilder::new("main");
+            main.emit(Instr::Halt);
+            b.add_procedure(main).unwrap();
+            b.build("main").unwrap()
+        };
+        let qproc = &prog.procedures[0];
+        let abi = Abi::mips_like();
+        let lv = Liveness::analyze(qproc, &abi);
+        assert!(abi.callee_saved().is_subset(lv.live_in(BlockId(0))));
+        let _ = proc;
+    }
+
+    #[test]
+    fn diamond_merges_liveness_from_both_arms() {
+        // if (r8 != 0) goto else; then: r9 = r16; else: r9 = r17; use r9
+        let proc = build_proc(|p| {
+            let then_b = p.new_block();
+            let else_b = p.new_block();
+            let join = p.new_block();
+            // Taken path goes to the else arm; fall-through is the then arm.
+            p.emit_branch(CmpOp::Ne, r(8), ArchReg::ZERO, else_b);
+            p.switch_to(then_b);
+            p.emit(Instr::mov(r(9), r(16)));
+            p.emit_jump(join);
+            p.switch_to(else_b);
+            p.emit(Instr::mov(r(9), r(17)));
+            p.emit_jump(join);
+            p.switch_to(join);
+            p.emit(Instr::mov(r(10), r(9)));
+            p.emit(Instr::Halt);
+        });
+        let abi = Abi::mips_like();
+        let lv = Liveness::analyze(&proc, &abi);
+        let entry_live = lv.live_in(BlockId(0));
+        assert!(entry_live.contains(r(8)));
+        assert!(entry_live.contains(r(16)));
+        assert!(entry_live.contains(r(17)));
+        assert!(!entry_live.contains(r(9)), "r9 is defined on every path before use");
+    }
+}

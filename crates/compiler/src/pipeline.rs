@@ -1,0 +1,156 @@
+//! The end-to-end "compiler" driver.
+
+use crate::edvi::insert_edvi;
+use crate::prologue::add_prologue_epilogue;
+use crate::size::count_kills;
+use dvi_core::EdviPlacement;
+use dvi_isa::Abi;
+use dvi_program::{Program, ProgramError};
+use std::fmt;
+
+/// Options controlling [`compile`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// Where to place explicit DVI.
+    pub edvi: EdviPlacement,
+}
+
+/// What the compile pipeline added to the program.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompileReport {
+    /// Instructions in the input program.
+    pub input_instrs: usize,
+    /// Instructions in the output program.
+    pub output_instrs: usize,
+    /// Callee saves (`live-store`) inserted.
+    pub saves_inserted: usize,
+    /// Callee restores (`live-load`) inserted.
+    pub restores_inserted: usize,
+    /// Explicit `kill` instructions inserted.
+    pub kill_instructions: usize,
+}
+
+impl CompileReport {
+    /// Static code growth due to E-DVI alone, in percent of the
+    /// fully-lowered (prologue/epilogue included) but unannotated binary.
+    #[must_use]
+    pub fn edvi_code_growth_pct(&self) -> f64 {
+        let without_edvi = self.output_instrs - self.kill_instructions;
+        if without_edvi == 0 {
+            0.0
+        } else {
+            100.0 * self.kill_instructions as f64 / without_edvi as f64
+        }
+    }
+}
+
+impl fmt::Display for CompileReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} -> {} instructions ({} saves, {} restores, {} kills)",
+            self.input_instrs,
+            self.output_instrs,
+            self.saves_inserted,
+            self.restores_inserted,
+            self.kill_instructions
+        )
+    }
+}
+
+/// A compiled program together with the report describing what was added.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    /// The lowered, annotated program.
+    pub program: Program,
+    /// What the passes did.
+    pub report: CompileReport,
+}
+
+/// Runs the compilation pipeline on a "bare" program:
+///
+/// 1. prologue/epilogue insertion (callee saves/restores as
+///    `live-store`/`live-load`),
+/// 2. explicit DVI insertion according to `options.edvi`,
+/// 3. validation.
+///
+/// # Errors
+///
+/// Returns a [`ProgramError`] when the resulting program fails validation
+/// (which indicates a bug in the input program, not in the passes).
+pub fn compile(
+    program: &Program,
+    abi: &Abi,
+    options: CompileOptions,
+) -> Result<CompiledProgram, ProgramError> {
+    let mut out = program.clone();
+    let input_instrs = out.num_instrs();
+    let prologue = add_prologue_epilogue(&mut out, abi);
+    let edvi = insert_edvi(&mut out, abi, options.edvi);
+    out.validate()?;
+    let report = CompileReport {
+        input_instrs,
+        output_instrs: out.num_instrs(),
+        saves_inserted: prologue.saves_inserted,
+        restores_inserted: prologue.restores_inserted,
+        kill_instructions: edvi.kill_instructions,
+    };
+    debug_assert_eq!(count_kills(&out), report.kill_instructions);
+    Ok(CompiledProgram { program: out, report })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvi_isa::{ArchReg, Instr};
+    use dvi_program::{ProcBuilder, ProgramBuilder};
+
+    fn bare_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let mut main = ProcBuilder::new("main");
+        main.emit(Instr::load_imm(ArchReg::new(16), 5));
+        main.emit(Instr::mov(ArchReg::new(8), ArchReg::new(16)));
+        main.emit_call("leaf");
+        main.emit(Instr::Halt);
+        b.add_procedure(main).unwrap();
+        let mut leaf = ProcBuilder::new("leaf");
+        leaf.emit(Instr::load_imm(ArchReg::new(16), 9));
+        leaf.emit(Instr::Return);
+        b.add_procedure(leaf).unwrap();
+        b.build("main").unwrap()
+    }
+
+    #[test]
+    fn full_pipeline_adds_saves_restores_and_kills() {
+        let compiled = compile(&bare_program(), &Abi::mips_like(), CompileOptions::default()).unwrap();
+        assert!(compiled.report.saves_inserted >= 1);
+        assert!(compiled.report.restores_inserted >= 1);
+        assert!(compiled.report.kill_instructions >= 1);
+        assert_eq!(
+            compiled.report.output_instrs,
+            compiled.report.input_instrs
+                + compiled.report.saves_inserted
+                + compiled.report.restores_inserted
+                + compiled.report.kill_instructions
+                + 2 // the leaf's frame allocate/deallocate pair
+        );
+        assert!(compiled.report.edvi_code_growth_pct() > 0.0);
+        assert!(compiled.report.to_string().contains("saves"));
+    }
+
+    #[test]
+    fn edvi_none_produces_a_clean_baseline_binary() {
+        let opts = CompileOptions { edvi: dvi_core::EdviPlacement::None };
+        let compiled = compile(&bare_program(), &Abi::mips_like(), opts).unwrap();
+        assert_eq!(compiled.report.kill_instructions, 0);
+        assert!(compiled.report.saves_inserted >= 1, "saves are part of the ABI, not of DVI");
+    }
+
+    #[test]
+    fn input_program_is_not_mutated() {
+        let input = bare_program();
+        let before = input.num_instrs();
+        let _ = compile(&input, &Abi::mips_like(), CompileOptions::default()).unwrap();
+        assert_eq!(input.num_instrs(), before);
+    }
+}

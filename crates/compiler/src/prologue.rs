@@ -1,0 +1,220 @@
+//! Prologue/epilogue generation: callee-saved register saves and restores.
+
+use dvi_isa::{Abi, AluOp, ArchReg, Instr, RegMask};
+use dvi_program::{Procedure, Program};
+
+/// The callee-saved registers written anywhere in `proc` — the set the
+/// procedure must save in its prologue and restore in its epilogue.
+#[must_use]
+pub fn clobbered_callee_saved(proc: &Procedure, abi: &Abi) -> RegMask {
+    let mut written = RegMask::empty();
+    for (_, instr) in proc.iter_instrs() {
+        // Epilogue restores (live-loads) are not body writes; excluding them
+        // keeps the pass idempotent.
+        if instr.is_restore() {
+            continue;
+        }
+        if let Some(d) = instr.dst_reg() {
+            if abi.is_callee_saved(d) {
+                written.insert(d);
+            }
+        }
+    }
+    written
+}
+
+/// Number of saves and restores inserted by [`add_prologue_epilogue`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrologueReport {
+    /// `live-store` instructions inserted (one per saved register per
+    /// procedure).
+    pub saves_inserted: usize,
+    /// `live-load` instructions inserted (one per saved register per
+    /// `return`).
+    pub restores_inserted: usize,
+}
+
+/// Inserts a conventional prologue and epilogue into every procedure that
+/// returns and either writes callee-saved registers or makes calls: the
+/// prologue allocates a stack frame and saves each written callee-saved
+/// register with a `live-store`; every epilogue reloads them with
+/// `live-load`s and deallocates the frame. Non-leaf procedures additionally
+/// save and reload the return-address register with ordinary stores/loads
+/// (its value is always needed to return, so it is never a candidate for
+/// DVI-based elimination).
+///
+/// Using the live variants for the callee-saved registers is precisely the
+/// software support the paper's Section 5.1 requires: the stores and loads
+/// execute normally on an ordinary machine, and a DVI-aware decoder may
+/// drop them when the saved value is dead.
+pub fn add_prologue_epilogue(program: &mut Program, abi: &Abi) -> PrologueReport {
+    let mut report = PrologueReport::default();
+    for proc in &mut program.procedures {
+        let saved = clobbered_callee_saved(proc, abi);
+        let returns: usize = proc
+            .blocks
+            .iter()
+            .flat_map(|b| b.instrs.iter())
+            .filter(|i| i.is_return())
+            .count();
+        let makes_calls = proc.iter_instrs().any(|(_, i)| i.is_call());
+        if (saved.is_empty() && !makes_calls) || returns == 0 {
+            continue;
+        }
+
+        let regs: Vec<ArchReg> = saved.iter().collect();
+        let ra_slot = regs.len() as i32;
+        let total_slots = regs.len() as i32 + i32::from(makes_calls);
+        let frame_bytes = total_slots * 8;
+
+        // Prologue: allocate the frame, then save each register.
+        let mut prologue = Vec::with_capacity(regs.len() + 2);
+        prologue.push(Instr::AluImm { op: AluOp::Sub, rd: ArchReg::SP, rs: ArchReg::SP, imm: frame_bytes });
+        for (slot, reg) in regs.iter().enumerate() {
+            prologue.push(Instr::LiveStore { rs: *reg, base: ArchReg::SP, offset: (slot as i32) * 8 });
+            report.saves_inserted += 1;
+        }
+        if makes_calls {
+            prologue.push(Instr::Store { rs: ArchReg::RA, base: ArchReg::SP, offset: ra_slot * 8 });
+        }
+        let entry = &mut proc.blocks[0].instrs;
+        entry.splice(0..0, prologue);
+
+        // Epilogue: before every return, restore each register and free the
+        // frame.
+        for block in &mut proc.blocks {
+            let Some(last) = block.instrs.last() else { continue };
+            if !last.is_return() {
+                continue;
+            }
+            let insert_at = block.instrs.len() - 1;
+            let mut epilogue = Vec::with_capacity(regs.len() + 2);
+            for (slot, reg) in regs.iter().enumerate() {
+                epilogue.push(Instr::LiveLoad { rd: *reg, base: ArchReg::SP, offset: (slot as i32) * 8 });
+                report.restores_inserted += 1;
+            }
+            if makes_calls {
+                epilogue.push(Instr::Load { rd: ArchReg::RA, base: ArchReg::SP, offset: ra_slot * 8 });
+            }
+            epilogue.push(Instr::AluImm { op: AluOp::Add, rd: ArchReg::SP, rs: ArchReg::SP, imm: frame_bytes });
+            block.instrs.splice(insert_at..insert_at, epilogue);
+        }
+
+        proc.frame_slots = proc.frame_slots.max(total_slots as u32);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvi_program::{Interpreter, ProcBuilder, ProgramBuilder};
+
+    fn r(i: u8) -> ArchReg {
+        ArchReg::new(i)
+    }
+
+    fn program_with_callee_writing(regs: &[u8]) -> Program {
+        let mut b = ProgramBuilder::new();
+        let mut main = ProcBuilder::new("main");
+        main.emit(Instr::load_imm(r(16), 111));
+        main.emit_call("leaf");
+        // main uses r16 after the call, so the callee must have preserved
+        // it.
+        main.emit(Instr::mov(r(9), r(16)));
+        main.emit(Instr::Halt);
+        b.add_procedure(main).unwrap();
+
+        let mut leaf = ProcBuilder::new("leaf");
+        for (i, reg) in regs.iter().enumerate() {
+            leaf.emit(Instr::load_imm(r(*reg), 200 + i as i32));
+        }
+        leaf.emit(Instr::Return);
+        b.add_procedure(leaf).unwrap();
+        b.build("main").unwrap()
+    }
+
+    #[test]
+    fn clobber_set_contains_only_written_callee_saved() {
+        let prog = program_with_callee_writing(&[16, 17, 8]);
+        let abi = Abi::mips_like();
+        let set = clobbered_callee_saved(&prog.procedures[1], &abi);
+        assert_eq!(set, RegMask::from_regs([r(16), r(17)]));
+    }
+
+    #[test]
+    fn prologue_and_epilogue_are_inserted_symmetrically() {
+        let mut prog = program_with_callee_writing(&[16, 17]);
+        let abi = Abi::mips_like();
+        let report = add_prologue_epilogue(&mut prog, &abi);
+        assert_eq!(report.saves_inserted, 2);
+        assert_eq!(report.restores_inserted, 2);
+        let leaf = &prog.procedures[1];
+        let instrs = &leaf.blocks[0].instrs;
+        assert!(matches!(instrs[0], Instr::AluImm { op: AluOp::Sub, rd: ArchReg::SP, .. }));
+        assert!(instrs[1].is_save() && instrs[2].is_save());
+        let n = instrs.len();
+        assert!(instrs[n - 1].is_return());
+        assert!(matches!(instrs[n - 2], Instr::AluImm { op: AluOp::Add, rd: ArchReg::SP, .. }));
+        assert!(instrs[n - 3].is_restore() && instrs[n - 4].is_restore());
+    }
+
+    #[test]
+    fn pass_is_idempotent_on_the_clobber_set() {
+        let mut prog = program_with_callee_writing(&[16]);
+        let abi = Abi::mips_like();
+        add_prologue_epilogue(&mut prog, &abi);
+        let after_once = clobbered_callee_saved(&prog.procedures[1], &abi);
+        assert_eq!(after_once, RegMask::from_regs([r(16)]));
+    }
+
+    #[test]
+    fn preserved_values_survive_the_call_functionally() {
+        let mut prog = program_with_callee_writing(&[16, 17, 18]);
+        let abi = Abi::mips_like();
+        add_prologue_epilogue(&mut prog, &abi);
+        let layout = prog.layout().unwrap();
+        let mut interp = Interpreter::new(&layout).with_step_limit(100_000);
+        let _ = interp.by_ref().count();
+        assert!(interp.summary().halted);
+        // main stored 111 in r16 before the call and copies it to r9 after:
+        // the callee's save/restore must make this work.
+        assert_eq!(interp.state().reg(r(9)), 111);
+        // The stack pointer is restored.
+        assert_eq!(interp.state().reg(ArchReg::SP), dvi_program::STACK_BASE as i64);
+    }
+
+    #[test]
+    fn procedures_without_callee_saved_writes_are_untouched() {
+        let mut prog = program_with_callee_writing(&[8, 9]);
+        let before = prog.procedures[1].num_instrs();
+        let report = add_prologue_epilogue(&mut prog, &Abi::mips_like());
+        // main writes r16 but never returns, so it is untouched too.
+        assert_eq!(report.saves_inserted, 0);
+        assert_eq!(prog.procedures[1].num_instrs(), before);
+    }
+
+    #[test]
+    fn every_return_gets_an_epilogue() {
+        let mut b = ProgramBuilder::new();
+        let mut main = ProcBuilder::new("main");
+        main.emit_call("two_exit");
+        main.emit(Instr::Halt);
+        b.add_procedure(main).unwrap();
+        let mut p = ProcBuilder::new("two_exit");
+        let other = p.new_block();
+        p.emit(Instr::load_imm(r(16), 1));
+        p.emit_branch(dvi_isa::CmpOp::Eq, r(4), ArchReg::ZERO, other);
+        let fallthrough = p.new_block();
+        p.switch_to(fallthrough);
+        p.emit(Instr::Return);
+        p.switch_to(other);
+        p.emit(Instr::Return);
+        b.add_procedure(p).unwrap();
+        let mut prog = b.build("main").unwrap();
+        let report = add_prologue_epilogue(&mut prog, &Abi::mips_like());
+        assert_eq!(report.saves_inserted, 1);
+        assert_eq!(report.restores_inserted, 2);
+        assert!(prog.validate().is_ok());
+    }
+}

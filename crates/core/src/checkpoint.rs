@@ -1,0 +1,189 @@
+//! Checkpoint/recovery support for the LVM.
+
+use crate::lvm::Lvm;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Identifier of a checkpoint taken by [`CheckpointedLvm::checkpoint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CheckpointId(u64);
+
+/// An [`Lvm`] with branch-checkpoint support.
+///
+/// The paper notes that LVM (and LVM-Stack) updates occur at decode time and
+/// are often speculative; to ensure correct execution on mis-speculation the
+/// structures are checkpointed and recovered by the same mechanism that
+/// checkpoints the register mapping table. `CheckpointedLvm` provides that
+/// mechanism: a checkpoint is taken when a branch is decoded, released when
+/// the branch resolves correctly, and rolled back (together with every
+/// younger checkpoint) when the branch mispredicts.
+///
+/// # Example
+///
+/// ```
+/// use dvi_isa::ArchReg;
+/// use dvi_core::CheckpointedLvm;
+///
+/// let mut lvm = CheckpointedLvm::new();
+/// let cp = lvm.checkpoint();
+/// lvm.lvm_mut().kill(ArchReg::new(16));
+/// lvm.rollback(cp).expect("checkpoint exists");
+/// assert!(lvm.lvm().is_live(ArchReg::new(16)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CheckpointedLvm {
+    current: Lvm,
+    checkpoints: VecDeque<(CheckpointId, Lvm)>,
+    next_id: u64,
+}
+
+/// Error returned when a checkpoint id is unknown (already released or
+/// rolled back past).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnknownCheckpoint(pub CheckpointId);
+
+impl fmt::Display for UnknownCheckpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown LVM checkpoint {:?}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownCheckpoint {}
+
+impl CheckpointedLvm {
+    /// Creates a checkpointed LVM with every register live and no
+    /// outstanding checkpoint.
+    #[must_use]
+    pub fn new() -> Self {
+        CheckpointedLvm {
+            current: Lvm::new_all_live(),
+            checkpoints: VecDeque::new(),
+            next_id: 0,
+        }
+    }
+
+    /// The architectural (most recent, possibly speculative) LVM.
+    #[must_use]
+    pub fn lvm(&self) -> &Lvm {
+        &self.current
+    }
+
+    /// Mutable access to the LVM (decode-time updates).
+    pub fn lvm_mut(&mut self) -> &mut Lvm {
+        &mut self.current
+    }
+
+    /// Number of outstanding checkpoints.
+    #[must_use]
+    pub fn outstanding(&self) -> usize {
+        self.checkpoints.len()
+    }
+
+    /// Takes a checkpoint of the current LVM state (at a predicted branch).
+    pub fn checkpoint(&mut self) -> CheckpointId {
+        let id = CheckpointId(self.next_id);
+        self.next_id += 1;
+        self.checkpoints.push_back((id, self.current.clone()));
+        id
+    }
+
+    /// Releases a checkpoint and every older one (the branch resolved as
+    /// predicted, so the state up to it is no longer speculative).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownCheckpoint`] when the id is not outstanding.
+    pub fn release(&mut self, id: CheckpointId) -> Result<(), UnknownCheckpoint> {
+        let pos = self
+            .checkpoints
+            .iter()
+            .position(|(cid, _)| *cid == id)
+            .ok_or(UnknownCheckpoint(id))?;
+        self.checkpoints.drain(..=pos);
+        Ok(())
+    }
+
+    /// Rolls the LVM back to the state captured at `id`, discarding that
+    /// checkpoint and every younger one (the branch mispredicted).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownCheckpoint`] when the id is not outstanding.
+    pub fn rollback(&mut self, id: CheckpointId) -> Result<(), UnknownCheckpoint> {
+        let pos = self
+            .checkpoints
+            .iter()
+            .position(|(cid, _)| *cid == id)
+            .ok_or(UnknownCheckpoint(id))?;
+        let (_, lvm) = self.checkpoints[pos].clone();
+        self.current = lvm;
+        self.checkpoints.drain(pos..);
+        Ok(())
+    }
+}
+
+impl Default for CheckpointedLvm {
+    fn default() -> Self {
+        CheckpointedLvm::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvi_isa::{ArchReg, RegMask};
+
+    #[test]
+    fn rollback_restores_older_state() {
+        let mut c = CheckpointedLvm::new();
+        c.lvm_mut().kill(ArchReg::new(8));
+        let cp = c.checkpoint();
+        c.lvm_mut().kill_mask(RegMask::from_range(16, 23));
+        assert_eq!(c.lvm().dead_count(), 9);
+        c.rollback(cp).unwrap();
+        assert_eq!(c.lvm().dead_count(), 1);
+        assert!(!c.lvm().is_live(ArchReg::new(8)));
+        assert_eq!(c.outstanding(), 0);
+    }
+
+    #[test]
+    fn release_drops_older_checkpoints_without_changing_state() {
+        let mut c = CheckpointedLvm::new();
+        let cp1 = c.checkpoint();
+        c.lvm_mut().kill(ArchReg::new(16));
+        let _cp2 = c.checkpoint();
+        c.lvm_mut().kill(ArchReg::new(17));
+        c.release(cp1).unwrap();
+        assert_eq!(c.outstanding(), 1);
+        assert_eq!(c.lvm().dead_count(), 2);
+    }
+
+    #[test]
+    fn rollback_discards_younger_checkpoints() {
+        let mut c = CheckpointedLvm::new();
+        let cp1 = c.checkpoint();
+        c.lvm_mut().kill(ArchReg::new(16));
+        let cp2 = c.checkpoint();
+        c.rollback(cp1).unwrap();
+        assert_eq!(c.lvm().dead_count(), 0);
+        assert_eq!(c.rollback(cp2), Err(UnknownCheckpoint(cp2)));
+    }
+
+    #[test]
+    fn unknown_checkpoint_is_an_error() {
+        let mut c = CheckpointedLvm::new();
+        let cp = c.checkpoint();
+        c.release(cp).unwrap();
+        assert!(c.release(cp).is_err());
+        let err = c.rollback(cp).unwrap_err();
+        assert!(err.to_string().contains("unknown"));
+    }
+
+    #[test]
+    fn checkpoint_ids_are_unique_and_ordered() {
+        let mut c = CheckpointedLvm::new();
+        let a = c.checkpoint();
+        let b = c.checkpoint();
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,97 @@
+//! DVI events observed in the dynamic instruction stream.
+
+use dvi_isa::RegMask;
+use std::fmt;
+
+/// Where a piece of dead-value information came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DviSource {
+    /// An explicit `kill` instruction inserted by the compiler (E-DVI).
+    Explicit,
+    /// Deduced from a dynamic `call` instruction and the ABI (I-DVI).
+    ImplicitCall,
+    /// Deduced from a dynamic `return` instruction and the ABI (I-DVI).
+    ImplicitReturn,
+}
+
+impl DviSource {
+    /// Whether the information required an instruction in the binary.
+    #[must_use]
+    pub fn is_explicit(self) -> bool {
+        matches!(self, DviSource::Explicit)
+    }
+}
+
+impl fmt::Display for DviSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DviSource::Explicit => "E-DVI",
+            DviSource::ImplicitCall => "I-DVI(call)",
+            DviSource::ImplicitReturn => "I-DVI(return)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single dead-value assertion: `mask` is dead at the point the event was
+/// observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DviEvent {
+    /// Registers asserted dead.
+    pub mask: RegMask,
+    /// Where the assertion came from.
+    pub source: DviSource,
+}
+
+impl DviEvent {
+    /// Creates an explicit (E-DVI) event.
+    #[must_use]
+    pub fn explicit(mask: RegMask) -> Self {
+        DviEvent { mask, source: DviSource::Explicit }
+    }
+
+    /// Creates an implicit event observed at a call.
+    #[must_use]
+    pub fn implicit_call(mask: RegMask) -> Self {
+        DviEvent { mask, source: DviSource::ImplicitCall }
+    }
+
+    /// Creates an implicit event observed at a return.
+    #[must_use]
+    pub fn implicit_return(mask: RegMask) -> Self {
+        DviEvent { mask, source: DviSource::ImplicitReturn }
+    }
+}
+
+impl fmt::Display for DviEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} kills {}", self.source, self.mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_the_source() {
+        let m = RegMask::from_range(16, 23);
+        assert_eq!(DviEvent::explicit(m).source, DviSource::Explicit);
+        assert_eq!(DviEvent::implicit_call(m).source, DviSource::ImplicitCall);
+        assert_eq!(DviEvent::implicit_return(m).source, DviSource::ImplicitReturn);
+    }
+
+    #[test]
+    fn explicit_classification() {
+        assert!(DviSource::Explicit.is_explicit());
+        assert!(!DviSource::ImplicitCall.is_explicit());
+        assert!(!DviSource::ImplicitReturn.is_explicit());
+    }
+
+    #[test]
+    fn display_mentions_source_and_mask() {
+        let e = DviEvent::explicit(RegMask::from_range(16, 16));
+        let s = e.to_string();
+        assert!(s.contains("E-DVI") && s.contains("r16"));
+    }
+}

@@ -1,0 +1,255 @@
+//! The LVM-Stack: buffered LVM snapshots from procedure entry points.
+
+use crate::lvm::Lvm;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A bounded stack of LVM snapshots used to eliminate *restores*.
+///
+/// The LVM itself is updated continuously as a procedure executes, so by the
+/// time the epilogue's `live-load` restores are decoded the bit that
+/// eliminated the matching prologue save has usually been overwritten. The
+/// LVM-Stack buffers an LVM snapshot from the procedure entry until its
+/// exit; restores are eliminated based on the entry at the *top* of the
+/// stack, because that is the same information that eliminated the matching
+/// saves.
+///
+/// Following the paper, the structure is a small circular buffer (16 entries
+/// in the evaluated configuration) which *wraps around on overflow* — the
+/// oldest snapshot is silently discarded — and *assumes an empty stack on
+/// underflow*: when a `return` pops an empty stack, an all-live snapshot is
+/// produced so no restore is ever eliminated without justification.
+///
+/// # Example
+///
+/// ```
+/// use dvi_isa::ArchReg;
+/// use dvi_core::{Lvm, LvmStack};
+///
+/// let mut stack = LvmStack::new(16);
+/// let mut lvm = Lvm::new_all_live();
+/// lvm.kill(ArchReg::new(16));
+/// stack.push(&lvm);
+/// assert!(!stack.top().unwrap().is_live(ArchReg::new(16)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LvmStack {
+    entries: VecDeque<Lvm>,
+    capacity: usize,
+    overflows: u64,
+    underflows: u64,
+}
+
+impl LvmStack {
+    /// Creates an LVM-Stack holding at most `capacity` snapshots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LVM-Stack capacity must be at least one entry");
+        LvmStack {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            overflows: 0,
+            underflows: 0,
+        }
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of snapshots currently buffered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no snapshot is buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of times a push discarded the oldest entry (wrap-around).
+    #[must_use]
+    pub fn overflows(&self) -> u64 {
+        self.overflows
+    }
+
+    /// Number of times a pop found the stack empty.
+    #[must_use]
+    pub fn underflows(&self) -> u64 {
+        self.underflows
+    }
+
+    /// Pushes a snapshot of `lvm` (performed at every procedure call). On
+    /// overflow the oldest snapshot is discarded, exactly like a hardware
+    /// circular buffer wrapping around.
+    pub fn push(&mut self, lvm: &Lvm) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.overflows += 1;
+        }
+        self.entries.push_back(lvm.clone());
+    }
+
+    /// The snapshot taken at the entry of the procedure currently executing,
+    /// or `None` when the stack is empty (e.g. after wrap-around).
+    #[must_use]
+    pub fn top(&self) -> Option<&Lvm> {
+        self.entries.back()
+    }
+
+    /// Pops the top snapshot (performed at every procedure return). When the
+    /// stack has underflowed, a conservative all-live snapshot is returned so
+    /// the caller never eliminates a restore without justification; the
+    /// underflow is counted.
+    pub fn pop(&mut self) -> Option<Lvm> {
+        match self.entries.pop_back() {
+            Some(lvm) => Some(lvm),
+            None => {
+                self.underflows += 1;
+                None
+            }
+        }
+    }
+
+    /// Pops, substituting an all-live snapshot on underflow. This is the
+    /// behaviour the decoder relies on.
+    #[must_use]
+    pub fn pop_or_all_live(&mut self) -> Lvm {
+        self.pop().unwrap_or_else(Lvm::new_all_live)
+    }
+
+    /// Whether a restore of `reg` can be eliminated: the register was dead in
+    /// the snapshot taken at the procedure entry. Returns `false` when no
+    /// snapshot is available (conservative).
+    #[must_use]
+    pub fn restore_is_dead(&self, reg: dvi_isa::ArchReg) -> bool {
+        self.top().is_some_and(|lvm| !lvm.is_live(reg))
+    }
+
+    /// Discards every snapshot (used on exceptions, `longjmp` and other
+    /// non-standard control transfers; all registers are then assumed live).
+    pub fn flush(&mut self) {
+        self.entries.clear();
+    }
+}
+
+impl fmt::Display for LvmStack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LvmStack[{}/{}]", self.len(), self.capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvi_isa::{ArchReg, RegMask};
+    use proptest::prelude::*;
+
+    fn dead16() -> Lvm {
+        let mut lvm = Lvm::new_all_live();
+        lvm.kill(ArchReg::new(16));
+        lvm
+    }
+
+    #[test]
+    fn push_pop_round_trip() {
+        let mut stack = LvmStack::new(4);
+        stack.push(&dead16());
+        assert_eq!(stack.len(), 1);
+        let popped = stack.pop().expect("entry");
+        assert!(!popped.is_live(ArchReg::new(16)));
+        assert!(stack.is_empty());
+    }
+
+    #[test]
+    fn top_reflects_most_recent_push() {
+        let mut stack = LvmStack::new(4);
+        stack.push(&Lvm::new_all_live());
+        stack.push(&dead16());
+        assert!(!stack.top().unwrap().is_live(ArchReg::new(16)));
+        assert!(stack.restore_is_dead(ArchReg::new(16)));
+        assert!(!stack.restore_is_dead(ArchReg::new(17)));
+    }
+
+    #[test]
+    fn overflow_discards_oldest_and_is_counted() {
+        let mut stack = LvmStack::new(2);
+        let mut a = Lvm::new_all_live();
+        a.kill(ArchReg::new(20));
+        stack.push(&a);
+        stack.push(&Lvm::new_all_live());
+        stack.push(&dead16());
+        assert_eq!(stack.len(), 2);
+        assert_eq!(stack.overflows(), 1);
+        // The oldest snapshot (killing r20) is gone; the two newest remain,
+        // in order.
+        assert!(!stack.top().unwrap().is_live(ArchReg::new(16)));
+        let _ = stack.pop();
+        assert!(stack.top().unwrap().is_live(ArchReg::new(20)));
+    }
+
+    #[test]
+    fn underflow_assumes_all_live() {
+        let mut stack = LvmStack::new(2);
+        assert!(stack.pop().is_none());
+        assert_eq!(stack.underflows(), 1);
+        let lvm = stack.pop_or_all_live();
+        assert_eq!(lvm.dead_count(), 0);
+        assert!(!stack.restore_is_dead(ArchReg::new(16)));
+    }
+
+    #[test]
+    fn flush_empties_the_stack() {
+        let mut stack = LvmStack::new(4);
+        stack.push(&dead16());
+        stack.push(&dead16());
+        stack.flush();
+        assert!(stack.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_is_rejected() {
+        let _ = LvmStack::new(0);
+    }
+
+    #[test]
+    fn display_shows_occupancy() {
+        let mut stack = LvmStack::new(16);
+        stack.push(&Lvm::new_all_live());
+        assert_eq!(stack.to_string(), "LvmStack[1/16]");
+    }
+
+    proptest! {
+        #[test]
+        fn lifo_order_is_preserved_within_capacity(masks in proptest::collection::vec(any::<u32>(), 1..16)) {
+            let mut stack = LvmStack::new(16);
+            for m in &masks {
+                stack.push(&Lvm::from_live_mask(RegMask::from_bits(*m)));
+            }
+            for m in masks.iter().rev() {
+                let popped = stack.pop().unwrap();
+                prop_assert_eq!(popped.live_mask(), RegMask::from_bits(*m).with(ArchReg::ZERO));
+            }
+            prop_assert!(stack.is_empty());
+        }
+
+        #[test]
+        fn len_never_exceeds_capacity(count in 0usize..64, cap in 1usize..20) {
+            let mut stack = LvmStack::new(cap);
+            for _ in 0..count {
+                stack.push(&Lvm::new_all_live());
+            }
+            prop_assert!(stack.len() <= cap);
+            prop_assert_eq!(stack.overflows() as usize, count.saturating_sub(cap));
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Counters for the quantities the paper's evaluation reports.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Dead-value-information statistics gathered during a run.
+///
+/// All counters are dynamic-instance counts. The derived ratios used by the
+/// paper's figures (percentage of saves+restores, of memory references, of
+/// all instructions) are provided as methods so every experiment computes
+/// them the same way.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DviStats {
+    /// Dynamic callee saves (live-stores) encountered.
+    pub saves_seen: u64,
+    /// Dynamic callee restores (live-loads) encountered.
+    pub restores_seen: u64,
+    /// Saves eliminated because the LVM said the value was dead.
+    pub saves_eliminated: u64,
+    /// Restores eliminated using the LVM-Stack snapshot.
+    pub restores_eliminated: u64,
+    /// Explicit `kill` instructions decoded.
+    pub edvi_instructions: u64,
+    /// Registers killed by explicit DVI (sum of kill-mask sizes).
+    pub edvi_regs_killed: u64,
+    /// Registers killed by implicit DVI at calls and returns.
+    pub idvi_regs_killed: u64,
+    /// Physical registers reclaimed early thanks to DVI.
+    pub phys_regs_reclaimed_early: u64,
+}
+
+impl DviStats {
+    /// Creates zeroed statistics.
+    #[must_use]
+    pub fn new() -> Self {
+        DviStats::default()
+    }
+
+    /// Total dynamic saves and restores encountered.
+    #[must_use]
+    pub fn save_restores_seen(&self) -> u64 {
+        self.saves_seen + self.restores_seen
+    }
+
+    /// Total saves and restores eliminated.
+    #[must_use]
+    pub fn save_restores_eliminated(&self) -> u64 {
+        self.saves_eliminated + self.restores_eliminated
+    }
+
+    /// Fraction of dynamic saves+restores eliminated, in percent
+    /// (Figure 9a). Returns 0 when no saves/restores were seen.
+    #[must_use]
+    pub fn pct_of_save_restores(&self) -> f64 {
+        percentage(self.save_restores_eliminated(), self.save_restores_seen())
+    }
+
+    /// Fraction of `total_mem_refs` eliminated, in percent (Figure 9b).
+    #[must_use]
+    pub fn pct_of_mem_refs(&self, total_mem_refs: u64) -> f64 {
+        percentage(self.save_restores_eliminated(), total_mem_refs)
+    }
+
+    /// Fraction of `total_instructions` eliminated, in percent (Figure 9c).
+    #[must_use]
+    pub fn pct_of_instructions(&self, total_instructions: u64) -> f64 {
+        percentage(self.save_restores_eliminated(), total_instructions)
+    }
+}
+
+fn percentage(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}
+
+impl AddAssign for DviStats {
+    fn add_assign(&mut self, rhs: DviStats) {
+        self.saves_seen += rhs.saves_seen;
+        self.restores_seen += rhs.restores_seen;
+        self.saves_eliminated += rhs.saves_eliminated;
+        self.restores_eliminated += rhs.restores_eliminated;
+        self.edvi_instructions += rhs.edvi_instructions;
+        self.edvi_regs_killed += rhs.edvi_regs_killed;
+        self.idvi_regs_killed += rhs.idvi_regs_killed;
+        self.phys_regs_reclaimed_early += rhs.phys_regs_reclaimed_early;
+    }
+}
+
+impl fmt::Display for DviStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "saves {}/{} restores {}/{} eliminated ({:.1}% of saves+restores)",
+            self.saves_eliminated,
+            self.saves_seen,
+            self.restores_eliminated,
+            self.restores_seen,
+            self.pct_of_save_restores()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_zero_denominators() {
+        let s = DviStats::new();
+        assert_eq!(s.pct_of_save_restores(), 0.0);
+        assert_eq!(s.pct_of_mem_refs(0), 0.0);
+        assert_eq!(s.pct_of_instructions(0), 0.0);
+    }
+
+    #[test]
+    fn ratios_compute_percentages() {
+        let s = DviStats {
+            saves_seen: 60,
+            restores_seen: 40,
+            saves_eliminated: 30,
+            restores_eliminated: 20,
+            ..DviStats::default()
+        };
+        assert!((s.pct_of_save_restores() - 50.0).abs() < 1e-9);
+        assert!((s.pct_of_mem_refs(500) - 10.0).abs() < 1e-9);
+        assert!((s.pct_of_instructions(1000) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn add_assign_accumulates_every_field() {
+        let mut a = DviStats { saves_seen: 1, restores_seen: 2, saves_eliminated: 3, restores_eliminated: 4, edvi_instructions: 5, edvi_regs_killed: 6, idvi_regs_killed: 7, phys_regs_reclaimed_early: 8 };
+        let b = a;
+        a += b;
+        assert_eq!(a.saves_seen, 2);
+        assert_eq!(a.phys_regs_reclaimed_early, 16);
+        assert_eq!(a.edvi_regs_killed, 12);
+    }
+
+    #[test]
+    fn display_reports_elimination_rate() {
+        let s = DviStats { saves_seen: 10, saves_eliminated: 5, restores_seen: 10, restores_eliminated: 5, ..DviStats::default() };
+        assert!(s.to_string().contains("50.0%"));
+    }
+}

@@ -1,0 +1,69 @@
+//! Figure 2: the simulated machine configuration.
+
+use crate::table::Table;
+use dvi_sim::SimConfig;
+use std::fmt;
+
+/// The machine-configuration table.
+#[derive(Debug, Clone)]
+pub struct Figure02 {
+    /// The configuration being described.
+    pub config: SimConfig,
+}
+
+/// Builds the Figure 2 table for the default machine.
+#[must_use]
+pub fn run() -> Figure02 {
+    Figure02 { config: SimConfig::micro97() }
+}
+
+impl fmt::Display for Figure02 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = &self.config;
+        let mut t = Table::new(["Parameter", "Value"]);
+        t.push_row(["Issue Width", &c.issue_width.to_string()]);
+        t.push_row(["Inst. Window", &c.window_size.to_string()]);
+        t.push_row([
+            "Func. Units".to_string(),
+            format!("{} int ({} mul/div), 2 fp (1 mul/div)", c.int_alu_units, c.int_mul_units),
+        ]);
+        t.push_row(["Cache Ports".to_string(), format!("{} (fully independent)", c.cache_ports)]);
+        t.push_row([
+            "L1 D-Cache".to_string(),
+            format!("{}KB, {}-way, {} cycle latency", c.dcache.size_bytes / 1024, c.dcache.associativity, c.dcache.latency),
+        ]);
+        t.push_row([
+            "L1 I-Cache".to_string(),
+            format!("{}KB, {}-way, {} cycle latency", c.icache.size_bytes / 1024, c.icache.associativity, c.icache.latency),
+        ]);
+        t.push_row([
+            "L2 Cache".to_string(),
+            format!("{}KB, {}-way, {} cycle latency", c.l2.size_bytes / 1024, c.l2.associativity, c.l2.latency),
+        ]);
+        t.push_row([
+            "Branch Predictor".to_string(),
+            format!(
+                "{}-bit history, BTB, combinational gshare/bimod ({}K/{}K entries)",
+                c.predictor.history_bits,
+                c.predictor.gshare_entries / 1024,
+                c.predictor.bimodal_entries / 1024
+            ),
+        ]);
+        writeln!(f, "Figure 2: machine configuration")?;
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_lists_the_figure2_parameters() {
+        let s = run().to_string();
+        assert!(s.contains("Issue Width"));
+        assert!(s.contains("64KB, 4-way"));
+        assert!(s.contains("512KB"));
+        assert!(s.contains("16-bit history"));
+    }
+}

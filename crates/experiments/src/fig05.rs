@@ -1,0 +1,130 @@
+//! Figure 5: average IPC as a function of physical register file size.
+
+use crate::harness::{mean, simulate, Binaries, Budget};
+use crate::table::Table;
+use dvi_core::DviConfig;
+use dvi_sim::SimConfig;
+use dvi_workloads::{presets, WorkloadSpec};
+use std::fmt;
+
+/// The register-file sizes the paper sweeps (34 to 96).
+#[must_use]
+pub fn default_sizes() -> Vec<usize> {
+    (34..=96).step_by(4).collect()
+}
+
+/// One point of the Figure 5 curves.
+#[derive(Debug, Clone, Copy)]
+pub struct SizePoint {
+    /// Physical register file size.
+    pub phys_regs: usize,
+    /// Average IPC with no DVI.
+    pub ipc_no_dvi: f64,
+    /// Average IPC with implicit DVI only.
+    pub ipc_idvi: f64,
+    /// Average IPC with explicit and implicit DVI.
+    pub ipc_edvi_idvi: f64,
+}
+
+/// The three IPC-vs-size curves, averaged over the benchmark suite.
+#[derive(Debug, Clone)]
+pub struct Figure05 {
+    /// One entry per register-file size.
+    pub points: Vec<SizePoint>,
+}
+
+impl Figure05 {
+    /// The smallest file size at which a curve reaches `fraction` of its own
+    /// peak IPC — the "knee" the paper uses to argue DVI lets the file
+    /// shrink. `curve` selects the configuration (0 = no DVI, 1 = I-DVI,
+    /// 2 = E+I-DVI).
+    #[must_use]
+    pub fn knee(&self, curve: usize, fraction: f64) -> Option<usize> {
+        let value = |p: &SizePoint| match curve {
+            0 => p.ipc_no_dvi,
+            1 => p.ipc_idvi,
+            _ => p.ipc_edvi_idvi,
+        };
+        let peak = self.points.iter().map(|p| value(p)).fold(0.0f64, f64::max);
+        self.points.iter().find(|p| value(p) >= fraction * peak).map(|p| p.phys_regs)
+    }
+}
+
+/// Runs the sweep over the full preset suite and the paper's size range.
+#[must_use]
+pub fn run(budget: Budget) -> Figure05 {
+    run_with(budget, &presets::all(), &default_sizes())
+}
+
+/// Runs the sweep over explicit benchmarks and file sizes (used by tests
+/// and benches with reduced scope).
+#[must_use]
+pub fn run_with(budget: Budget, benchmarks: &[WorkloadSpec], sizes: &[usize]) -> Figure05 {
+    let binaries: Vec<Binaries> = benchmarks.iter().map(Binaries::build).collect();
+    let points = sizes
+        .iter()
+        .map(|&n| {
+            let mut no_dvi = Vec::new();
+            let mut idvi = Vec::new();
+            let mut full = Vec::new();
+            for b in &binaries {
+                let base_cfg = SimConfig::micro97().with_phys_regs(n);
+                no_dvi.push(
+                    simulate(&b.baseline, base_cfg.clone().with_dvi(DviConfig::none()), budget).ipc(),
+                );
+                idvi.push(
+                    simulate(&b.baseline, base_cfg.clone().with_dvi(DviConfig::idvi_only()), budget)
+                        .ipc(),
+                );
+                full.push(simulate(&b.edvi, base_cfg.with_dvi(DviConfig::full()), budget).ipc());
+            }
+            SizePoint {
+                phys_regs: n,
+                ipc_no_dvi: mean(&no_dvi),
+                ipc_idvi: mean(&idvi),
+                ipc_edvi_idvi: mean(&full),
+            }
+        })
+        .collect();
+    Figure05 { points }
+}
+
+impl fmt::Display for Figure05 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = Table::new(["Phys regs", "IPC no DVI", "IPC I-DVI", "IPC E-DVI and I-DVI"]);
+        for p in &self.points {
+            t.push_row([
+                p.phys_regs.to_string(),
+                format!("{:.3}", p.ipc_no_dvi),
+                format!("{:.3}", p.ipc_idvi),
+                format!("{:.3}", p.ipc_edvi_idvi),
+            ]);
+        }
+        writeln!(f, "Figure 5: average IPC vs. physical register file size")?;
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvi_workloads::WorkloadSpec;
+
+    #[test]
+    fn dvi_reaches_the_ipc_knee_with_fewer_registers() {
+        let benches = vec![WorkloadSpec::small("a", 1), WorkloadSpec::small("b", 2)];
+        let fig = run_with(Budget { instrs_per_run: 15_000 }, &benches, &[34, 40, 48, 64, 80]);
+        assert_eq!(fig.points.len(), 5);
+        // IPC grows (weakly) with file size for the baseline.
+        let first = fig.points.first().unwrap();
+        let last = fig.points.last().unwrap();
+        assert!(last.ipc_no_dvi >= first.ipc_no_dvi * 0.95);
+        // With I-DVI, small files do at least as well as without DVI.
+        assert!(first.ipc_idvi >= first.ipc_no_dvi * 0.98);
+        // The 90%-of-peak knee with DVI is at or left of the no-DVI knee.
+        let knee_no = fig.knee(0, 0.9).unwrap();
+        let knee_idvi = fig.knee(1, 0.9).unwrap();
+        assert!(knee_idvi <= knee_no, "I-DVI knee {knee_idvi} vs no-DVI knee {knee_no}");
+        assert!(fig.to_string().contains("Phys regs"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Shared plumbing for the experiment drivers.
+
+use dvi_core::EdviPlacement;
+use dvi_isa::Abi;
+use dvi_program::{Interpreter, LayoutProgram};
+use dvi_sim::{SimConfig, SimStats, Simulator};
+use dvi_workloads::WorkloadSpec;
+
+/// How many instructions each timing simulation runs. The paper simulates
+/// up to 1 billion instructions (100 million for the register-file study);
+/// the quick budget keeps unit/integration tests fast while the full budget
+/// is what the `dvi-experiments` binary and the benches use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    /// Instructions simulated per benchmark per configuration.
+    pub instrs_per_run: u64,
+}
+
+impl Budget {
+    /// A small budget for tests (tens of thousands of instructions).
+    #[must_use]
+    pub fn quick() -> Self {
+        Budget { instrs_per_run: 30_000 }
+    }
+
+    /// The budget used by the `dvi-experiments` binary.
+    #[must_use]
+    pub fn full() -> Self {
+        Budget { instrs_per_run: 400_000 }
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::quick()
+    }
+}
+
+/// The two binaries the paper compares: a clean baseline (saves/restores
+/// lowered, no E-DVI) and the annotated binary with one `kill` per call
+/// site that needs one.
+#[derive(Debug, Clone)]
+pub struct Binaries {
+    /// Benchmark name.
+    pub name: String,
+    /// Baseline binary (no E-DVI annotations).
+    pub baseline: LayoutProgram,
+    /// Annotated binary (E-DVI before calls).
+    pub edvi: LayoutProgram,
+    /// Static instruction counts of the two binaries (baseline, E-DVI).
+    pub static_instrs: (usize, usize),
+}
+
+impl Binaries {
+    /// Generates, compiles and lays out both binaries for a workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the generated program fails to compile or lay out, which
+    /// would be a bug in the generator or compiler, not in the caller.
+    #[must_use]
+    pub fn build(spec: &WorkloadSpec) -> Self {
+        let abi = Abi::mips_like();
+        let bare = dvi_workloads::generate(spec);
+        let baseline = dvi_compiler::compile(
+            &bare,
+            &abi,
+            dvi_compiler::CompileOptions { edvi: EdviPlacement::None },
+        )
+        .expect("baseline compilation succeeds");
+        let edvi = dvi_compiler::compile(
+            &bare,
+            &abi,
+            dvi_compiler::CompileOptions { edvi: EdviPlacement::BeforeCalls },
+        )
+        .expect("E-DVI compilation succeeds");
+        let static_instrs = (baseline.program.num_instrs(), edvi.program.num_instrs());
+        Binaries {
+            name: spec.name.clone(),
+            baseline: baseline.program.layout().expect("baseline lays out"),
+            edvi: edvi.program.layout().expect("E-DVI binary lays out"),
+            static_instrs,
+        }
+    }
+
+    /// Static code-size increase of the annotated binary, in percent.
+    #[must_use]
+    pub fn code_growth_pct(&self) -> f64 {
+        let (base, with) = self.static_instrs;
+        if base == 0 {
+            0.0
+        } else {
+            100.0 * (with as f64 - base as f64) / base as f64
+        }
+    }
+}
+
+/// Times `layout` on `config` for at most `budget` instructions.
+#[must_use]
+pub fn simulate(layout: &LayoutProgram, config: SimConfig, budget: Budget) -> SimStats {
+    let trace = Interpreter::new(layout).with_step_limit(budget.instrs_per_run);
+    Simulator::new(config).run(trace)
+}
+
+/// Arithmetic mean of an iterator of values (0 when empty); the paper's
+/// "average workload" is the unweighted arithmetic mean over benchmarks.
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvi_core::DviConfig;
+
+    #[test]
+    fn binaries_differ_only_by_kills() {
+        let b = Binaries::build(&WorkloadSpec::small("toy", 9));
+        assert!(b.static_instrs.1 > b.static_instrs.0);
+        assert!(b.code_growth_pct() > 0.0);
+        assert!(b.code_growth_pct() < 20.0);
+    }
+
+    #[test]
+    fn simulate_returns_sane_ipc() {
+        let b = Binaries::build(&WorkloadSpec::small("toy", 10));
+        let stats = simulate(&b.baseline, SimConfig::micro97(), Budget::quick());
+        assert!(stats.ipc() > 0.3 && stats.ipc() < 4.0, "ipc {}", stats.ipc());
+        let with_dvi = simulate(&b.edvi, SimConfig::micro97().with_dvi(DviConfig::full()), Budget::quick());
+        assert!(with_dvi.dvi.save_restores_eliminated() > 0);
+    }
+
+    #[test]
+    fn mean_handles_empty_slices() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+}

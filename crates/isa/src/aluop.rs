@@ -1,0 +1,217 @@
+//! Integer ALU and comparison operations.
+
+use std::fmt;
+
+/// Integer ALU operations supported by the machine.
+///
+/// Multiplication and division are modelled separately from the simple
+/// operations because they occupy the long-latency integer units of the
+/// simulated machine (Figure 2 of the paper: 4 integer units, 2 of which
+/// handle multiply/divide).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Two's-complement addition (wrapping).
+    Add,
+    /// Two's-complement subtraction (wrapping).
+    Sub,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left by the low 5 bits of the second operand.
+    Sll,
+    /// Logical shift right by the low 5 bits of the second operand.
+    Srl,
+    /// Set-less-than (signed): 1 if `a < b`, else 0.
+    Slt,
+    /// Multiplication (wrapping, low 64 bits).
+    Mul,
+    /// Division; division by zero yields 0 (the simulator never traps).
+    Div,
+}
+
+impl AluOp {
+    /// Evaluates the operation on two 64-bit operands.
+    #[must_use]
+    pub fn eval(self, a: i64, b: i64) -> i64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Sll => a.wrapping_shl((b & 0x1f) as u32),
+            AluOp::Srl => ((a as u64).wrapping_shr((b & 0x1f) as u32)) as i64,
+            AluOp::Slt => i64::from(a < b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Div => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_div(b)
+                }
+            }
+        }
+    }
+
+    /// Whether the operation uses the long-latency multiply/divide unit.
+    #[must_use]
+    pub fn is_long_latency(self) -> bool {
+        matches!(self, AluOp::Mul | AluOp::Div)
+    }
+
+    /// Every ALU operation, in a fixed order (useful for generators).
+    #[must_use]
+    pub fn all() -> &'static [AluOp] {
+        &[
+            AluOp::Add,
+            AluOp::Sub,
+            AluOp::And,
+            AluOp::Or,
+            AluOp::Xor,
+            AluOp::Sll,
+            AluOp::Srl,
+            AluOp::Slt,
+            AluOp::Mul,
+            AluOp::Div,
+        ]
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Sll => "sll",
+            AluOp::Srl => "srl",
+            AluOp::Slt => "slt",
+            AluOp::Mul => "mul",
+            AluOp::Div => "div",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Branch comparison operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Branch if equal.
+    Eq,
+    /// Branch if not equal.
+    Ne,
+    /// Branch if less than (signed).
+    Lt,
+    /// Branch if greater than or equal (signed).
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluates the comparison.
+    #[must_use]
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+
+    /// Every comparison operation, in a fixed order.
+    #[must_use]
+    pub fn all() -> &'static [CmpOp] {
+        &[CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Ge]
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "beq",
+            CmpOp::Ne => "bne",
+            CmpOp::Lt => "blt",
+            CmpOp::Ge => "bge",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_arithmetic() {
+        assert_eq!(AluOp::Add.eval(2, 3), 5);
+        assert_eq!(AluOp::Sub.eval(2, 3), -1);
+        assert_eq!(AluOp::And.eval(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluOp::Or.eval(0b1100, 0b1010), 0b1110);
+        assert_eq!(AluOp::Xor.eval(0b1100, 0b1010), 0b0110);
+        assert_eq!(AluOp::Slt.eval(1, 2), 1);
+        assert_eq!(AluOp::Slt.eval(2, 1), 0);
+        assert_eq!(AluOp::Mul.eval(6, 7), 42);
+        assert_eq!(AluOp::Div.eval(42, 6), 7);
+    }
+
+    #[test]
+    fn shifts_mask_their_amount() {
+        assert_eq!(AluOp::Sll.eval(1, 4), 16);
+        assert_eq!(AluOp::Sll.eval(1, 36), 16, "shift amount is masked to 5 bits");
+        assert_eq!(AluOp::Srl.eval(16, 4), 1);
+    }
+
+    #[test]
+    fn division_by_zero_is_defined() {
+        assert_eq!(AluOp::Div.eval(42, 0), 0);
+    }
+
+    #[test]
+    fn wrapping_never_panics() {
+        assert_eq!(AluOp::Add.eval(i64::MAX, 1), i64::MIN);
+        assert_eq!(AluOp::Mul.eval(i64::MAX, 2), -2);
+        assert_eq!(AluOp::Div.eval(i64::MIN, -1), i64::MIN.wrapping_div(-1i64).wrapping_neg().wrapping_neg());
+    }
+
+    #[test]
+    fn long_latency_classification() {
+        assert!(AluOp::Mul.is_long_latency());
+        assert!(AluOp::Div.is_long_latency());
+        assert!(!AluOp::Add.is_long_latency());
+    }
+
+    #[test]
+    fn cmp_ops() {
+        assert!(CmpOp::Eq.eval(3, 3));
+        assert!(CmpOp::Ne.eval(3, 4));
+        assert!(CmpOp::Lt.eval(-1, 0));
+        assert!(CmpOp::Ge.eval(0, 0));
+        assert!(!CmpOp::Ge.eval(-1, 0));
+    }
+
+    proptest! {
+        #[test]
+        fn eval_never_panics(a in any::<i64>(), b in any::<i64>()) {
+            for op in AluOp::all() {
+                let _ = op.eval(a, b);
+            }
+            for op in CmpOp::all() {
+                let _ = op.eval(a, b);
+            }
+        }
+
+        #[test]
+        fn slt_matches_comparison(a in any::<i64>(), b in any::<i64>()) {
+            prop_assert_eq!(AluOp::Slt.eval(a, b) == 1, a < b);
+            prop_assert_eq!(CmpOp::Lt.eval(a, b), a < b);
+            prop_assert_eq!(CmpOp::Ge.eval(a, b), !CmpOp::Lt.eval(a, b));
+            prop_assert_eq!(CmpOp::Eq.eval(a, b), !CmpOp::Ne.eval(a, b));
+        }
+    }
+}

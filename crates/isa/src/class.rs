@@ -1,0 +1,172 @@
+//! Instruction classes and functional-unit kinds for resource modelling.
+
+use std::fmt;
+
+/// Coarse instruction classes used by the timing simulator to pick a
+/// functional unit and an execution latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstrClass {
+    /// Simple integer ALU operation (1-cycle).
+    IntAlu,
+    /// Integer multiply/divide (long latency, restricted units).
+    IntMul,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional branch.
+    Branch,
+    /// Unconditional jump.
+    Jump,
+    /// Procedure call.
+    Call,
+    /// Procedure return.
+    Return,
+    /// Explicit DVI annotation (consumes no execution resources).
+    Kill,
+    /// No-operation.
+    Nop,
+    /// Program termination.
+    Halt,
+}
+
+impl InstrClass {
+    /// The functional unit needed to execute this class, or `None` when the
+    /// instruction needs no functional unit (it is consumed at decode, like
+    /// `kill` and `nop`).
+    #[must_use]
+    pub fn fu_kind(self) -> Option<FuKind> {
+        match self {
+            InstrClass::IntAlu
+            | InstrClass::Branch
+            | InstrClass::Jump
+            | InstrClass::Call
+            | InstrClass::Return => Some(FuKind::IntAlu),
+            InstrClass::IntMul => Some(FuKind::IntMulDiv),
+            InstrClass::Load | InstrClass::Store => Some(FuKind::MemPort),
+            InstrClass::Kill | InstrClass::Nop | InstrClass::Halt => None,
+        }
+    }
+
+    /// The base execution latency in cycles, excluding cache misses.
+    #[must_use]
+    pub fn base_latency(self) -> u32 {
+        match self {
+            InstrClass::IntMul => 3,
+            InstrClass::Load => 1,
+            InstrClass::Kill | InstrClass::Nop | InstrClass::Halt => 0,
+            _ => 1,
+        }
+    }
+
+    /// Whether instructions of this class occupy a data-cache port.
+    #[must_use]
+    pub fn uses_cache_port(self) -> bool {
+        matches!(self, InstrClass::Load | InstrClass::Store)
+    }
+}
+
+impl fmt::Display for InstrClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InstrClass::IntAlu => "int-alu",
+            InstrClass::IntMul => "int-mul",
+            InstrClass::Load => "load",
+            InstrClass::Store => "store",
+            InstrClass::Branch => "branch",
+            InstrClass::Jump => "jump",
+            InstrClass::Call => "call",
+            InstrClass::Return => "return",
+            InstrClass::Kill => "kill",
+            InstrClass::Nop => "nop",
+            InstrClass::Halt => "halt",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Functional-unit kinds available in the machine of Figure 2: 4 integer
+/// units (2 of which handle multiply/divide), 2 floating-point units (1
+/// mul/div) and the data-cache ports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuKind {
+    /// Simple integer unit.
+    IntAlu,
+    /// Integer multiply/divide unit.
+    IntMulDiv,
+    /// Floating-point adder (unused by the integer workloads, kept for
+    ///  configuration fidelity with the paper's Figure 2).
+    FpAlu,
+    /// Floating-point multiply/divide unit.
+    FpMulDiv,
+    /// Data-cache port.
+    MemPort,
+}
+
+impl FuKind {
+    /// All functional-unit kinds.
+    #[must_use]
+    pub fn all() -> &'static [FuKind] {
+        &[
+            FuKind::IntAlu,
+            FuKind::IntMulDiv,
+            FuKind::FpAlu,
+            FuKind::FpMulDiv,
+            FuKind::MemPort,
+        ]
+    }
+}
+
+impl fmt::Display for FuKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FuKind::IntAlu => "int-alu",
+            FuKind::IntMulDiv => "int-mul-div",
+            FuKind::FpAlu => "fp-alu",
+            FuKind::FpMulDiv => "fp-mul-div",
+            FuKind::MemPort => "mem-port",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kill_and_nop_need_no_functional_unit() {
+        assert_eq!(InstrClass::Kill.fu_kind(), None);
+        assert_eq!(InstrClass::Nop.fu_kind(), None);
+        assert_eq!(InstrClass::Halt.fu_kind(), None);
+        assert_eq!(InstrClass::Kill.base_latency(), 0);
+    }
+
+    #[test]
+    fn memory_classes_use_cache_ports() {
+        assert!(InstrClass::Load.uses_cache_port());
+        assert!(InstrClass::Store.uses_cache_port());
+        assert!(!InstrClass::IntAlu.uses_cache_port());
+        assert_eq!(InstrClass::Load.fu_kind(), Some(FuKind::MemPort));
+    }
+
+    #[test]
+    fn multiply_is_long_latency() {
+        assert!(InstrClass::IntMul.base_latency() > InstrClass::IntAlu.base_latency());
+        assert_eq!(InstrClass::IntMul.fu_kind(), Some(FuKind::IntMulDiv));
+    }
+
+    #[test]
+    fn control_classes_use_integer_alu() {
+        for c in [InstrClass::Branch, InstrClass::Jump, InstrClass::Call, InstrClass::Return] {
+            assert_eq!(c.fu_kind(), Some(FuKind::IntAlu));
+        }
+    }
+
+    #[test]
+    fn display_nonempty() {
+        for k in FuKind::all() {
+            assert!(!k.to_string().is_empty());
+        }
+    }
+}

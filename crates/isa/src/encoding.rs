@@ -1,0 +1,365 @@
+//! Fixed-width binary encoding of instructions.
+//!
+//! Every instruction occupies a single 32-bit word ([`INSTR_BYTES`] bytes),
+//! which is what the static code-size accounting of Figure 13 relies on.
+//! The encoding also demonstrates that the paper's ISA extensions fit in a
+//! conventional RISC format: the E-DVI `kill` instruction stores its kill
+//! mask in the 26 non-opcode bits (covering registers `r6`–`r31`, which
+//! includes every caller- and callee-saved register of the ABI).
+
+use crate::aluop::{AluOp, CmpOp};
+use crate::instr::Instr;
+use crate::reg::ArchReg;
+use crate::regmask::RegMask;
+use std::error::Error;
+use std::fmt;
+
+/// Size of an encoded instruction in bytes.
+pub const INSTR_BYTES: u64 = 4;
+
+/// Error returned when an instruction does not fit the binary encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodeError {
+    /// An immediate or offset does not fit in 16 signed bits.
+    ImmOutOfRange(i32),
+    /// A branch/jump/call target does not fit in its field.
+    TargetOutOfRange(u32),
+    /// The kill mask names a register below `r6`, outside the encodable set.
+    KillMaskUnencodable(RegMask),
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::ImmOutOfRange(v) => {
+                write!(f, "immediate {v} does not fit in 16 signed bits")
+            }
+            EncodeError::TargetOutOfRange(t) => {
+                write!(f, "control-transfer target {t} does not fit in its field")
+            }
+            EncodeError::KillMaskUnencodable(m) => {
+                write!(f, "kill mask {m} names registers outside the encodable r6-r31 range")
+            }
+        }
+    }
+}
+
+impl Error for EncodeError {}
+
+mod opcodes {
+    pub const NOP: u32 = 0;
+    pub const ALU: u32 = 1;
+    pub const ALU_IMM_BASE: u32 = 8; // 8..=17, one per AluOp
+    pub const LOAD: u32 = 20;
+    pub const STORE: u32 = 21;
+    pub const LIVE_LOAD: u32 = 22;
+    pub const LIVE_STORE: u32 = 23;
+    pub const BRANCH_BASE: u32 = 24; // 24..=27, one per CmpOp
+    pub const JUMP: u32 = 28;
+    pub const CALL: u32 = 29;
+    pub const RETURN: u32 = 30;
+    pub const KILL: u32 = 31;
+    pub const LVM_SAVE: u32 = 32;
+    pub const LVM_LOAD: u32 = 33;
+    pub const HALT: u32 = 34;
+}
+
+fn alu_op_code(op: AluOp) -> u32 {
+    AluOp::all().iter().position(|o| *o == op).expect("known op") as u32
+}
+
+fn alu_op_from_code(code: u32) -> Option<AluOp> {
+    AluOp::all().get(code as usize).copied()
+}
+
+fn cmp_op_code(op: CmpOp) -> u32 {
+    CmpOp::all().iter().position(|o| *o == op).expect("known op") as u32
+}
+
+fn check_imm(imm: i32) -> Result<u32, EncodeError> {
+    if imm < i32::from(i16::MIN) || imm > i32::from(i16::MAX) {
+        Err(EncodeError::ImmOutOfRange(imm))
+    } else {
+        Ok((imm as u32) & 0xffff)
+    }
+}
+
+fn opcode(word: u32) -> u32 {
+    word >> 26
+}
+
+fn field(word: u32, shift: u32, bits: u32) -> u32 {
+    (word >> shift) & ((1 << bits) - 1)
+}
+
+fn reg_field(word: u32, shift: u32) -> Option<ArchReg> {
+    ArchReg::try_new(field(word, shift, 5) as u8)
+}
+
+fn sign_extend_16(v: u32) -> i32 {
+    (v as u16) as i16 as i32
+}
+
+/// Encodes an instruction into a 32-bit word.
+///
+/// # Errors
+///
+/// Returns an [`EncodeError`] when an immediate, target or kill mask does not
+/// fit its field.
+pub fn encode_instr(instr: &Instr) -> Result<u32, EncodeError> {
+    use opcodes::*;
+    let word = match *instr {
+        Instr::Nop => NOP << 26,
+        Instr::Alu { op, rd, rs, rt } => {
+            (ALU << 26)
+                | ((rd.index() as u32) << 21)
+                | ((rs.index() as u32) << 16)
+                | ((rt.index() as u32) << 11)
+                | alu_op_code(op)
+        }
+        Instr::AluImm { op, rd, rs, imm } => {
+            ((ALU_IMM_BASE + alu_op_code(op)) << 26)
+                | ((rd.index() as u32) << 21)
+                | ((rs.index() as u32) << 16)
+                | check_imm(imm)?
+        }
+        Instr::Load { rd, base, offset } => {
+            (LOAD << 26)
+                | ((rd.index() as u32) << 21)
+                | ((base.index() as u32) << 16)
+                | check_imm(offset)?
+        }
+        Instr::Store { rs, base, offset } => {
+            (STORE << 26)
+                | ((rs.index() as u32) << 21)
+                | ((base.index() as u32) << 16)
+                | check_imm(offset)?
+        }
+        Instr::LiveLoad { rd, base, offset } => {
+            (LIVE_LOAD << 26)
+                | ((rd.index() as u32) << 21)
+                | ((base.index() as u32) << 16)
+                | check_imm(offset)?
+        }
+        Instr::LiveStore { rs, base, offset } => {
+            (LIVE_STORE << 26)
+                | ((rs.index() as u32) << 21)
+                | ((base.index() as u32) << 16)
+                | check_imm(offset)?
+        }
+        Instr::Branch { op, rs, rt, target } => {
+            if target >= (1 << 16) {
+                return Err(EncodeError::TargetOutOfRange(target));
+            }
+            ((BRANCH_BASE + cmp_op_code(op)) << 26)
+                | ((rs.index() as u32) << 21)
+                | ((rt.index() as u32) << 16)
+                | target
+        }
+        Instr::Jump { target } => {
+            if target >= (1 << 26) {
+                return Err(EncodeError::TargetOutOfRange(target));
+            }
+            (JUMP << 26) | target
+        }
+        Instr::Call { target } => {
+            if target >= (1 << 26) {
+                return Err(EncodeError::TargetOutOfRange(target));
+            }
+            (CALL << 26) | target
+        }
+        Instr::Return => RETURN << 26,
+        Instr::Kill { mask } => {
+            let low = RegMask::from_range(0, 5);
+            if !mask.intersection(low).is_empty() {
+                return Err(EncodeError::KillMaskUnencodable(mask));
+            }
+            (KILL << 26) | (mask.bits() >> 6)
+        }
+        Instr::LvmSave { base, offset } => {
+            (LVM_SAVE << 26) | ((base.index() as u32) << 16) | check_imm(offset)?
+        }
+        Instr::LvmLoad { base, offset } => {
+            (LVM_LOAD << 26) | ((base.index() as u32) << 16) | check_imm(offset)?
+        }
+        Instr::Halt => HALT << 26,
+    };
+    Ok(word)
+}
+
+/// Decodes a 32-bit word back into an instruction, returning `None` for
+/// unknown opcodes or malformed register fields.
+#[must_use]
+pub fn decode_word(word: u32) -> Option<Instr> {
+    use opcodes::*;
+    let op = opcode(word);
+    let instr = match op {
+        NOP => Instr::Nop,
+        ALU => Instr::Alu {
+            op: alu_op_from_code(field(word, 0, 4))?,
+            rd: reg_field(word, 21)?,
+            rs: reg_field(word, 16)?,
+            rt: reg_field(word, 11)?,
+        },
+        o if (ALU_IMM_BASE..ALU_IMM_BASE + AluOp::all().len() as u32).contains(&o) => {
+            Instr::AluImm {
+                op: alu_op_from_code(o - ALU_IMM_BASE)?,
+                rd: reg_field(word, 21)?,
+                rs: reg_field(word, 16)?,
+                imm: sign_extend_16(word),
+            }
+        }
+        LOAD => Instr::Load {
+            rd: reg_field(word, 21)?,
+            base: reg_field(word, 16)?,
+            offset: sign_extend_16(word),
+        },
+        STORE => Instr::Store {
+            rs: reg_field(word, 21)?,
+            base: reg_field(word, 16)?,
+            offset: sign_extend_16(word),
+        },
+        LIVE_LOAD => Instr::LiveLoad {
+            rd: reg_field(word, 21)?,
+            base: reg_field(word, 16)?,
+            offset: sign_extend_16(word),
+        },
+        LIVE_STORE => Instr::LiveStore {
+            rs: reg_field(word, 21)?,
+            base: reg_field(word, 16)?,
+            offset: sign_extend_16(word),
+        },
+        o if (BRANCH_BASE..BRANCH_BASE + CmpOp::all().len() as u32).contains(&o) => {
+            Instr::Branch {
+                op: CmpOp::all()[(o - BRANCH_BASE) as usize],
+                rs: reg_field(word, 21)?,
+                rt: reg_field(word, 16)?,
+                target: field(word, 0, 16),
+            }
+        }
+        JUMP => Instr::Jump { target: field(word, 0, 26) },
+        CALL => Instr::Call { target: field(word, 0, 26) },
+        RETURN => Instr::Return,
+        KILL => Instr::Kill {
+            mask: RegMask::from_bits(field(word, 0, 26) << 6),
+        },
+        LVM_SAVE => Instr::LvmSave {
+            base: reg_field(word, 16)?,
+            offset: sign_extend_16(word),
+        },
+        LVM_LOAD => Instr::LvmLoad {
+            base: reg_field(word, 16)?,
+            offset: sign_extend_16(word),
+        },
+        HALT => Instr::Halt,
+        _ => return None,
+    };
+    Some(instr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn r(i: u8) -> ArchReg {
+        ArchReg::new(i)
+    }
+
+    #[test]
+    fn round_trip_representative_instructions() {
+        let samples = [
+            Instr::Nop,
+            Instr::Alu { op: AluOp::Xor, rd: r(8), rs: r(9), rt: r(10) },
+            Instr::AluImm { op: AluOp::Add, rd: r(8), rs: r(9), imm: -32768 },
+            Instr::AluImm { op: AluOp::Mul, rd: r(8), rs: r(9), imm: 32767 },
+            Instr::Load { rd: r(4), base: ArchReg::SP, offset: 128 },
+            Instr::Store { rs: r(4), base: ArchReg::SP, offset: -128 },
+            Instr::LiveLoad { rd: r(16), base: ArchReg::SP, offset: 8 },
+            Instr::LiveStore { rs: r(16), base: ArchReg::SP, offset: 8 },
+            Instr::Branch { op: CmpOp::Lt, rs: r(1), rt: r(2), target: 12345 },
+            Instr::Jump { target: 1 << 20 },
+            Instr::Call { target: 77 },
+            Instr::Return,
+            Instr::Kill { mask: RegMask::from_range(16, 23) },
+            Instr::LvmSave { base: r(4), offset: 16 },
+            Instr::LvmLoad { base: r(4), offset: 16 },
+            Instr::Halt,
+        ];
+        for instr in samples {
+            let word = encode_instr(&instr).expect("encodable");
+            assert_eq!(decode_word(word), Some(instr), "round trip failed for {instr}");
+        }
+    }
+
+    #[test]
+    fn immediates_out_of_range_are_rejected() {
+        let i = Instr::AluImm { op: AluOp::Add, rd: r(1), rs: r(2), imm: 1 << 20 };
+        assert_eq!(encode_instr(&i), Err(EncodeError::ImmOutOfRange(1 << 20)));
+    }
+
+    #[test]
+    fn jump_target_out_of_range_is_rejected() {
+        let i = Instr::Jump { target: 1 << 26 };
+        assert!(matches!(encode_instr(&i), Err(EncodeError::TargetOutOfRange(_))));
+    }
+
+    #[test]
+    fn kill_mask_with_low_registers_is_rejected() {
+        let i = Instr::Kill { mask: RegMask::from_range(0, 3) };
+        assert!(matches!(encode_instr(&i), Err(EncodeError::KillMaskUnencodable(_))));
+    }
+
+    #[test]
+    fn kill_mask_covers_callee_and_caller_saved_registers() {
+        let abi = crate::Abi::mips_like();
+        let kill = Instr::Kill { mask: abi.callee_saved() };
+        assert!(encode_instr(&kill).is_ok());
+        let kill = Instr::Kill { mask: abi.caller_saved().difference(RegMask::from_range(0, 5)) };
+        assert!(encode_instr(&kill).is_ok());
+    }
+
+    #[test]
+    fn unknown_opcode_decodes_to_none() {
+        assert_eq!(decode_word(63 << 26), None);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = EncodeError::ImmOutOfRange(99999);
+        assert!(e.to_string().contains("99999"));
+    }
+
+    proptest! {
+        #[test]
+        fn alu_round_trip(rd in 0u8..32, rs in 0u8..32, rt in 0u8..32, op_idx in 0usize..10) {
+            let instr = Instr::Alu {
+                op: AluOp::all()[op_idx],
+                rd: ArchReg::new(rd),
+                rs: ArchReg::new(rs),
+                rt: ArchReg::new(rt),
+            };
+            let word = encode_instr(&instr).unwrap();
+            prop_assert_eq!(decode_word(word), Some(instr));
+        }
+
+        #[test]
+        fn mem_round_trip(rd in 0u8..32, base in 0u8..32, offset in i16::MIN..i16::MAX) {
+            let instr = Instr::Load {
+                rd: ArchReg::new(rd),
+                base: ArchReg::new(base),
+                offset: i32::from(offset),
+            };
+            let word = encode_instr(&instr).unwrap();
+            prop_assert_eq!(decode_word(word), Some(instr));
+        }
+
+        #[test]
+        fn kill_round_trip(bits in any::<u32>()) {
+            let mask = RegMask::from_bits(bits & !0x3f);
+            let instr = Instr::Kill { mask };
+            let word = encode_instr(&instr).unwrap();
+            prop_assert_eq!(decode_word(word), Some(instr));
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Architectural register names.
+
+use std::fmt;
+
+/// Number of integer architectural registers (MIPS-like machine).
+pub const NUM_ARCH_REGS: usize = 32;
+
+/// An architectural (logical) integer register, `r0`–`r31`.
+///
+/// Register `r0` is hard-wired to zero, as on MIPS. A handful of registers
+/// have conventional roles defined by [`Abi`](crate::Abi): stack pointer,
+/// return address, argument and return-value registers.
+///
+/// # Example
+///
+/// ```
+/// use dvi_isa::ArchReg;
+///
+/// let sp = ArchReg::SP;
+/// assert_eq!(sp.index(), 29);
+/// assert_eq!(sp.to_string(), "r29");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArchReg(u8);
+
+impl ArchReg {
+    /// The hard-wired zero register.
+    pub const ZERO: ArchReg = ArchReg(0);
+    /// Return-value register (`v0` on MIPS).
+    pub const RV: ArchReg = ArchReg(2);
+    /// First argument register (`a0` on MIPS).
+    pub const A0: ArchReg = ArchReg(4);
+    /// Stack pointer.
+    pub const SP: ArchReg = ArchReg(29);
+    /// Frame pointer.
+    pub const FP: ArchReg = ArchReg(30);
+    /// Return-address register.
+    pub const RA: ArchReg = ArchReg(31);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_ARCH_REGS`.
+    #[must_use]
+    pub fn new(index: u8) -> Self {
+        assert!(
+            (index as usize) < NUM_ARCH_REGS,
+            "architectural register index {index} out of range"
+        );
+        ArchReg(index)
+    }
+
+    /// Creates a register from its index, returning `None` when out of range.
+    #[must_use]
+    pub fn try_new(index: u8) -> Option<Self> {
+        if (index as usize) < NUM_ARCH_REGS {
+            Some(ArchReg(index))
+        } else {
+            None
+        }
+    }
+
+    /// The register index, `0..NUM_ARCH_REGS`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hard-wired zero register.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over every architectural register, `r0..=r31`.
+    pub fn all() -> impl Iterator<Item = ArchReg> {
+        (0..NUM_ARCH_REGS as u8).map(ArchReg)
+    }
+}
+
+impl fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Debug for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<ArchReg> for usize {
+    fn from(r: ArchReg) -> usize {
+        r.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_and_index_round_trip() {
+        for i in 0..NUM_ARCH_REGS as u8 {
+            assert_eq!(ArchReg::new(i).index(), i as usize);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_rejects_out_of_range() {
+        let _ = ArchReg::new(32);
+    }
+
+    #[test]
+    fn try_new_bounds() {
+        assert!(ArchReg::try_new(31).is_some());
+        assert!(ArchReg::try_new(32).is_none());
+    }
+
+    #[test]
+    fn well_known_registers() {
+        assert!(ArchReg::ZERO.is_zero());
+        assert!(!ArchReg::SP.is_zero());
+        assert_eq!(ArchReg::RA.index(), 31);
+        assert_eq!(ArchReg::SP.index(), 29);
+    }
+
+    #[test]
+    fn all_enumerates_every_register_once() {
+        let regs: Vec<ArchReg> = ArchReg::all().collect();
+        assert_eq!(regs.len(), NUM_ARCH_REGS);
+        assert_eq!(regs[0], ArchReg::ZERO);
+        assert_eq!(regs[31], ArchReg::RA);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(ArchReg::new(16).to_string(), "r16");
+        assert_eq!(format!("{:?}", ArchReg::new(8)), "r8");
+    }
+}

@@ -1,0 +1,345 @@
+//! Bit-mask over the architectural register file.
+
+use crate::reg::{ArchReg, NUM_ARCH_REGS};
+use std::fmt;
+use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, Not, Sub};
+
+/// A set of architectural registers, stored as a 32-bit mask.
+///
+/// `RegMask` is the representation used both by E-DVI `kill` instructions
+/// (the *kill mask*) and by the ABI's caller-saved / callee-saved register
+/// sets.
+///
+/// # Example
+///
+/// ```
+/// use dvi_isa::{ArchReg, RegMask};
+///
+/// let mut mask = RegMask::empty();
+/// mask.insert(ArchReg::new(16));
+/// mask.insert(ArchReg::new(17));
+/// assert_eq!(mask.len(), 2);
+/// assert!(mask.contains(ArchReg::new(16)));
+/// assert!(!mask.contains(ArchReg::new(8)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct RegMask(u32);
+
+impl RegMask {
+    /// The empty register set.
+    #[must_use]
+    pub const fn empty() -> Self {
+        RegMask(0)
+    }
+
+    /// The set containing every architectural register.
+    #[must_use]
+    pub const fn all() -> Self {
+        RegMask(u32::MAX)
+    }
+
+    /// Builds a mask from raw bits (bit *i* ↔ register *i*).
+    #[must_use]
+    pub const fn from_bits(bits: u32) -> Self {
+        RegMask(bits)
+    }
+
+    /// The raw bits of the mask.
+    #[must_use]
+    pub const fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Builds a mask from an iterator of registers.
+    #[must_use]
+    pub fn from_regs<I: IntoIterator<Item = ArchReg>>(regs: I) -> Self {
+        let mut m = RegMask::empty();
+        for r in regs {
+            m.insert(r);
+        }
+        m
+    }
+
+    /// Builds a mask covering the inclusive register index range `lo..=hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi` is not a valid register index or `lo > hi`.
+    #[must_use]
+    pub fn from_range(lo: u8, hi: u8) -> Self {
+        assert!(lo <= hi, "register range is reversed");
+        assert!((hi as usize) < NUM_ARCH_REGS, "register range out of bounds");
+        let mut m = RegMask::empty();
+        for i in lo..=hi {
+            m.insert(ArchReg::new(i));
+        }
+        m
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of registers in the set.
+    #[must_use]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether `reg` is a member of the set.
+    #[must_use]
+    pub fn contains(self, reg: ArchReg) -> bool {
+        self.0 & (1 << reg.index()) != 0
+    }
+
+    /// Adds `reg` to the set.
+    pub fn insert(&mut self, reg: ArchReg) {
+        self.0 |= 1 << reg.index();
+    }
+
+    /// Removes `reg` from the set.
+    pub fn remove(&mut self, reg: ArchReg) {
+        self.0 &= !(1 << reg.index());
+    }
+
+    /// Returns `self` with `reg` added.
+    #[must_use]
+    pub fn with(mut self, reg: ArchReg) -> Self {
+        self.insert(reg);
+        self
+    }
+
+    /// Returns `self` with `reg` removed.
+    #[must_use]
+    pub fn without(mut self, reg: ArchReg) -> Self {
+        self.remove(reg);
+        self
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub fn intersection(self, other: RegMask) -> RegMask {
+        RegMask(self.0 & other.0)
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(self, other: RegMask) -> RegMask {
+        RegMask(self.0 | other.0)
+    }
+
+    /// Set difference (`self` minus `other`).
+    #[must_use]
+    pub fn difference(self, other: RegMask) -> RegMask {
+        RegMask(self.0 & !other.0)
+    }
+
+    /// Whether the two sets share no registers.
+    #[must_use]
+    pub fn is_disjoint(self, other: RegMask) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Whether every register of `self` is also in `other`.
+    #[must_use]
+    pub fn is_subset(self, other: RegMask) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Iterates over the registers in the set, in ascending index order.
+    pub fn iter(self) -> impl Iterator<Item = ArchReg> {
+        (0..NUM_ARCH_REGS as u8)
+            .map(ArchReg::new)
+            .filter(move |r| self.contains(*r))
+    }
+}
+
+impl FromIterator<ArchReg> for RegMask {
+    fn from_iter<T: IntoIterator<Item = ArchReg>>(iter: T) -> Self {
+        RegMask::from_regs(iter)
+    }
+}
+
+impl Extend<ArchReg> for RegMask {
+    fn extend<T: IntoIterator<Item = ArchReg>>(&mut self, iter: T) {
+        for r in iter {
+            self.insert(r);
+        }
+    }
+}
+
+impl BitOr for RegMask {
+    type Output = RegMask;
+    fn bitor(self, rhs: RegMask) -> RegMask {
+        self.union(rhs)
+    }
+}
+
+impl BitOrAssign for RegMask {
+    fn bitor_assign(&mut self, rhs: RegMask) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl BitAnd for RegMask {
+    type Output = RegMask;
+    fn bitand(self, rhs: RegMask) -> RegMask {
+        self.intersection(rhs)
+    }
+}
+
+impl BitAndAssign for RegMask {
+    fn bitand_assign(&mut self, rhs: RegMask) {
+        self.0 &= rhs.0;
+    }
+}
+
+impl Sub for RegMask {
+    type Output = RegMask;
+    fn sub(self, rhs: RegMask) -> RegMask {
+        self.difference(rhs)
+    }
+}
+
+impl Not for RegMask {
+    type Output = RegMask;
+    fn not(self) -> RegMask {
+        RegMask(!self.0)
+    }
+}
+
+impl fmt::Debug for RegMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RegMask{{")?;
+        let mut first = true;
+        for r in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{r}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for RegMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl fmt::Binary for RegMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl fmt::LowerHex for RegMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for RegMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_and_all() {
+        assert!(RegMask::empty().is_empty());
+        assert_eq!(RegMask::empty().len(), 0);
+        assert_eq!(RegMask::all().len(), 32);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut m = RegMask::empty();
+        let r16 = ArchReg::new(16);
+        m.insert(r16);
+        assert!(m.contains(r16));
+        assert_eq!(m.len(), 1);
+        m.remove(r16);
+        assert!(!m.contains(r16));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn from_range_covers_inclusive_bounds() {
+        let callee = RegMask::from_range(16, 23);
+        assert_eq!(callee.len(), 8);
+        assert!(callee.contains(ArchReg::new(16)));
+        assert!(callee.contains(ArchReg::new(23)));
+        assert!(!callee.contains(ArchReg::new(24)));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = RegMask::from_range(0, 7);
+        let b = RegMask::from_range(4, 11);
+        assert_eq!(a.union(b).len(), 12);
+        assert_eq!(a.intersection(b).len(), 4);
+        assert_eq!(a.difference(b).len(), 4);
+        assert!(a.intersection(b).is_subset(a));
+        assert!(a.intersection(b).is_subset(b));
+        assert!(!a.is_disjoint(b));
+        assert!(a.is_disjoint(RegMask::from_range(24, 31)));
+    }
+
+    #[test]
+    fn operators_match_methods() {
+        let a = RegMask::from_range(0, 7);
+        let b = RegMask::from_range(4, 11);
+        assert_eq!(a | b, a.union(b));
+        assert_eq!(a & b, a.intersection(b));
+        assert_eq!(a - b, a.difference(b));
+    }
+
+    #[test]
+    fn iter_ascending_and_round_trip() {
+        let m = RegMask::from_regs([ArchReg::new(3), ArchReg::new(1), ArchReg::new(20)]);
+        let regs: Vec<ArchReg> = m.iter().collect();
+        assert_eq!(regs, vec![ArchReg::new(1), ArchReg::new(3), ArchReg::new(20)]);
+        assert_eq!(RegMask::from_regs(regs), m);
+    }
+
+    #[test]
+    fn debug_lists_registers() {
+        let m = RegMask::from_regs([ArchReg::new(8), ArchReg::new(16)]);
+        assert_eq!(format!("{m:?}"), "RegMask{r8,r16}");
+    }
+
+    proptest! {
+        #[test]
+        fn union_contains_both_operands(a in any::<u32>(), b in any::<u32>()) {
+            let (ma, mb) = (RegMask::from_bits(a), RegMask::from_bits(b));
+            let u = ma | mb;
+            prop_assert!(ma.is_subset(u));
+            prop_assert!(mb.is_subset(u));
+            prop_assert_eq!(u.len(), (a | b).count_ones() as usize);
+        }
+
+        #[test]
+        fn difference_is_disjoint_from_subtrahend(a in any::<u32>(), b in any::<u32>()) {
+            let (ma, mb) = (RegMask::from_bits(a), RegMask::from_bits(b));
+            prop_assert!((ma - mb).is_disjoint(mb));
+            prop_assert_eq!((ma - mb) | (ma & mb), ma);
+        }
+
+        #[test]
+        fn iter_round_trips(a in any::<u32>()) {
+            let m = RegMask::from_bits(a);
+            let rebuilt: RegMask = m.iter().collect();
+            prop_assert_eq!(rebuilt, m);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Two-level cache hierarchy with a flat memory behind it.
+
+use crate::cache::{AccessKind, Cache, CacheConfig, CacheStats};
+
+/// The outcome of a memory access through the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Total latency in cycles, including every level traversed.
+    pub latency: u64,
+    /// Whether the access hit in the first-level cache.
+    pub l1_hit: bool,
+}
+
+/// Per-level statistics snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HierarchyStats {
+    /// L1 instruction cache counters.
+    pub l1i: CacheStats,
+    /// L1 data cache counters.
+    pub l1d: CacheStats,
+    /// Unified L2 counters.
+    pub l2: CacheStats,
+}
+
+/// A two-level hierarchy: split L1 instruction/data caches backed by a
+/// unified L2 and a fixed-latency main memory, matching the paper's
+/// Figure 2.
+#[derive(Debug, Clone)]
+pub struct MemoryHierarchy {
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    memory_latency: u64,
+}
+
+impl MemoryHierarchy {
+    /// The configuration of Figure 2 (64KB L1s, 512KB L2, 50-cycle memory).
+    #[must_use]
+    pub fn micro97() -> Self {
+        MemoryHierarchy::new(
+            CacheConfig::micro97_l1i(),
+            CacheConfig::micro97_l1d(),
+            CacheConfig::micro97_l2(),
+            50,
+        )
+    }
+
+    /// Figure 13's alternate machine with a 32KB instruction cache.
+    #[must_use]
+    pub fn micro97_small_icache() -> Self {
+        MemoryHierarchy::new(
+            CacheConfig::micro97_l1i_32k(),
+            CacheConfig::micro97_l1d(),
+            CacheConfig::micro97_l2(),
+            50,
+        )
+    }
+
+    /// Builds a hierarchy from explicit per-level configurations.
+    #[must_use]
+    pub fn new(l1i: CacheConfig, l1d: CacheConfig, l2: CacheConfig, memory_latency: u64) -> Self {
+        MemoryHierarchy {
+            l1i: Cache::new(l1i),
+            l1d: Cache::new(l1d),
+            l2: Cache::new(l2),
+            memory_latency,
+        }
+    }
+
+    /// Fetches an instruction line; returns the access latency.
+    pub fn inst_fetch(&mut self, addr: u64) -> MemAccess {
+        let l1 = self.l1i.access(addr, AccessKind::Read);
+        let mut latency = self.l1i.config().latency;
+        if !l1.hit {
+            latency += self.lower_levels(addr, AccessKind::Read);
+        }
+        MemAccess { latency, l1_hit: l1.hit }
+    }
+
+    /// Performs a data access; returns the access latency.
+    pub fn data_access(&mut self, addr: u64, is_write: bool) -> MemAccess {
+        let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+        let l1 = self.l1d.access(addr, kind);
+        let mut latency = self.l1d.config().latency;
+        if !l1.hit {
+            latency += self.lower_levels(addr, kind);
+        }
+        MemAccess { latency, l1_hit: l1.hit }
+    }
+
+    fn lower_levels(&mut self, addr: u64, kind: AccessKind) -> u64 {
+        let l2 = self.l2.access(addr, kind);
+        let mut latency = self.l2.config().latency;
+        if !l2.hit {
+            latency += self.memory_latency;
+        }
+        latency
+    }
+
+    /// Snapshot of every level's statistics.
+    #[must_use]
+    pub fn stats(&self) -> HierarchyStats {
+        HierarchyStats {
+            l1i: self.l1i.stats(),
+            l1d: self.l1d.stats(),
+            l2: self.l2.stats(),
+        }
+    }
+
+    /// Invalidates every cache and clears all statistics.
+    pub fn reset(&mut self) {
+        self.l1i.reset();
+        self.l1d.reset();
+        self.l2.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_miss_pays_l2_and_memory() {
+        let mut m = MemoryHierarchy::micro97();
+        let first = m.data_access(0x8000, false);
+        assert!(!first.l1_hit);
+        assert_eq!(first.latency, 1 + 8 + 50);
+        let second = m.data_access(0x8000, false);
+        assert!(second.l1_hit);
+        assert_eq!(second.latency, 1);
+    }
+
+    #[test]
+    fn l2_hit_after_l1_eviction_costs_l1_plus_l2() {
+        let mut m = MemoryHierarchy::micro97();
+        m.data_access(0x8000, false);
+        // Evict line 0x8000 from the 64KB 4-way L1 by touching 5 lines that
+        // map to the same set (stride = 16KB way size).
+        for i in 1..=5u64 {
+            m.data_access(0x8000 + i * 16 * 1024, false);
+        }
+        let back = m.data_access(0x8000, false);
+        assert!(!back.l1_hit);
+        assert_eq!(back.latency, 1 + 8, "should hit in the 512KB L2");
+    }
+
+    #[test]
+    fn instruction_and_data_paths_are_split() {
+        let mut m = MemoryHierarchy::micro97();
+        m.inst_fetch(0x100);
+        assert_eq!(m.stats().l1i.accesses, 1);
+        assert_eq!(m.stats().l1d.accesses, 0);
+        m.data_access(0x100, true);
+        assert_eq!(m.stats().l1d.accesses, 1);
+    }
+
+    #[test]
+    fn small_icache_config_differs() {
+        let m = MemoryHierarchy::micro97_small_icache();
+        assert_eq!(m.l1i.config().size_bytes, 32 * 1024);
+        assert_eq!(m.l1d.config().size_bytes, 64 * 1024);
+    }
+
+    #[test]
+    fn reset_restores_cold_state() {
+        let mut m = MemoryHierarchy::micro97();
+        m.data_access(0x42, false);
+        m.reset();
+        assert_eq!(m.stats().l1d.accesses, 0);
+        assert!(!m.data_access(0x42, false).l1_hit);
+    }
+}

@@ -1,0 +1,31 @@
+//! # dvi-mem
+//!
+//! The memory-system substrate of the DVI reproduction: set-associative
+//! caches with LRU replacement, a two-level hierarchy matching the paper's
+//! Figure 2 (64KB 4-way L1 instruction and data caches with 1-cycle latency,
+//! a 512KB 4-way unified L2 with 8-cycle latency) and a replicated
+//! cache-port model used for the bandwidth-sensitivity analysis of
+//! Figure 11.
+//!
+//! # Example
+//!
+//! ```
+//! use dvi_mem::{CacheConfig, MemoryHierarchy};
+//!
+//! let mut mem = MemoryHierarchy::micro97();
+//! let first = mem.data_access(0x1000, false);
+//! let second = mem.data_access(0x1000, false);
+//! assert!(first.latency > second.latency, "the second access hits in the L1");
+//! assert_eq!(second.latency, CacheConfig::micro97_l1d().latency);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod hierarchy;
+mod ports;
+
+pub use cache::{AccessKind, AccessResult, Cache, CacheConfig, CacheStats};
+pub use hierarchy::{HierarchyStats, MemAccess, MemoryHierarchy};
+pub use ports::CachePorts;

@@ -1,0 +1,142 @@
+//! Data-cache port arbitration.
+
+/// A pool of replicated (perfect) data-cache ports.
+///
+/// The paper's simulations model replicated cache ports: each port provides
+/// a full cache access per cycle with no bank conflicts. The sensitivity
+/// analysis of Figure 11 varies the number of ports between 1 and 3. Ports
+/// are claimed as memory instructions issue and released at the start of the
+/// next cycle.
+///
+/// # Example
+///
+/// ```
+/// use dvi_mem::CachePorts;
+///
+/// let mut ports = CachePorts::new(2);
+/// assert!(ports.try_acquire());
+/// assert!(ports.try_acquire());
+/// assert!(!ports.try_acquire(), "only two ports this cycle");
+/// ports.next_cycle();
+/// assert!(ports.try_acquire());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CachePorts {
+    total: usize,
+    used_this_cycle: usize,
+    busiest_cycle: usize,
+    total_acquired: u64,
+    total_rejected: u64,
+}
+
+impl CachePorts {
+    /// Creates a port pool with `total` ports per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` is zero.
+    #[must_use]
+    pub fn new(total: usize) -> Self {
+        assert!(total > 0, "a machine needs at least one cache port");
+        CachePorts {
+            total,
+            used_this_cycle: 0,
+            busiest_cycle: 0,
+            total_acquired: 0,
+            total_rejected: 0,
+        }
+    }
+
+    /// The number of ports available each cycle.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Ports still free this cycle.
+    #[must_use]
+    pub fn available(&self) -> usize {
+        self.total - self.used_this_cycle
+    }
+
+    /// Attempts to claim a port for this cycle.
+    pub fn try_acquire(&mut self) -> bool {
+        if self.used_this_cycle < self.total {
+            self.used_this_cycle += 1;
+            self.busiest_cycle = self.busiest_cycle.max(self.used_this_cycle);
+            self.total_acquired += 1;
+            true
+        } else {
+            self.total_rejected += 1;
+            false
+        }
+    }
+
+    /// Releases every port for the next cycle.
+    pub fn next_cycle(&mut self) {
+        self.used_this_cycle = 0;
+    }
+
+    /// Total successful acquisitions over the run.
+    #[must_use]
+    pub fn total_acquired(&self) -> u64 {
+        self.total_acquired
+    }
+
+    /// Total rejected acquisitions (structural-hazard stalls) over the run.
+    #[must_use]
+    pub fn total_rejected(&self) -> u64 {
+        self.total_rejected
+    }
+
+    /// The largest number of ports used in any single cycle.
+    #[must_use]
+    pub fn busiest_cycle(&self) -> usize {
+        self.busiest_cycle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ports_limit_per_cycle_usage() {
+        let mut p = CachePorts::new(2);
+        assert!(p.try_acquire());
+        assert!(p.try_acquire());
+        assert!(!p.try_acquire());
+        assert_eq!(p.available(), 0);
+        assert_eq!(p.total_rejected(), 1);
+        p.next_cycle();
+        assert_eq!(p.available(), 2);
+        assert!(p.try_acquire());
+        assert_eq!(p.total_acquired(), 3);
+    }
+
+    #[test]
+    fn busiest_cycle_tracks_peak() {
+        let mut p = CachePorts::new(3);
+        p.try_acquire();
+        p.next_cycle();
+        p.try_acquire();
+        p.try_acquire();
+        assert_eq!(p.busiest_cycle(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_ports_rejected() {
+        let _ = CachePorts::new(0);
+    }
+
+    proptest! {
+        #[test]
+        fn never_grants_more_than_total(total in 1usize..8, attempts in 0usize..32) {
+            let mut p = CachePorts::new(total);
+            let granted = (0..attempts).filter(|_| p.try_acquire()).count();
+            prop_assert_eq!(granted, attempts.min(total));
+        }
+    }
+}

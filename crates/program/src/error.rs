@@ -1,0 +1,123 @@
+//! Error types for program construction, layout and interpretation.
+
+use crate::ir::{BlockId, ProcId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, validating or laying out a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// A procedure has no basic blocks or an empty entry block.
+    EmptyProcedure(String),
+    /// A branch or jump targets a block that does not exist in the
+    /// procedure.
+    BadBranchTarget {
+        /// Procedure containing the bad control transfer.
+        proc: String,
+        /// The offending target.
+        target: u32,
+    },
+    /// A call targets a procedure index that does not exist.
+    BadCallTarget {
+        /// Procedure containing the bad call.
+        proc: String,
+        /// The offending target.
+        target: u32,
+    },
+    /// A call references a procedure name that was never defined.
+    UnresolvedCall {
+        /// Procedure containing the call.
+        proc: String,
+        /// The name that could not be resolved.
+        callee: String,
+    },
+    /// A control-transfer instruction appears in the middle of a basic
+    /// block.
+    MisplacedControl {
+        /// Procedure containing the block.
+        proc: String,
+        /// The offending block.
+        block: BlockId,
+    },
+    /// The last block of a procedure can fall through past its end.
+    FallsOffEnd(String),
+    /// The entry procedure named at build time was never defined.
+    MissingEntry(String),
+    /// Two procedures share the same name.
+    DuplicateProcedure(String),
+    /// The program references a procedure id that does not exist.
+    UnknownProc(ProcId),
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::EmptyProcedure(name) => write!(f, "procedure `{name}` has no instructions"),
+            ProgramError::BadBranchTarget { proc, target } => {
+                write!(f, "procedure `{proc}` branches to nonexistent block {target}")
+            }
+            ProgramError::BadCallTarget { proc, target } => {
+                write!(f, "procedure `{proc}` calls nonexistent procedure index {target}")
+            }
+            ProgramError::UnresolvedCall { proc, callee } => {
+                write!(f, "procedure `{proc}` calls undefined procedure `{callee}`")
+            }
+            ProgramError::MisplacedControl { proc, block } => {
+                write!(f, "procedure `{proc}` has a control instruction in the middle of block {block:?}")
+            }
+            ProgramError::FallsOffEnd(name) => {
+                write!(f, "procedure `{name}` can fall through past its last block")
+            }
+            ProgramError::MissingEntry(name) => write!(f, "entry procedure `{name}` is not defined"),
+            ProgramError::DuplicateProcedure(name) => {
+                write!(f, "procedure `{name}` is defined more than once")
+            }
+            ProgramError::UnknownProc(id) => write!(f, "unknown procedure id {id:?}"),
+        }
+    }
+}
+
+impl Error for ProgramError {}
+
+/// Errors produced by the functional interpreter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterpError {
+    /// The program counter left the instruction image.
+    PcOutOfRange(u32),
+    /// The call depth exceeded the interpreter's safety limit.
+    StackOverflow(usize),
+    /// The configured step limit was reached before the program halted.
+    StepLimit(u64),
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::PcOutOfRange(pc) => write!(f, "program counter {pc} is outside the code image"),
+            InterpError::StackOverflow(depth) => write!(f, "call depth {depth} exceeded the interpreter limit"),
+            InterpError::StepLimit(n) => write!(f, "step limit of {n} instructions reached before halt"),
+        }
+    }
+}
+
+impl Error for InterpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_identify_the_procedure() {
+        let e = ProgramError::BadBranchTarget { proc: "foo".into(), target: 9 };
+        assert!(e.to_string().contains("foo") && e.to_string().contains('9'));
+        let e = ProgramError::UnresolvedCall { proc: "a".into(), callee: "b".into() };
+        assert!(e.to_string().contains('b'));
+    }
+
+    #[test]
+    fn interp_errors_are_informative() {
+        assert!(InterpError::PcOutOfRange(77).to_string().contains("77"));
+        assert!(InterpError::StepLimit(10).to_string().contains("10"));
+        assert!(InterpError::StackOverflow(512).to_string().contains("512"));
+    }
+}

@@ -1,0 +1,326 @@
+//! Program intermediate representation: procedures and basic blocks.
+
+use crate::error::ProgramError;
+use dvi_isa::Instr;
+use std::fmt;
+
+/// Identifier of a procedure within a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcId(pub usize);
+
+/// Identifier of a basic block within a [`Procedure`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub usize);
+
+/// A straight-line sequence of instructions. Only the final instruction may
+/// transfer control; a block whose final instruction is not an unconditional
+/// transfer falls through to the next block of the procedure (a conditional
+/// branch falls through when not taken).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// The instructions of the block.
+    pub instrs: Vec<Instr>,
+}
+
+impl BasicBlock {
+    /// Creates an empty block.
+    #[must_use]
+    pub fn new() -> Self {
+        BasicBlock { instrs: Vec::new() }
+    }
+
+    /// The final instruction, if any.
+    #[must_use]
+    pub fn terminator(&self) -> Option<&Instr> {
+        self.instrs.last()
+    }
+
+    /// Whether execution can fall through to the following block.
+    #[must_use]
+    pub fn falls_through(&self) -> bool {
+        !matches!(
+            self.terminator(),
+            Some(Instr::Jump { .. }) | Some(Instr::Return) | Some(Instr::Halt)
+        )
+    }
+}
+
+/// A procedure: an entry block (index 0) followed by further basic blocks.
+///
+/// Branch and jump targets are block indices within the procedure; call
+/// targets are [`ProcId`] indices within the program. The layout step
+/// rewrites both into flat instruction addresses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Procedure {
+    /// Procedure name (unique within the program).
+    pub name: String,
+    /// Basic blocks; index 0 is the entry.
+    pub blocks: Vec<BasicBlock>,
+    /// Number of stack slots (words) the procedure's frame reserves, used by
+    /// the prologue/epilogue pass to place callee-save slots.
+    pub frame_slots: u32,
+}
+
+impl Procedure {
+    /// Creates an empty procedure with the given name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Procedure { name: name.into(), blocks: Vec::new(), frame_slots: 0 }
+    }
+
+    /// Total number of instructions in the procedure.
+    #[must_use]
+    pub fn num_instrs(&self) -> usize {
+        self.blocks.iter().map(|b| b.instrs.len()).sum()
+    }
+
+    /// The successor block indices of `block`, in (taken, fall-through)
+    /// order where applicable.
+    #[must_use]
+    pub fn successors(&self, block: BlockId) -> Vec<BlockId> {
+        let mut succ = Vec::new();
+        let b = &self.blocks[block.0];
+        match b.terminator() {
+            Some(Instr::Branch { target, .. }) => {
+                succ.push(BlockId(*target as usize));
+                if block.0 + 1 < self.blocks.len() {
+                    succ.push(BlockId(block.0 + 1));
+                }
+            }
+            Some(Instr::Jump { target }) => succ.push(BlockId(*target as usize)),
+            Some(Instr::Return) | Some(Instr::Halt) => {}
+            _ => {
+                if block.0 + 1 < self.blocks.len() {
+                    succ.push(BlockId(block.0 + 1));
+                }
+            }
+        }
+        succ
+    }
+
+    /// Iterates over every instruction with its block id.
+    pub fn iter_instrs(&self) -> impl Iterator<Item = (BlockId, &Instr)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .flat_map(|(bi, b)| b.instrs.iter().map(move |i| (BlockId(bi), i)))
+    }
+
+    /// Validates the structural invariants of this procedure against the
+    /// program it belongs to (`num_procs` is the number of procedures).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ProgramError`] found.
+    pub fn validate(&self, num_procs: usize) -> Result<(), ProgramError> {
+        if self.blocks.is_empty() || self.num_instrs() == 0 {
+            return Err(ProgramError::EmptyProcedure(self.name.clone()));
+        }
+        for (bi, block) in self.blocks.iter().enumerate() {
+            for (ii, instr) in block.instrs.iter().enumerate() {
+                let is_last = ii + 1 == block.instrs.len();
+                // Calls are allowed anywhere in a block: they return to the
+                // following instruction, so they do not affect the
+                // intra-procedural control-flow structure.
+                if instr.is_control() && !instr.is_call() && !is_last {
+                    return Err(ProgramError::MisplacedControl {
+                        proc: self.name.clone(),
+                        block: BlockId(bi),
+                    });
+                }
+                match instr {
+                    Instr::Branch { target, .. } | Instr::Jump { target } => {
+                        if *target as usize >= self.blocks.len() {
+                            return Err(ProgramError::BadBranchTarget {
+                                proc: self.name.clone(),
+                                target: *target,
+                            });
+                        }
+                    }
+                    Instr::Call { target } => {
+                        if *target as usize >= num_procs {
+                            return Err(ProgramError::BadCallTarget {
+                                proc: self.name.clone(),
+                                target: *target,
+                            });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let last = self.blocks.last().expect("non-empty");
+        if last.falls_through() {
+            return Err(ProgramError::FallsOffEnd(self.name.clone()));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Procedure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}:", self.name)?;
+        for (bi, block) in self.blocks.iter().enumerate() {
+            writeln!(f, "  .b{bi}:")?;
+            for instr in &block.instrs {
+                writeln!(f, "    {instr}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A whole program: a set of procedures and a designated entry procedure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// The procedures, indexed by [`ProcId`].
+    pub procedures: Vec<Procedure>,
+    /// The entry procedure.
+    pub entry: ProcId,
+}
+
+impl Program {
+    /// Looks up a procedure by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError::UnknownProc`] when the id is out of range.
+    pub fn proc(&self, id: ProcId) -> Result<&Procedure, ProgramError> {
+        self.procedures.get(id.0).ok_or(ProgramError::UnknownProc(id))
+    }
+
+    /// Looks up a procedure id by name.
+    #[must_use]
+    pub fn proc_by_name(&self, name: &str) -> Option<ProcId> {
+        self.procedures.iter().position(|p| p.name == name).map(ProcId)
+    }
+
+    /// Total static instruction count.
+    #[must_use]
+    pub fn num_instrs(&self) -> usize {
+        self.procedures.iter().map(Procedure::num_instrs).sum()
+    }
+
+    /// Static code size in bytes (every instruction occupies
+    /// [`dvi_isa::INSTR_BYTES`] bytes).
+    #[must_use]
+    pub fn code_bytes(&self) -> u64 {
+        self.num_instrs() as u64 * dvi_isa::INSTR_BYTES
+    }
+
+    /// Validates every procedure and the entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ProgramError`] found.
+    pub fn validate(&self) -> Result<(), ProgramError> {
+        if self.entry.0 >= self.procedures.len() {
+            return Err(ProgramError::UnknownProc(self.entry));
+        }
+        for p in &self.procedures {
+            p.validate(self.procedures.len())?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in &self.procedures {
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvi_isa::{ArchReg, CmpOp};
+
+    fn simple_proc() -> Procedure {
+        let mut p = Procedure::new("f");
+        p.blocks.push(BasicBlock {
+            instrs: vec![Instr::load_imm(ArchReg::new(8), 1), Instr::Return],
+        });
+        p
+    }
+
+    #[test]
+    fn successors_of_branch_include_taken_and_fallthrough() {
+        let mut p = Procedure::new("g");
+        p.blocks.push(BasicBlock {
+            instrs: vec![Instr::Branch { op: CmpOp::Eq, rs: ArchReg::ZERO, rt: ArchReg::ZERO, target: 2 }],
+        });
+        p.blocks.push(BasicBlock { instrs: vec![Instr::Nop] });
+        p.blocks.push(BasicBlock { instrs: vec![Instr::Return] });
+        assert_eq!(p.successors(BlockId(0)), vec![BlockId(2), BlockId(1)]);
+        assert_eq!(p.successors(BlockId(1)), vec![BlockId(2)]);
+        assert!(p.successors(BlockId(2)).is_empty());
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_procedures() {
+        assert!(simple_proc().validate(1).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_empty_procedures() {
+        let p = Procedure::new("empty");
+        assert_eq!(p.validate(1), Err(ProgramError::EmptyProcedure("empty".into())));
+    }
+
+    #[test]
+    fn validate_rejects_bad_branch_targets() {
+        let mut p = Procedure::new("bad");
+        p.blocks.push(BasicBlock { instrs: vec![Instr::Jump { target: 5 }] });
+        assert!(matches!(p.validate(1), Err(ProgramError::BadBranchTarget { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_misplaced_control() {
+        let mut p = Procedure::new("bad");
+        p.blocks.push(BasicBlock { instrs: vec![Instr::Return, Instr::Nop] });
+        assert!(matches!(p.validate(1), Err(ProgramError::MisplacedControl { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_fall_off_end() {
+        let mut p = Procedure::new("bad");
+        p.blocks.push(BasicBlock { instrs: vec![Instr::Nop] });
+        assert_eq!(p.validate(1), Err(ProgramError::FallsOffEnd("bad".into())));
+    }
+
+    #[test]
+    fn validate_rejects_bad_call_targets() {
+        let mut p = Procedure::new("bad");
+        p.blocks.push(BasicBlock { instrs: vec![Instr::Call { target: 7 }, Instr::Return] });
+        assert!(matches!(p.validate(1), Err(ProgramError::BadCallTarget { .. })));
+    }
+
+    #[test]
+    fn calls_are_allowed_mid_block() {
+        let mut p = Procedure::new("ok");
+        p.blocks.push(BasicBlock {
+            instrs: vec![Instr::Call { target: 0 }, Instr::Nop, Instr::Return],
+        });
+        assert!(p.validate(1).is_ok());
+    }
+
+    #[test]
+    fn program_lookup_and_sizes() {
+        let prog = Program { procedures: vec![simple_proc()], entry: ProcId(0) };
+        assert!(prog.validate().is_ok());
+        assert_eq!(prog.proc_by_name("f"), Some(ProcId(0)));
+        assert_eq!(prog.proc_by_name("missing"), None);
+        assert_eq!(prog.num_instrs(), 2);
+        assert_eq!(prog.code_bytes(), 8);
+        assert!(prog.proc(ProcId(3)).is_err());
+    }
+
+    #[test]
+    fn program_display_contains_procedure_names() {
+        let prog = Program { procedures: vec![simple_proc()], entry: ProcId(0) };
+        assert!(prog.to_string().contains("f:"));
+    }
+}

@@ -1,0 +1,213 @@
+//! Layout (linking) of a program into a flat instruction image.
+
+use crate::error::ProgramError;
+use crate::ir::{ProcId, Program};
+use dvi_isa::{Instr, INSTR_BYTES};
+
+/// Shift converting an instruction index into a byte address
+/// (`addr = index << INSTR_ADDR_SHIFT`); instructions are 4 bytes.
+pub const INSTR_ADDR_SHIFT: u32 = 2;
+
+/// A program laid out as a flat array of instructions with all control
+/// transfer targets resolved to absolute instruction indices.
+///
+/// The layout plays the role of the linked binary: the functional
+/// interpreter executes it directly and the instruction index doubles as the
+/// program counter. Instruction *byte* addresses (`pc << 2`) feed the
+/// I-cache and branch predictor models.
+#[derive(Debug, Clone)]
+pub struct LayoutProgram {
+    code: Vec<Instr>,
+    proc_entries: Vec<u32>,
+    proc_of_instr: Vec<ProcId>,
+    entry_pc: u32,
+}
+
+impl Program {
+    /// Lays the program out into a flat instruction image.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProgramError`] if the program fails validation.
+    pub fn layout(&self) -> Result<LayoutProgram, ProgramError> {
+        self.validate()?;
+
+        // Pass 1: compute the starting address of every procedure and of
+        // every block within it.
+        let mut proc_entries = Vec::with_capacity(self.procedures.len());
+        let mut block_starts: Vec<Vec<u32>> = Vec::with_capacity(self.procedures.len());
+        let mut cursor: u32 = 0;
+        for proc in &self.procedures {
+            proc_entries.push(cursor);
+            let mut starts = Vec::with_capacity(proc.blocks.len());
+            for block in &proc.blocks {
+                starts.push(cursor);
+                cursor += block.instrs.len() as u32;
+            }
+            block_starts.push(starts);
+        }
+
+        // Pass 2: emit instructions, rewriting branch targets (block index →
+        // absolute index) and call targets (procedure index → entry index).
+        let mut code = Vec::with_capacity(cursor as usize);
+        let mut proc_of_instr = Vec::with_capacity(cursor as usize);
+        for (pi, proc) in self.procedures.iter().enumerate() {
+            for block in &proc.blocks {
+                for instr in &block.instrs {
+                    let patched = match *instr {
+                        Instr::Branch { op, rs, rt, target } => Instr::Branch {
+                            op,
+                            rs,
+                            rt,
+                            target: block_starts[pi][target as usize],
+                        },
+                        Instr::Jump { target } => {
+                            Instr::Jump { target: block_starts[pi][target as usize] }
+                        }
+                        Instr::Call { target } => {
+                            Instr::Call { target: proc_entries[target as usize] }
+                        }
+                        other => other,
+                    };
+                    code.push(patched);
+                    proc_of_instr.push(ProcId(pi));
+                }
+            }
+        }
+
+        Ok(LayoutProgram {
+            code,
+            entry_pc: proc_entries[self.entry.0],
+            proc_entries,
+            proc_of_instr,
+        })
+    }
+}
+
+impl LayoutProgram {
+    /// The flat instruction image.
+    #[must_use]
+    pub fn code(&self) -> &[Instr] {
+        &self.code
+    }
+
+    /// The instruction at `pc`, if in range.
+    #[must_use]
+    pub fn fetch(&self, pc: u32) -> Option<&Instr> {
+        self.code.get(pc as usize)
+    }
+
+    /// The program counter of the program's entry point.
+    #[must_use]
+    pub fn entry_pc(&self) -> u32 {
+        self.entry_pc
+    }
+
+    /// The entry program counter of each procedure, indexed by [`ProcId`].
+    #[must_use]
+    pub fn proc_entries(&self) -> &[u32] {
+        &self.proc_entries
+    }
+
+    /// The procedure containing the instruction at `pc`.
+    #[must_use]
+    pub fn proc_of(&self, pc: u32) -> Option<ProcId> {
+        self.proc_of_instr.get(pc as usize).copied()
+    }
+
+    /// Number of instructions in the image.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether the image is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// Static code size in bytes.
+    #[must_use]
+    pub fn code_bytes(&self) -> u64 {
+        self.code.len() as u64 * INSTR_BYTES
+    }
+
+    /// The byte address of the instruction at `pc` (for the I-cache and
+    /// branch predictor).
+    #[must_use]
+    pub fn byte_addr(pc: u32) -> u64 {
+        u64::from(pc) << INSTR_ADDR_SHIFT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{ProcBuilder, ProgramBuilder};
+    use dvi_isa::{ArchReg, CmpOp};
+
+    fn two_proc_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let mut main = ProcBuilder::new("main");
+        let exit = main.new_block();
+        main.emit(Instr::load_imm(ArchReg::new(8), 2));
+        main.emit_call("helper");
+        main.emit_branch(CmpOp::Eq, ArchReg::ZERO, ArchReg::ZERO, exit);
+        main.switch_to(exit);
+        main.emit(Instr::Halt);
+        b.add_procedure(main).unwrap();
+
+        let mut helper = ProcBuilder::new("helper");
+        helper.emit(Instr::load_imm(ArchReg::new(9), 3));
+        helper.emit(Instr::Return);
+        b.add_procedure(helper).unwrap();
+        b.build("main").unwrap()
+    }
+
+    #[test]
+    fn layout_concatenates_procedures_in_order() {
+        let prog = two_proc_program();
+        let layout = prog.layout().unwrap();
+        assert_eq!(layout.len(), 6);
+        assert_eq!(layout.proc_entries(), &[0, 4]);
+        assert_eq!(layout.entry_pc(), 0);
+        assert_eq!(layout.code_bytes(), 24);
+    }
+
+    #[test]
+    fn call_and_branch_targets_are_rewritten_to_absolute_pcs() {
+        let prog = two_proc_program();
+        let layout = prog.layout().unwrap();
+        assert_eq!(layout.code()[1], Instr::Call { target: 4 });
+        match layout.code()[2] {
+            Instr::Branch { target, .. } => assert_eq!(target, 3),
+            ref other => panic!("expected branch, found {other}"),
+        }
+    }
+
+    #[test]
+    fn proc_of_maps_every_instruction() {
+        let prog = two_proc_program();
+        let layout = prog.layout().unwrap();
+        assert_eq!(layout.proc_of(0), Some(ProcId(0)));
+        assert_eq!(layout.proc_of(4), Some(ProcId(1)));
+        assert_eq!(layout.proc_of(99), None);
+    }
+
+    #[test]
+    fn fetch_and_byte_addr() {
+        let prog = two_proc_program();
+        let layout = prog.layout().unwrap();
+        assert!(layout.fetch(5).is_some());
+        assert!(layout.fetch(6).is_none());
+        assert_eq!(LayoutProgram::byte_addr(3), 12);
+        assert!(!layout.is_empty());
+    }
+
+    #[test]
+    fn layout_rejects_invalid_programs() {
+        let prog = Program { procedures: vec![], entry: ProcId(0) };
+        assert!(prog.layout().is_err());
+    }
+}

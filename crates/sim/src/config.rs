@@ -1,0 +1,219 @@
+//! Machine configuration (the paper's Figure 2).
+
+use dvi_bpred::PredictorConfig;
+use dvi_core::DviConfig;
+use dvi_mem::CacheConfig;
+
+/// Configuration of the simulated machine.
+///
+/// [`SimConfig::micro97`] reproduces Figure 2: 4-wide issue, a 64-entry
+/// instruction window, 4 integer units (2 of which multiply/divide), 2
+/// fully-independent cache ports, 64KB 4-way L1 caches with 1-cycle latency,
+/// a 512KB 4-way L2 with 8-cycle latency, and a 16-bit-history combining
+/// gshare/bimodal predictor with a BTB.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Instructions fetched and decoded per cycle.
+    pub fetch_width: usize,
+    /// Instructions renamed/dispatched per cycle.
+    pub decode_width: usize,
+    /// Instructions issued to functional units per cycle.
+    pub issue_width: usize,
+    /// Instructions committed per cycle.
+    pub commit_width: usize,
+    /// Instruction-window (reorder buffer) entries.
+    pub window_size: usize,
+    /// Fetch-queue entries between fetch and rename.
+    pub fetch_queue: usize,
+    /// Number of physical integer registers.
+    pub phys_regs: usize,
+    /// Simple integer ALUs.
+    pub int_alu_units: usize,
+    /// Integer multiply/divide units.
+    pub int_mul_units: usize,
+    /// Data-cache ports (fully independent / replicated).
+    pub cache_ports: usize,
+    /// Additional front-end refill cycles charged after a branch
+    /// misprediction resolves.
+    pub mispredict_penalty: u64,
+    /// L1 instruction cache geometry.
+    pub icache: CacheConfig,
+    /// L1 data cache geometry.
+    pub dcache: CacheConfig,
+    /// Unified L2 geometry.
+    pub l2: CacheConfig,
+    /// Main-memory latency in cycles.
+    pub memory_latency: u64,
+    /// Branch predictor configuration.
+    pub predictor: PredictorConfig,
+    /// DVI sources and optimizations.
+    pub dvi: DviConfig,
+}
+
+impl SimConfig {
+    /// The machine of Figure 2, with no DVI and a generously sized physical
+    /// register file (80 registers, in the range the paper describes as
+    /// typical for then-current processors).
+    #[must_use]
+    pub fn micro97() -> Self {
+        SimConfig {
+            fetch_width: 4,
+            decode_width: 4,
+            issue_width: 4,
+            commit_width: 4,
+            window_size: 64,
+            fetch_queue: 16,
+            phys_regs: 80,
+            int_alu_units: 4,
+            int_mul_units: 2,
+            cache_ports: 2,
+            mispredict_penalty: 3,
+            icache: CacheConfig::micro97_l1i(),
+            dcache: CacheConfig::micro97_l1d(),
+            l2: CacheConfig::micro97_l2(),
+            memory_latency: 50,
+            predictor: PredictorConfig::micro97(),
+            dvi: DviConfig::none(),
+        }
+    }
+
+    /// The Figure 13 variant with a 32KB instruction cache.
+    #[must_use]
+    pub fn micro97_small_icache() -> Self {
+        SimConfig { icache: CacheConfig::micro97_l1i_32k(), ..SimConfig::micro97() }
+    }
+
+    /// Returns a copy with a different physical register file size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is smaller than the architectural register count plus
+    /// one (renaming would deadlock; the paper's sweeps start at 34).
+    #[must_use]
+    pub fn with_phys_regs(mut self, n: usize) -> Self {
+        assert!(
+            n > dvi_isa::NUM_ARCH_REGS,
+            "at least {} physical registers are needed to avoid renaming deadlock",
+            dvi_isa::NUM_ARCH_REGS + 1
+        );
+        self.phys_regs = n;
+        self
+    }
+
+    /// Returns a copy with a different DVI configuration.
+    #[must_use]
+    pub fn with_dvi(mut self, dvi: DviConfig) -> Self {
+        self.dvi = dvi;
+        self
+    }
+
+    /// Returns a copy with a different number of data-cache ports
+    /// (Figure 11's sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports` is zero.
+    #[must_use]
+    pub fn with_cache_ports(mut self, ports: usize) -> Self {
+        assert!(ports > 0, "the machine needs at least one cache port");
+        self.cache_ports = ports;
+        self
+    }
+
+    /// Returns a copy scaled to a different issue width: fetch, decode,
+    /// issue and commit widths follow, and the functional-unit counts scale
+    /// proportionally (Figure 11 compares 4-way and 8-way machines).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    #[must_use]
+    pub fn with_issue_width(mut self, width: usize) -> Self {
+        assert!(width > 0, "issue width must be at least one");
+        let scale = |units: usize| (units * width).div_ceil(4).max(1);
+        self.int_alu_units = scale(self.int_alu_units);
+        self.int_mul_units = scale(self.int_mul_units);
+        self.fetch_width = width;
+        self.decode_width = width;
+        self.issue_width = width;
+        self.commit_width = width;
+        self.window_size = self.window_size * width / 4;
+        self.fetch_queue = self.fetch_queue * width / 4;
+        self
+    }
+
+    /// Validates the structural parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate configurations (zero widths or empty window).
+    pub fn validate(&self) {
+        assert!(self.fetch_width > 0 && self.decode_width > 0, "front-end widths must be non-zero");
+        assert!(self.issue_width > 0 && self.commit_width > 0, "back-end widths must be non-zero");
+        assert!(self.window_size > 0, "instruction window must be non-empty");
+        assert!(self.fetch_queue > 0, "fetch queue must be non-empty");
+        assert!(self.phys_regs > dvi_isa::NUM_ARCH_REGS, "physical register file too small");
+        assert!(self.int_alu_units > 0, "need at least one integer unit");
+        assert!(self.cache_ports > 0, "need at least one cache port");
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::micro97()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_parameters() {
+        let c = SimConfig::micro97();
+        c.validate();
+        assert_eq!(c.issue_width, 4);
+        assert_eq!(c.window_size, 64);
+        assert_eq!(c.int_alu_units, 4);
+        assert_eq!(c.int_mul_units, 2);
+        assert_eq!(c.cache_ports, 2);
+        assert_eq!(c.icache.size_bytes, 64 * 1024);
+        assert_eq!(c.l2.size_bytes, 512 * 1024);
+        assert_eq!(c.predictor.history_bits, 16);
+        assert!(!c.dvi.tracks_dvi());
+    }
+
+    #[test]
+    fn builders_adjust_the_right_fields() {
+        let c = SimConfig::micro97()
+            .with_phys_regs(48)
+            .with_cache_ports(3)
+            .with_dvi(dvi_core::DviConfig::full());
+        assert_eq!(c.phys_regs, 48);
+        assert_eq!(c.cache_ports, 3);
+        assert!(c.dvi.use_edvi);
+    }
+
+    #[test]
+    fn issue_width_scaling_scales_the_back_end() {
+        let c = SimConfig::micro97().with_issue_width(8);
+        c.validate();
+        assert_eq!(c.fetch_width, 8);
+        assert_eq!(c.int_alu_units, 8);
+        assert_eq!(c.int_mul_units, 4);
+        assert_eq!(c.window_size, 128);
+    }
+
+    #[test]
+    fn small_icache_variant_only_changes_the_icache() {
+        let c = SimConfig::micro97_small_icache();
+        assert_eq!(c.icache.size_bytes, 32 * 1024);
+        assert_eq!(c.dcache.size_bytes, 64 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn too_few_physical_registers_is_rejected() {
+        let _ = SimConfig::micro97().with_phys_regs(32);
+    }
+}

@@ -1,0 +1,95 @@
+//! Per-cycle functional-unit arbitration.
+
+use dvi_isa::FuKind;
+
+/// A per-cycle pool of functional units: simple integer ALUs and integer
+/// multiply/divide units. Data-cache ports are arbitrated separately by
+/// [`dvi_mem::CachePorts`].
+#[derive(Debug, Clone)]
+pub struct FuPool {
+    alu_total: usize,
+    mul_total: usize,
+    alu_used: usize,
+    mul_used: usize,
+}
+
+impl FuPool {
+    /// Creates a pool with the given unit counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no simple integer units.
+    #[must_use]
+    pub fn new(int_alu: usize, int_mul: usize) -> Self {
+        assert!(int_alu > 0, "the machine needs at least one integer ALU");
+        FuPool { alu_total: int_alu, mul_total: int_mul, alu_used: 0, mul_used: 0 }
+    }
+
+    /// Attempts to claim a unit of the given kind for this cycle. Memory
+    /// ports are not handled here and always return `true`.
+    pub fn try_acquire(&mut self, kind: FuKind) -> bool {
+        match kind {
+            FuKind::IntAlu | FuKind::FpAlu => {
+                if self.alu_used < self.alu_total {
+                    self.alu_used += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            FuKind::IntMulDiv | FuKind::FpMulDiv => {
+                if self.mul_used < self.mul_total {
+                    self.mul_used += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            FuKind::MemPort => true,
+        }
+    }
+
+    /// Releases every unit for the next cycle.
+    pub fn next_cycle(&mut self) {
+        self.alu_used = 0;
+        self.mul_used = 0;
+    }
+
+    /// Simple integer units still free this cycle.
+    #[must_use]
+    pub fn alu_available(&self) -> usize {
+        self.alu_total - self.alu_used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_are_per_cycle() {
+        let mut fu = FuPool::new(2, 1);
+        assert!(fu.try_acquire(FuKind::IntAlu));
+        assert!(fu.try_acquire(FuKind::IntAlu));
+        assert!(!fu.try_acquire(FuKind::IntAlu));
+        assert!(fu.try_acquire(FuKind::IntMulDiv));
+        assert!(!fu.try_acquire(FuKind::IntMulDiv));
+        fu.next_cycle();
+        assert_eq!(fu.alu_available(), 2);
+        assert!(fu.try_acquire(FuKind::IntMulDiv));
+    }
+
+    #[test]
+    fn memory_ports_are_not_limited_here() {
+        let mut fu = FuPool::new(1, 0);
+        for _ in 0..10 {
+            assert!(fu.try_acquire(FuKind::MemPort));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_alus_rejected() {
+        let _ = FuPool::new(0, 1);
+    }
+}

@@ -1,0 +1,573 @@
+//! The out-of-order pipeline model.
+
+use crate::config::SimConfig;
+use crate::dvi_engine::DviEngine;
+use crate::fu::FuPool;
+use crate::rename::RenameState;
+use crate::stats::SimStats;
+use crate::window::{EntryState, InFlight};
+use dvi_bpred::CombiningPredictor;
+use dvi_isa::{Abi, FuKind, Instr, InstrClass};
+use dvi_mem::{CachePorts, MemoryHierarchy};
+use dvi_program::DynInst;
+use std::collections::VecDeque;
+
+/// Safety valve: if the pipeline makes no forward progress for this many
+/// cycles, the run is aborted (this indicates a modelling bug, not a
+/// property of the workload).
+const PROGRESS_LIMIT: u64 = 100_000;
+
+/// The trace-driven out-of-order timing simulator.
+///
+/// See the crate-level documentation for the modelling assumptions. A
+/// `Simulator` is single-use: construct it with a [`SimConfig`], call
+/// [`Simulator::run`] with a dynamic instruction stream (usually a
+/// [`dvi_program::Interpreter`]) and read the returned [`SimStats`].
+#[derive(Debug)]
+pub struct Simulator {
+    config: SimConfig,
+    rename: RenameState,
+    dvi: DviEngine,
+    mem: MemoryHierarchy,
+    ports: CachePorts,
+    fu: FuPool,
+    bpred: CombiningPredictor,
+    window: VecDeque<InFlight>,
+    fetch_queue: VecDeque<DynInst>,
+    cycle: u64,
+    stats: SimStats,
+    /// Cycle at which fetch may resume after an I-cache miss or a resolved
+    /// misprediction.
+    fetch_stall_until: u64,
+    /// Sequence number of the mispredicted branch fetch is waiting on.
+    pending_mispredict: Option<u64>,
+    /// Physical registers reclaimed by DVI at decode, waiting to be attached
+    /// to the next dispatched window entry so they are freed at its commit.
+    pending_reclaim: Vec<crate::rename::PhysReg>,
+    /// Cache line of the most recent instruction fetch (the fetch stage
+    /// accesses the I-cache once per line, not once per instruction).
+    last_fetch_line: Option<u64>,
+    trace_done: bool,
+}
+
+impl Simulator {
+    /// Builds a simulator for the given machine configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`SimConfig::validate`].
+    #[must_use]
+    pub fn new(config: SimConfig) -> Self {
+        config.validate();
+        Simulator {
+            rename: RenameState::new(config.phys_regs),
+            dvi: DviEngine::new(config.dvi, Abi::mips_like()),
+            mem: MemoryHierarchy::new(config.icache, config.dcache, config.l2, config.memory_latency),
+            ports: CachePorts::new(config.cache_ports),
+            fu: FuPool::new(config.int_alu_units, config.int_mul_units),
+            bpred: CombiningPredictor::new(config.predictor),
+            window: VecDeque::with_capacity(config.window_size),
+            fetch_queue: VecDeque::with_capacity(config.fetch_queue),
+            cycle: 0,
+            stats: SimStats::default(),
+            fetch_stall_until: 0,
+            pending_mispredict: None,
+            pending_reclaim: Vec::new(),
+            last_fetch_line: None,
+            trace_done: false,
+            config,
+        }
+    }
+
+    /// Runs the machine over a dynamic instruction stream until every
+    /// instruction has committed, and returns the accumulated statistics.
+    pub fn run<I>(mut self, trace: I) -> SimStats
+    where
+        I: IntoIterator<Item = DynInst>,
+    {
+        let mut trace = trace.into_iter();
+        let mut last_progress = (0u64, 0u64); // (cycle, committed)
+        loop {
+            self.commit();
+            self.writeback();
+            self.issue();
+            self.rename_dispatch();
+            self.fetch(&mut trace);
+
+            self.cycle += 1;
+            self.fu.next_cycle();
+            self.ports.next_cycle();
+            let used = self.rename.total() - self.rename.free_count();
+            self.stats.peak_phys_regs_used = self.stats.peak_phys_regs_used.max(used);
+
+            if self.trace_done && self.fetch_queue.is_empty() && self.window.is_empty() {
+                break;
+            }
+            if self.stats.committed_entries != last_progress.1 {
+                last_progress = (self.cycle, self.stats.committed_entries);
+            } else if self.cycle - last_progress.0 > PROGRESS_LIMIT {
+                debug_assert!(false, "pipeline deadlock: no commit in {PROGRESS_LIMIT} cycles");
+                break;
+            }
+        }
+        self.stats.cycles = self.cycle;
+        self.stats.dvi = self.dvi.stats();
+        self.stats.branch = self.bpred.stats();
+        self.stats.memory = self.mem.stats();
+        self.stats
+    }
+
+    // ----------------------------------------------------------- commit --
+    fn commit(&mut self) {
+        let mut committed = 0;
+        while committed < self.config.commit_width {
+            let Some(front) = self.window.front() else { break };
+            if !front.is_done() {
+                break;
+            }
+            let entry = self.window.pop_front().expect("front exists");
+            if let Some(old) = entry.old_dst {
+                self.rename.release(old);
+            }
+            for p in entry.reclaim {
+                self.rename.release(p);
+            }
+            self.stats.committed_entries += 1;
+            self.stats.program_instrs += 1;
+            committed += 1;
+        }
+    }
+
+    // -------------------------------------------------------- writeback --
+    fn writeback(&mut self) {
+        for i in 0..self.window.len() {
+            let done_at = match self.window[i].state {
+                EntryState::Executing { done_at } => done_at,
+                _ => continue,
+            };
+            if done_at > self.cycle {
+                continue;
+            }
+            self.window[i].state = EntryState::Done;
+            if let Some(dst) = self.window[i].dst {
+                self.rename.set_ready(dst);
+            }
+            if self.window[i].resolves_fetch_stall {
+                self.pending_mispredict = None;
+                self.fetch_stall_until = self
+                    .fetch_stall_until
+                    .max(self.cycle + 1 + self.config.mispredict_penalty);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------ issue --
+    fn issue(&mut self) {
+        let mut issued = 0;
+        for i in 0..self.window.len() {
+            if issued >= self.config.issue_width {
+                break;
+            }
+            if self.window[i].state != EntryState::Waiting {
+                continue;
+            }
+            let ready = self.window[i]
+                .srcs
+                .iter()
+                .flatten()
+                .all(|p| self.rename.is_ready(*p));
+            if !ready {
+                continue;
+            }
+            let class = self.window[i].dyn_inst.instr.class();
+            let Some(kind) = class.fu_kind() else {
+                self.window[i].state = EntryState::Done;
+                continue;
+            };
+            if kind == FuKind::MemPort {
+                if !self.ports.try_acquire() {
+                    continue;
+                }
+            } else if !self.fu.try_acquire(kind) {
+                continue;
+            }
+            let latency = self.execution_latency(i, class);
+            self.window[i].state = EntryState::Executing { done_at: self.cycle + latency.max(1) };
+            issued += 1;
+        }
+    }
+
+    fn execution_latency(&mut self, idx: usize, class: InstrClass) -> u64 {
+        match class {
+            InstrClass::Load => {
+                let addr = self.window[idx].dyn_inst.mem_addr.unwrap_or(0);
+                self.mem.data_access(addr, false).latency
+            }
+            InstrClass::Store => {
+                let addr = self.window[idx].dyn_inst.mem_addr.unwrap_or(0);
+                // Stores retire into the cache; the pipeline only waits for
+                // address/data readiness, so the latency charged here is the
+                // port occupancy, while the access updates the cache state.
+                let _ = self.mem.data_access(addr, true);
+                1
+            }
+            other => u64::from(other.base_latency()),
+        }
+    }
+
+    // --------------------------------------------------- rename/dispatch --
+    fn rename_dispatch(&mut self) {
+        let mut dispatched = 0;
+        while dispatched < self.config.decode_width {
+            let Some(front) = self.fetch_queue.front() else { break };
+            let dyn_inst = *front;
+            let instr = dyn_inst.instr;
+
+            // E-DVI annotations are consumed at decode: they never occupy a
+            // window slot, a rename slot or a functional unit. Physical
+            // registers they unmap are freed when the next dispatched
+            // instruction (in practice, the annotated call) commits.
+            if let Instr::Kill { mask } = instr {
+                let reclaimed = self.dvi.on_kill(mask, &mut self.rename);
+                self.pending_reclaim.extend(reclaimed);
+                self.fetch_queue.pop_front();
+                dispatched += 1;
+                continue;
+            }
+
+            if instr.is_mem() {
+                self.stats.mem_refs += 1;
+            }
+
+            // Save/restore elimination happens here: the instruction was
+            // fetched and decoded but is not dispatched.
+            if instr.is_save() {
+                let data_reg = instr.src_regs()[0].expect("live-store has a data register");
+                if self.dvi.on_save(data_reg) {
+                    self.fetch_queue.pop_front();
+                    self.stats.program_instrs += 1;
+                    dispatched += 1;
+                    continue;
+                }
+            } else if instr.is_restore() {
+                let dst = instr.dst_reg().expect("live-load has a destination");
+                if self.dvi.on_restore(dst) {
+                    self.fetch_queue.pop_front();
+                    self.stats.program_instrs += 1;
+                    dispatched += 1;
+                    continue;
+                }
+            }
+
+            // Everything else needs a window slot.
+            if self.window.len() >= self.config.window_size {
+                self.stats.rename_stalls_no_window += 1;
+                break;
+            }
+
+            // Rename sources before the destination (an instruction may read
+            // the register it overwrites).
+            let src_regs = instr.src_regs();
+            let srcs = [
+                src_regs[0].and_then(|r| self.rename.lookup(r)),
+                src_regs[1].and_then(|r| self.rename.lookup(r)),
+            ];
+
+            let mut dst = None;
+            let mut old_dst = None;
+            if let Some(d) = instr.dst_reg() {
+                match self.rename.rename_dst(d) {
+                    Some((new, old)) => {
+                        dst = Some(new);
+                        old_dst = old;
+                        self.dvi.on_dest_rename(d);
+                    }
+                    None => {
+                        self.stats.rename_stalls_no_reg += 1;
+                        break;
+                    }
+                }
+            }
+
+            // Implicit DVI and the LVM-Stack. Reclaimed mappings are freed
+            // when this call/return commits.
+            if instr.is_call() {
+                let reclaimed = self.dvi.on_call(&mut self.rename);
+                self.pending_reclaim.extend(reclaimed);
+            } else if instr.is_return() {
+                let reclaimed = self.dvi.on_return(&mut self.rename);
+                self.pending_reclaim.extend(reclaimed);
+            }
+
+            let mut entry = InFlight::new(dyn_inst, dst, old_dst, srcs);
+            entry.reclaim = std::mem::take(&mut self.pending_reclaim);
+            if self.pending_mispredict == Some(dyn_inst.seq) {
+                entry.resolves_fetch_stall = true;
+            }
+            if instr.class().fu_kind().is_none() {
+                entry.state = EntryState::Done;
+            }
+            self.window.push_back(entry);
+            self.fetch_queue.pop_front();
+            dispatched += 1;
+        }
+    }
+
+    // ------------------------------------------------------------ fetch --
+    fn fetch<I>(&mut self, trace: &mut I)
+    where
+        I: Iterator<Item = DynInst>,
+    {
+        if self.trace_done || self.pending_mispredict.is_some() || self.cycle < self.fetch_stall_until {
+            return;
+        }
+        for _ in 0..self.config.fetch_width {
+            if self.fetch_queue.len() >= self.config.fetch_queue {
+                break;
+            }
+            let Some(dyn_inst) = trace.next() else {
+                self.trace_done = true;
+                break;
+            };
+            self.stats.fetched_instrs += 1;
+            if dyn_inst.instr.is_dvi() {
+                self.stats.fetched_kills += 1;
+            }
+
+            // Instruction-cache access: once per cache line, with a
+            // next-line prefetch so sequential code does not pay the full
+            // miss latency on every line (fetch units of this era overlap
+            // line fills with draining the fetch queue).
+            let line_bytes = u64::from(self.config.icache.line_bytes);
+            let line = dyn_inst.byte_addr() / line_bytes;
+            let mut icache_miss = false;
+            if self.last_fetch_line != Some(line) {
+                self.last_fetch_line = Some(line);
+                let access = self.mem.inst_fetch(dyn_inst.byte_addr());
+                let _ = self.mem.inst_fetch((line + 1) * line_bytes);
+                if !access.l1_hit {
+                    self.fetch_stall_until = self.cycle + access.latency;
+                    icache_miss = true;
+                }
+            }
+
+            let mut redirected = false;
+            match dyn_inst.instr {
+                Instr::Branch { .. } => {
+                    let taken = dyn_inst.taken.unwrap_or(false);
+                    let predicted = self.bpred.predict(dyn_inst.byte_addr());
+                    self.bpred.update(dyn_inst.byte_addr(), taken);
+                    if predicted != taken {
+                        self.pending_mispredict = Some(dyn_inst.seq);
+                        redirected = true;
+                    }
+                }
+                Instr::Call { .. } => {
+                    self.bpred.push_return_address(dyn_inst.fallthrough_byte_addr());
+                }
+                Instr::Return => {
+                    let actual = dvi_program::LayoutProgram::byte_addr(dyn_inst.next_pc);
+                    if !self.bpred.predict_return(actual) {
+                        self.pending_mispredict = Some(dyn_inst.seq);
+                        redirected = true;
+                    }
+                }
+                _ => {}
+            }
+
+            self.fetch_queue.push_back(dyn_inst);
+            if redirected || icache_miss {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvi_core::DviConfig;
+    use dvi_isa::{AluOp, ArchReg};
+    use dvi_program::{Interpreter, ProcBuilder, Program, ProgramBuilder};
+
+    fn r(i: u8) -> ArchReg {
+        ArchReg::new(i)
+    }
+
+    /// A small straight-line program: chain of dependent adds then halt.
+    fn dependent_chain(n: usize) -> Program {
+        let mut b = ProgramBuilder::new();
+        let mut main = ProcBuilder::new("main");
+        main.emit(Instr::load_imm(r(8), 1));
+        for _ in 0..n {
+            main.emit(Instr::Alu { op: AluOp::Add, rd: r(8), rs: r(8), rt: r(8) });
+        }
+        main.emit(Instr::Halt);
+        b.add_procedure(main).unwrap();
+        b.build("main").unwrap()
+    }
+
+    /// A program of independent adds (ILP limited only by machine width).
+    fn independent_ops(n: usize) -> Program {
+        let mut b = ProgramBuilder::new();
+        let mut main = ProcBuilder::new("main");
+        for i in 0..n {
+            let dst = 8 + (i % 6) as u8;
+            main.emit(Instr::load_imm(r(dst), i as i32));
+        }
+        main.emit(Instr::Halt);
+        b.add_procedure(main).unwrap();
+        b.build("main").unwrap()
+    }
+
+    fn run_program(prog: &Program, config: SimConfig) -> SimStats {
+        let layout = prog.layout().unwrap();
+        let interp = Interpreter::new(&layout).with_step_limit(1_000_000);
+        Simulator::new(config).run(interp)
+    }
+
+    #[test]
+    fn dependent_chain_runs_at_about_one_ipc() {
+        let stats = run_program(&dependent_chain(2000), SimConfig::micro97());
+        assert!(stats.ipc() <= 1.1, "a dependence chain cannot exceed 1 IPC, got {}", stats.ipc());
+        assert!(stats.ipc() > 0.8, "the chain should sustain close to 1 IPC, got {}", stats.ipc());
+    }
+
+    #[test]
+    fn independent_ops_exploit_superscalar_width() {
+        let stats = run_program(&independent_ops(4000), SimConfig::micro97());
+        assert!(stats.ipc() > 2.0, "independent work should exceed 2 IPC, got {}", stats.ipc());
+        assert!(stats.ipc() <= 4.0 + 1e-9);
+    }
+
+    #[test]
+    fn every_fetched_program_instruction_is_accounted_for() {
+        let prog = dependent_chain(100);
+        let stats = run_program(&prog, SimConfig::micro97());
+        assert_eq!(stats.program_instrs, 102);
+        assert_eq!(stats.fetched_instrs, 102);
+        assert_eq!(stats.fetched_kills, 0);
+    }
+
+    #[test]
+    fn tiny_register_file_throttles_ipc() {
+        let wide = run_program(&independent_ops(4000), SimConfig::micro97().with_phys_regs(80));
+        let narrow = run_program(&independent_ops(4000), SimConfig::micro97().with_phys_regs(34));
+        assert!(
+            narrow.ipc() < wide.ipc() * 0.7,
+            "renaming pressure should throttle IPC: narrow {} vs wide {}",
+            narrow.ipc(),
+            wide.ipc()
+        );
+        assert!(narrow.rename_stalls_no_reg > 0);
+    }
+
+    #[test]
+    fn dvi_frees_registers_earlier_on_call_heavy_code() {
+        // A program that calls a leaf in a loop: I-DVI should reclaim
+        // caller-saved mappings at every call/return.
+        let mut b = ProgramBuilder::new();
+        let mut main = ProcBuilder::new("main");
+        let body = main.new_block();
+        main.emit(Instr::load_imm(r(16), 200));
+        main.switch_to(body);
+        main.emit(Instr::mov(ArchReg::A0, r(16)));
+        main.emit_call("leaf");
+        main.emit(Instr::AluImm { op: AluOp::Sub, rd: r(16), rs: r(16), imm: 1 });
+        main.emit_branch(dvi_isa::CmpOp::Ne, r(16), ArchReg::ZERO, body);
+        let exit = main.new_block();
+        main.switch_to(exit);
+        main.emit(Instr::Halt);
+        b.add_procedure(main).unwrap();
+        let mut leaf = ProcBuilder::new("leaf");
+        leaf.emit(Instr::Alu { op: AluOp::Add, rd: ArchReg::RV, rs: ArchReg::A0, rt: ArchReg::A0 });
+        leaf.emit(Instr::Return);
+        b.add_procedure(leaf).unwrap();
+        let prog = b.build("main").unwrap();
+
+        let no_dvi = run_program(&prog, SimConfig::micro97().with_phys_regs(40));
+        let idvi = run_program(
+            &prog,
+            SimConfig::micro97().with_phys_regs(40).with_dvi(DviConfig::idvi_only()),
+        );
+        assert!(idvi.dvi.phys_regs_reclaimed_early > 0);
+        assert!(no_dvi.dvi.phys_regs_reclaimed_early == 0);
+        assert!(idvi.peak_phys_regs_used <= no_dvi.peak_phys_regs_used);
+    }
+
+    #[test]
+    fn save_restore_elimination_end_to_end() {
+        // Use the compiler and a workload to produce real prologues and
+        // E-DVI, then check the LVM-Stack machine eliminates a good chunk.
+        let spec = dvi_workloads::WorkloadSpec::small("sim-toy", 3);
+        let program = dvi_workloads::generate(&spec);
+        let abi = Abi::mips_like();
+        let compiled =
+            dvi_compiler::compile(&program, &abi, dvi_compiler::CompileOptions::default()).unwrap();
+        let layout = compiled.program.layout().unwrap();
+
+        let run = |dvi: DviConfig| {
+            let interp = Interpreter::new(&layout).with_step_limit(100_000);
+            Simulator::new(SimConfig::micro97().with_dvi(dvi)).run(interp)
+        };
+        let baseline = run(DviConfig::none());
+        let lvm_only = run(DviConfig::lvm_scheme());
+        let full = run(DviConfig::full());
+
+        assert_eq!(baseline.dvi.save_restores_eliminated(), 0);
+        assert!(full.dvi.saves_eliminated > 0, "some saves must be eliminated");
+        assert!(full.dvi.restores_eliminated > 0, "some restores must be eliminated");
+        assert!(lvm_only.dvi.restores_eliminated == 0);
+        assert!(full.dvi.save_restores_eliminated() >= lvm_only.dvi.save_restores_eliminated());
+        // Dropping instructions should not hurt the cycle count (allow a
+        // tiny tolerance for second-order scheduling effects).
+        assert!(full.cycles <= baseline.cycles + baseline.cycles / 100);
+        // Work accounting: every fetched instruction is either an E-DVI
+        // annotation or a program instruction (committed or eliminated).
+        assert_eq!(full.program_instrs + full.fetched_kills, full.fetched_instrs);
+        assert_eq!(baseline.program_instrs + baseline.fetched_kills, baseline.fetched_instrs);
+    }
+
+    #[test]
+    fn mispredictions_cost_cycles() {
+        // A branch pattern driven by a pseudo-random value is hard to
+        // predict; compare against the same amount of straight-line work.
+        let mut b = ProgramBuilder::new();
+        let mut main = ProcBuilder::new("main");
+        // Create the blocks up front, in physical order, so every
+        // conditional branch falls through to the block that follows it.
+        let body = main.new_block();
+        let taken_arm = main.new_block();
+        let skip = main.new_block();
+        let exit = main.new_block();
+
+        main.emit(Instr::load_imm(r(9), 12345));
+        main.emit(Instr::load_imm(r(16), 3000));
+
+        main.switch_to(body);
+        // Linear-congruential scramble; bit 16 drives the branch.
+        main.emit(Instr::AluImm { op: AluOp::Mul, rd: r(9), rs: r(9), imm: 1103515245 });
+        main.emit(Instr::AluImm { op: AluOp::Add, rd: r(9), rs: r(9), imm: 12345 });
+        main.emit(Instr::AluImm { op: AluOp::Srl, rd: r(10), rs: r(9), imm: 16 });
+        main.emit(Instr::AluImm { op: AluOp::And, rd: r(10), rs: r(10), imm: 1 });
+        main.emit_branch(dvi_isa::CmpOp::Eq, r(10), ArchReg::ZERO, skip);
+
+        main.switch_to(taken_arm);
+        main.emit(Instr::AluImm { op: AluOp::Add, rd: r(11), rs: r(11), imm: 1 });
+        main.emit_jump(skip);
+
+        main.switch_to(skip);
+        main.emit(Instr::AluImm { op: AluOp::Sub, rd: r(16), rs: r(16), imm: 1 });
+        main.emit_branch(dvi_isa::CmpOp::Ne, r(16), ArchReg::ZERO, body);
+
+        main.switch_to(exit);
+        main.emit(Instr::Halt);
+        b.add_procedure(main).unwrap();
+        let prog = b.build("main").unwrap();
+
+        let stats = run_program(&prog, SimConfig::micro97());
+        assert!(stats.branch.direction_mispredictions > 100, "the scrambled branch should mispredict");
+        // Mispredictions hold IPC well below the machine width.
+        assert!(stats.ipc() < 3.0);
+    }
+}

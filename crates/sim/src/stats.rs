@@ -1,0 +1,115 @@
+//! Statistics reported by the timing simulator.
+
+use dvi_bpred::PredictorStats;
+use dvi_core::DviStats;
+use dvi_mem::HierarchyStats;
+use std::fmt;
+
+/// Everything the paper's evaluation needs from one timing-simulation run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Original program instructions completed: committed instructions plus
+    /// eliminated saves/restores, excluding E-DVI annotations — the paper's
+    /// "true measure of the work done by the program".
+    pub program_instrs: u64,
+    /// Instructions actually committed from the window.
+    pub committed_entries: u64,
+    /// Instructions fetched (including E-DVI annotations and instructions
+    /// later eliminated).
+    pub fetched_instrs: u64,
+    /// E-DVI `kill` instructions fetched (cycle overhead only).
+    pub fetched_kills: u64,
+    /// Dynamic program memory references (loads + stores, including
+    /// eliminated saves/restores).
+    pub mem_refs: u64,
+    /// Rename stalls because the free list was empty.
+    pub rename_stalls_no_reg: u64,
+    /// Rename stalls because the instruction window was full.
+    pub rename_stalls_no_window: u64,
+    /// Dead-value-information counters.
+    pub dvi: DviStats,
+    /// Branch predictor counters.
+    pub branch: PredictorStats,
+    /// Cache-hierarchy counters.
+    pub memory: HierarchyStats,
+    /// Largest number of physical registers simultaneously in use
+    /// (mapped + in-flight destinations).
+    pub peak_phys_regs_used: usize,
+}
+
+impl SimStats {
+    /// Instructions per cycle, the paper's primary metric.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.program_instrs as f64 / self.cycles as f64
+        }
+    }
+
+    /// Saves+restores eliminated as a percentage of all saves+restores
+    /// (Figure 9a).
+    #[must_use]
+    pub fn pct_save_restores_eliminated(&self) -> f64 {
+        self.dvi.pct_of_save_restores()
+    }
+
+    /// Saves+restores eliminated as a percentage of all memory references
+    /// (Figure 9b).
+    #[must_use]
+    pub fn pct_mem_refs_eliminated(&self) -> f64 {
+        self.dvi.pct_of_mem_refs(self.mem_refs)
+    }
+
+    /// Saves+restores eliminated as a percentage of all program
+    /// instructions (Figure 9c).
+    #[must_use]
+    pub fn pct_instrs_eliminated(&self) -> f64 {
+        self.dvi.pct_of_instructions(self.program_instrs)
+    }
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} instructions in {} cycles (IPC {:.3}), {:.1}% of saves/restores eliminated",
+            self.program_instrs,
+            self.cycles,
+            self.ipc(),
+            self.pct_save_restores_eliminated()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_handles_zero_cycles() {
+        assert_eq!(SimStats::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn ipc_is_instructions_over_cycles() {
+        let s = SimStats { cycles: 1000, program_instrs: 1800, ..SimStats::default() };
+        assert!((s.ipc() - 1.8).abs() < 1e-12);
+        assert!(s.to_string().contains("IPC"));
+    }
+
+    #[test]
+    fn elimination_percentages_use_the_right_denominators() {
+        let mut s = SimStats { cycles: 10, program_instrs: 1000, mem_refs: 300, ..SimStats::default() };
+        s.dvi.saves_seen = 50;
+        s.dvi.restores_seen = 50;
+        s.dvi.saves_eliminated = 25;
+        s.dvi.restores_eliminated = 25;
+        assert!((s.pct_save_restores_eliminated() - 50.0).abs() < 1e-9);
+        assert!((s.pct_mem_refs_eliminated() - (50.0 / 300.0 * 100.0)).abs() < 1e-9);
+        assert!((s.pct_instrs_eliminated() - 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,93 @@
+//! Instruction-window (reorder buffer) entries.
+
+use crate::rename::PhysReg;
+use dvi_program::DynInst;
+
+/// Execution state of an in-flight instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryState {
+    /// Waiting for source operands or a functional unit.
+    Waiting,
+    /// Executing; the result is available at the given cycle.
+    Executing {
+        /// Cycle at which execution finishes.
+        done_at: u64,
+    },
+    /// Finished; eligible for in-order commit.
+    Done,
+}
+
+/// An instruction occupying an instruction-window / reorder-buffer slot.
+#[derive(Debug, Clone)]
+pub struct InFlight {
+    /// The dynamic instruction.
+    pub dyn_inst: DynInst,
+    /// Physical register allocated for the destination, if any.
+    pub dst: Option<PhysReg>,
+    /// Previous mapping of the destination architectural register, returned
+    /// to the free list when this instruction commits.
+    pub old_dst: Option<PhysReg>,
+    /// Renamed source operands (`None` means always ready: the zero
+    /// register, an immediate, or a register whose mapping DVI removed).
+    pub srcs: [Option<PhysReg>; 2],
+    /// Physical registers reclaimed by DVI that become free when this entry
+    /// commits. The paper frees dead physical registers only when the
+    /// DVI-providing instruction is non-speculative; deferring the release
+    /// to commit additionally guarantees no older in-flight instruction
+    /// still references them.
+    pub reclaim: Vec<PhysReg>,
+    /// Current state.
+    pub state: EntryState,
+    /// Whether this is the conditional branch or return the front end
+    /// mispredicted (fetch resumes when it completes).
+    pub resolves_fetch_stall: bool,
+}
+
+impl InFlight {
+    /// Creates a freshly dispatched entry.
+    #[must_use]
+    pub fn new(dyn_inst: DynInst, dst: Option<PhysReg>, old_dst: Option<PhysReg>, srcs: [Option<PhysReg>; 2]) -> Self {
+        InFlight {
+            dyn_inst,
+            dst,
+            old_dst,
+            srcs,
+            reclaim: Vec::new(),
+            state: EntryState::Waiting,
+            resolves_fetch_stall: false,
+        }
+    }
+
+    /// Whether the entry has finished executing.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.state == EntryState::Done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvi_isa::Instr;
+    use dvi_program::ProcId;
+
+    fn dummy_dyn(instr: Instr) -> DynInst {
+        DynInst { seq: 0, pc: 0, instr, proc: ProcId(0), mem_addr: None, taken: None, next_pc: 1 }
+    }
+
+    #[test]
+    fn new_entries_start_waiting() {
+        let e = InFlight::new(dummy_dyn(Instr::Nop), None, None, [None, None]);
+        assert_eq!(e.state, EntryState::Waiting);
+        assert!(!e.is_done());
+    }
+
+    #[test]
+    fn done_state_is_reported() {
+        let mut e = InFlight::new(dummy_dyn(Instr::Nop), None, None, [None, None]);
+        e.state = EntryState::Executing { done_at: 5 };
+        assert!(!e.is_done());
+        e.state = EntryState::Done;
+        assert!(e.is_done());
+    }
+}

@@ -1,0 +1,103 @@
+//! Histogram of live-register counts at context switches.
+
+use std::fmt;
+
+/// A histogram over the number of live architectural registers observed at
+/// context-switch points — the structure the paper uses to compute the
+/// average number of registers holding live values.
+#[derive(Debug, Clone)]
+pub struct LiveRegHistogram {
+    counts: Vec<u64>,
+    samples: u64,
+    total: u64,
+}
+
+impl LiveRegHistogram {
+    /// Creates an empty histogram over `0..=max_registers` live registers.
+    #[must_use]
+    pub fn new(max_registers: usize) -> Self {
+        LiveRegHistogram { counts: vec![0; max_registers + 1], samples: 0, total: 0 }
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `live` exceeds the histogram's configured maximum.
+    pub fn record(&mut self, live: usize) {
+        assert!(live < self.counts.len(), "live-register count {live} exceeds histogram range");
+        self.counts[live] += 1;
+        self.samples += 1;
+        self.total += live as u64;
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Mean number of live registers (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.samples as f64
+        }
+    }
+
+    /// Number of observations with exactly `live` live registers.
+    #[must_use]
+    pub fn count(&self, live: usize) -> u64 {
+        self.counts.get(live).copied().unwrap_or(0)
+    }
+
+    /// The bucket counts, indexed by live-register count.
+    #[must_use]
+    pub fn buckets(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+impl fmt::Display for LiveRegHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} samples, mean {:.1} live registers", self.samples, self.mean())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_recorded_samples() {
+        let mut h = LiveRegHistogram::new(32);
+        h.record(10);
+        h.record(20);
+        h.record(30);
+        assert_eq!(h.samples(), 3);
+        assert!((h.mean() - 20.0).abs() < 1e-12);
+        assert_eq!(h.count(20), 1);
+        assert_eq!(h.count(5), 0);
+        assert_eq!(h.buckets().len(), 33);
+    }
+
+    #[test]
+    fn empty_histogram_has_zero_mean() {
+        assert_eq!(LiveRegHistogram::new(32).mean(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds histogram range")]
+    fn out_of_range_samples_are_rejected() {
+        LiveRegHistogram::new(8).record(9);
+    }
+
+    #[test]
+    fn display_reports_the_mean() {
+        let mut h = LiveRegHistogram::new(32);
+        h.record(16);
+        assert!(h.to_string().contains("16.0"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Architectural liveness tracking over a dynamic instruction stream.
+
+use dvi_core::{DviConfig, Lvm};
+use dvi_isa::{Abi, Instr};
+use dvi_program::DynInst;
+
+/// Maintains a thread's Live Value Mask from the retired instruction
+/// stream, exactly as the LVM hardware of Section 4.1 would: destination
+/// writes set the live bit, explicit `kill` masks clear bits (when E-DVI is
+/// enabled), and calls/returns clear the ABI's implicit-DVI mask (when
+/// I-DVI is enabled).
+#[derive(Debug, Clone)]
+pub struct LivenessTracker {
+    lvm: Lvm,
+    config: DviConfig,
+    abi: Abi,
+}
+
+impl LivenessTracker {
+    /// Creates a tracker with every register live (the state of a freshly
+    /// created thread, whose registers the kernel must conservatively treat
+    /// as live).
+    #[must_use]
+    pub fn new(config: DviConfig, abi: Abi) -> Self {
+        LivenessTracker { lvm: Lvm::new_all_live(), config, abi }
+    }
+
+    /// The current Live Value Mask.
+    #[must_use]
+    pub fn lvm(&self) -> &Lvm {
+        &self.lvm
+    }
+
+    /// Number of registers holding live values, excluding the hard-wired
+    /// zero register (which no context switch ever saves).
+    #[must_use]
+    pub fn live_saveable_registers(&self) -> usize {
+        self.lvm.live_count() - 1
+    }
+
+    /// Observes one retired instruction.
+    pub fn observe(&mut self, dyn_inst: &DynInst) {
+        match dyn_inst.instr {
+            Instr::Kill { mask } => {
+                if self.config.use_edvi {
+                    self.lvm.kill_mask(mask);
+                }
+            }
+            Instr::Call { .. } | Instr::Return => {
+                if self.config.use_idvi {
+                    self.lvm.kill_mask(self.abi.idvi_mask());
+                }
+                if let Some(dst) = dyn_inst.instr.dst_reg() {
+                    self.lvm.set_live(dst);
+                }
+            }
+            _ => {
+                if let Some(dst) = dyn_inst.instr.dst_reg() {
+                    self.lvm.set_live(dst);
+                }
+            }
+        }
+    }
+
+    /// Number of registers the switch code saves for this thread: with DVI
+    /// (`lvm-save`/`live-store`) only the live ones, otherwise the whole
+    /// integer file.
+    #[must_use]
+    pub fn registers_to_save(&self) -> usize {
+        if self.config.tracks_dvi() {
+            self.live_saveable_registers()
+        } else {
+            baseline_saveable_registers()
+        }
+    }
+}
+
+/// Number of integer registers a conventional kernel saves and restores at
+/// a context switch (every register except the hard-wired zero).
+#[must_use]
+pub fn baseline_saveable_registers() -> usize {
+    dvi_isa::NUM_ARCH_REGS - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvi_isa::{ArchReg, RegMask};
+    use dvi_program::ProcId;
+
+    fn dyn_inst(instr: Instr) -> DynInst {
+        DynInst { seq: 0, pc: 0, instr, proc: ProcId(0), mem_addr: None, taken: None, next_pc: 1 }
+    }
+
+    #[test]
+    fn fresh_threads_are_fully_live() {
+        let t = LivenessTracker::new(DviConfig::full(), Abi::mips_like());
+        assert_eq!(t.live_saveable_registers(), 31);
+        assert_eq!(t.registers_to_save(), 31);
+    }
+
+    #[test]
+    fn calls_kill_caller_saved_registers_with_idvi() {
+        let mut t = LivenessTracker::new(DviConfig::idvi_only(), Abi::mips_like());
+        t.observe(&dyn_inst(Instr::Call { target: 0 }));
+        let idvi = Abi::mips_like().idvi_mask().len();
+        // The call also defines the return-address register, which stays
+        // live.
+        assert_eq!(t.live_saveable_registers(), 31 - idvi);
+    }
+
+    #[test]
+    fn kills_are_honoured_only_with_edvi() {
+        let kill = dyn_inst(Instr::Kill { mask: RegMask::from_range(16, 23) });
+        let mut with = LivenessTracker::new(DviConfig::full(), Abi::mips_like());
+        with.observe(&kill);
+        assert_eq!(with.live_saveable_registers(), 31 - 8);
+
+        let mut without = LivenessTracker::new(DviConfig::idvi_only(), Abi::mips_like());
+        without.observe(&kill);
+        assert_eq!(without.live_saveable_registers(), 31);
+    }
+
+    #[test]
+    fn writes_revive_registers() {
+        let mut t = LivenessTracker::new(DviConfig::full(), Abi::mips_like());
+        t.observe(&dyn_inst(Instr::Kill { mask: RegMask::from_range(16, 17) }));
+        t.observe(&dyn_inst(Instr::load_imm(ArchReg::new(16), 3)));
+        assert_eq!(t.live_saveable_registers(), 30);
+    }
+
+    #[test]
+    fn no_dvi_configuration_always_saves_everything() {
+        let mut t = LivenessTracker::new(DviConfig::none(), Abi::mips_like());
+        t.observe(&dyn_inst(Instr::Call { target: 0 }));
+        assert_eq!(t.registers_to_save(), baseline_saveable_registers());
+    }
+}

@@ -1,0 +1,34 @@
+//! # dvi-timing
+//!
+//! The register-file timing model used by the paper's Figure 6. The paper
+//! feeds register-file geometries into a modified CACTI model and divides
+//! each configuration's IPC by the resulting access time, under the
+//! assumption that the processor cycle time is proportional to the register
+//! file cycle time. This crate provides an analytic stand-in with the same
+//! dependence the paper cites from Farkas et al.: access time is **linear in
+//! the number of registers** and **quadratic in the number of read and write
+//! ports**.
+//!
+//! # Example
+//!
+//! ```
+//! use dvi_timing::{RegFileTiming, SystemPerformance};
+//!
+//! let model = RegFileTiming::micro97();
+//! let t64 = model.access_time_ns(64);
+//! let t50 = model.access_time_ns(50);
+//! assert!(t50 < t64, "a smaller file is faster");
+//!
+//! // System performance = IPC / access time (Figure 6's metric).
+//! let perf = SystemPerformance::new(&model);
+//! assert!(perf.relative(1.8, 50) > perf.relative(1.8, 64));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod perf;
+mod regfile;
+
+pub use perf::SystemPerformance;
+pub use regfile::RegFileTiming;

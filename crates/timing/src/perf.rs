@@ -1,0 +1,105 @@
+//! System-performance metric of Figure 6.
+
+use crate::regfile::RegFileTiming;
+
+/// Computes the paper's Figure 6 metric: overall system performance is
+/// `IPC × clock rate`, and the clock rate is assumed proportional to the
+/// reciprocal of the register-file access time, so performance is
+/// `IPC / access_time`. Values are usually reported relative to a baseline
+/// peak.
+#[derive(Debug, Clone, Copy)]
+pub struct SystemPerformance<'a> {
+    model: &'a RegFileTiming,
+}
+
+impl<'a> SystemPerformance<'a> {
+    /// Creates the metric over a register-file timing model.
+    #[must_use]
+    pub fn new(model: &'a RegFileTiming) -> Self {
+        SystemPerformance { model }
+    }
+
+    /// Absolute performance (IPC divided by access time in nanoseconds;
+    /// units of "instructions per nanosecond").
+    #[must_use]
+    pub fn relative(&self, ipc: f64, num_regs: usize) -> f64 {
+        ipc / self.model.access_time_ns(num_regs)
+    }
+
+    /// Normalizes a `(num_regs, ipc)` curve by a baseline peak performance,
+    /// returning `(num_regs, relative performance)` pairs. This is exactly
+    /// how Figure 6 scales its y-axis ("relative to the peak performance
+    /// with no DVI").
+    #[must_use]
+    pub fn normalized_curve(
+        &self,
+        curve: &[(usize, f64)],
+        baseline_peak: f64,
+    ) -> Vec<(usize, f64)> {
+        curve
+            .iter()
+            .map(|(n, ipc)| (*n, self.relative(*ipc, *n) / baseline_peak))
+            .collect()
+    }
+
+    /// The peak of a `(num_regs, ipc)` curve under this metric: returns
+    /// `(num_regs_at_peak, peak_performance)`. Returns `None` on an empty
+    /// curve.
+    #[must_use]
+    pub fn peak(&self, curve: &[(usize, f64)]) -> Option<(usize, f64)> {
+        curve
+            .iter()
+            .map(|(n, ipc)| (*n, self.relative(*ipc, *n)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("performance values are finite"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn saturating_ipc(num_regs: usize, knee: usize, peak: f64) -> f64 {
+        // A simple IPC curve that rises to `peak` around `knee` registers.
+        let x = num_regs as f64 / knee as f64;
+        peak * (1.0 - (-2.5 * x).exp()).min(1.0)
+    }
+
+    #[test]
+    fn performance_prefers_smaller_file_at_equal_ipc() {
+        let model = RegFileTiming::micro97();
+        let perf = SystemPerformance::new(&model);
+        assert!(perf.relative(2.0, 48) > perf.relative(2.0, 80));
+    }
+
+    #[test]
+    fn peak_moves_left_when_the_ipc_knee_moves_left() {
+        let model = RegFileTiming::micro97();
+        let perf = SystemPerformance::new(&model);
+        let sizes: Vec<usize> = (34..=96).step_by(2).collect();
+        let no_dvi: Vec<(usize, f64)> =
+            sizes.iter().map(|&n| (n, saturating_ipc(n, 40, 1.9))).collect();
+        let with_dvi: Vec<(usize, f64)> =
+            sizes.iter().map(|&n| (n, saturating_ipc(n, 28, 1.9))).collect();
+        let (peak_no, _) = perf.peak(&no_dvi).unwrap();
+        let (peak_dvi, v_dvi) = perf.peak(&with_dvi).unwrap();
+        assert!(peak_dvi < peak_no, "DVI should move the optimal file size down");
+        let (_, v_no) = perf.peak(&no_dvi).unwrap();
+        assert!(v_dvi > v_no, "and improve peak performance");
+    }
+
+    #[test]
+    fn normalized_curve_scales_by_baseline() {
+        let model = RegFileTiming::micro97();
+        let perf = SystemPerformance::new(&model);
+        let curve = vec![(64usize, 1.8f64)];
+        let base = perf.relative(1.8, 64);
+        let norm = perf.normalized_curve(&curve, base);
+        assert!((norm[0].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peak_of_empty_curve_is_none() {
+        let model = RegFileTiming::micro97();
+        assert!(SystemPerformance::new(&model).peak(&[]).is_none());
+    }
+}

@@ -1,0 +1,130 @@
+//! Analytic access-time model for a multiported register file.
+
+/// Access-time model for a multiported physical register file.
+///
+/// The model is `t = base + reg_coeff·N + port_coeff·(R+W)²` nanoseconds for
+/// a file of `N` registers with `R` read and `W` write ports. The paper's
+/// 4-way-issue machine needs 8 read and 4 write ports. The default
+/// coefficients are calibrated so that shrinking the file from 64 to 50
+/// registers (the paper's Figure 6 peaks) buys roughly 2-3% of cycle time —
+/// the same order as the paper's CACTI-derived model, where the net system
+/// gain after the small IPC loss is ≈1%.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegFileTiming {
+    /// Fixed component (decoder, sense amps), in nanoseconds.
+    pub base_ns: f64,
+    /// Per-register component (bit-line length), in nanoseconds.
+    pub reg_coeff_ns: f64,
+    /// Per-port² component (word-line and cell growth), in nanoseconds.
+    pub port_coeff_ns: f64,
+    /// Read ports.
+    pub read_ports: u32,
+    /// Write ports.
+    pub write_ports: u32,
+}
+
+impl RegFileTiming {
+    /// The model for the paper's 4-way issue machine: 8 read ports, 4 write
+    /// ports.
+    #[must_use]
+    pub fn micro97() -> Self {
+        RegFileTiming {
+            base_ns: 0.25,
+            reg_coeff_ns: 0.0016,
+            port_coeff_ns: 0.0035,
+            read_ports: 8,
+            write_ports: 4,
+        }
+    }
+
+    /// The model scaled to an `issue_width`-wide machine (2 read ports and 1
+    /// write port per issue slot).
+    #[must_use]
+    pub fn for_issue_width(issue_width: u32) -> Self {
+        RegFileTiming {
+            read_ports: issue_width * 2,
+            write_ports: issue_width,
+            ..RegFileTiming::micro97()
+        }
+    }
+
+    /// Total ports.
+    #[must_use]
+    pub fn ports(&self) -> u32 {
+        self.read_ports + self.write_ports
+    }
+
+    /// Access time of a file with `num_regs` registers, in nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_regs` is zero.
+    #[must_use]
+    pub fn access_time_ns(&self, num_regs: usize) -> f64 {
+        assert!(num_regs > 0, "register file must contain at least one register");
+        let ports = f64::from(self.ports());
+        self.base_ns + self.reg_coeff_ns * num_regs as f64 + self.port_coeff_ns * ports * ports
+    }
+
+    /// Ratio of access times between two file sizes (`a` relative to `b`).
+    #[must_use]
+    pub fn speed_ratio(&self, a: usize, b: usize) -> f64 {
+        self.access_time_ns(b) / self.access_time_ns(a)
+    }
+}
+
+impl Default for RegFileTiming {
+    fn default() -> Self {
+        RegFileTiming::micro97()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn access_time_is_monotonic_in_registers() {
+        let m = RegFileTiming::micro97();
+        let mut prev = 0.0;
+        for n in (32..=128).step_by(4) {
+            let t = m.access_time_ns(n);
+            assert!(t > prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn access_time_is_quadratic_in_ports() {
+        let narrow = RegFileTiming::for_issue_width(4);
+        let wide = RegFileTiming::for_issue_width(8);
+        let port_term = |m: &RegFileTiming| {
+            m.access_time_ns(64) - m.base_ns - m.reg_coeff_ns * 64.0
+        };
+        let ratio = port_term(&wide) / port_term(&narrow);
+        assert!((ratio - 4.0).abs() < 1e-9, "doubling ports quadruples the port term");
+    }
+
+    #[test]
+    fn shrinking_64_to_50_buys_a_few_percent() {
+        let m = RegFileTiming::micro97();
+        let gain = m.speed_ratio(50, 64) - 1.0;
+        assert!(gain > 0.01 && gain < 0.06, "64→50 registers should buy 1-6% cycle time, got {gain}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_registers_rejected() {
+        let _ = RegFileTiming::micro97().access_time_ns(0);
+    }
+
+    proptest! {
+        #[test]
+        fn speed_ratio_is_reciprocal(a in 1usize..200, b in 1usize..200) {
+            let m = RegFileTiming::micro97();
+            let r = m.speed_ratio(a, b) * m.speed_ratio(b, a);
+            prop_assert!((r - 1.0).abs() < 1e-9);
+        }
+    }
+}

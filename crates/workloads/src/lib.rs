@@ -1,0 +1,44 @@
+//! # dvi-workloads
+//!
+//! The benchmark substrate of the DVI reproduction. The paper evaluated on
+//! seven SPEC95 integer programs compiled with GCC 2.6.3; neither the
+//! binaries nor their inputs are reproducible here, so this crate provides a
+//! deterministic, seeded **synthetic program generator** whose knobs are the
+//! program properties the paper's optimizations actually depend on:
+//!
+//! * procedure-call frequency and call-graph depth,
+//! * how many callee-saved registers each procedure uses (and therefore
+//!   saves/restores),
+//! * how often a callee-saved value is **dead at a call site** — the
+//!   context-sensitive liveness of Figure 7 that static calling conventions
+//!   cannot exploit,
+//! * the memory-reference fraction and loop structure.
+//!
+//! Seven presets ([`presets`]) are calibrated so their Figure-3-style
+//! characterization (instruction mix) and their relative ordering
+//! (perl/gcc/li call-heavy, compress/go/ijpeg call-light) land in the same
+//! regime as the paper's benchmarks.
+//!
+//! # Example
+//!
+//! ```
+//! use dvi_workloads::{presets, generate, characterize};
+//!
+//! let spec = presets::li_like();
+//! let program = generate(&spec);
+//! let profile = characterize(&program, 50_000);
+//! assert!(profile.call_pct() > 0.5, "li-like preset is call-heavy");
+//! assert!(profile.save_restore_pct() > 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod characterize;
+mod generator;
+pub mod presets;
+mod spec;
+
+pub use characterize::{characterize, characterize_compiled, Characterization};
+pub use generator::generate;
+pub use spec::WorkloadSpec;

@@ -1,0 +1,212 @@
+//! The seven SPEC95-integer-like benchmark presets.
+//!
+//! Each preset is calibrated so its instruction mix (Figure 3) and its
+//! save/restore behaviour land in the same regime as the corresponding
+//! SPEC95 program in the paper: `perl`, `gcc` and `li` are call-heavy with
+//! much context-sensitive deadness (they benefit most), `vortex` is
+//! call-heavy but with more values genuinely live across calls, while
+//! `compress`, `ijpeg` and `go` make few calls and benefit least.
+
+use crate::spec::WorkloadSpec;
+
+fn base(name: &str, seed: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        name: name.to_owned(),
+        seed,
+        num_procedures: 20,
+        call_fanout: 2,
+        loop_iterations: (2, 5),
+        phases_per_loop: (1, 2),
+        alu_per_phase: (4, 10),
+        mem_per_phase: (1, 3),
+        call_probability: 0.35,
+        hard_branch_probability: 0.12,
+        callee_saved_pressure: (2, 4),
+        dead_at_call_probability: 0.5,
+        mul_fraction: 0.04,
+        outer_iterations: 50,
+        data_bytes_per_proc: 8192,
+    }
+}
+
+/// `compress95`-like: tight loops over a buffer, few procedure calls, small
+/// working set per call.
+#[must_use]
+pub fn compress_like() -> WorkloadSpec {
+    WorkloadSpec {
+        call_probability: 0.10,
+        alu_per_phase: (8, 16),
+        mem_per_phase: (2, 4),
+        callee_saved_pressure: (1, 2),
+        dead_at_call_probability: 0.40,
+        hard_branch_probability: 0.18,
+        loop_iterations: (4, 8),
+        ..base("compress", 0xC0)
+    }
+}
+
+/// `go`-like: large branchy evaluation functions, few calls, moderate
+/// callee-saved pressure, little deadness at call sites.
+#[must_use]
+pub fn go_like() -> WorkloadSpec {
+    WorkloadSpec {
+        call_probability: 0.18,
+        alu_per_phase: (8, 14),
+        mem_per_phase: (1, 3),
+        callee_saved_pressure: (3, 5),
+        dead_at_call_probability: 0.30,
+        hard_branch_probability: 0.25,
+        loop_iterations: (3, 6),
+        ..base("go", 0x60)
+    }
+}
+
+/// `ijpeg`-like: DCT-style loop kernels, moderate memory traffic, few
+/// calls.
+#[must_use]
+pub fn ijpeg_like() -> WorkloadSpec {
+    WorkloadSpec {
+        call_probability: 0.15,
+        alu_per_phase: (10, 16),
+        mem_per_phase: (2, 5),
+        callee_saved_pressure: (2, 3),
+        dead_at_call_probability: 0.45,
+        mul_fraction: 0.10,
+        hard_branch_probability: 0.06,
+        loop_iterations: (4, 8),
+        ..base("ijpeg", 0x11)
+    }
+}
+
+/// `li`-like (xlisp interpreter): extremely call-intensive with deep,
+/// narrow call chains; much deadness at call sites.
+#[must_use]
+pub fn li_like() -> WorkloadSpec {
+    WorkloadSpec {
+        num_procedures: 28,
+        call_fanout: 3,
+        call_probability: 0.65,
+        alu_per_phase: (3, 6),
+        mem_per_phase: (1, 2),
+        callee_saved_pressure: (2, 3),
+        dead_at_call_probability: 0.60,
+        loop_iterations: (1, 3),
+        phases_per_loop: (1, 2),
+        ..base("li", 0x11e)
+    }
+}
+
+/// `vortex`-like (object database): call-heavy, larger register working
+/// sets, more values genuinely live across calls.
+#[must_use]
+pub fn vortex_like() -> WorkloadSpec {
+    WorkloadSpec {
+        num_procedures: 26,
+        call_fanout: 3,
+        call_probability: 0.45,
+        alu_per_phase: (5, 9),
+        mem_per_phase: (2, 4),
+        callee_saved_pressure: (3, 5),
+        dead_at_call_probability: 0.45,
+        loop_iterations: (2, 4),
+        ..base("vortex", 0x70)
+    }
+}
+
+/// `perl`-like: interpreter dispatch loops, very call-intensive, and most
+/// callee-saved values are dead at the call sites — the benchmark where the
+/// paper eliminates 74.6% of saves/restores.
+#[must_use]
+pub fn perl_like() -> WorkloadSpec {
+    WorkloadSpec {
+        num_procedures: 30,
+        call_fanout: 3,
+        call_probability: 0.70,
+        alu_per_phase: (3, 7),
+        mem_per_phase: (1, 3),
+        callee_saved_pressure: (3, 4),
+        dead_at_call_probability: 0.80,
+        loop_iterations: (1, 3),
+        phases_per_loop: (1, 2),
+        ..base("perl", 0x9e)
+    }
+}
+
+/// `gcc`-like: many medium-sized procedures, heavy callee-saved usage,
+/// substantial deadness at call sites.
+#[must_use]
+pub fn gcc_like() -> WorkloadSpec {
+    WorkloadSpec {
+        num_procedures: 32,
+        call_fanout: 3,
+        call_probability: 0.50,
+        alu_per_phase: (4, 9),
+        mem_per_phase: (1, 3),
+        callee_saved_pressure: (4, 6),
+        dead_at_call_probability: 0.55,
+        loop_iterations: (2, 4),
+        ..base("gcc", 0x6cc)
+    }
+}
+
+/// Every preset, in the order the paper lists them (Figure 3).
+#[must_use]
+pub fn all() -> Vec<WorkloadSpec> {
+    vec![
+        compress_like(),
+        go_like(),
+        ijpeg_like(),
+        li_like(),
+        vortex_like(),
+        perl_like(),
+        gcc_like(),
+    ]
+}
+
+/// The six benchmarks the paper uses for the save/restore study (Figure 9
+/// drops `compress`, which has too little save/restore activity).
+#[must_use]
+pub fn save_restore_suite() -> Vec<WorkloadSpec> {
+    vec![li_like(), ijpeg_like(), gcc_like(), perl_like(), vortex_like(), go_like()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_are_valid_and_uniquely_named() {
+        let presets = all();
+        assert_eq!(presets.len(), 7);
+        let mut names: Vec<&str> = presets.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 7, "preset names must be unique");
+        for p in &presets {
+            p.validate();
+        }
+    }
+
+    #[test]
+    fn call_intensity_ordering_matches_the_paper() {
+        assert!(perl_like().call_probability > compress_like().call_probability);
+        assert!(li_like().call_probability > go_like().call_probability);
+        assert!(gcc_like().call_probability > ijpeg_like().call_probability);
+    }
+
+    #[test]
+    fn perl_has_the_most_deadness_at_call_sites() {
+        let presets = all();
+        let perl = perl_like();
+        for p in &presets {
+            assert!(p.dead_at_call_probability <= perl.dead_at_call_probability);
+        }
+    }
+
+    #[test]
+    fn save_restore_suite_excludes_compress() {
+        let suite = save_restore_suite();
+        assert_eq!(suite.len(), 6);
+        assert!(suite.iter().all(|s| s.name != "compress"));
+    }
+}

@@ -1,0 +1,159 @@
+//! Workload specification: the knobs of the synthetic program generator.
+
+/// Parameters of a synthetic benchmark.
+///
+/// Every field has a direct correspondence to a program property the paper's
+/// optimizations are sensitive to; see the crate-level documentation. All
+/// generation is deterministic given `seed`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Benchmark name (used in reports and figures).
+    pub name: String,
+    /// RNG seed; the same spec always generates the same program.
+    pub seed: u64,
+    /// Number of non-`main` procedures in the call graph.
+    pub num_procedures: usize,
+    /// How many procedures further down the index order a procedure may
+    /// call (call-graph fan-out window).
+    pub call_fanout: usize,
+    /// Iterations of each procedure's inner loop (min, max).
+    pub loop_iterations: (u32, u32),
+    /// Number of work "phases" inside each loop iteration (min, max). Each
+    /// phase is a burst of ALU work, some memory traffic and possibly a
+    /// call.
+    pub phases_per_loop: (usize, usize),
+    /// ALU instructions per phase (min, max).
+    pub alu_per_phase: (usize, usize),
+    /// Memory operations (load/store pairs) per phase (min, max).
+    pub mem_per_phase: (usize, usize),
+    /// Probability that a phase contains a procedure call (ignored for leaf
+    /// procedures).
+    pub call_probability: f64,
+    /// Probability that a phase contains a data-dependent (hard to predict)
+    /// branch diamond.
+    pub hard_branch_probability: f64,
+    /// How many callee-saved registers a procedure keeps persistent values
+    /// in (min, max); this is what determines how many saves/restores its
+    /// prologue and epilogue contain.
+    pub callee_saved_pressure: (usize, usize),
+    /// Probability that the caller's persistent (callee-saved) values are
+    /// dead at a call site — the knob behind context-sensitive save/restore
+    /// elimination.
+    pub dead_at_call_probability: f64,
+    /// Fraction of ALU operations that are long-latency multiplies.
+    pub mul_fraction: f64,
+    /// Iterations of `main`'s outer loop over the top-level procedures.
+    pub outer_iterations: u32,
+    /// Bytes of the global data region each procedure touches (working-set
+    /// size knob).
+    pub data_bytes_per_proc: u64,
+}
+
+impl WorkloadSpec {
+    /// A small, quick-to-simulate default used by tests and examples.
+    #[must_use]
+    pub fn small(name: &str, seed: u64) -> Self {
+        WorkloadSpec {
+            name: name.to_owned(),
+            seed,
+            num_procedures: 12,
+            call_fanout: 2,
+            loop_iterations: (2, 4),
+            phases_per_loop: (1, 2),
+            alu_per_phase: (3, 8),
+            mem_per_phase: (1, 3),
+            call_probability: 0.5,
+            hard_branch_probability: 0.15,
+            callee_saved_pressure: (2, 4),
+            dead_at_call_probability: 0.5,
+            mul_fraction: 0.05,
+            outer_iterations: 4,
+            data_bytes_per_proc: 4096,
+        }
+    }
+
+    /// Returns a copy with a different seed (used to generate independent
+    /// threads of the same workload for the context-switch study).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with a different outer iteration count.
+    #[must_use]
+    pub fn with_outer_iterations(mut self, n: u32) -> Self {
+        self.outer_iterations = n;
+        self
+    }
+
+    /// Basic sanity checks on the parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a range is reversed, a probability is outside `[0, 1]`, or
+    /// the program would be degenerate (no procedures).
+    pub fn validate(&self) {
+        assert!(self.num_procedures > 0, "workload needs at least one procedure");
+        assert!(self.call_fanout > 0, "call fan-out must be at least 1");
+        assert!(self.loop_iterations.0 <= self.loop_iterations.1, "loop_iterations range reversed");
+        assert!(self.loop_iterations.0 >= 1, "loops must run at least once");
+        assert!(self.phases_per_loop.0 <= self.phases_per_loop.1, "phases_per_loop range reversed");
+        assert!(self.phases_per_loop.0 >= 1, "each loop needs at least one phase");
+        assert!(self.alu_per_phase.0 <= self.alu_per_phase.1, "alu_per_phase range reversed");
+        assert!(self.mem_per_phase.0 <= self.mem_per_phase.1, "mem_per_phase range reversed");
+        assert!(self.callee_saved_pressure.0 <= self.callee_saved_pressure.1, "pressure range reversed");
+        assert!(self.callee_saved_pressure.1 <= 8, "at most 8 callee-saved registers exist (r16-r23)");
+        for (label, p) in [
+            ("call_probability", self.call_probability),
+            ("hard_branch_probability", self.hard_branch_probability),
+            ("dead_at_call_probability", self.dead_at_call_probability),
+            ("mul_fraction", self.mul_fraction),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{label} must be a probability, got {p}");
+        }
+        assert!(self.outer_iterations >= 1, "main must run at least one outer iteration");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_spec_is_valid() {
+        WorkloadSpec::small("toy", 1).validate();
+    }
+
+    #[test]
+    fn with_seed_changes_only_the_seed() {
+        let a = WorkloadSpec::small("toy", 1);
+        let b = a.clone().with_seed(2);
+        assert_eq!(a.name, b.name);
+        assert_ne!(a.seed, b.seed);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_probability_is_rejected() {
+        let mut s = WorkloadSpec::small("toy", 1);
+        s.call_probability = 1.5;
+        s.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "r16-r23")]
+    fn excessive_register_pressure_is_rejected() {
+        let mut s = WorkloadSpec::small("toy", 1);
+        s.callee_saved_pressure = (2, 9);
+        s.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "range reversed")]
+    fn reversed_range_is_rejected() {
+        let mut s = WorkloadSpec::small("toy", 1);
+        s.loop_iterations = (5, 2);
+        s.validate();
+    }
+}

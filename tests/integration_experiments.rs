@@ -1,0 +1,84 @@
+//! Integration tests over the experiment drivers: each figure must
+//! reproduce the paper's qualitative shape on a reduced budget.
+
+use dvi_experiments::{fig02, fig03, fig05, fig06, fig09, fig10, fig12, fig13, Budget};
+use dvi_workloads::presets;
+
+fn quick() -> Budget {
+    Budget { instrs_per_run: 25_000 }
+}
+
+#[test]
+fn figure2_lists_the_machine() {
+    assert!(fig02::run().to_string().contains("Issue Width"));
+}
+
+#[test]
+fn figure3_shape_call_heavy_benchmarks_save_more() {
+    let fig = fig03::run(quick());
+    let row = |name: &str| fig.rows.iter().find(|r| r.name == name).expect("preset present");
+    assert!(row("perl").profile.save_restore_pct() > row("compress").profile.save_restore_pct());
+    assert!(row("li").profile.call_pct() > row("ijpeg").profile.call_pct());
+}
+
+#[test]
+fn figures5_and_6_shape_dvi_moves_the_peak_to_a_smaller_file() {
+    // Two call-heavy benchmarks and a coarse grid keep this test quick while
+    // still exposing the knee shift.
+    let benches = vec![presets::perl_like(), presets::li_like()];
+    let sizes = vec![34, 38, 44, 52, 64, 80];
+    let fig5 = fig05::run_with(quick(), &benches, &sizes);
+    let knee_base = fig5.knee(0, 0.92).expect("baseline knee");
+    let knee_dvi = fig5.knee(2, 0.92).expect("dvi knee");
+    assert!(knee_dvi <= knee_base, "DVI knee {knee_dvi} should not exceed baseline knee {knee_base}");
+
+    let fig6 = fig06::from_fig05(&fig5);
+    assert!(fig6.peak_dvi.0 <= fig6.peak_no_dvi.0, "the optimal file size must not grow with DVI");
+    assert!(fig6.peak_dvi.1 >= fig6.peak_no_dvi.1 * 0.99, "peak performance must not regress");
+}
+
+#[test]
+fn figure9_shape_lvm_stack_roughly_doubles_lvm_and_perl_leads() {
+    let benches = vec![presets::perl_like(), presets::go_like()];
+    let fig = fig09::run_with(quick(), &benches);
+    let perl = fig.rows.iter().find(|r| r.name == "perl").unwrap();
+    let go = fig.rows.iter().find(|r| r.name == "go").unwrap();
+    // perl (heavy deadness) eliminates a larger fraction than go.
+    assert!(perl.lvm_stack.0 > go.lvm_stack.0, "perl {:.1}% vs go {:.1}%", perl.lvm_stack.0, go.lvm_stack.0);
+    // The LVM-Stack scheme eliminates more than the save-only LVM scheme,
+    // in the vicinity of 2x (paper: "the LVM scheme provides half the benefit").
+    assert!(perl.lvm_stack.0 > perl.lvm.0 * 1.3);
+    // perl should eliminate a large fraction of its saves/restores.
+    assert!(perl.lvm_stack.0 > 40.0, "perl eliminates {:.1}%", perl.lvm_stack.0);
+}
+
+#[test]
+fn figure10_shape_call_heavy_benchmarks_speed_up_most() {
+    let benches = vec![presets::perl_like(), presets::go_like()];
+    let fig = fig10::run_with(quick(), &benches);
+    let perl = fig.rows.iter().find(|r| r.name == "perl").unwrap();
+    let go = fig.rows.iter().find(|r| r.name == "go").unwrap();
+    assert!(perl.lvm_stack_speedup_pct >= go.lvm_stack_speedup_pct - 1.0);
+    assert!(fig.best_speedup_pct() > 0.0, "someone must speed up");
+    assert!(fig.best_speedup_pct() < 25.0, "speedups should stay in a few-percent regime");
+}
+
+#[test]
+fn figure12_shape_edvi_adds_to_idvi_reductions() {
+    let benches = vec![presets::perl_like()];
+    let fig = fig12::run_with(quick(), &benches);
+    let row = &fig.rows[0];
+    assert!(row.idvi_reduction_pct > 10.0);
+    assert!(row.edvi_reduction_pct >= row.idvi_reduction_pct - 1.0);
+    assert!(row.edvi_reduction_pct < 95.0);
+}
+
+#[test]
+fn figure13_shape_edvi_overhead_is_negligible() {
+    let benches = vec![presets::li_like()];
+    let fig = fig13::run_with(quick(), &benches);
+    let row = &fig.rows[0];
+    assert!(row.dynamic_fetch_overhead_pct < 8.0);
+    assert!(row.static_code_overhead_pct < 12.0);
+    assert!(row.ipc_overhead_64k_pct.abs() < 8.0);
+}

@@ -1,0 +1,114 @@
+//! Integration tests spanning the workload generator, compiler, functional
+//! interpreter and timing simulator.
+
+use dvi_core::DviConfig;
+use dvi_isa::Abi;
+use dvi_program::Interpreter;
+use dvi_sim::{SimConfig, Simulator};
+use dvi_workloads::WorkloadSpec;
+
+fn binaries(seed: u64) -> (dvi_program::LayoutProgram, dvi_program::LayoutProgram) {
+    let spec = WorkloadSpec::small("integration", seed);
+    let bare = dvi_workloads::generate(&spec);
+    let abi = Abi::mips_like();
+    let baseline = dvi_compiler::compile(
+        &bare,
+        &abi,
+        dvi_compiler::CompileOptions { edvi: dvi_core::EdviPlacement::None },
+    )
+    .expect("baseline compiles");
+    let edvi = dvi_compiler::compile(&bare, &abi, dvi_compiler::CompileOptions::default())
+        .expect("edvi compiles");
+    (
+        baseline.program.layout().expect("baseline lays out"),
+        edvi.program.layout().expect("edvi lays out"),
+    )
+}
+
+#[test]
+fn edvi_annotations_do_not_change_program_semantics() {
+    let (baseline, edvi) = binaries(7);
+    let run = |layout: &dvi_program::LayoutProgram| {
+        let mut interp = Interpreter::new(layout).with_step_limit(2_000_000);
+        let _ = interp.by_ref().count();
+        assert!(interp.halted(), "program must run to completion");
+        // The architectural result visible in the return-value and persistent
+        // registers must be unaffected by the annotations.
+        (
+            interp.state().reg(dvi_isa::ArchReg::RV),
+            interp.state().reg(dvi_isa::ArchReg::new(15)),
+            interp.state().memory_footprint(),
+        )
+    };
+    assert_eq!(run(&baseline), run(&edvi));
+}
+
+#[test]
+fn dvi_machine_commits_the_same_work_in_no_more_cycles() {
+    let (_, edvi) = binaries(11);
+    let budget = 60_000u64;
+    let run = |dvi: DviConfig| {
+        Simulator::new(SimConfig::micro97().with_dvi(dvi))
+            .run(Interpreter::new(&edvi).with_step_limit(budget))
+    };
+    let baseline = run(DviConfig::none());
+    let full = run(DviConfig::full());
+    assert_eq!(baseline.program_instrs, full.program_instrs, "same program work either way");
+    assert!(full.dvi.save_restores_eliminated() > 0);
+    assert!(
+        full.cycles <= baseline.cycles + baseline.cycles / 50,
+        "DVI should not cost cycles: {} vs {}",
+        full.cycles,
+        baseline.cycles
+    );
+}
+
+#[test]
+fn elimination_rate_tracks_the_dead_at_call_knob() {
+    let abi = Abi::mips_like();
+    let run_for = |dead_prob: f64| {
+        let mut spec = WorkloadSpec::small("knob", 19);
+        spec.dead_at_call_probability = dead_prob;
+        let bare = dvi_workloads::generate(&spec);
+        let compiled =
+            dvi_compiler::compile(&bare, &abi, dvi_compiler::CompileOptions::default()).unwrap();
+        let layout = compiled.program.layout().unwrap();
+        let stats = Simulator::new(SimConfig::micro97().with_dvi(DviConfig::full()))
+            .run(Interpreter::new(&layout).with_step_limit(80_000));
+        stats.pct_save_restores_eliminated()
+    };
+    let mostly_live = run_for(0.1);
+    let mostly_dead = run_for(0.9);
+    assert!(
+        mostly_dead > mostly_live,
+        "more deadness at call sites must eliminate more saves/restores ({mostly_dead:.1}% vs {mostly_live:.1}%)"
+    );
+}
+
+#[test]
+fn register_reclamation_lets_a_smaller_file_keep_up() {
+    let (_, edvi) = binaries(23);
+    let budget = 50_000u64;
+    let run = |regs: usize, dvi: DviConfig| {
+        Simulator::new(SimConfig::micro97().with_phys_regs(regs).with_dvi(dvi))
+            .run(Interpreter::new(&edvi).with_step_limit(budget))
+    };
+    // At a generous file size DVI should make little difference...
+    let big_base = run(96, DviConfig::none());
+    let big_dvi = run(96, DviConfig::full());
+    assert!((big_dvi.ipc() - big_base.ipc()).abs() / big_base.ipc() < 0.25);
+    // ...while at a tight file size DVI must not be slower, must relieve
+    // renaming pressure (fewer free-list stalls), and must recover a good
+    // part of the gap to the generously sized file.
+    let small_base = run(38, DviConfig::none());
+    let small_dvi = run(38, DviConfig::full());
+    assert!(small_dvi.ipc() >= small_base.ipc() * 0.98);
+    assert!(
+        small_dvi.rename_stalls_no_reg <= small_base.rename_stalls_no_reg,
+        "DVI should not increase free-list stalls: {} vs {}",
+        small_dvi.rename_stalls_no_reg,
+        small_base.rename_stalls_no_reg
+    );
+    assert!(small_dvi.dvi.phys_regs_reclaimed_early > 0);
+    assert!(small_dvi.ipc() >= big_base.ipc() * 0.5);
+}

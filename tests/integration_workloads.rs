@@ -1,0 +1,67 @@
+//! Integration tests for the preset benchmark suite: every preset must
+//! generate, compile, execute and exhibit the instruction-mix properties
+//! the experiments rely on.
+
+use dvi_isa::Abi;
+use dvi_workloads::{characterize, generate, presets};
+
+#[test]
+fn every_preset_generates_and_compiles() {
+    let abi = Abi::mips_like();
+    for spec in presets::all() {
+        let bare = generate(&spec);
+        assert!(bare.validate().is_ok(), "{} fails validation", spec.name);
+        let compiled = dvi_compiler::compile(&bare, &abi, dvi_compiler::CompileOptions::default())
+            .unwrap_or_else(|e| panic!("{} fails to compile: {e}", spec.name));
+        assert!(compiled.report.saves_inserted > 0, "{} has no callee saves", spec.name);
+        assert!(compiled.report.kill_instructions > 0, "{} got no E-DVI", spec.name);
+        assert!(compiled.program.layout().is_ok());
+    }
+}
+
+#[test]
+fn preset_characterizations_are_in_a_spec95_like_regime() {
+    for spec in presets::all() {
+        let profile = characterize(&generate(&spec), 40_000);
+        assert!(profile.dyn_instrs > 10_000, "{} ran only {} instructions", spec.name, profile.dyn_instrs);
+        assert!(
+            profile.call_pct() > 0.1 && profile.call_pct() < 8.0,
+            "{}: call% {:.2} outside the plausible range",
+            spec.name,
+            profile.call_pct()
+        );
+        assert!(
+            profile.mem_pct() > 10.0 && profile.mem_pct() < 60.0,
+            "{}: mem% {:.1} outside the plausible range",
+            spec.name,
+            profile.mem_pct()
+        );
+        assert!(
+            profile.save_restore_pct() > 0.5 && profile.save_restore_pct() < 30.0,
+            "{}: saves+restores% {:.1} outside the plausible range",
+            spec.name,
+            profile.save_restore_pct()
+        );
+    }
+}
+
+#[test]
+fn call_intensity_ordering_survives_generation() {
+    let pct = |spec: &dvi_workloads::WorkloadSpec| characterize(&generate(spec), 40_000).call_pct();
+    let perl = pct(&presets::perl_like());
+    let li = pct(&presets::li_like());
+    let compress = pct(&presets::compress_like());
+    let go = pct(&presets::go_like());
+    assert!(perl > compress, "perl ({perl:.2}%) should out-call compress ({compress:.2}%)");
+    assert!(li > compress, "li ({li:.2}%) should out-call compress ({compress:.2}%)");
+    assert!(perl > go, "perl ({perl:.2}%) should out-call go ({go:.2}%)");
+}
+
+#[test]
+fn generation_is_reproducible_across_invocations() {
+    for spec in [presets::perl_like(), presets::gcc_like()] {
+        let a = generate(&spec);
+        let b = generate(&spec);
+        assert_eq!(a, b, "{} is not deterministic", spec.name);
+    }
+}
