@@ -25,7 +25,8 @@ fn bench(c: &mut Criterion) {
     for depth in [1usize, 2, 4, 16, 64] {
         let dvi = DviConfig::full().with_lvm_stack_entries(depth);
         let config = SimConfig::micro97().with_dvi(dvi);
-        let trace = dvi_program::Interpreter::new(&binaries.edvi).with_step_limit(budget.instrs_per_run);
+        let trace =
+            dvi_program::Interpreter::new(&binaries.edvi).with_step_limit(budget.instrs_per_run);
         let once = dvi_sim::Simulator::new(config.clone()).run(trace);
         eprintln!(
             "lvm-stack depth {depth:>3}: {:.1}% of saves+restores eliminated ({} restores eliminated)",

@@ -7,7 +7,9 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig06_regfile_perf");
-    g.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(10));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(10));
     let suite = bench_suite();
     let sizes = bench_sizes();
     // The sweep dominates; benchmark the timing-model post-processing

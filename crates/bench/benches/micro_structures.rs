@@ -36,10 +36,8 @@ fn bench(c: &mut Criterion) {
     g.bench_function("rename_and_release", |b| {
         let mut rs = RenameState::new(80);
         b.iter(|| {
-            if let Some((_new, old)) = rs.rename_dst(black_box(ArchReg::new(9))) {
-                if let Some(o) = old {
-                    rs.release(o);
-                }
+            if let Some((_new, Some(o))) = rs.rename_dst(black_box(ArchReg::new(9))) {
+                rs.release(o);
             }
             black_box(rs.free_count())
         });
@@ -71,7 +69,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             i += 1;
             let pc = 0x400 + (i % 64) * 4;
-            let taken = i % 3 != 0;
+            let taken = !i.is_multiple_of(3);
             let p = bp.predict(pc);
             bp.update(pc, taken);
             black_box(p)

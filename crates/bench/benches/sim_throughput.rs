@@ -1,0 +1,155 @@
+//! Bench: end-to-end simulator throughput (simulated-MIPS), event-driven
+//! core vs. the seed's naive full-window-scan baseline, on the Figure 10
+//! workload mix.
+//!
+//! Reports simulated instructions per host second for both cores and the
+//! resulting speedup, on two machines:
+//!
+//! * the paper's 4-wide, 64-entry-window, 80-register machine (`micro97`),
+//!   where the window is small and occupancy is register-limited, so the
+//!   O(window) scans were never dominant — expect a modest gain;
+//! * the scaled 8-wide machine (160 registers, 128-entry window — the
+//!   machine of the Figure 11 sensitivity points), where per-cycle
+//!   full-window scans are the seed's dominant cost — expect ≥2×, growing
+//!   with machine size (≈2.8× at 16-wide/320).
+//!
+//! The golden-stats tests guarantee all cores produce bit-identical
+//! `SimStats`, so this is a pure host-speed comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dvi_core::DviConfig;
+use dvi_isa::Abi;
+use dvi_program::{Interpreter, LayoutProgram};
+use dvi_sim::{SchedulerKind, SimConfig, Simulator};
+use std::time::{Duration, Instant};
+
+const INSTRS_PER_RUN: u64 = 60_000;
+
+/// Builds the E-DVI binaries of the Figure 10 save/restore suite.
+fn fig10_mix() -> Vec<LayoutProgram> {
+    let abi = Abi::mips_like();
+    dvi_workloads::presets::save_restore_suite()
+        .iter()
+        .map(|spec| {
+            let program = dvi_workloads::generate(spec);
+            dvi_compiler::compile(&program, &abi, dvi_compiler::CompileOptions::default())
+                .expect("workload compiles")
+                .program
+                .layout()
+                .expect("binary lays out")
+        })
+        .collect()
+}
+
+/// Which core configuration a measurement runs.
+#[derive(Clone, Copy, PartialEq)]
+enum Core {
+    /// The seed simulator exactly as it stood before this rewrite:
+    /// full-window scans, per-dispatch allocation, hash-map interpreter
+    /// memory (`dvi_sim::legacy` + `Interpreter::with_sparse_memory`).
+    SeedBaseline,
+    /// The current core with the naive-scan scheduler (shared pooled
+    /// window, paged memory) — isolates the wakeup/select algorithm.
+    NaiveScan,
+    /// The current core: event-driven scheduler + paged memory.
+    EventDriven,
+}
+
+/// The 4-wide machine of Figure 2.
+fn narrow_machine() -> SimConfig {
+    SimConfig::micro97().with_dvi(DviConfig::full())
+}
+
+/// The scaled 8-wide machine (the Figure 11 sensitivity points), with the
+/// register file scaled with the width so window occupancy is
+/// window-limited rather than register-limited.
+fn wide_machine() -> SimConfig {
+    SimConfig::micro97().with_issue_width(8).with_phys_regs(160).with_dvi(DviConfig::full())
+}
+
+/// A 16-wide, 256-entry-window machine: the regime large design-space
+/// sweeps explore, where the seed's per-cycle scans dominate completely.
+fn very_wide_machine() -> SimConfig {
+    SimConfig::micro97().with_issue_width(16).with_phys_regs(320).with_dvi(DviConfig::full())
+}
+
+/// Runs the whole mix once, returning simulated instructions.
+fn run_mix(mix: &[LayoutProgram], config: &SimConfig, core: Core) -> u64 {
+    mix.iter()
+        .map(|layout| {
+            let interp = Interpreter::new(layout).with_step_limit(INSTRS_PER_RUN);
+            match core {
+                Core::SeedBaseline => {
+                    dvi_sim::legacy::LegacySimulator::new(config.clone())
+                        .run(interp.with_sparse_memory())
+                        .program_instrs
+                }
+                Core::NaiveScan => {
+                    let config = config.clone().with_scheduler(SchedulerKind::NaiveScan);
+                    Simulator::new(config).run(interp).program_instrs
+                }
+                Core::EventDriven => Simulator::new(config.clone()).run(interp).program_instrs,
+            }
+        })
+        .sum()
+}
+
+/// Interleaved min-of-N timing: robust against host frequency/load noise.
+fn simulated_mips(mix: &[LayoutProgram], config: &SimConfig, core: Core) -> f64 {
+    let _ = run_mix(mix, config, core); // warm-up
+    let mut best = f64::MAX;
+    let mut instrs = 0u64;
+    for _ in 0..5 {
+        let start = Instant::now();
+        instrs = run_mix(mix, config, core);
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    instrs as f64 / best / 1.0e6
+}
+
+fn bench(c: &mut Criterion) {
+    let mix = fig10_mix();
+
+    // Headline numbers: simulated-MIPS of the seed core, the rewritten
+    // core, and the scheduler-only delta for transparency. All three model
+    // the same machine bit-identically (tests/scheduler_equiv.rs).
+    let machines = [
+        ("4-wide/80-reg", narrow_machine()),
+        ("8-wide/160-reg", wide_machine()),
+        ("16-wide/320-reg", very_wide_machine()),
+    ];
+    for (name, config) in machines {
+        let baseline = simulated_mips(&mix, &config, Core::SeedBaseline);
+        let naive = simulated_mips(&mix, &config, Core::NaiveScan);
+        let event = simulated_mips(&mix, &config, Core::EventDriven);
+        println!("sim_throughput/{name}/seed_baseline: {baseline:.2} simulated-MIPS");
+        println!("sim_throughput/{name}/naive_scan:    {naive:.2} simulated-MIPS");
+        println!("sim_throughput/{name}/event_driven:  {event:.2} simulated-MIPS");
+        println!(
+            "sim_throughput/{name}/speedup:       {:.2}x vs seed, {:.2}x vs naive scan",
+            event / baseline,
+            event / naive
+        );
+    }
+
+    let narrow = narrow_machine();
+    let wide = wide_machine();
+    let mut g = c.benchmark_group("sim_throughput");
+    g.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(8));
+    g.bench_function("event_driven_4wide", |b| {
+        b.iter(|| run_mix(&mix, &narrow, Core::EventDriven));
+    });
+    g.bench_function("seed_baseline_4wide", |b| {
+        b.iter(|| run_mix(&mix, &narrow, Core::SeedBaseline));
+    });
+    g.bench_function("event_driven_8wide", |b| {
+        b.iter(|| run_mix(&mix, &wide, Core::EventDriven));
+    });
+    g.bench_function("seed_baseline_8wide", |b| {
+        b.iter(|| run_mix(&mix, &wide, Core::SeedBaseline));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

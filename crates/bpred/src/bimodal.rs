@@ -19,10 +19,7 @@ impl Bimodal {
     #[must_use]
     pub fn new(entries: usize) -> Self {
         assert!(entries.is_power_of_two(), "bimodal table size must be a power of two");
-        Bimodal {
-            table: vec![TwoBitCounter::new(); entries],
-            index_mask: entries as u64 - 1,
-        }
+        Bimodal { table: vec![TwoBitCounter::new(); entries], index_mask: entries as u64 - 1 }
     }
 
     fn index(&self, pc: u64) -> usize {

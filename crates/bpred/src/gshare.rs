@@ -87,7 +87,10 @@ mod tests {
             }
             g.update(0x2000, outcome);
         }
-        assert!(correct as f64 / total as f64 > 0.95, "gshare should learn the alternating pattern");
+        assert!(
+            correct as f64 / total as f64 > 0.95,
+            "gshare should learn the alternating pattern"
+        );
     }
 
     #[test]

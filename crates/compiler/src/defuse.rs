@@ -29,14 +29,8 @@ pub fn defs(instr: &Instr, abi: &Abi) -> RegMask {
 #[must_use]
 pub fn uses(instr: &Instr, abi: &Abi) -> RegMask {
     match instr {
-        Instr::Call { .. } => {
-            RegMask::from_regs(abi.arg_regs().iter().copied()).with(ArchReg::SP)
-        }
-        Instr::Return => abi
-            .callee_saved()
-            .with(ArchReg::RA)
-            .with(abi.ret_reg())
-            .with(ArchReg::SP),
+        Instr::Call { .. } => RegMask::from_regs(abi.arg_regs().iter().copied()).with(ArchReg::SP),
+        Instr::Return => abi.callee_saved().with(ArchReg::RA).with(abi.ret_reg()).with(ArchReg::SP),
         _ => instr.src_mask(),
     }
 }

@@ -43,11 +43,8 @@ pub fn insert_edvi(program: &mut Program, abi: &Abi, placement: EdviPlacement) -
 
     // The set of callee-saved registers each procedure writes, used for
     // condition (2).
-    let callee_clobbers: Vec<RegMask> = program
-        .procedures
-        .iter()
-        .map(|p| clobbered_callee_saved(p, abi))
-        .collect();
+    let callee_clobbers: Vec<RegMask> =
+        program.procedures.iter().map(|p| clobbered_callee_saved(p, abi)).collect();
 
     // Registers we never kill explicitly: reserved registers and anything
     // the encoding cannot express (r0-r5).
@@ -80,10 +77,8 @@ pub fn insert_edvi(program: &mut Program, abi: &Abi, placement: EdviPlacement) -
 
             if placement == EdviPlacement::BeforeCallsAndLoopExits {
                 let block = &proc.blocks[bi];
-                let ends_flow = matches!(
-                    block.terminator(),
-                    Some(Instr::Return) | Some(Instr::Halt)
-                );
+                let ends_flow =
+                    matches!(block.terminator(), Some(Instr::Return) | Some(Instr::Halt));
                 if !ends_flow && !block.instrs.is_empty() {
                     let died = (block_live_in - block_live_out) - unkillable;
                     // Only registers that are genuinely dead at the end of

@@ -122,7 +122,8 @@ mod tests {
 
     #[test]
     fn full_pipeline_adds_saves_restores_and_kills() {
-        let compiled = compile(&bare_program(), &Abi::mips_like(), CompileOptions::default()).unwrap();
+        let compiled =
+            compile(&bare_program(), &Abi::mips_like(), CompileOptions::default()).unwrap();
         assert!(compiled.report.saves_inserted >= 1);
         assert!(compiled.report.restores_inserted >= 1);
         assert!(compiled.report.kill_instructions >= 1);

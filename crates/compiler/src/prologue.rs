@@ -51,12 +51,8 @@ pub fn add_prologue_epilogue(program: &mut Program, abi: &Abi) -> PrologueReport
     let mut report = PrologueReport::default();
     for proc in &mut program.procedures {
         let saved = clobbered_callee_saved(proc, abi);
-        let returns: usize = proc
-            .blocks
-            .iter()
-            .flat_map(|b| b.instrs.iter())
-            .filter(|i| i.is_return())
-            .count();
+        let returns: usize =
+            proc.blocks.iter().flat_map(|b| b.instrs.iter()).filter(|i| i.is_return()).count();
         let makes_calls = proc.iter_instrs().any(|(_, i)| i.is_call());
         if (saved.is_empty() && !makes_calls) || returns == 0 {
             continue;
@@ -69,9 +65,18 @@ pub fn add_prologue_epilogue(program: &mut Program, abi: &Abi) -> PrologueReport
 
         // Prologue: allocate the frame, then save each register.
         let mut prologue = Vec::with_capacity(regs.len() + 2);
-        prologue.push(Instr::AluImm { op: AluOp::Sub, rd: ArchReg::SP, rs: ArchReg::SP, imm: frame_bytes });
+        prologue.push(Instr::AluImm {
+            op: AluOp::Sub,
+            rd: ArchReg::SP,
+            rs: ArchReg::SP,
+            imm: frame_bytes,
+        });
         for (slot, reg) in regs.iter().enumerate() {
-            prologue.push(Instr::LiveStore { rs: *reg, base: ArchReg::SP, offset: (slot as i32) * 8 });
+            prologue.push(Instr::LiveStore {
+                rs: *reg,
+                base: ArchReg::SP,
+                offset: (slot as i32) * 8,
+            });
             report.saves_inserted += 1;
         }
         if makes_calls {
@@ -90,13 +95,26 @@ pub fn add_prologue_epilogue(program: &mut Program, abi: &Abi) -> PrologueReport
             let insert_at = block.instrs.len() - 1;
             let mut epilogue = Vec::with_capacity(regs.len() + 2);
             for (slot, reg) in regs.iter().enumerate() {
-                epilogue.push(Instr::LiveLoad { rd: *reg, base: ArchReg::SP, offset: (slot as i32) * 8 });
+                epilogue.push(Instr::LiveLoad {
+                    rd: *reg,
+                    base: ArchReg::SP,
+                    offset: (slot as i32) * 8,
+                });
                 report.restores_inserted += 1;
             }
             if makes_calls {
-                epilogue.push(Instr::Load { rd: ArchReg::RA, base: ArchReg::SP, offset: ra_slot * 8 });
+                epilogue.push(Instr::Load {
+                    rd: ArchReg::RA,
+                    base: ArchReg::SP,
+                    offset: ra_slot * 8,
+                });
             }
-            epilogue.push(Instr::AluImm { op: AluOp::Add, rd: ArchReg::SP, rs: ArchReg::SP, imm: frame_bytes });
+            epilogue.push(Instr::AluImm {
+                op: AluOp::Add,
+                rd: ArchReg::SP,
+                rs: ArchReg::SP,
+                imm: frame_bytes,
+            });
             block.instrs.splice(insert_at..insert_at, epilogue);
         }
 

@@ -48,12 +48,7 @@ impl CodeSizeReport {
 /// Counts the explicit `kill` instructions in a program.
 #[must_use]
 pub fn count_kills(program: &Program) -> usize {
-    program
-        .procedures
-        .iter()
-        .flat_map(|p| p.iter_instrs())
-        .filter(|(_, i)| i.is_dvi())
-        .count()
+    program.procedures.iter().flat_map(|p| p.iter_instrs()).filter(|(_, i)| i.is_dvi()).count()
 }
 
 impl fmt::Display for CodeSizeReport {

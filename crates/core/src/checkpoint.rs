@@ -55,11 +55,7 @@ impl CheckpointedLvm {
     /// outstanding checkpoint.
     #[must_use]
     pub fn new() -> Self {
-        CheckpointedLvm {
-            current: Lvm::new_all_live(),
-            checkpoints: VecDeque::new(),
-            next_id: 0,
-        }
+        CheckpointedLvm { current: Lvm::new_all_live(), checkpoints: VecDeque::new(), next_id: 0 }
     }
 
     /// The architectural (most recent, possibly speculative) LVM.
@@ -94,11 +90,8 @@ impl CheckpointedLvm {
     ///
     /// Returns [`UnknownCheckpoint`] when the id is not outstanding.
     pub fn release(&mut self, id: CheckpointId) -> Result<(), UnknownCheckpoint> {
-        let pos = self
-            .checkpoints
-            .iter()
-            .position(|(cid, _)| *cid == id)
-            .ok_or(UnknownCheckpoint(id))?;
+        let pos =
+            self.checkpoints.iter().position(|(cid, _)| *cid == id).ok_or(UnknownCheckpoint(id))?;
         self.checkpoints.drain(..=pos);
         Ok(())
     }
@@ -110,11 +103,8 @@ impl CheckpointedLvm {
     ///
     /// Returns [`UnknownCheckpoint`] when the id is not outstanding.
     pub fn rollback(&mut self, id: CheckpointId) -> Result<(), UnknownCheckpoint> {
-        let pos = self
-            .checkpoints
-            .iter()
-            .position(|(cid, _)| *cid == id)
-            .ok_or(UnknownCheckpoint(id))?;
+        let pos =
+            self.checkpoints.iter().position(|(cid, _)| *cid == id).ok_or(UnknownCheckpoint(id))?;
         let (_, lvm) = self.checkpoints[pos].clone();
         self.current = lvm;
         self.checkpoints.drain(pos..);

@@ -111,10 +111,7 @@ impl DviConfig {
     /// not (no LVM-Stack).
     #[must_use]
     pub fn lvm_scheme() -> Self {
-        DviConfig {
-            eliminate_restores: false,
-            ..DviConfig::full()
-        }
+        DviConfig { eliminate_restores: false, ..DviConfig::full() }
     }
 
     /// The LVM-Stack scheme of Section 5.2: both saves and restores are

@@ -131,7 +131,16 @@ mod tests {
 
     #[test]
     fn add_assign_accumulates_every_field() {
-        let mut a = DviStats { saves_seen: 1, restores_seen: 2, saves_eliminated: 3, restores_eliminated: 4, edvi_instructions: 5, edvi_regs_killed: 6, idvi_regs_killed: 7, phys_regs_reclaimed_early: 8 };
+        let mut a = DviStats {
+            saves_seen: 1,
+            restores_seen: 2,
+            saves_eliminated: 3,
+            restores_eliminated: 4,
+            edvi_instructions: 5,
+            edvi_regs_killed: 6,
+            idvi_regs_killed: 7,
+            phys_regs_reclaimed_early: 8,
+        };
         let b = a;
         a += b;
         assert_eq!(a.saves_seen, 2);
@@ -141,7 +150,13 @@ mod tests {
 
     #[test]
     fn display_reports_elimination_rate() {
-        let s = DviStats { saves_seen: 10, saves_eliminated: 5, restores_seen: 10, restores_eliminated: 5, ..DviStats::default() };
+        let s = DviStats {
+            saves_seen: 10,
+            saves_eliminated: 5,
+            restores_seen: 10,
+            restores_eliminated: 5,
+            ..DviStats::default()
+        };
         assert!(s.to_string().contains("50.0%"));
     }
 }

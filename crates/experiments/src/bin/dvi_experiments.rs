@@ -15,7 +15,9 @@ use dvi_experiments::{fig02, fig03, fig05, fig06, fig09, fig10, fig11, fig12, fi
 use std::process::ExitCode;
 
 fn print_usage() {
-    eprintln!("usage: dvi-experiments [--quick] [fig2|fig3|fig5|fig6|fig9|fig10|fig11|fig12|fig13|all]");
+    eprintln!(
+        "usage: dvi-experiments [--quick] [fig2|fig3|fig5|fig6|fig9|fig10|fig11|fig12|fig13|all]"
+    );
 }
 
 fn run_figure(name: &str, budget: Budget) -> bool {

@@ -30,15 +30,30 @@ impl fmt::Display for Figure02 {
         t.push_row(["Cache Ports".to_string(), format!("{} (fully independent)", c.cache_ports)]);
         t.push_row([
             "L1 D-Cache".to_string(),
-            format!("{}KB, {}-way, {} cycle latency", c.dcache.size_bytes / 1024, c.dcache.associativity, c.dcache.latency),
+            format!(
+                "{}KB, {}-way, {} cycle latency",
+                c.dcache.size_bytes / 1024,
+                c.dcache.associativity,
+                c.dcache.latency
+            ),
         ]);
         t.push_row([
             "L1 I-Cache".to_string(),
-            format!("{}KB, {}-way, {} cycle latency", c.icache.size_bytes / 1024, c.icache.associativity, c.icache.latency),
+            format!(
+                "{}KB, {}-way, {} cycle latency",
+                c.icache.size_bytes / 1024,
+                c.icache.associativity,
+                c.icache.latency
+            ),
         ]);
         t.push_row([
             "L2 Cache".to_string(),
-            format!("{}KB, {}-way, {} cycle latency", c.l2.size_bytes / 1024, c.l2.associativity, c.l2.latency),
+            format!(
+                "{}KB, {}-way, {} cycle latency",
+                c.l2.size_bytes / 1024,
+                c.l2.associativity,
+                c.l2.latency
+            ),
         ]);
         t.push_row([
             "Branch Predictor".to_string(),

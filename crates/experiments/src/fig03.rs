@@ -3,6 +3,7 @@
 use crate::harness::Budget;
 use crate::table::Table;
 use dvi_workloads::{characterize, generate, presets, Characterization};
+use rayon::prelude::*;
 use std::fmt;
 
 /// One benchmark's characterization row.
@@ -25,11 +26,15 @@ pub struct Figure03 {
 /// Characterizes every preset benchmark on its baseline binary.
 #[must_use]
 pub fn run(budget: Budget) -> Figure03 {
+    // Each benchmark characterizes independently; sweep them in parallel.
     let rows = presets::all()
-        .into_iter()
+        .into_par_iter()
         .map(|spec| {
             let program = generate(&spec);
-            BenchmarkRow { name: spec.name.clone(), profile: characterize(&program, budget.instrs_per_run) }
+            BenchmarkRow {
+                name: spec.name.clone(),
+                profile: characterize(&program, budget.instrs_per_run),
+            }
         })
         .collect();
     Figure03 { rows }
@@ -37,7 +42,8 @@ pub fn run(budget: Budget) -> Figure03 {
 
 impl fmt::Display for Figure03 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut t = Table::new(["Benchmark", "Dyn Inst", "Call Inst %", "Mem Inst %", "Saves+Restores %"]);
+        let mut t =
+            Table::new(["Benchmark", "Dyn Inst", "Call Inst %", "Mem Inst %", "Saves+Restores %"]);
         for row in &self.rows {
             t.push_row([
                 row.name.clone(),
@@ -73,7 +79,11 @@ mod tests {
     fn call_heavy_presets_make_more_calls() {
         let fig = run(Budget { instrs_per_run: 20_000 });
         let pct = |name: &str| {
-            fig.rows.iter().find(|r| r.name == name).map(|r| r.profile.call_pct()).unwrap_or_default()
+            fig.rows
+                .iter()
+                .find(|r| r.name == name)
+                .map(|r| r.profile.call_pct())
+                .unwrap_or_default()
         };
         assert!(pct("perl") > pct("compress"));
         assert!(pct("li") > pct("compress"));

@@ -5,6 +5,7 @@ use crate::table::Table;
 use dvi_core::DviConfig;
 use dvi_sim::SimConfig;
 use dvi_workloads::{presets, WorkloadSpec};
+use rayon::prelude::*;
 use std::fmt;
 
 /// The register-file sizes the paper sweeps (34 to 96).
@@ -45,7 +46,7 @@ impl Figure05 {
             1 => p.ipc_idvi,
             _ => p.ipc_edvi_idvi,
         };
-        let peak = self.points.iter().map(|p| value(p)).fold(0.0f64, f64::max);
+        let peak = self.points.iter().map(&value).fold(0.0f64, f64::max);
         self.points.iter().find(|p| value(p) >= fraction * peak).map(|p| p.phys_regs)
     }
 }
@@ -61,8 +62,10 @@ pub fn run(budget: Budget) -> Figure05 {
 #[must_use]
 pub fn run_with(budget: Budget, benchmarks: &[WorkloadSpec], sizes: &[usize]) -> Figure05 {
     let binaries: Vec<Binaries> = benchmarks.iter().map(Binaries::build).collect();
+    // Every (size, scheme, benchmark) simulation is independent; sweep the
+    // register-file sizes in parallel over the shared binaries.
     let points = sizes
-        .iter()
+        .par_iter()
         .map(|&n| {
             let mut no_dvi = Vec::new();
             let mut idvi = Vec::new();
@@ -70,11 +73,16 @@ pub fn run_with(budget: Budget, benchmarks: &[WorkloadSpec], sizes: &[usize]) ->
             for b in &binaries {
                 let base_cfg = SimConfig::micro97().with_phys_regs(n);
                 no_dvi.push(
-                    simulate(&b.baseline, base_cfg.clone().with_dvi(DviConfig::none()), budget).ipc(),
+                    simulate(&b.baseline, base_cfg.clone().with_dvi(DviConfig::none()), budget)
+                        .ipc(),
                 );
                 idvi.push(
-                    simulate(&b.baseline, base_cfg.clone().with_dvi(DviConfig::idvi_only()), budget)
-                        .ipc(),
+                    simulate(
+                        &b.baseline,
+                        base_cfg.clone().with_dvi(DviConfig::idvi_only()),
+                        budget,
+                    )
+                    .ipc(),
                 );
                 full.push(simulate(&b.edvi, base_cfg.with_dvi(DviConfig::full()), budget).ipc());
             }

@@ -103,7 +103,12 @@ pub fn run(budget: Budget) -> Figure06 {
 
 impl fmt::Display for Figure06 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut t = Table::new(["Phys regs", "Rel perf no DVI", "Rel perf I-DVI", "Rel perf E-DVI and I-DVI"]);
+        let mut t = Table::new([
+            "Phys regs",
+            "Rel perf no DVI",
+            "Rel perf I-DVI",
+            "Rel perf E-DVI and I-DVI",
+        ]);
         for p in &self.points {
             t.push_row([
                 p.phys_regs.to_string(),

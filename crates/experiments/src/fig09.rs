@@ -5,6 +5,7 @@ use crate::table::Table;
 use dvi_core::DviConfig;
 use dvi_sim::SimConfig;
 use dvi_workloads::presets;
+use rayon::prelude::*;
 use std::fmt;
 
 /// Per-benchmark elimination results for both hardware schemes.
@@ -60,7 +61,7 @@ pub fn run(budget: Budget) -> Figure09 {
 #[must_use]
 pub fn run_with(budget: Budget, benchmarks: &[dvi_workloads::WorkloadSpec]) -> Figure09 {
     let rows = benchmarks
-        .iter()
+        .par_iter()
         .map(|spec| {
             let binaries = Binaries::build(spec);
             let run_scheme = |dvi: DviConfig| {

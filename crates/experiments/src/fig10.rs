@@ -5,6 +5,7 @@ use crate::table::Table;
 use dvi_core::DviConfig;
 use dvi_sim::SimConfig;
 use dvi_workloads::presets;
+use rayon::prelude::*;
 use std::fmt;
 
 /// Per-benchmark IPC results.
@@ -46,7 +47,7 @@ pub fn run(budget: Budget) -> Figure10 {
 #[must_use]
 pub fn run_with(budget: Budget, benchmarks: &[dvi_workloads::WorkloadSpec]) -> Figure10 {
     let rows = benchmarks
-        .iter()
+        .par_iter()
         .map(|spec| {
             let binaries = Binaries::build(spec);
             let base = simulate(&binaries.baseline, SimConfig::micro97(), budget).ipc();
@@ -102,7 +103,11 @@ mod tests {
         let row = &fig.rows[0];
         assert!(row.base_ipc > 0.3);
         // Within measurement noise the optimized runs are at least as fast.
-        assert!(row.lvm_stack_speedup_pct > -2.0, "LVM-Stack slowdown: {:+.1}%", row.lvm_stack_speedup_pct);
+        assert!(
+            row.lvm_stack_speedup_pct > -2.0,
+            "LVM-Stack slowdown: {:+.1}%",
+            row.lvm_stack_speedup_pct
+        );
         assert!(fig.best_speedup_pct() >= row.lvm_stack_speedup_pct - 1e-9);
         assert!(fig.to_string().contains("Base IPC"));
     }

@@ -6,6 +6,7 @@ use crate::table::Table;
 use dvi_core::DviConfig;
 use dvi_sim::SimConfig;
 use dvi_workloads::presets;
+use rayon::prelude::*;
 use std::fmt;
 
 /// One machine point of the sensitivity study.
@@ -68,31 +69,45 @@ pub fn run_with(
     widths: &[usize],
     ports: &[usize],
 ) -> Figure11 {
-    let mut rows = Vec::new();
-    for spec in benchmarks {
-        let binaries = Binaries::build(spec);
-        for &width in widths {
-            for &np in ports {
-                let machine = SimConfig::micro97().with_issue_width(width).with_cache_ports(np);
-                let base = simulate(&binaries.baseline, machine.clone(), budget).ipc();
-                let dvi =
-                    simulate(&binaries.edvi, machine.with_dvi(DviConfig::full()), budget).ipc();
-                rows.push(SensitivityRow {
-                    name: spec.name.clone(),
-                    issue_width: width,
-                    cache_ports: np,
-                    base_ipc: base,
-                    dvi_ipc: dvi,
-                });
+    // One task per benchmark (binaries are built once per benchmark); the
+    // width × port grid runs inside the task, and the row order stays
+    // benchmark-major as before.
+    let per_bench: Vec<Vec<SensitivityRow>> = benchmarks
+        .par_iter()
+        .map(|spec| {
+            let binaries = Binaries::build(spec);
+            let mut rows = Vec::with_capacity(widths.len() * ports.len());
+            for &width in widths {
+                for &np in ports {
+                    let machine = SimConfig::micro97().with_issue_width(width).with_cache_ports(np);
+                    let base = simulate(&binaries.baseline, machine.clone(), budget).ipc();
+                    let dvi =
+                        simulate(&binaries.edvi, machine.with_dvi(DviConfig::full()), budget).ipc();
+                    rows.push(SensitivityRow {
+                        name: spec.name.clone(),
+                        issue_width: width,
+                        cache_ports: np,
+                        base_ipc: base,
+                        dvi_ipc: dvi,
+                    });
+                }
             }
-        }
-    }
-    Figure11 { rows }
+            rows
+        })
+        .collect();
+    Figure11 { rows: per_bench.into_iter().flatten().collect() }
 }
 
 impl fmt::Display for Figure11 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut t = Table::new(["Benchmark", "Issue width", "Cache ports", "Base IPC", "DVI IPC", "Speedup %"]);
+        let mut t = Table::new([
+            "Benchmark",
+            "Issue width",
+            "Cache ports",
+            "Base IPC",
+            "DVI IPC",
+            "Speedup %",
+        ]);
         for r in &self.rows {
             t.push_row([
                 r.name.clone(),
@@ -122,7 +137,10 @@ mod tests {
         let three_ports = fig.speedup("bw", 4, 3).unwrap();
         // The paper's observation: the relative benefit grows as ports
         // shrink; allow equality and small noise on tiny runs.
-        assert!(one_port >= three_ports - 1.5, "1 port {one_port:+.1}% vs 3 ports {three_ports:+.1}%");
+        assert!(
+            one_port >= three_ports - 1.5,
+            "1 port {one_port:+.1}% vs 3 ports {three_ports:+.1}%"
+        );
         // More bandwidth never hurts baseline IPC.
         let base_1 = fig.rows.iter().find(|r| r.cache_ports == 1).unwrap().base_ipc;
         let base_3 = fig.rows.iter().find(|r| r.cache_ports == 3).unwrap().base_ipc;

@@ -5,6 +5,7 @@ use crate::table::Table;
 use dvi_core::DviConfig;
 use dvi_threads::{RoundRobinScheduler, SwitchConfig};
 use dvi_workloads::presets;
+use rayon::prelude::*;
 use std::fmt;
 
 /// Number of independently seeded threads of each benchmark that run
@@ -56,7 +57,7 @@ pub fn run(budget: Budget) -> Figure12 {
 #[must_use]
 pub fn run_with(budget: Budget, benchmarks: &[dvi_workloads::WorkloadSpec]) -> Figure12 {
     let rows = benchmarks
-        .iter()
+        .par_iter()
         .map(|spec| {
             let threads: Vec<_> = (0..THREADS_PER_BENCHMARK)
                 .map(|i| spec.clone().with_seed(spec.seed.wrapping_add(i as u64 * 7919)))
@@ -84,7 +85,12 @@ pub fn run_with(budget: Budget, benchmarks: &[dvi_workloads::WorkloadSpec]) -> F
 
 impl fmt::Display for Figure12 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut t = Table::new(["Benchmark", "I-DVI reduction %", "E-DVI and I-DVI reduction %", "Avg live regs"]);
+        let mut t = Table::new([
+            "Benchmark",
+            "I-DVI reduction %",
+            "E-DVI and I-DVI reduction %",
+            "Avg live regs",
+        ]);
         for r in &self.rows {
             t.push_row([
                 r.name.clone(),

@@ -5,6 +5,7 @@ use crate::table::Table;
 use dvi_core::DviConfig;
 use dvi_sim::SimConfig;
 use dvi_workloads::presets;
+use rayon::prelude::*;
 use std::fmt;
 
 /// Per-benchmark E-DVI overhead measurements.
@@ -52,7 +53,7 @@ pub fn run(budget: Budget) -> Figure13 {
 #[must_use]
 pub fn run_with(budget: Budget, benchmarks: &[dvi_workloads::WorkloadSpec]) -> Figure13 {
     let rows = benchmarks
-        .iter()
+        .par_iter()
         .map(|spec| {
             let binaries = Binaries::build(spec);
             // The paper compares IPC of binaries with and without E-DVI in

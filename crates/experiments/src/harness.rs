@@ -131,7 +131,8 @@ mod tests {
         let b = Binaries::build(&WorkloadSpec::small("toy", 10));
         let stats = simulate(&b.baseline, SimConfig::micro97(), Budget::quick());
         assert!(stats.ipc() > 0.3 && stats.ipc() < 4.0, "ipc {}", stats.ipc());
-        let with_dvi = simulate(&b.edvi, SimConfig::micro97().with_dvi(DviConfig::full()), Budget::quick());
+        let with_dvi =
+            simulate(&b.edvi, SimConfig::micro97().with_dvi(DviConfig::full()), Budget::quick());
         assert!(with_dvi.dvi.save_restores_eliminated() > 0);
     }
 

@@ -176,7 +176,10 @@ mod tests {
     fn wrapping_never_panics() {
         assert_eq!(AluOp::Add.eval(i64::MAX, 1), i64::MIN);
         assert_eq!(AluOp::Mul.eval(i64::MAX, 2), -2);
-        assert_eq!(AluOp::Div.eval(i64::MIN, -1), i64::MIN.wrapping_div(-1i64).wrapping_neg().wrapping_neg());
+        assert_eq!(
+            AluOp::Div.eval(i64::MIN, -1),
+            i64::MIN.wrapping_div(-1i64).wrapping_neg().wrapping_neg()
+        );
     }
 
     #[test]

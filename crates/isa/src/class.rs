@@ -107,13 +107,7 @@ impl FuKind {
     /// All functional-unit kinds.
     #[must_use]
     pub fn all() -> &'static [FuKind] {
-        &[
-            FuKind::IntAlu,
-            FuKind::IntMulDiv,
-            FuKind::FpAlu,
-            FuKind::FpMulDiv,
-            FuKind::MemPort,
-        ]
+        &[FuKind::IntAlu, FuKind::IntMulDiv, FuKind::FpAlu, FuKind::FpMulDiv, FuKind::MemPort]
     }
 }
 

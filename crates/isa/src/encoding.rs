@@ -229,28 +229,18 @@ pub fn decode_word(word: u32) -> Option<Instr> {
             base: reg_field(word, 16)?,
             offset: sign_extend_16(word),
         },
-        o if (BRANCH_BASE..BRANCH_BASE + CmpOp::all().len() as u32).contains(&o) => {
-            Instr::Branch {
-                op: CmpOp::all()[(o - BRANCH_BASE) as usize],
-                rs: reg_field(word, 21)?,
-                rt: reg_field(word, 16)?,
-                target: field(word, 0, 16),
-            }
-        }
+        o if (BRANCH_BASE..BRANCH_BASE + CmpOp::all().len() as u32).contains(&o) => Instr::Branch {
+            op: CmpOp::all()[(o - BRANCH_BASE) as usize],
+            rs: reg_field(word, 21)?,
+            rt: reg_field(word, 16)?,
+            target: field(word, 0, 16),
+        },
         JUMP => Instr::Jump { target: field(word, 0, 26) },
         CALL => Instr::Call { target: field(word, 0, 26) },
         RETURN => Instr::Return,
-        KILL => Instr::Kill {
-            mask: RegMask::from_bits(field(word, 0, 26) << 6),
-        },
-        LVM_SAVE => Instr::LvmSave {
-            base: reg_field(word, 16)?,
-            offset: sign_extend_16(word),
-        },
-        LVM_LOAD => Instr::LvmLoad {
-            base: reg_field(word, 16)?,
-            offset: sign_extend_16(word),
-        },
+        KILL => Instr::Kill { mask: RegMask::from_bits(field(word, 0, 26) << 6) },
+        LVM_SAVE => Instr::LvmSave { base: reg_field(word, 16)?, offset: sign_extend_16(word) },
+        LVM_LOAD => Instr::LvmLoad { base: reg_field(word, 16)?, offset: sign_extend_16(word) },
         HALT => Instr::Halt,
         _ => return None,
     };

@@ -39,9 +39,10 @@ use std::fmt;
 /// assert_eq!(add.dst_reg(), Some(ArchReg::new(8)));
 /// assert!(!add.is_mem());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Instr {
     /// No operation.
+    #[default]
     Nop,
     /// Three-register ALU operation: `rd <- rs op rt`.
     Alu {
@@ -157,23 +158,13 @@ impl Instr {
     /// A convenience constructor for `rd <- imm` (encoded as `add rd, r0, imm`).
     #[must_use]
     pub fn load_imm(rd: ArchReg, imm: i32) -> Instr {
-        Instr::AluImm {
-            op: AluOp::Add,
-            rd,
-            rs: ArchReg::ZERO,
-            imm,
-        }
+        Instr::AluImm { op: AluOp::Add, rd, rs: ArchReg::ZERO, imm }
     }
 
     /// A convenience constructor for `rd <- rs` (encoded as `add rd, rs, 0`).
     #[must_use]
     pub fn mov(rd: ArchReg, rs: ArchReg) -> Instr {
-        Instr::AluImm {
-            op: AluOp::Add,
-            rd,
-            rs,
-            imm: 0,
-        }
+        Instr::AluImm { op: AluOp::Add, rd, rs, imm: 0 }
     }
 
     /// The architectural destination register written by this instruction,
@@ -226,9 +217,7 @@ impl Instr {
                     InstrClass::IntAlu
                 }
             }
-            Instr::Load { .. } | Instr::LiveLoad { .. } | Instr::LvmLoad { .. } => {
-                InstrClass::Load
-            }
+            Instr::Load { .. } | Instr::LiveLoad { .. } | Instr::LvmLoad { .. } => InstrClass::Load,
             Instr::Store { .. } | Instr::LiveStore { .. } | Instr::LvmSave { .. } => {
                 InstrClass::Store
             }
@@ -303,12 +292,6 @@ impl Instr {
     #[must_use]
     pub fn is_return(&self) -> bool {
         matches!(self, Instr::Return)
-    }
-}
-
-impl Default for Instr {
-    fn default() -> Self {
-        Instr::Nop
     }
 }
 

@@ -150,9 +150,7 @@ impl RegMask {
 
     /// Iterates over the registers in the set, in ascending index order.
     pub fn iter(self) -> impl Iterator<Item = ArchReg> {
-        (0..NUM_ARCH_REGS as u8)
-            .map(ArchReg::new)
-            .filter(move |r| self.contains(*r))
+        (0..NUM_ARCH_REGS as u8).map(ArchReg::new).filter(move |r| self.contains(*r))
     }
 }
 

@@ -58,10 +58,12 @@ impl CacheConfig {
     /// count).
     #[must_use]
     pub fn num_sets(&self) -> usize {
-        assert!(self.size_bytes > 0 && self.line_bytes > 0 && self.associativity > 0,
-            "cache geometry fields must be non-zero");
+        assert!(
+            self.size_bytes > 0 && self.line_bytes > 0 && self.associativity > 0,
+            "cache geometry fields must be non-zero"
+        );
         let way_bytes = self.line_bytes * self.associativity as u64;
-        assert!(self.size_bytes % way_bytes == 0, "capacity must divide evenly into ways");
+        assert!(self.size_bytes.is_multiple_of(way_bytes), "capacity must divide evenly into ways");
         let sets = (self.size_bytes / way_bytes) as usize;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         sets
@@ -111,11 +113,15 @@ struct Line {
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    /// All lines in one flat allocation, `associativity` consecutive ways
+    /// per set — one predictable index computation per access instead of a
+    /// pointer chase through per-set vectors.
+    lines: Vec<Line>,
     stats: CacheStats,
     tick: u64,
     set_mask: u64,
     line_shift: u32,
+    assoc: usize,
 }
 
 impl Cache {
@@ -128,12 +134,13 @@ impl Cache {
     pub fn new(config: CacheConfig) -> Self {
         let sets = config.num_sets();
         Cache {
-            config,
-            sets: vec![vec![Line::default(); config.associativity]; sets],
+            lines: vec![Line::default(); sets * config.associativity],
             stats: CacheStats::default(),
             tick: 0,
             set_mask: sets as u64 - 1,
             line_shift: config.line_bytes.trailing_zeros(),
+            assoc: config.associativity,
+            config,
         }
     }
 
@@ -157,7 +164,7 @@ impl Cache {
         let line_addr = addr >> self.line_shift;
         let set_idx = (line_addr & self.set_mask) as usize;
         let tag = line_addr >> self.set_mask.count_ones();
-        let set = &mut self.sets[set_idx];
+        let set = &mut self.lines[set_idx * self.assoc..(set_idx + 1) * self.assoc];
 
         if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
             line.last_use = self.tick;
@@ -182,15 +189,15 @@ impl Cache {
         let line_addr = addr >> self.line_shift;
         let set_idx = (line_addr & self.set_mask) as usize;
         let tag = line_addr >> self.set_mask.count_ones();
-        self.sets[set_idx].iter().any(|l| l.valid && l.tag == tag)
+        self.lines[set_idx * self.assoc..(set_idx + 1) * self.assoc]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
     }
 
     /// Invalidates every line and clears the statistics.
     pub fn reset(&mut self) {
-        for set in &mut self.sets {
-            for line in set.iter_mut() {
-                *line = Line::default();
-            }
+        for line in &mut self.lines {
+            *line = Line::default();
         }
         self.stats = CacheStats::default();
         self.tick = 0;

@@ -100,11 +100,7 @@ impl MemoryHierarchy {
     /// Snapshot of every level's statistics.
     #[must_use]
     pub fn stats(&self) -> HierarchyStats {
-        HierarchyStats {
-            l1i: self.l1i.stats(),
-            l1d: self.l1d.stats(),
-            l2: self.l2.stats(),
-        }
+        HierarchyStats { l1i: self.l1i.stats(), l1d: self.l1d.stats(), l2: self.l2.stats() }
     }
 
     /// Invalidates every cache and clears all statistics.

@@ -94,7 +94,13 @@ impl ProcBuilder {
     }
 
     /// Appends a conditional branch to `target`.
-    pub fn emit_branch(&mut self, op: dvi_isa::CmpOp, rs: dvi_isa::ArchReg, rt: dvi_isa::ArchReg, target: BlockId) {
+    pub fn emit_branch(
+        &mut self,
+        op: dvi_isa::CmpOp,
+        rs: dvi_isa::ArchReg,
+        rt: dvi_isa::ArchReg,
+        target: BlockId,
+    ) {
         self.emit(Instr::Branch { op, rs, rt, target: target.0 as u32 });
     }
 
@@ -161,10 +167,8 @@ impl ProgramBuilder {
     /// Returns a [`ProgramError`] when a call names an undefined procedure,
     /// the entry is missing, or any structural invariant is violated.
     pub fn build(self, entry: &str) -> Result<Program, ProgramError> {
-        let entry_id = *self
-            .names
-            .get(entry)
-            .ok_or_else(|| ProgramError::MissingEntry(entry.to_owned()))?;
+        let entry_id =
+            *self.names.get(entry).ok_or_else(|| ProgramError::MissingEntry(entry.to_owned()))?;
 
         let mut procedures = Vec::with_capacity(self.procs.len());
         for pb in self.procs {
@@ -172,9 +176,8 @@ impl ProgramBuilder {
             proc.blocks = pb.blocks;
             proc.frame_slots = pb.frame_slots;
             for (block, idx, callee) in pb.call_patches {
-                let target = self.names.get(&callee).ok_or_else(|| ProgramError::UnresolvedCall {
-                    proc: pb.name.clone(),
-                    callee: callee.clone(),
+                let target = self.names.get(&callee).ok_or_else(|| {
+                    ProgramError::UnresolvedCall { proc: pb.name.clone(), callee: callee.clone() }
                 })?;
                 proc.blocks[block].instrs[idx] = Instr::Call { target: target.0 as u32 };
             }
@@ -255,7 +258,12 @@ mod tests {
         let exit = p.new_block();
         p.emit(Instr::load_imm(ArchReg::new(8), 3));
         p.switch_to(body);
-        p.emit(Instr::AluImm { op: dvi_isa::AluOp::Sub, rd: ArchReg::new(8), rs: ArchReg::new(8), imm: 1 });
+        p.emit(Instr::AluImm {
+            op: dvi_isa::AluOp::Sub,
+            rd: ArchReg::new(8),
+            rs: ArchReg::new(8),
+            imm: 1,
+        });
         p.emit_branch(CmpOp::Ne, ArchReg::new(8), ArchReg::ZERO, body);
         p.switch_to(exit);
         p.emit(Instr::Halt);

@@ -52,7 +52,9 @@ pub enum ProgramError {
 impl fmt::Display for ProgramError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ProgramError::EmptyProcedure(name) => write!(f, "procedure `{name}` has no instructions"),
+            ProgramError::EmptyProcedure(name) => {
+                write!(f, "procedure `{name}` has no instructions")
+            }
             ProgramError::BadBranchTarget { proc, target } => {
                 write!(f, "procedure `{proc}` branches to nonexistent block {target}")
             }
@@ -63,12 +65,17 @@ impl fmt::Display for ProgramError {
                 write!(f, "procedure `{proc}` calls undefined procedure `{callee}`")
             }
             ProgramError::MisplacedControl { proc, block } => {
-                write!(f, "procedure `{proc}` has a control instruction in the middle of block {block:?}")
+                write!(
+                    f,
+                    "procedure `{proc}` has a control instruction in the middle of block {block:?}"
+                )
             }
             ProgramError::FallsOffEnd(name) => {
                 write!(f, "procedure `{name}` can fall through past its last block")
             }
-            ProgramError::MissingEntry(name) => write!(f, "entry procedure `{name}` is not defined"),
+            ProgramError::MissingEntry(name) => {
+                write!(f, "entry procedure `{name}` is not defined")
+            }
             ProgramError::DuplicateProcedure(name) => {
                 write!(f, "procedure `{name}` is defined more than once")
             }
@@ -93,9 +100,15 @@ pub enum InterpError {
 impl fmt::Display for InterpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            InterpError::PcOutOfRange(pc) => write!(f, "program counter {pc} is outside the code image"),
-            InterpError::StackOverflow(depth) => write!(f, "call depth {depth} exceeded the interpreter limit"),
-            InterpError::StepLimit(n) => write!(f, "step limit of {n} instructions reached before halt"),
+            InterpError::PcOutOfRange(pc) => {
+                write!(f, "program counter {pc} is outside the code image")
+            }
+            InterpError::StackOverflow(depth) => {
+                write!(f, "call depth {depth} exceeded the interpreter limit")
+            }
+            InterpError::StepLimit(n) => {
+                write!(f, "step limit of {n} instructions reached before halt")
+            }
         }
     }
 }

@@ -5,6 +5,7 @@ use crate::ir::ProcId;
 use crate::layout::LayoutProgram;
 use crate::trace::DynInst;
 use dvi_isa::{ArchReg, Instr};
+use std::cell::Cell;
 use std::collections::HashMap;
 
 /// Base byte address of the downward-growing stack.
@@ -17,12 +18,143 @@ pub const DATA_BASE: u64 = 0x1000_0000;
 /// recursion.
 const MAX_CALL_DEPTH: usize = 16 * 1024;
 
+/// Byte-address span covered by one lazily allocated memory page.
+const PAGE_BYTES: u64 = 4096;
+
+/// One 4 KiB span of the sparse address space: a word slot per byte
+/// address in the span, plus a written bitmap so "was this address ever
+/// stored to" (the footprint metric, and zero-fill semantics) is tracked
+/// exactly as the old `HashMap` did.
+#[derive(Debug, Clone)]
+struct Page {
+    words: Box<[i64]>,
+    written: Box<[u64]>,
+}
+
+impl Page {
+    fn new() -> Self {
+        Page {
+            words: vec![0; PAGE_BYTES as usize].into_boxed_slice(),
+            written: vec![0; (PAGE_BYTES / 64) as usize].into_boxed_slice(),
+        }
+    }
+}
+
+/// Sparse word-granular memory backed by lazily allocated 4 KiB pages.
+///
+/// The previous implementation resolved every load and store through a
+/// `HashMap<u64, i64>` — a hash and probe per access on the interpreter's
+/// hottest path. Here an access is: split the address into (page, offset),
+/// hit a two-entry last-page cache (the stack page and the current data
+/// page in the common case), and index a flat array. The page table proper
+/// is only consulted on a cache miss, and allocation happens only on the
+/// first store to a page.
+#[derive(Debug, Clone)]
+struct PagedMemory {
+    pages: Vec<Page>,
+    /// Page number → index into `pages`.
+    table: HashMap<u64, u32>,
+    /// Two-entry (page number, slot) cache; `u64::MAX` marks an empty way.
+    /// Interior-mutable so read hits can refresh it through `&self`.
+    cache: [Cell<(u64, u32)>; 2],
+    /// Distinct byte addresses ever stored to.
+    footprint: usize,
+}
+
+impl Default for PagedMemory {
+    fn default() -> Self {
+        PagedMemory::new()
+    }
+}
+
+impl PagedMemory {
+    fn new() -> Self {
+        PagedMemory {
+            pages: Vec::new(),
+            table: HashMap::new(),
+            cache: [Cell::new((u64::MAX, 0)), Cell::new((u64::MAX, 0))],
+            footprint: 0,
+        }
+    }
+
+    /// Finds the slot of `page_no`, if allocated, promoting it in the
+    /// cache.
+    fn find(&self, page_no: u64) -> Option<u32> {
+        let (p0, s0) = self.cache[0].get();
+        if p0 == page_no {
+            return Some(s0);
+        }
+        let (p1, s1) = self.cache[1].get();
+        if p1 == page_no {
+            // Promote to most-recently-used.
+            self.cache[1].set((p0, s0));
+            self.cache[0].set((p1, s1));
+            return Some(s1);
+        }
+        let slot = *self.table.get(&page_no)?;
+        self.cache[1].set((p0, s0));
+        self.cache[0].set((page_no, slot));
+        Some(slot)
+    }
+
+    fn load(&self, addr: u64) -> i64 {
+        match self.find(addr / PAGE_BYTES) {
+            Some(slot) => self.pages[slot as usize].words[(addr % PAGE_BYTES) as usize],
+            None => 0,
+        }
+    }
+
+    fn store(&mut self, addr: u64, value: i64) {
+        let page_no = addr / PAGE_BYTES;
+        let slot = match self.find(page_no) {
+            Some(slot) => slot,
+            None => {
+                let slot = u32::try_from(self.pages.len()).expect("page count fits in u32");
+                self.pages.push(Page::new());
+                self.table.insert(page_no, slot);
+                let (p0, s0) = self.cache[0].get();
+                self.cache[1].set((p0, s0));
+                self.cache[0].set((page_no, slot));
+                slot
+            }
+        };
+        let page = &mut self.pages[slot as usize];
+        let off = (addr % PAGE_BYTES) as usize;
+        page.words[off] = value;
+        let (w, bit) = (off / 64, 1u64 << (off % 64));
+        if page.written[w] & bit == 0 {
+            page.written[w] |= bit;
+            self.footprint += 1;
+        }
+    }
+}
+
+/// Storage backend for the sparse data memory.
+///
+/// [`MemBackend::Paged`] is the default and the fast path. The legacy
+/// [`MemBackend::Sparse`] hash-map backend (one hash+probe per access) is
+/// kept selectable so the `sim_throughput` bench can measure the paged
+/// rewrite against the original implementation; it is not used otherwise.
+#[derive(Debug, Clone)]
+enum MemBackend {
+    /// Lazily allocated 4 KiB pages; loads/stores are index arithmetic.
+    Paged(PagedMemory),
+    /// The original `HashMap<u64, i64>` word store.
+    Sparse(HashMap<u64, i64>),
+}
+
 /// The architectural state of the functional machine: 32 integer registers
 /// and a sparse word-granular memory.
 #[derive(Debug, Clone, Default)]
 pub struct ArchState {
     regs: [i64; dvi_isa::NUM_ARCH_REGS],
-    memory: HashMap<u64, i64>,
+    memory: MemBackend,
+}
+
+impl Default for MemBackend {
+    fn default() -> Self {
+        MemBackend::Paged(PagedMemory::new())
+    }
 }
 
 impl ArchState {
@@ -30,9 +162,15 @@ impl ArchState {
     /// which points at [`STACK_BASE`].
     #[must_use]
     pub fn new() -> Self {
-        let mut s = ArchState { regs: [0; dvi_isa::NUM_ARCH_REGS], memory: HashMap::new() };
+        let mut s = ArchState { regs: [0; dvi_isa::NUM_ARCH_REGS], memory: MemBackend::default() };
         s.regs[ArchReg::SP.index()] = STACK_BASE as i64;
         s
+    }
+
+    /// Switches this state to the legacy hash-map memory backend (used by
+    /// benches to measure the paged memory against the original design).
+    pub fn use_sparse_memory(&mut self) {
+        self.memory = MemBackend::Sparse(HashMap::new());
     }
 
     /// Reads a register (the zero register always reads 0).
@@ -55,18 +193,29 @@ impl ArchState {
     /// Reads memory (unwritten locations read as 0).
     #[must_use]
     pub fn load(&self, addr: u64) -> i64 {
-        self.memory.get(&addr).copied().unwrap_or(0)
+        match &self.memory {
+            MemBackend::Paged(m) => m.load(addr),
+            MemBackend::Sparse(m) => m.get(&addr).copied().unwrap_or(0),
+        }
     }
 
     /// Writes memory.
     pub fn store(&mut self, addr: u64, value: i64) {
-        self.memory.insert(addr, value);
+        match &mut self.memory {
+            MemBackend::Paged(m) => m.store(addr, value),
+            MemBackend::Sparse(m) => {
+                m.insert(addr, value);
+            }
+        }
     }
 
     /// Number of distinct memory words written so far.
     #[must_use]
     pub fn memory_footprint(&self) -> usize {
-        self.memory.len()
+        match &self.memory {
+            MemBackend::Paged(m) => m.footprint,
+            MemBackend::Sparse(m) => m.len(),
+        }
     }
 }
 
@@ -123,6 +272,13 @@ impl<'a> Interpreter<'a> {
     #[must_use]
     pub fn with_step_limit(mut self, limit: u64) -> Self {
         self.step_limit = limit;
+        self
+    }
+
+    /// Switches to the legacy hash-map memory backend (bench baseline).
+    #[must_use]
+    pub fn with_sparse_memory(mut self) -> Self {
+        self.state.use_sparse_memory();
         self
     }
 
@@ -404,5 +560,35 @@ mod tests {
     fn stack_pointer_is_initialized() {
         let state = ArchState::new();
         assert_eq!(state.reg(ArchReg::SP), STACK_BASE as i64);
+    }
+
+    #[test]
+    fn paged_memory_round_trips_across_pages_and_counts_footprint() {
+        let mut s = ArchState::new();
+        assert_eq!(s.load(DATA_BASE), 0, "unwritten memory reads as zero");
+        // Scatter across several pages and both regions.
+        let addrs = [
+            DATA_BASE,
+            DATA_BASE + 8,
+            DATA_BASE + PAGE_BYTES,
+            DATA_BASE + 3 * PAGE_BYTES + 40,
+            STACK_BASE - 16,
+            STACK_BASE - 16 - PAGE_BYTES,
+            5, // page zero
+        ];
+        for (i, &a) in addrs.iter().enumerate() {
+            s.store(a, i as i64 + 100);
+        }
+        for (i, &a) in addrs.iter().enumerate() {
+            assert_eq!(s.load(a), i as i64 + 100, "addr {a:#x}");
+        }
+        assert_eq!(s.memory_footprint(), addrs.len());
+        // Overwriting does not grow the footprint; storing zero counts as
+        // written (same semantics as the old HashMap).
+        s.store(DATA_BASE, 0);
+        assert_eq!(s.load(DATA_BASE), 0);
+        assert_eq!(s.memory_footprint(), addrs.len());
+        // Neighbouring unwritten addresses on an allocated page still read 0.
+        assert_eq!(s.load(DATA_BASE + 16), 0);
     }
 }

@@ -129,21 +129,19 @@ impl Procedure {
                     });
                 }
                 match instr {
-                    Instr::Branch { target, .. } | Instr::Jump { target } => {
-                        if *target as usize >= self.blocks.len() {
-                            return Err(ProgramError::BadBranchTarget {
-                                proc: self.name.clone(),
-                                target: *target,
-                            });
-                        }
+                    Instr::Branch { target, .. } | Instr::Jump { target }
+                        if *target as usize >= self.blocks.len() =>
+                    {
+                        return Err(ProgramError::BadBranchTarget {
+                            proc: self.name.clone(),
+                            target: *target,
+                        });
                     }
-                    Instr::Call { target } => {
-                        if *target as usize >= num_procs {
-                            return Err(ProgramError::BadCallTarget {
-                                proc: self.name.clone(),
-                                target: *target,
-                            });
-                        }
+                    Instr::Call { target } if *target as usize >= num_procs => {
+                        return Err(ProgramError::BadCallTarget {
+                            proc: self.name.clone(),
+                            target: *target,
+                        });
                     }
                     _ => {}
                 }
@@ -240,9 +238,8 @@ mod tests {
 
     fn simple_proc() -> Procedure {
         let mut p = Procedure::new("f");
-        p.blocks.push(BasicBlock {
-            instrs: vec![Instr::load_imm(ArchReg::new(8), 1), Instr::Return],
-        });
+        p.blocks
+            .push(BasicBlock { instrs: vec![Instr::load_imm(ArchReg::new(8), 1), Instr::Return] });
         p
     }
 
@@ -250,7 +247,12 @@ mod tests {
     fn successors_of_branch_include_taken_and_fallthrough() {
         let mut p = Procedure::new("g");
         p.blocks.push(BasicBlock {
-            instrs: vec![Instr::Branch { op: CmpOp::Eq, rs: ArchReg::ZERO, rt: ArchReg::ZERO, target: 2 }],
+            instrs: vec![Instr::Branch {
+                op: CmpOp::Eq,
+                rs: ArchReg::ZERO,
+                rt: ArchReg::ZERO,
+                target: 2,
+            }],
         });
         p.blocks.push(BasicBlock { instrs: vec![Instr::Nop] });
         p.blocks.push(BasicBlock { instrs: vec![Instr::Return] });

@@ -55,12 +55,9 @@ impl Program {
             for block in &proc.blocks {
                 for instr in &block.instrs {
                     let patched = match *instr {
-                        Instr::Branch { op, rs, rt, target } => Instr::Branch {
-                            op,
-                            rs,
-                            rt,
-                            target: block_starts[pi][target as usize],
-                        },
+                        Instr::Branch { op, rs, rt, target } => {
+                            Instr::Branch { op, rs, rt, target: block_starts[pi][target as usize] }
+                        }
                         Instr::Jump { target } => {
                             Instr::Jump { target: block_starts[pi][target as usize] }
                         }

@@ -52,6 +52,6 @@ mod trace;
 pub use builder::{ProcBuilder, ProgramBuilder};
 pub use error::{InterpError, ProgramError};
 pub use interp::{ArchState, ExecSummary, Interpreter, DATA_BASE, STACK_BASE};
-pub use ir::{BasicBlock, BlockId, Procedure, ProcId, Program};
+pub use ir::{BasicBlock, BlockId, ProcId, Procedure, Program};
 pub use layout::{LayoutProgram, INSTR_ADDR_SHIFT};
 pub use trace::DynInst;

@@ -91,7 +91,8 @@ mod tests {
 
     #[test]
     fn save_restore_and_kill_classification() {
-        let save = dyn_inst(Instr::LiveStore { rs: ArchReg::new(16), base: ArchReg::SP, offset: 0 }, 0, 1);
+        let save =
+            dyn_inst(Instr::LiveStore { rs: ArchReg::new(16), base: ArchReg::SP, offset: 0 }, 0, 1);
         assert!(save.is_save() && save.is_mem() && !save.is_restore());
         let kill = dyn_inst(Instr::Kill { mask: RegMask::from_range(16, 17) }, 0, 1);
         assert_eq!(kill.kill_mask(), Some(RegMask::from_range(16, 17)));

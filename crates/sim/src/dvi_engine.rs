@@ -2,8 +2,17 @@
 //! reclamation decisions.
 
 use crate::rename::{PhysReg, RenameState};
+use crate::smallvec::SmallVec;
 use dvi_core::{DviConfig, DviStats, Lvm, LvmStack};
 use dvi_isa::{Abi, ArchReg, RegMask};
+
+/// Physical registers reclaimed by one decode-stage DVI event.
+///
+/// An inline small-vector: the common case (a kill mask or the ABI's
+/// caller-saved mask) fits without touching the heap, and the pipeline
+/// recycles the buffers, so the reclaim plumbing performs no allocation on
+/// the steady-state hot path.
+pub type ReclaimList = SmallVec<PhysReg, 8>;
 
 /// Tracks dead-value information at the decode stage and makes the three
 /// decisions the paper's hardware makes:
@@ -70,65 +79,64 @@ impl DviEngine {
         self.lvm.set_live(reg);
     }
 
-    fn reclaim_mask(&mut self, mask: RegMask, rename: &mut RenameState) -> Vec<PhysReg> {
-        let mut reclaimed = Vec::new();
+    fn reclaim_mask(&mut self, mask: RegMask, rename: &mut RenameState, out: &mut ReclaimList) {
         if self.config.reclaim_phys_regs {
+            let before = out.len();
             for reg in mask.iter() {
                 if reg.is_zero() {
                     continue;
                 }
                 if let Some(p) = rename.unmap(reg) {
-                    reclaimed.push(p);
+                    out.push(p);
                 }
             }
-            self.stats.phys_regs_reclaimed_early += reclaimed.len() as u64;
+            self.stats.phys_regs_reclaimed_early += (out.len() - before) as u64;
         }
-        reclaimed
     }
 
-    /// Handles an explicit `kill` at decode. Returns the physical registers
-    /// whose mappings were removed (to be returned to the free list).
-    pub fn on_kill(&mut self, mask: RegMask, rename: &mut RenameState) -> Vec<PhysReg> {
+    /// Handles an explicit `kill` at decode, appending the physical
+    /// registers whose mappings were removed (to be returned to the free
+    /// list) to `out`.
+    pub fn on_kill(&mut self, mask: RegMask, rename: &mut RenameState, out: &mut ReclaimList) {
         if !self.config.use_edvi {
-            return Vec::new();
+            return;
         }
         self.stats.edvi_instructions += 1;
         self.stats.edvi_regs_killed += mask.len() as u64;
         self.lvm.kill_mask(mask);
-        self.reclaim_mask(mask, rename)
+        self.reclaim_mask(mask, rename, out);
     }
 
     /// Handles a procedure call at decode: pushes the LVM snapshot used for
-    /// restore elimination and applies implicit DVI. Returns reclaimed
-    /// physical registers.
-    pub fn on_call(&mut self, rename: &mut RenameState) -> Vec<PhysReg> {
+    /// restore elimination and applies implicit DVI, appending reclaimed
+    /// physical registers to `out`.
+    pub fn on_call(&mut self, rename: &mut RenameState, out: &mut ReclaimList) {
         if self.config.eliminate_restores {
             self.stack.push(&self.lvm);
         }
         if !self.config.use_idvi {
-            return Vec::new();
+            return;
         }
         let mask = self.abi.idvi_mask();
         self.stats.idvi_regs_killed += mask.len() as u64;
         self.lvm.kill_mask(mask);
-        self.reclaim_mask(mask, rename)
+        self.reclaim_mask(mask, rename, out);
     }
 
     /// Handles a procedure return at decode: applies implicit DVI and pops
-    /// the LVM snapshot back. Returns reclaimed physical registers.
-    pub fn on_return(&mut self, rename: &mut RenameState) -> Vec<PhysReg> {
-        let mut reclaimed = Vec::new();
+    /// the LVM snapshot back, appending reclaimed physical registers to
+    /// `out`.
+    pub fn on_return(&mut self, rename: &mut RenameState, out: &mut ReclaimList) {
         if self.config.use_idvi {
             let mask = self.abi.idvi_mask();
             self.stats.idvi_regs_killed += mask.len() as u64;
             self.lvm.kill_mask(mask);
-            reclaimed = self.reclaim_mask(mask, rename);
+            self.reclaim_mask(mask, rename, out);
         }
         if self.config.eliminate_restores {
             let snapshot = self.stack.pop_or_all_live();
             self.lvm.restore_from(&snapshot);
         }
-        reclaimed
     }
 
     /// Decides whether a `live-store` (callee save) of `data_reg` should be
@@ -177,10 +185,11 @@ mod tests {
     #[test]
     fn figure8_save_and_restore_elimination_sequence() {
         let (mut dvi, mut rename) = engine(DviConfig::full());
+        let mut out = ReclaimList::new();
         // E2: kill r16.
-        let _ = dvi.on_kill(RegMask::empty().with(r(16)), &mut rename);
+        dvi.on_kill(RegMask::empty().with(r(16)), &mut rename, &mut out);
         // I2: call proc.
-        let _ = dvi.on_call(&mut rename);
+        dvi.on_call(&mut rename, &mut out);
         // I3: save r16 — eliminated.
         assert!(dvi.on_save(r(16)));
         // I4: r16 <- ... (destination renaming makes it live again).
@@ -189,7 +198,7 @@ mod tests {
         // I6: restore r16 — eliminated using the LVM-Stack snapshot.
         assert!(dvi.on_restore(r(16)));
         // I7: return.
-        let _ = dvi.on_return(&mut rename);
+        dvi.on_return(&mut rename, &mut out);
         let stats = dvi.stats();
         assert_eq!(stats.saves_eliminated, 1);
         assert_eq!(stats.restores_eliminated, 1);
@@ -199,8 +208,9 @@ mod tests {
     #[test]
     fn lvm_scheme_eliminates_saves_but_not_restores() {
         let (mut dvi, mut rename) = engine(DviConfig::lvm_scheme());
-        let _ = dvi.on_kill(RegMask::empty().with(r(16)), &mut rename);
-        let _ = dvi.on_call(&mut rename);
+        let mut out = ReclaimList::new();
+        dvi.on_kill(RegMask::empty().with(r(16)), &mut rename, &mut out);
+        dvi.on_call(&mut rename, &mut out);
         assert!(dvi.on_save(r(16)));
         dvi.on_dest_rename(r(16));
         assert!(!dvi.on_restore(r(16)), "the LVM scheme cannot eliminate restores");
@@ -209,9 +219,10 @@ mod tests {
     #[test]
     fn no_dvi_configuration_eliminates_nothing() {
         let (mut dvi, mut rename) = engine(DviConfig::none());
-        let reclaimed = dvi.on_kill(RegMask::from_range(16, 23), &mut rename);
+        let mut reclaimed = ReclaimList::new();
+        dvi.on_kill(RegMask::from_range(16, 23), &mut rename, &mut reclaimed);
         assert!(reclaimed.is_empty());
-        let _ = dvi.on_call(&mut rename);
+        dvi.on_call(&mut rename, &mut reclaimed);
         assert!(!dvi.on_save(r(16)));
         assert_eq!(dvi.stats().saves_seen, 1);
         assert_eq!(dvi.stats().saves_eliminated, 0);
@@ -222,7 +233,8 @@ mod tests {
     fn idvi_reclaims_caller_saved_mappings_at_calls() {
         let (mut dvi, mut rename) = engine(DviConfig::idvi_only());
         let before = rename.mapped_count();
-        let reclaimed = dvi.on_call(&mut rename);
+        let mut reclaimed = ReclaimList::new();
+        dvi.on_call(&mut rename, &mut reclaimed);
         assert!(!reclaimed.is_empty());
         assert_eq!(rename.mapped_count(), before - reclaimed.len());
         assert_eq!(dvi.stats().phys_regs_reclaimed_early, reclaimed.len() as u64);
@@ -233,7 +245,8 @@ mod tests {
     #[test]
     fn edvi_kills_are_ignored_when_edvi_is_disabled() {
         let (mut dvi, mut rename) = engine(DviConfig::idvi_only());
-        let reclaimed = dvi.on_kill(RegMask::empty().with(r(16)), &mut rename);
+        let mut reclaimed = ReclaimList::new();
+        dvi.on_kill(RegMask::empty().with(r(16)), &mut rename, &mut reclaimed);
         assert!(reclaimed.is_empty());
         assert!(dvi.lvm().is_live(r(16)));
     }
@@ -241,18 +254,19 @@ mod tests {
     #[test]
     fn returns_restore_the_callers_snapshot() {
         let (mut dvi, mut rename) = engine(DviConfig::full());
-        let _ = dvi.on_kill(RegMask::empty().with(r(17)), &mut rename);
-        let _ = dvi.on_call(&mut rename);
+        let mut out = ReclaimList::new();
+        dvi.on_kill(RegMask::empty().with(r(17)), &mut rename, &mut out);
+        dvi.on_call(&mut rename, &mut out);
         dvi.on_dest_rename(r(17));
         assert!(dvi.lvm().is_live(r(17)));
-        let _ = dvi.on_return(&mut rename);
+        dvi.on_return(&mut rename, &mut out);
         assert!(!dvi.lvm().is_live(r(17)), "the pop restores the caller's dead bit");
     }
 
     #[test]
     fn flush_makes_everything_live_again() {
         let (mut dvi, mut rename) = engine(DviConfig::full());
-        let _ = dvi.on_kill(RegMask::from_range(16, 23), &mut rename);
+        dvi.on_kill(RegMask::from_range(16, 23), &mut rename, &mut ReclaimList::new());
         dvi.flush();
         assert_eq!(dvi.live_registers(), 32);
         assert!(!dvi.on_save(r(16)));

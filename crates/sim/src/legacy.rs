@@ -1,0 +1,471 @@
+//! The seed's original pipeline implementation, preserved verbatim as the
+//! throughput baseline.
+//!
+//! This is the simulator core exactly as it stood before the event-driven
+//! rewrite: a `VecDeque` instruction window whose entries are constructed
+//! (and whose `Vec` reclaim lists are allocated) per dispatch, decode-stage
+//! DVI reclaims returned as fresh `Vec`s, and writeback/issue implemented
+//! as full-window scans every cycle. It models the *same machine*
+//! cycle-for-cycle — `tests/scheduler_equiv.rs` asserts its `SimStats` are
+//! bit-identical to both current schedulers — so the `sim_throughput`
+//! bench can report an apples-to-apples host-speed comparison against the
+//! seed core (pair it with `Interpreter::with_sparse_memory` for the
+//! original interpreter memory as well).
+//!
+//! Do not extend this module; it intentionally tracks the seed, not the
+//! current design.
+
+use crate::config::SimConfig;
+use crate::dvi_engine::{DviEngine, ReclaimList};
+use crate::fu::FuPool;
+use crate::rename::{PhysReg, RenameState};
+use crate::stats::SimStats;
+use dvi_bpred::CombiningPredictor;
+use dvi_isa::{Abi, FuKind, Instr, InstrClass};
+use dvi_mem::{CachePorts, MemoryHierarchy};
+use dvi_program::DynInst;
+use std::collections::VecDeque;
+
+/// Execution state of a legacy in-flight instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EntryState {
+    Waiting,
+    Executing { done_at: u64 },
+    Done,
+}
+
+/// A window entry exactly as the seed stored it: owned per-dispatch, with a
+/// heap-allocated reclaim list.
+#[derive(Debug, Clone)]
+struct InFlight {
+    dyn_inst: DynInst,
+    dst: Option<PhysReg>,
+    old_dst: Option<PhysReg>,
+    srcs: [Option<PhysReg>; 2],
+    reclaim: Vec<PhysReg>,
+    state: EntryState,
+    resolves_fetch_stall: bool,
+}
+
+impl InFlight {
+    fn new(
+        dyn_inst: DynInst,
+        dst: Option<PhysReg>,
+        old_dst: Option<PhysReg>,
+        srcs: [Option<PhysReg>; 2],
+    ) -> Self {
+        InFlight {
+            dyn_inst,
+            dst,
+            old_dst,
+            srcs,
+            reclaim: Vec::new(),
+            state: EntryState::Waiting,
+            resolves_fetch_stall: false,
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.state == EntryState::Done
+    }
+}
+
+/// Replicates the seed's `DviEngine::on_kill` return convention (a fresh
+/// `Vec` per event) on top of the current out-parameter API.
+fn on_kill_vec(
+    dvi: &mut DviEngine,
+    mask: dvi_isa::RegMask,
+    rename: &mut RenameState,
+) -> Vec<PhysReg> {
+    let mut out = ReclaimList::new();
+    dvi.on_kill(mask, rename, &mut out);
+    out.iter().collect()
+}
+
+/// Replicates the seed's `DviEngine::on_call` return convention.
+fn on_call_vec(dvi: &mut DviEngine, rename: &mut RenameState) -> Vec<PhysReg> {
+    let mut out = ReclaimList::new();
+    dvi.on_call(rename, &mut out);
+    out.iter().collect()
+}
+
+/// Replicates the seed's `DviEngine::on_return` return convention.
+fn on_return_vec(dvi: &mut DviEngine, rename: &mut RenameState) -> Vec<PhysReg> {
+    let mut out = ReclaimList::new();
+    dvi.on_return(rename, &mut out);
+    out.iter().collect()
+}
+
+/// Safety valve: if the pipeline makes no forward progress for this many
+/// cycles, the run is aborted (this indicates a modelling bug, not a
+/// property of the workload).
+const PROGRESS_LIMIT: u64 = 100_000;
+
+/// The trace-driven out-of-order timing simulator.
+///
+/// See the crate-level documentation for the modelling assumptions. A
+/// `LegacySimulator` is single-use: construct it with a [`SimConfig`], call
+/// [`LegacySimulator::run`] with a dynamic instruction stream (usually a
+/// [`dvi_program::Interpreter`]) and read the returned [`SimStats`].
+#[derive(Debug)]
+pub struct LegacySimulator {
+    config: SimConfig,
+    rename: RenameState,
+    dvi: DviEngine,
+    mem: MemoryHierarchy,
+    ports: CachePorts,
+    fu: FuPool,
+    bpred: CombiningPredictor,
+    window: VecDeque<InFlight>,
+    fetch_queue: VecDeque<DynInst>,
+    cycle: u64,
+    stats: SimStats,
+    /// Cycle at which fetch may resume after an I-cache miss or a resolved
+    /// misprediction.
+    fetch_stall_until: u64,
+    /// Sequence number of the mispredicted branch fetch is waiting on.
+    pending_mispredict: Option<u64>,
+    /// Physical registers reclaimed by DVI at decode, waiting to be attached
+    /// to the next dispatched window entry so they are freed at its commit.
+    pending_reclaim: Vec<PhysReg>,
+    /// Cache line of the most recent instruction fetch (the fetch stage
+    /// accesses the I-cache once per line, not once per instruction).
+    last_fetch_line: Option<u64>,
+    trace_done: bool,
+}
+
+impl LegacySimulator {
+    /// Builds a simulator for the given machine configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`SimConfig::validate`].
+    #[must_use]
+    pub fn new(config: SimConfig) -> Self {
+        config.validate();
+        LegacySimulator {
+            rename: RenameState::new(config.phys_regs),
+            dvi: DviEngine::new(config.dvi, Abi::mips_like()),
+            mem: MemoryHierarchy::new(
+                config.icache,
+                config.dcache,
+                config.l2,
+                config.memory_latency,
+            ),
+            ports: CachePorts::new(config.cache_ports),
+            fu: FuPool::new(config.int_alu_units, config.int_mul_units),
+            bpred: CombiningPredictor::new(config.predictor),
+            window: VecDeque::with_capacity(config.window_size),
+            fetch_queue: VecDeque::with_capacity(config.fetch_queue),
+            cycle: 0,
+            stats: SimStats::default(),
+            fetch_stall_until: 0,
+            pending_mispredict: None,
+            pending_reclaim: Vec::new(),
+            last_fetch_line: None,
+            trace_done: false,
+            config,
+        }
+    }
+
+    /// Runs the machine over a dynamic instruction stream until every
+    /// instruction has committed, and returns the accumulated statistics.
+    pub fn run<I>(mut self, trace: I) -> SimStats
+    where
+        I: IntoIterator<Item = DynInst>,
+    {
+        let mut trace = trace.into_iter();
+        let mut last_progress = (0u64, 0u64); // (cycle, committed)
+        loop {
+            self.commit();
+            self.writeback();
+            self.issue();
+            self.rename_dispatch();
+            self.fetch(&mut trace);
+
+            self.cycle += 1;
+            self.fu.next_cycle();
+            self.ports.next_cycle();
+            let used = self.rename.total() - self.rename.free_count();
+            self.stats.peak_phys_regs_used = self.stats.peak_phys_regs_used.max(used);
+
+            if self.trace_done && self.fetch_queue.is_empty() && self.window.is_empty() {
+                break;
+            }
+            if self.stats.committed_entries != last_progress.1 {
+                last_progress = (self.cycle, self.stats.committed_entries);
+            } else if self.cycle - last_progress.0 > PROGRESS_LIMIT {
+                debug_assert!(false, "pipeline deadlock: no commit in {PROGRESS_LIMIT} cycles");
+                break;
+            }
+        }
+        self.stats.cycles = self.cycle;
+        self.stats.dvi = self.dvi.stats();
+        self.stats.branch = self.bpred.stats();
+        self.stats.memory = self.mem.stats();
+        self.stats
+    }
+
+    // ----------------------------------------------------------- commit --
+    fn commit(&mut self) {
+        let mut committed = 0;
+        while committed < self.config.commit_width {
+            let Some(front) = self.window.front() else { break };
+            if !front.is_done() {
+                break;
+            }
+            let entry = self.window.pop_front().expect("front exists");
+            if let Some(old) = entry.old_dst {
+                self.rename.release(old);
+            }
+            for p in entry.reclaim {
+                self.rename.release(p);
+            }
+            self.stats.committed_entries += 1;
+            self.stats.program_instrs += 1;
+            committed += 1;
+        }
+    }
+
+    // -------------------------------------------------------- writeback --
+    fn writeback(&mut self) {
+        for i in 0..self.window.len() {
+            let done_at = match self.window[i].state {
+                EntryState::Executing { done_at } => done_at,
+                _ => continue,
+            };
+            if done_at > self.cycle {
+                continue;
+            }
+            self.window[i].state = EntryState::Done;
+            if let Some(dst) = self.window[i].dst {
+                self.rename.set_ready(dst);
+            }
+            if self.window[i].resolves_fetch_stall {
+                self.pending_mispredict = None;
+                self.fetch_stall_until =
+                    self.fetch_stall_until.max(self.cycle + 1 + self.config.mispredict_penalty);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------ issue --
+    fn issue(&mut self) {
+        let mut issued = 0;
+        for i in 0..self.window.len() {
+            if issued >= self.config.issue_width {
+                break;
+            }
+            if self.window[i].state != EntryState::Waiting {
+                continue;
+            }
+            let ready = self.window[i].srcs.iter().flatten().all(|p| self.rename.is_ready(*p));
+            if !ready {
+                continue;
+            }
+            let class = self.window[i].dyn_inst.instr.class();
+            let Some(kind) = class.fu_kind() else {
+                self.window[i].state = EntryState::Done;
+                continue;
+            };
+            if kind == FuKind::MemPort {
+                if !self.ports.try_acquire() {
+                    continue;
+                }
+            } else if !self.fu.try_acquire(kind) {
+                continue;
+            }
+            let latency = self.execution_latency(i, class);
+            self.window[i].state = EntryState::Executing { done_at: self.cycle + latency.max(1) };
+            issued += 1;
+        }
+    }
+
+    fn execution_latency(&mut self, idx: usize, class: InstrClass) -> u64 {
+        match class {
+            InstrClass::Load => {
+                let addr = self.window[idx].dyn_inst.mem_addr.unwrap_or(0);
+                self.mem.data_access(addr, false).latency
+            }
+            InstrClass::Store => {
+                let addr = self.window[idx].dyn_inst.mem_addr.unwrap_or(0);
+                // Stores retire into the cache; the pipeline only waits for
+                // address/data readiness, so the latency charged here is the
+                // port occupancy, while the access updates the cache state.
+                let _ = self.mem.data_access(addr, true);
+                1
+            }
+            other => u64::from(other.base_latency()),
+        }
+    }
+
+    // --------------------------------------------------- rename/dispatch --
+    fn rename_dispatch(&mut self) {
+        let mut dispatched = 0;
+        while dispatched < self.config.decode_width {
+            let Some(front) = self.fetch_queue.front() else { break };
+            let dyn_inst = *front;
+            let instr = dyn_inst.instr;
+
+            // E-DVI annotations are consumed at decode: they never occupy a
+            // window slot, a rename slot or a functional unit. Physical
+            // registers they unmap are freed when the next dispatched
+            // instruction (in practice, the annotated call) commits.
+            if let Instr::Kill { mask } = instr {
+                let reclaimed = on_kill_vec(&mut self.dvi, mask, &mut self.rename);
+                self.pending_reclaim.extend(reclaimed);
+                self.fetch_queue.pop_front();
+                dispatched += 1;
+                continue;
+            }
+
+            if instr.is_mem() {
+                self.stats.mem_refs += 1;
+            }
+
+            // Save/restore elimination happens here: the instruction was
+            // fetched and decoded but is not dispatched.
+            if instr.is_save() {
+                let data_reg = instr.src_regs()[0].expect("live-store has a data register");
+                if self.dvi.on_save(data_reg) {
+                    self.fetch_queue.pop_front();
+                    self.stats.program_instrs += 1;
+                    dispatched += 1;
+                    continue;
+                }
+            } else if instr.is_restore() {
+                let dst = instr.dst_reg().expect("live-load has a destination");
+                if self.dvi.on_restore(dst) {
+                    self.fetch_queue.pop_front();
+                    self.stats.program_instrs += 1;
+                    dispatched += 1;
+                    continue;
+                }
+            }
+
+            // Everything else needs a window slot.
+            if self.window.len() >= self.config.window_size {
+                self.stats.rename_stalls_no_window += 1;
+                break;
+            }
+
+            // Rename sources before the destination (an instruction may read
+            // the register it overwrites).
+            let src_regs = instr.src_regs();
+            let srcs = [
+                src_regs[0].and_then(|r| self.rename.lookup(r)),
+                src_regs[1].and_then(|r| self.rename.lookup(r)),
+            ];
+
+            let mut dst = None;
+            let mut old_dst = None;
+            if let Some(d) = instr.dst_reg() {
+                match self.rename.rename_dst(d) {
+                    Some((new, old)) => {
+                        dst = Some(new);
+                        old_dst = old;
+                        self.dvi.on_dest_rename(d);
+                    }
+                    None => {
+                        self.stats.rename_stalls_no_reg += 1;
+                        break;
+                    }
+                }
+            }
+
+            // Implicit DVI and the LVM-Stack. Reclaimed mappings are freed
+            // when this call/return commits.
+            if instr.is_call() {
+                let reclaimed = on_call_vec(&mut self.dvi, &mut self.rename);
+                self.pending_reclaim.extend(reclaimed);
+            } else if instr.is_return() {
+                let reclaimed = on_return_vec(&mut self.dvi, &mut self.rename);
+                self.pending_reclaim.extend(reclaimed);
+            }
+
+            let mut entry = InFlight::new(dyn_inst, dst, old_dst, srcs);
+            entry.reclaim = std::mem::take(&mut self.pending_reclaim);
+            if self.pending_mispredict == Some(dyn_inst.seq) {
+                entry.resolves_fetch_stall = true;
+            }
+            if instr.class().fu_kind().is_none() {
+                entry.state = EntryState::Done;
+            }
+            self.window.push_back(entry);
+            self.fetch_queue.pop_front();
+            dispatched += 1;
+        }
+    }
+
+    // ------------------------------------------------------------ fetch --
+    fn fetch<I>(&mut self, trace: &mut I)
+    where
+        I: Iterator<Item = DynInst>,
+    {
+        if self.trace_done
+            || self.pending_mispredict.is_some()
+            || self.cycle < self.fetch_stall_until
+        {
+            return;
+        }
+        for _ in 0..self.config.fetch_width {
+            if self.fetch_queue.len() >= self.config.fetch_queue {
+                break;
+            }
+            let Some(dyn_inst) = trace.next() else {
+                self.trace_done = true;
+                break;
+            };
+            self.stats.fetched_instrs += 1;
+            if dyn_inst.instr.is_dvi() {
+                self.stats.fetched_kills += 1;
+            }
+
+            // Instruction-cache access: once per cache line, with a
+            // next-line prefetch so sequential code does not pay the full
+            // miss latency on every line (fetch units of this era overlap
+            // line fills with draining the fetch queue).
+            let line_bytes = self.config.icache.line_bytes;
+            let line = dyn_inst.byte_addr() / line_bytes;
+            let mut icache_miss = false;
+            if self.last_fetch_line != Some(line) {
+                self.last_fetch_line = Some(line);
+                let access = self.mem.inst_fetch(dyn_inst.byte_addr());
+                let _ = self.mem.inst_fetch((line + 1) * line_bytes);
+                if !access.l1_hit {
+                    self.fetch_stall_until = self.cycle + access.latency;
+                    icache_miss = true;
+                }
+            }
+
+            let mut redirected = false;
+            match dyn_inst.instr {
+                Instr::Branch { .. } => {
+                    let taken = dyn_inst.taken.unwrap_or(false);
+                    let predicted = self.bpred.predict(dyn_inst.byte_addr());
+                    self.bpred.update(dyn_inst.byte_addr(), taken);
+                    if predicted != taken {
+                        self.pending_mispredict = Some(dyn_inst.seq);
+                        redirected = true;
+                    }
+                }
+                Instr::Call { .. } => {
+                    self.bpred.push_return_address(dyn_inst.fallthrough_byte_addr());
+                }
+                Instr::Return => {
+                    let actual = dvi_program::LayoutProgram::byte_addr(dyn_inst.next_pc);
+                    if !self.bpred.predict_return(actual) {
+                        self.pending_mispredict = Some(dyn_inst.seq);
+                        redirected = true;
+                    }
+                }
+                _ => {}
+            }
+
+            self.fetch_queue.push_back(dyn_inst);
+            if redirected || icache_miss {
+                break;
+            }
+        }
+    }
+}

@@ -1,11 +1,36 @@
 //! The out-of-order pipeline model.
+//!
+//! # Scheduling
+//!
+//! The simulator models a classic out-of-order core: in-order fetch →
+//! rename/dispatch into a unified instruction window → out-of-order
+//! wakeup/select → in-order commit. Two interchangeable wakeup/select
+//! implementations are provided (selected by [`SchedulerKind`]):
+//!
+//! * **Event-driven** (the default): writeback drains a completion
+//!   calendar bucket (only the instructions finishing *this* cycle),
+//!   wakeup walks the per-physical-register waiter list of each result
+//!   (only the consumers of that result), and select scans an age-ordered
+//!   ready bitset (only instructions whose operands are all available).
+//!   Cycles where nothing completes and nothing is ready cost O(1) in the
+//!   back end. The structures and the cycle-accuracy argument live in
+//!   [`crate::sched`].
+//! * **Naive scan**: the original model — writeback and issue rescan the
+//!   entire window every cycle. Kept as the reference implementation; the
+//!   golden-stats and property tests assert the two produce bit-identical
+//!   [`SimStats`], and the `sim_throughput` bench measures the speedup.
+//!
+//! Both backends share fetch, rename/dispatch, commit, the DVI engine, the
+//! branch predictor and the memory hierarchy, so they cannot drift in
+//! front-end or retirement behaviour; only writeback/wakeup/select differ.
 
-use crate::config::SimConfig;
-use crate::dvi_engine::DviEngine;
+use crate::config::{SchedulerKind, SimConfig};
+use crate::dvi_engine::{DviEngine, ReclaimList};
 use crate::fu::FuPool;
 use crate::rename::RenameState;
+use crate::sched::{Calendar, ReadyRing, Waiters};
 use crate::stats::SimStats;
-use crate::window::{EntryState, InFlight};
+use crate::window::{EntryState, WindowRing};
 use dvi_bpred::CombiningPredictor;
 use dvi_isa::{Abi, FuKind, Instr, InstrClass};
 use dvi_mem::{CachePorts, MemoryHierarchy};
@@ -32,7 +57,7 @@ pub struct Simulator {
     ports: CachePorts,
     fu: FuPool,
     bpred: CombiningPredictor,
-    window: VecDeque<InFlight>,
+    window: WindowRing,
     fetch_queue: VecDeque<DynInst>,
     cycle: u64,
     stats: SimStats,
@@ -43,11 +68,21 @@ pub struct Simulator {
     pending_mispredict: Option<u64>,
     /// Physical registers reclaimed by DVI at decode, waiting to be attached
     /// to the next dispatched window entry so they are freed at its commit.
-    pending_reclaim: Vec<crate::rename::PhysReg>,
+    pending_reclaim: ReclaimList,
     /// Cache line of the most recent instruction fetch (the fetch stage
     /// accesses the I-cache once per line, not once per instruction).
     last_fetch_line: Option<u64>,
     trace_done: bool,
+    // --- Event-driven scheduling state (unused by the naive scan). ---
+    event_driven: bool,
+    calendar: Calendar,
+    waiters: Waiters,
+    ready: ReadyRing,
+    /// Reused buffers for calendar drains, waiter drains and the per-cycle
+    /// ready list, so the per-cycle loop performs no allocation.
+    scratch_events: Vec<u64>,
+    scratch_woken: Vec<u64>,
+    scratch_ready: Vec<u64>,
 }
 
 impl Simulator {
@@ -59,22 +94,37 @@ impl Simulator {
     #[must_use]
     pub fn new(config: SimConfig) -> Self {
         config.validate();
+        let window = WindowRing::new(config.window_size);
+        // The longest schedulable latency is a load missing every level.
+        let max_latency = config.dcache.latency + config.l2.latency + config.memory_latency + 64;
         Simulator {
             rename: RenameState::new(config.phys_regs),
             dvi: DviEngine::new(config.dvi, Abi::mips_like()),
-            mem: MemoryHierarchy::new(config.icache, config.dcache, config.l2, config.memory_latency),
+            mem: MemoryHierarchy::new(
+                config.icache,
+                config.dcache,
+                config.l2,
+                config.memory_latency,
+            ),
             ports: CachePorts::new(config.cache_ports),
             fu: FuPool::new(config.int_alu_units, config.int_mul_units),
             bpred: CombiningPredictor::new(config.predictor),
-            window: VecDeque::with_capacity(config.window_size),
             fetch_queue: VecDeque::with_capacity(config.fetch_queue),
             cycle: 0,
             stats: SimStats::default(),
             fetch_stall_until: 0,
             pending_mispredict: None,
-            pending_reclaim: Vec::new(),
+            pending_reclaim: ReclaimList::new(),
             last_fetch_line: None,
             trace_done: false,
+            event_driven: config.scheduler == SchedulerKind::EventDriven,
+            calendar: Calendar::new(max_latency),
+            waiters: Waiters::new(config.phys_regs),
+            ready: ReadyRing::new(window.ring_size()),
+            scratch_events: Vec::new(),
+            scratch_woken: Vec::new(),
+            scratch_ready: Vec::new(),
+            window,
             config,
         }
     }
@@ -101,6 +151,22 @@ impl Simulator {
             self.stats.peak_phys_regs_used = self.stats.peak_phys_regs_used.max(used);
 
             if self.trace_done && self.fetch_queue.is_empty() && self.window.is_empty() {
+                // Drain: registers reclaimed by a trailing `kill` (or left
+                // pending when rename stalled at trace end) have no later
+                // dispatched instruction to ride to commit — release them
+                // here so they are not leaked.
+                for i in 0..self.pending_reclaim.len() {
+                    self.rename.release(self.pending_reclaim.get(i));
+                }
+                self.pending_reclaim.clear();
+                // With nothing in flight, every physical register must be
+                // either architecturally mapped or on the free list — a
+                // shortfall means a reclaim was leaked.
+                debug_assert_eq!(
+                    self.rename.mapped_count() + self.rename.free_count(),
+                    self.rename.total(),
+                    "physical registers leaked at drain"
+                );
                 break;
             }
             if self.stats.committed_entries != last_progress.1 {
@@ -121,17 +187,29 @@ impl Simulator {
     fn commit(&mut self) {
         let mut committed = 0;
         while committed < self.config.commit_width {
+            let head = self.window.head_seq();
             let Some(front) = self.window.front() else { break };
             if !front.is_done() {
                 break;
             }
-            let entry = self.window.pop_front().expect("front exists");
-            if let Some(old) = entry.old_dst {
+            let old_dst = front.old_dst;
+            let nreclaim = front.reclaim.len();
+            if let Some(old) = old_dst {
+                debug_assert!(
+                    !self.event_driven || !self.waiters.has_waiters(old.0),
+                    "released register still has waiters"
+                );
                 self.rename.release(old);
             }
-            for p in entry.reclaim {
+            for i in 0..nreclaim {
+                let p = self.window.get(head).reclaim.get(i);
+                debug_assert!(
+                    !self.event_driven || !self.waiters.has_waiters(p.0),
+                    "reclaimed register still has waiters"
+                );
                 self.rename.release(p);
             }
+            self.window.pop_front();
             self.stats.committed_entries += 1;
             self.stats.program_instrs += 1;
             committed += 1;
@@ -140,48 +218,150 @@ impl Simulator {
 
     // -------------------------------------------------------- writeback --
     fn writeback(&mut self) {
-        for i in 0..self.window.len() {
-            let done_at = match self.window[i].state {
+        if self.event_driven {
+            self.writeback_event();
+        } else {
+            self.writeback_scan();
+        }
+    }
+
+    /// Event-driven writeback: drain exactly the calendar bucket for this
+    /// cycle and wake each result's waiters.
+    fn writeback_event(&mut self) {
+        if self.calendar.pending() == 0 {
+            return;
+        }
+        let mut events = std::mem::take(&mut self.scratch_events);
+        self.calendar.drain_due(self.cycle, &mut events);
+        for &wseq in &events {
+            let entry = self.window.get_mut(wseq);
+            debug_assert!(
+                matches!(entry.state, EntryState::Executing { done_at } if done_at == self.cycle)
+            );
+            entry.state = EntryState::Done;
+            let dst = entry.dst;
+            let resolves = entry.resolves_fetch_stall;
+            if let Some(p) = dst {
+                self.wake(p.0);
+            }
+            if resolves {
+                self.pending_mispredict = None;
+                self.fetch_stall_until =
+                    self.fetch_stall_until.max(self.cycle + 1 + self.config.mispredict_penalty);
+            }
+        }
+        self.scratch_events = events;
+    }
+
+    /// Marks physical register `p` produced and moves waiters whose last
+    /// missing operand this was into the ready set.
+    fn wake(&mut self, p: u16) {
+        self.rename.set_ready(crate::rename::PhysReg(p));
+        if !self.waiters.has_waiters(p) {
+            return;
+        }
+        let mut woken = std::mem::take(&mut self.scratch_woken);
+        self.waiters.drain(p, &mut woken);
+        for &wseq in &woken {
+            let entry = self.window.get_mut(wseq);
+            debug_assert_eq!(entry.state, EntryState::Waiting, "waiter is not waiting");
+            debug_assert!(entry.missing > 0, "waiter had no missing operands");
+            entry.missing -= 1;
+            if entry.missing == 0 {
+                self.ready.set(wseq);
+            }
+        }
+        self.scratch_woken = woken;
+    }
+
+    /// Reference writeback: scan the whole window for completions.
+    fn writeback_scan(&mut self) {
+        for wseq in self.window.seqs() {
+            let done_at = match self.window.get(wseq).state {
                 EntryState::Executing { done_at } => done_at,
                 _ => continue,
             };
             if done_at > self.cycle {
                 continue;
             }
-            self.window[i].state = EntryState::Done;
-            if let Some(dst) = self.window[i].dst {
+            self.window.get_mut(wseq).state = EntryState::Done;
+            if let Some(dst) = self.window.get(wseq).dst {
                 self.rename.set_ready(dst);
             }
-            if self.window[i].resolves_fetch_stall {
+            if self.window.get(wseq).resolves_fetch_stall {
                 self.pending_mispredict = None;
-                self.fetch_stall_until = self
-                    .fetch_stall_until
-                    .max(self.cycle + 1 + self.config.mispredict_penalty);
+                self.fetch_stall_until =
+                    self.fetch_stall_until.max(self.cycle + 1 + self.config.mispredict_penalty);
             }
         }
     }
 
     // ------------------------------------------------------------ issue --
     fn issue(&mut self) {
+        if self.event_driven {
+            self.issue_event();
+        } else {
+            self.issue_scan();
+        }
+    }
+
+    /// Event-driven select: walk the ready set in age order; entries denied
+    /// a functional unit stay ready for the next cycle. The walk is lazy
+    /// over a word snapshot, so it stops as soon as `issue_width`
+    /// instructions have issued instead of materializing the whole ready
+    /// list every cycle.
+    fn issue_event(&mut self) {
+        if self.ready.count() == 0 {
+            return;
+        }
+        let mut snap = std::mem::take(&mut self.scratch_ready);
+        self.ready.snapshot_words(&mut snap);
         let mut issued = 0;
-        for i in 0..self.window.len() {
+        for wseq in self.ready.iter_snapshot(&snap, self.window.head_seq()) {
             if issued >= self.config.issue_width {
                 break;
             }
-            if self.window[i].state != EntryState::Waiting {
+            let entry = self.window.get(wseq);
+            debug_assert_eq!(entry.state, EntryState::Waiting);
+            debug_assert_eq!(entry.missing, 0);
+            let class = entry.dyn_inst.instr.class();
+            let kind = class.fu_kind().expect("ready entries occupy a functional unit");
+            if kind == FuKind::MemPort {
+                if !self.ports.try_acquire() {
+                    continue;
+                }
+            } else if !self.fu.try_acquire(kind) {
                 continue;
             }
-            let ready = self.window[i]
-                .srcs
-                .iter()
-                .flatten()
-                .all(|p| self.rename.is_ready(*p));
+            let latency = self.execution_latency(wseq, class);
+            let done_at = self.cycle + latency.max(1);
+            self.window.get_mut(wseq).state = EntryState::Executing { done_at };
+            self.ready.clear(wseq);
+            self.calendar.schedule(self.cycle, done_at, wseq);
+            issued += 1;
+        }
+        self.scratch_ready = snap;
+    }
+
+    /// Reference select: scan the whole window in age order, checking
+    /// per-operand ready bits.
+    fn issue_scan(&mut self) {
+        let mut issued = 0;
+        for wseq in self.window.seqs() {
+            if issued >= self.config.issue_width {
+                break;
+            }
+            if self.window.get(wseq).state != EntryState::Waiting {
+                continue;
+            }
+            let ready =
+                self.window.get(wseq).srcs.iter().flatten().all(|p| self.rename.is_ready(*p));
             if !ready {
                 continue;
             }
-            let class = self.window[i].dyn_inst.instr.class();
+            let class = self.window.get(wseq).dyn_inst.instr.class();
             let Some(kind) = class.fu_kind() else {
-                self.window[i].state = EntryState::Done;
+                self.window.get_mut(wseq).state = EntryState::Done;
                 continue;
             };
             if kind == FuKind::MemPort {
@@ -191,20 +371,21 @@ impl Simulator {
             } else if !self.fu.try_acquire(kind) {
                 continue;
             }
-            let latency = self.execution_latency(i, class);
-            self.window[i].state = EntryState::Executing { done_at: self.cycle + latency.max(1) };
+            let latency = self.execution_latency(wseq, class);
+            self.window.get_mut(wseq).state =
+                EntryState::Executing { done_at: self.cycle + latency.max(1) };
             issued += 1;
         }
     }
 
-    fn execution_latency(&mut self, idx: usize, class: InstrClass) -> u64 {
+    fn execution_latency(&mut self, wseq: u64, class: InstrClass) -> u64 {
         match class {
             InstrClass::Load => {
-                let addr = self.window[idx].dyn_inst.mem_addr.unwrap_or(0);
+                let addr = self.window.get(wseq).dyn_inst.mem_addr.unwrap_or(0);
                 self.mem.data_access(addr, false).latency
             }
             InstrClass::Store => {
-                let addr = self.window[idx].dyn_inst.mem_addr.unwrap_or(0);
+                let addr = self.window.get(wseq).dyn_inst.mem_addr.unwrap_or(0);
                 // Stores retire into the cache; the pipeline only waits for
                 // address/data readiness, so the latency charged here is the
                 // port occupancy, while the access updates the cache state.
@@ -228,8 +409,7 @@ impl Simulator {
             // registers they unmap are freed when the next dispatched
             // instruction (in practice, the annotated call) commits.
             if let Instr::Kill { mask } = instr {
-                let reclaimed = self.dvi.on_kill(mask, &mut self.rename);
-                self.pending_reclaim.extend(reclaimed);
+                self.dvi.on_kill(mask, &mut self.rename, &mut self.pending_reclaim);
                 self.fetch_queue.pop_front();
                 dispatched += 1;
                 continue;
@@ -260,7 +440,7 @@ impl Simulator {
             }
 
             // Everything else needs a window slot.
-            if self.window.len() >= self.config.window_size {
+            if self.window.is_full() {
                 self.stats.rename_stalls_no_window += 1;
                 break;
             }
@@ -292,22 +472,36 @@ impl Simulator {
             // Implicit DVI and the LVM-Stack. Reclaimed mappings are freed
             // when this call/return commits.
             if instr.is_call() {
-                let reclaimed = self.dvi.on_call(&mut self.rename);
-                self.pending_reclaim.extend(reclaimed);
+                self.dvi.on_call(&mut self.rename, &mut self.pending_reclaim);
             } else if instr.is_return() {
-                let reclaimed = self.dvi.on_return(&mut self.rename);
-                self.pending_reclaim.extend(reclaimed);
+                self.dvi.on_return(&mut self.rename, &mut self.pending_reclaim);
             }
 
-            let mut entry = InFlight::new(dyn_inst, dst, old_dst, srcs);
-            entry.reclaim = std::mem::take(&mut self.pending_reclaim);
+            let wseq = self.window.push(dyn_inst, dst, old_dst, srcs);
+            self.window.get_mut(wseq).reclaim.extend_from(&self.pending_reclaim);
+            self.pending_reclaim.clear();
             if self.pending_mispredict == Some(dyn_inst.seq) {
-                entry.resolves_fetch_stall = true;
+                self.window.get_mut(wseq).resolves_fetch_stall = true;
             }
             if instr.class().fu_kind().is_none() {
-                entry.state = EntryState::Done;
+                // No functional unit: complete at dispatch (moves, nops and
+                // control handled entirely in the front end).
+                self.window.get_mut(wseq).state = EntryState::Done;
+            } else if self.event_driven {
+                // Register with the wakeup network: wait on each operand
+                // that has not been produced yet.
+                let mut missing = 0u8;
+                for p in srcs.iter().flatten() {
+                    if !self.rename.is_ready(*p) {
+                        self.waiters.wait(p.0, wseq);
+                        missing += 1;
+                    }
+                }
+                self.window.get_mut(wseq).missing = missing;
+                if missing == 0 {
+                    self.ready.set(wseq);
+                }
             }
-            self.window.push_back(entry);
             self.fetch_queue.pop_front();
             dispatched += 1;
         }
@@ -318,7 +512,10 @@ impl Simulator {
     where
         I: Iterator<Item = DynInst>,
     {
-        if self.trace_done || self.pending_mispredict.is_some() || self.cycle < self.fetch_stall_until {
+        if self.trace_done
+            || self.pending_mispredict.is_some()
+            || self.cycle < self.fetch_stall_until
+        {
             return;
         }
         for _ in 0..self.config.fetch_width {
@@ -338,13 +535,15 @@ impl Simulator {
             // next-line prefetch so sequential code does not pay the full
             // miss latency on every line (fetch units of this era overlap
             // line fills with draining the fetch queue).
-            let line_bytes = u64::from(self.config.icache.line_bytes);
-            let line = dyn_inst.byte_addr() / line_bytes;
+            // Line size is a power of two; shift instead of dividing on the
+            // per-instruction path.
+            let line_shift = self.config.icache.line_bytes.trailing_zeros();
+            let line = dyn_inst.byte_addr() >> line_shift;
             let mut icache_miss = false;
             if self.last_fetch_line != Some(line) {
                 self.last_fetch_line = Some(line);
                 let access = self.mem.inst_fetch(dyn_inst.byte_addr());
-                let _ = self.mem.inst_fetch((line + 1) * line_bytes);
+                let _ = self.mem.inst_fetch((line + 1) << line_shift);
                 if !access.l1_hit {
                     self.fetch_stall_until = self.cycle + access.latency;
                     icache_miss = true;
@@ -463,6 +662,38 @@ mod tests {
     }
 
     #[test]
+    fn naive_scan_scheduler_models_the_same_machine() {
+        for prog in [dependent_chain(500), independent_ops(1500)] {
+            let event = run_program(&prog, SimConfig::micro97());
+            let naive =
+                run_program(&prog, SimConfig::micro97().with_scheduler(SchedulerKind::NaiveScan));
+            assert_eq!(event, naive, "schedulers disagree");
+        }
+    }
+
+    #[test]
+    fn trace_ending_at_a_kill_releases_pending_reclaims() {
+        // A trace truncated right after a `kill` leaves reclaimed physical
+        // registers with no later dispatched instruction to ride to commit;
+        // the drain path must release them (checked by the conservation
+        // debug assertion in `run`).
+        let spec = dvi_workloads::WorkloadSpec::small("kill-tail", 3);
+        let program = dvi_workloads::generate(&spec);
+        let abi = Abi::mips_like();
+        let compiled =
+            dvi_compiler::compile(&program, &abi, dvi_compiler::CompileOptions::default()).unwrap();
+        let layout = compiled.program.layout().unwrap();
+        let trace: Vec<DynInst> = Interpreter::new(&layout).take(20_000).collect();
+        let kill_pos = trace
+            .iter()
+            .rposition(|d| matches!(d.instr, Instr::Kill { .. }))
+            .expect("an E-DVI binary contains kills");
+        let truncated: Vec<DynInst> = trace[..=kill_pos].to_vec();
+        let stats = Simulator::new(SimConfig::micro97().with_dvi(DviConfig::full())).run(truncated);
+        assert!(stats.dvi.phys_regs_reclaimed_early > 0, "the tail kill must reclaim registers");
+    }
+
+    #[test]
     fn dvi_frees_registers_earlier_on_call_heavy_code() {
         // A program that calls a leaf in a loop: I-DVI should reclaim
         // caller-saved mappings at every call/return.
@@ -566,7 +797,10 @@ mod tests {
         let prog = b.build("main").unwrap();
 
         let stats = run_program(&prog, SimConfig::micro97());
-        assert!(stats.branch.direction_mispredictions > 100, "the scrambled branch should mispredict");
+        assert!(
+            stats.branch.direction_mispredictions > 100,
+            "the scrambled branch should mispredict"
+        );
         // Mispredictions hold IPC well below the machine width.
         assert!(stats.ipc() < 3.0);
     }

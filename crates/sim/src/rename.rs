@@ -3,7 +3,7 @@
 use dvi_isa::{ArchReg, NUM_ARCH_REGS};
 
 /// A physical register name.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PhysReg(pub u16);
 
 /// Renaming state: the register alias table (RAT), the free list and the
@@ -20,6 +20,10 @@ pub struct RenameState {
     rat: [Option<PhysReg>; NUM_ARCH_REGS],
     free: Vec<PhysReg>,
     ready: Vec<bool>,
+    /// One bit per physical register: whether it is currently on the free
+    /// list. Makes the double-free check in [`RenameState::release`] O(1)
+    /// instead of an O(free-list) scan.
+    is_free: Vec<bool>,
     total: usize,
 }
 
@@ -36,8 +40,12 @@ impl RenameState {
         for (i, slot) in rat.iter_mut().enumerate() {
             *slot = Some(PhysReg(i as u16));
         }
-        let free = (NUM_ARCH_REGS..phys_regs).map(|i| PhysReg(i as u16)).collect();
-        RenameState { rat, free, ready: vec![true; phys_regs], total: phys_regs }
+        let free: Vec<PhysReg> = (NUM_ARCH_REGS..phys_regs).map(|i| PhysReg(i as u16)).collect();
+        let mut is_free = vec![false; phys_regs];
+        for p in &free {
+            is_free[p.0 as usize] = true;
+        }
+        RenameState { rat, free, ready: vec![true; phys_regs], is_free, total: phys_regs }
     }
 
     /// Total physical registers.
@@ -76,6 +84,7 @@ impl RenameState {
     /// empty — the caller must stall rename.
     pub fn rename_dst(&mut self, reg: ArchReg) -> Option<(PhysReg, Option<PhysReg>)> {
         let new = self.free.pop()?;
+        self.is_free[new.0 as usize] = false;
         self.ready[new.0 as usize] = false;
         let old = self.rat[reg.index()].replace(new);
         Some((new, old))
@@ -96,7 +105,8 @@ impl RenameState {
     /// Panics (in debug builds) if the register is already free — a
     /// double-free indicates a bookkeeping bug.
     pub fn release(&mut self, p: PhysReg) {
-        debug_assert!(!self.free.contains(&p), "physical register {p:?} freed twice");
+        debug_assert!(!self.is_free[p.0 as usize], "physical register {p:?} freed twice");
+        self.is_free[p.0 as usize] = true;
         self.ready[p.0 as usize] = true;
         self.free.push(p);
     }
@@ -164,6 +174,16 @@ mod tests {
     #[should_panic(expected = "too small")]
     fn undersized_file_is_rejected() {
         let _ = RenameState::new(32);
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "double-free check is a debug assertion")]
+    #[should_panic(expected = "freed twice")]
+    fn double_free_is_caught_in_constant_time() {
+        let mut r = RenameState::new(34);
+        let p = r.unmap(ArchReg::new(16)).unwrap();
+        r.release(p);
+        r.release(p);
     }
 
     proptest! {

@@ -1,0 +1,143 @@
+//! A minimal inline small-vector used on the simulator's hot paths.
+//!
+//! The instruction window recycles its entries, and each entry carries a
+//! short list of physical registers to free at commit ([`crate::window::InFlight::reclaim`]).
+//! With a heap `Vec` every dispatch/commit pair may allocate; with
+//! [`SmallVec`] the common case (a handful of registers) lives inline in
+//! the entry and the buffer — inline or spilled — is reused when the window
+//! slot is recycled, so the steady state performs no allocation at all.
+
+/// A vector of `T` storing up to `N` elements inline, spilling to the heap
+/// beyond that. Only the operations the simulator needs are implemented.
+#[derive(Debug, Clone)]
+pub struct SmallVec<T, const N: usize> {
+    inline: [T; N],
+    len: usize,
+    spill: Vec<T>,
+}
+
+impl<T: Copy + Default, const N: usize> SmallVec<T, N> {
+    /// Creates an empty vector.
+    #[must_use]
+    pub fn new() -> Self {
+        SmallVec { inline: [T::default(); N], len: 0, spill: Vec::new() }
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends an element.
+    pub fn push(&mut self, value: T) {
+        if self.len < N {
+            self.inline[self.len] = value;
+        } else {
+            // The spill buffer is retained across `clear`, so a slot that
+            // spilled once never allocates again.
+            let spill_idx = self.len - N;
+            if spill_idx < self.spill.len() {
+                self.spill[spill_idx] = value;
+            } else {
+                self.spill.push(value);
+            }
+        }
+        self.len += 1;
+    }
+
+    /// Element at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len`.
+    #[must_use]
+    pub fn get(&self, idx: usize) -> T {
+        assert!(idx < self.len, "index {idx} out of bounds (len {})", self.len);
+        if idx < N {
+            self.inline[idx]
+        } else {
+            self.spill[idx - N]
+        }
+    }
+
+    /// Removes all elements, keeping the spill capacity.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Appends every element of `other`.
+    pub fn extend_from(&mut self, other: &SmallVec<T, N>) {
+        for i in 0..other.len() {
+            self.push(other.get(i));
+        }
+    }
+
+    /// Iterates over the elements by value.
+    pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for SmallVec<T, N> {
+    fn default() -> Self {
+        SmallVec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_up_to_capacity() {
+        let mut v: SmallVec<u16, 4> = SmallVec::new();
+        for i in 0..4 {
+            v.push(i);
+        }
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn spills_and_recycles_the_spill_buffer() {
+        let mut v: SmallVec<u16, 2> = SmallVec::new();
+        for i in 0..10 {
+            v.push(i);
+        }
+        assert_eq!(v.len(), 10);
+        assert_eq!(v.get(9), 9);
+        v.clear();
+        assert!(v.is_empty());
+        for i in 0..10 {
+            v.push(100 + i);
+        }
+        assert_eq!(v.get(9), 109);
+        assert_eq!(v.iter().sum::<u16>(), (0..10u16).map(|i| 100 + i).sum());
+    }
+
+    #[test]
+    fn extend_from_copies_everything() {
+        let mut a: SmallVec<u16, 2> = SmallVec::new();
+        let mut b: SmallVec<u16, 2> = SmallVec::new();
+        for i in 0..5 {
+            b.push(i);
+        }
+        a.push(99);
+        a.extend_from(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![99, 0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_get_panics() {
+        let v: SmallVec<u16, 2> = SmallVec::new();
+        let _ = v.get(0);
+    }
+}

@@ -6,7 +6,7 @@ use dvi_mem::HierarchyStats;
 use std::fmt;
 
 /// Everything the paper's evaluation needs from one timing-simulation run.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Cycles simulated.
     pub cycles: u64,
@@ -103,7 +103,8 @@ mod tests {
 
     #[test]
     fn elimination_percentages_use_the_right_denominators() {
-        let mut s = SimStats { cycles: 10, program_instrs: 1000, mem_refs: 300, ..SimStats::default() };
+        let mut s =
+            SimStats { cycles: 10, program_instrs: 1000, mem_refs: 300, ..SimStats::default() };
         s.dvi.saves_seen = 50;
         s.dvi.restores_seen = 50;
         s.dvi.saves_eliminated = 25;

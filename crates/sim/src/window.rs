@@ -1,6 +1,8 @@
-//! Instruction-window (reorder buffer) entries.
+//! Instruction-window (reorder buffer) entries and the recycled entry ring.
 
 use crate::rename::PhysReg;
+use crate::smallvec::SmallVec;
+use dvi_isa::Instr;
 use dvi_program::DynInst;
 
 /// Execution state of an in-flight instruction.
@@ -34,28 +36,72 @@ pub struct InFlight {
     /// commits. The paper frees dead physical registers only when the
     /// DVI-providing instruction is non-speculative; deferring the release
     /// to commit additionally guarantees no older in-flight instruction
-    /// still references them.
-    pub reclaim: Vec<PhysReg>,
+    /// still references them. Stored inline ([`SmallVec`]) and recycled
+    /// with the window slot, so dispatch/commit never allocate.
+    pub reclaim: SmallVec<PhysReg, 8>,
     /// Current state.
     pub state: EntryState,
     /// Whether this is the conditional branch or return the front end
     /// mispredicted (fetch resumes when it completes).
     pub resolves_fetch_stall: bool,
+    /// Source operands not yet produced (maintained by the event-driven
+    /// scheduler; the naive scan ignores it).
+    pub missing: u8,
 }
 
 impl InFlight {
     /// Creates a freshly dispatched entry.
     #[must_use]
-    pub fn new(dyn_inst: DynInst, dst: Option<PhysReg>, old_dst: Option<PhysReg>, srcs: [Option<PhysReg>; 2]) -> Self {
+    pub fn new(
+        dyn_inst: DynInst,
+        dst: Option<PhysReg>,
+        old_dst: Option<PhysReg>,
+        srcs: [Option<PhysReg>; 2],
+    ) -> Self {
         InFlight {
             dyn_inst,
             dst,
             old_dst,
             srcs,
-            reclaim: Vec::new(),
+            reclaim: SmallVec::new(),
             state: EntryState::Waiting,
             resolves_fetch_stall: false,
+            missing: 0,
         }
+    }
+
+    /// A placeholder entry used to pre-fill recycled window slots.
+    #[must_use]
+    pub fn placeholder() -> Self {
+        let nop = DynInst {
+            seq: 0,
+            pc: 0,
+            instr: Instr::Nop,
+            proc: dvi_program::ProcId(0),
+            mem_addr: None,
+            taken: None,
+            next_pc: 0,
+        };
+        InFlight::new(nop, None, None, [None, None])
+    }
+
+    /// Re-initializes a recycled slot in place, keeping the `reclaim`
+    /// buffer's capacity.
+    pub fn reset(
+        &mut self,
+        dyn_inst: DynInst,
+        dst: Option<PhysReg>,
+        old_dst: Option<PhysReg>,
+        srcs: [Option<PhysReg>; 2],
+    ) {
+        self.dyn_inst = dyn_inst;
+        self.dst = dst;
+        self.old_dst = old_dst;
+        self.srcs = srcs;
+        self.reclaim.clear();
+        self.state = EntryState::Waiting;
+        self.resolves_fetch_stall = false;
+        self.missing = 0;
     }
 
     /// Whether the entry has finished executing.
@@ -65,14 +111,159 @@ impl InFlight {
     }
 }
 
+/// The instruction window as a fixed ring of recycled [`InFlight`] slots.
+///
+/// Entries are identified by their *window sequence number* (`wseq`), a
+/// monotonically increasing dispatch counter. The slot of entry `wseq` is
+/// `wseq & mask`, so slot storage — including each entry's inline reclaim
+/// buffer — is reused as the window advances, and a sequence number dates
+/// an entry unambiguously for the scheduler's calendar and waiter lists.
+#[derive(Debug)]
+pub struct WindowRing {
+    slots: Vec<InFlight>,
+    mask: u64,
+    capacity: usize,
+    head: u64,
+    tail: u64,
+}
+
+impl WindowRing {
+    /// Creates an empty window of `capacity` entries.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let ring = (capacity.max(1)).next_power_of_two() as u64;
+        WindowRing {
+            slots: (0..ring).map(|_| InFlight::placeholder()).collect(),
+            mask: ring - 1,
+            capacity,
+            head: 0,
+            tail: 0,
+        }
+    }
+
+    /// Ring size (power of two ≥ capacity), for sizing the ready bitset.
+    #[must_use]
+    pub fn ring_size(&self) -> u64 {
+        self.mask + 1
+    }
+
+    /// Occupied entries.
+    #[must_use]
+    #[allow(clippy::cast_possible_truncation)]
+    pub fn len(&self) -> usize {
+        (self.tail - self.head) as usize
+    }
+
+    /// Whether the window is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.head == self.tail
+    }
+
+    /// Whether the window has no free slot.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.len() >= self.capacity
+    }
+
+    /// Sequence number of the oldest entry (the next to commit), if any.
+    #[must_use]
+    pub fn head_seq(&self) -> u64 {
+        self.head
+    }
+
+    /// Claims the next slot, re-initializing it in place, and returns its
+    /// sequence number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is full (the caller checks [`WindowRing::is_full`]).
+    pub fn push(
+        &mut self,
+        dyn_inst: DynInst,
+        dst: Option<PhysReg>,
+        old_dst: Option<PhysReg>,
+        srcs: [Option<PhysReg>; 2],
+    ) -> u64 {
+        assert!(!self.is_full(), "window overflow");
+        let wseq = self.tail;
+        self.slots[(wseq & self.mask) as usize].reset(dyn_inst, dst, old_dst, srcs);
+        self.tail += 1;
+        wseq
+    }
+
+    /// The oldest entry, if any.
+    #[must_use]
+    pub fn front(&self) -> Option<&InFlight> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self.slots[(self.head & self.mask) as usize])
+        }
+    }
+
+    /// Mutable access to the oldest entry, if any.
+    pub fn front_mut(&mut self) -> Option<&mut InFlight> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&mut self.slots[(self.head & self.mask) as usize])
+        }
+    }
+
+    /// Retires the oldest entry (its slot is recycled by a later push).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty.
+    pub fn pop_front(&mut self) {
+        assert!(!self.is_empty(), "pop from empty window");
+        self.head += 1;
+    }
+
+    /// The entry with sequence number `wseq`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `wseq` is not currently in the window.
+    #[must_use]
+    pub fn get(&self, wseq: u64) -> &InFlight {
+        debug_assert!(self.contains(wseq), "stale window sequence {wseq}");
+        &self.slots[(wseq & self.mask) as usize]
+    }
+
+    /// Mutable access to the entry with sequence number `wseq`.
+    pub fn get_mut(&mut self, wseq: u64) -> &mut InFlight {
+        debug_assert!(self.contains(wseq), "stale window sequence {wseq}");
+        &mut self.slots[(wseq & self.mask) as usize]
+    }
+
+    /// Whether `wseq` is currently in the window.
+    #[must_use]
+    pub fn contains(&self, wseq: u64) -> bool {
+        (self.head..self.tail).contains(&wseq)
+    }
+
+    /// Iterates over the occupied sequence numbers in age order.
+    pub fn seqs(&self) -> impl Iterator<Item = u64> {
+        self.head..self.tail
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dvi_isa::Instr;
-    use dvi_program::ProcId;
 
     fn dummy_dyn(instr: Instr) -> DynInst {
-        DynInst { seq: 0, pc: 0, instr, proc: ProcId(0), mem_addr: None, taken: None, next_pc: 1 }
+        DynInst {
+            seq: 0,
+            pc: 0,
+            instr,
+            proc: dvi_program::ProcId(0),
+            mem_addr: None,
+            taken: None,
+            next_pc: 1,
+        }
     }
 
     #[test]
@@ -89,5 +280,33 @@ mod tests {
         assert!(!e.is_done());
         e.state = EntryState::Done;
         assert!(e.is_done());
+    }
+
+    #[test]
+    fn ring_recycles_slots_in_fifo_order() {
+        let mut w = WindowRing::new(3); // ring size 4
+        assert_eq!(w.ring_size(), 4);
+        let a = w.push(dummy_dyn(Instr::Nop), None, None, [None, None]);
+        let b = w.push(dummy_dyn(Instr::Nop), None, None, [None, None]);
+        let c = w.push(dummy_dyn(Instr::Nop), None, None, [None, None]);
+        assert!(w.is_full());
+        assert_eq!((a, b, c), (0, 1, 2));
+        assert_eq!(w.head_seq(), 0);
+        w.pop_front();
+        assert!(!w.is_full());
+        let d = w.push(dummy_dyn(Instr::Halt), None, None, [None, None]);
+        assert_eq!(d, 3);
+        assert!(w.contains(b) && w.contains(d) && !w.contains(a));
+        assert_eq!(w.seqs().collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    fn reset_keeps_reclaim_capacity_but_clears_contents() {
+        let mut e = InFlight::placeholder();
+        e.reclaim.push(crate::rename::PhysReg(4));
+        e.reset(dummy_dyn(Instr::Nop), None, None, [None, None]);
+        assert!(e.reclaim.is_empty());
+        assert_eq!(e.missing, 0);
     }
 }

@@ -117,7 +117,8 @@ impl RoundRobinScheduler {
                     .map(|c| c.program)
             })
             .collect::<Result<_, _>>()?;
-        let layouts: Vec<_> = compiled.iter().map(dvi_program::Program::layout).collect::<Result<_, _>>()?;
+        let layouts: Vec<_> =
+            compiled.iter().map(dvi_program::Program::layout).collect::<Result<_, _>>()?;
 
         let mut interps: Vec<_> = layouts.iter().map(Interpreter::new).collect();
         let mut trackers: Vec<_> = (0..interps.len())
@@ -198,7 +199,11 @@ mod tests {
     #[test]
     fn dvi_reduces_context_switch_saves() {
         let full = run_with(DviConfig::full());
-        assert!(full.reduction_pct() > 5.0, "DVI should cut save/restore work, got {:.1}%", full.reduction_pct());
+        assert!(
+            full.reduction_pct() > 5.0,
+            "DVI should cut save/restore work, got {:.1}%",
+            full.reduction_pct()
+        );
         assert!(full.avg_live_registers() < 31.0);
     }
 

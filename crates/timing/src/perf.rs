@@ -36,10 +36,7 @@ impl<'a> SystemPerformance<'a> {
         curve: &[(usize, f64)],
         baseline_peak: f64,
     ) -> Vec<(usize, f64)> {
-        curve
-            .iter()
-            .map(|(n, ipc)| (*n, self.relative(*ipc, *n) / baseline_peak))
-            .collect()
+        curve.iter().map(|(n, ipc)| (*n, self.relative(*ipc, *n) / baseline_peak)).collect()
     }
 
     /// The peak of a `(num_regs, ipc)` curve under this metric: returns

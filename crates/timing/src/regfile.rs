@@ -99,9 +99,8 @@ mod tests {
     fn access_time_is_quadratic_in_ports() {
         let narrow = RegFileTiming::for_issue_width(4);
         let wide = RegFileTiming::for_issue_width(8);
-        let port_term = |m: &RegFileTiming| {
-            m.access_time_ns(64) - m.base_ns - m.reg_coeff_ns * 64.0
-        };
+        let port_term =
+            |m: &RegFileTiming| m.access_time_ns(64) - m.base_ns - m.reg_coeff_ns * 64.0;
         let ratio = port_term(&wide) / port_term(&narrow);
         assert!((ratio - 4.0).abs() < 1e-9, "doubling ports quadruples the port term");
     }
@@ -110,7 +109,10 @@ mod tests {
     fn shrinking_64_to_50_buys_a_few_percent() {
         let m = RegFileTiming::micro97();
         let gain = m.speed_ratio(50, 64) - 1.0;
-        assert!(gain > 0.01 && gain < 0.06, "64→50 registers should buy 1-6% cycle time, got {gain}");
+        assert!(
+            gain > 0.01 && gain < 0.06,
+            "64→50 registers should buy 1-6% cycle time, got {gain}"
+        );
     }
 
     #[test]

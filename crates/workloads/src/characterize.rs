@@ -149,7 +149,8 @@ mod tests {
     fn edvi_binaries_show_kills() {
         let prog = generate(&WorkloadSpec::small("toy", 22));
         let abi = Abi::mips_like();
-        let compiled = dvi_compiler::compile(&prog, &abi, dvi_compiler::CompileOptions::default()).unwrap();
+        let compiled =
+            dvi_compiler::compile(&prog, &abi, dvi_compiler::CompileOptions::default()).unwrap();
         let c = characterize_compiled(&compiled.program, 200_000);
         assert!(c.kills > 0);
         assert!(c.kill_pct() < 10.0, "E-DVI overhead should be small");

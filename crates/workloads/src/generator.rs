@@ -119,7 +119,12 @@ fn gen_procedure(spec: &WorkloadSpec, index: usize, rng: &mut StdRng) -> ProcBui
     p.emit(Instr::load_imm(r(PTR), data_base as i32));
     p.emit(Instr::mov(r(MIX), ArchReg::A0));
     for (k, reg) in persistent.iter().enumerate() {
-        p.emit(Instr::AluImm { op: AluOp::Add, rd: r(*reg), rs: ArchReg::A0, imm: (k as i32 + 1) * 3 });
+        p.emit(Instr::AluImm {
+            op: AluOp::Add,
+            rd: r(*reg),
+            rs: ArchReg::A0,
+            imm: (k as i32 + 1) * 3,
+        });
     }
 
     // --- Inner loop. Block-creation order matters: throughout body
@@ -367,6 +372,9 @@ mod tests {
             .iter()
             .filter(|p| !dvi_compiler::clobbered_callee_saved(p, &abi).is_empty())
             .count();
-        assert!(with_pressure >= spec.num_procedures, "every generated procedure keeps persistent state");
+        assert!(
+            with_pressure >= spec.num_procedures,
+            "every generated procedure keeps persistent state"
+        );
     }
 }

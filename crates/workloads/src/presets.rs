@@ -54,10 +54,10 @@ pub fn go_like() -> WorkloadSpec {
         alu_per_phase: (8, 14),
         mem_per_phase: (1, 3),
         callee_saved_pressure: (3, 5),
-        dead_at_call_probability: 0.30,
+        dead_at_call_probability: 0.12,
         hard_branch_probability: 0.25,
         loop_iterations: (3, 6),
-        ..base("go", 0x60)
+        ..base("go", 0x63)
     }
 }
 
@@ -125,7 +125,7 @@ pub fn perl_like() -> WorkloadSpec {
         alu_per_phase: (3, 7),
         mem_per_phase: (1, 3),
         callee_saved_pressure: (3, 4),
-        dead_at_call_probability: 0.80,
+        dead_at_call_probability: 0.92,
         loop_iterations: (1, 3),
         phases_per_loop: (1, 2),
         ..base("perl", 0x9e)

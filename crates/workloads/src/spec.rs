@@ -67,7 +67,7 @@ impl WorkloadSpec {
             callee_saved_pressure: (2, 4),
             dead_at_call_probability: 0.5,
             mul_fraction: 0.05,
-            outer_iterations: 4,
+            outer_iterations: 12,
             data_bytes_per_proc: 4096,
         }
     }
@@ -102,8 +102,14 @@ impl WorkloadSpec {
         assert!(self.phases_per_loop.0 >= 1, "each loop needs at least one phase");
         assert!(self.alu_per_phase.0 <= self.alu_per_phase.1, "alu_per_phase range reversed");
         assert!(self.mem_per_phase.0 <= self.mem_per_phase.1, "mem_per_phase range reversed");
-        assert!(self.callee_saved_pressure.0 <= self.callee_saved_pressure.1, "pressure range reversed");
-        assert!(self.callee_saved_pressure.1 <= 8, "at most 8 callee-saved registers exist (r16-r23)");
+        assert!(
+            self.callee_saved_pressure.0 <= self.callee_saved_pressure.1,
+            "pressure range reversed"
+        );
+        assert!(
+            self.callee_saved_pressure.1 <= 8,
+            "at most 8 callee-saved registers exist (r16-r23)"
+        );
         for (label, p) in [
             ("call_probability", self.call_probability),
             ("hard_branch_probability", self.hard_branch_probability),

@@ -24,7 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Ok(())
     };
 
-    println!("context-switch save/restore elimination ({} threads of `{}`)", threads.len(), spec.name);
+    println!(
+        "context-switch save/restore elimination ({} threads of `{}`)",
+        threads.len(),
+        spec.name
+    );
     run("no DVI", DviConfig::none())?;
     run("I-DVI only", DviConfig::idvi_only())?;
     run("E-DVI and I-DVI", DviConfig::full())?;

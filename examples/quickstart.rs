@@ -13,7 +13,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Generate a small synthetic benchmark (deterministic for a seed).
     let spec = WorkloadSpec::small("quickstart", 42);
     let bare = dvi_workloads::generate(&spec);
-    println!("generated `{}`: {} procedures, {} static instructions", spec.name, bare.procedures.len(), bare.num_instrs());
+    println!(
+        "generated `{}`: {} procedures, {} static instructions",
+        spec.name,
+        bare.procedures.len(),
+        bare.num_instrs()
+    );
 
     // 2. Compile it: prologues/epilogues with live-store/live-load, plus one
     //    E-DVI kill before each call site whose callee-saved values are dead.
@@ -25,8 +30,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let layout = compiled.program.layout()?;
     let budget = 100_000;
 
-    let baseline = Simulator::new(SimConfig::micro97())
-        .run(Interpreter::new(&layout).with_step_limit(budget));
+    let baseline =
+        Simulator::new(SimConfig::micro97()).run(Interpreter::new(&layout).with_step_limit(budget));
     let with_dvi = Simulator::new(SimConfig::micro97().with_dvi(DviConfig::full()))
         .run(Interpreter::new(&layout).with_step_limit(budget));
 

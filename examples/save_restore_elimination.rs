@@ -68,7 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("machine with LVM-Stack scheme: {stats}");
     println!(
         "saves seen {} / eliminated {}   restores seen {} / eliminated {}",
-        stats.dvi.saves_seen, stats.dvi.saves_eliminated, stats.dvi.restores_eliminated, stats.dvi.restores_eliminated
+        stats.dvi.saves_seen,
+        stats.dvi.saves_eliminated,
+        stats.dvi.restores_seen,
+        stats.dvi.restores_eliminated
     );
     println!(
         "≈ half of proc's dynamic save/restore pairs come from caller_dead and are dropped: {:.1}%",

@@ -30,7 +30,10 @@ fn figures5_and_6_shape_dvi_moves_the_peak_to_a_smaller_file() {
     let fig5 = fig05::run_with(quick(), &benches, &sizes);
     let knee_base = fig5.knee(0, 0.92).expect("baseline knee");
     let knee_dvi = fig5.knee(2, 0.92).expect("dvi knee");
-    assert!(knee_dvi <= knee_base, "DVI knee {knee_dvi} should not exceed baseline knee {knee_base}");
+    assert!(
+        knee_dvi <= knee_base,
+        "DVI knee {knee_dvi} should not exceed baseline knee {knee_base}"
+    );
 
     let fig6 = fig06::from_fig05(&fig5);
     assert!(fig6.peak_dvi.0 <= fig6.peak_no_dvi.0, "the optimal file size must not grow with DVI");
@@ -44,7 +47,12 @@ fn figure9_shape_lvm_stack_roughly_doubles_lvm_and_perl_leads() {
     let perl = fig.rows.iter().find(|r| r.name == "perl").unwrap();
     let go = fig.rows.iter().find(|r| r.name == "go").unwrap();
     // perl (heavy deadness) eliminates a larger fraction than go.
-    assert!(perl.lvm_stack.0 > go.lvm_stack.0, "perl {:.1}% vs go {:.1}%", perl.lvm_stack.0, go.lvm_stack.0);
+    assert!(
+        perl.lvm_stack.0 > go.lvm_stack.0,
+        "perl {:.1}% vs go {:.1}%",
+        perl.lvm_stack.0,
+        go.lvm_stack.0
+    );
     // The LVM-Stack scheme eliminates more than the save-only LVM scheme,
     // in the vicinity of 2x (paper: "the LVM scheme provides half the benefit").
     assert!(perl.lvm_stack.0 > perl.lvm.0 * 1.3);

@@ -23,7 +23,12 @@ fn every_preset_generates_and_compiles() {
 fn preset_characterizations_are_in_a_spec95_like_regime() {
     for spec in presets::all() {
         let profile = characterize(&generate(&spec), 40_000);
-        assert!(profile.dyn_instrs > 10_000, "{} ran only {} instructions", spec.name, profile.dyn_instrs);
+        assert!(
+            profile.dyn_instrs > 10_000,
+            "{} ran only {} instructions",
+            spec.name,
+            profile.dyn_instrs
+        );
         assert!(
             profile.call_pct() > 0.1 && profile.call_pct() < 8.0,
             "{}: call% {:.2} outside the plausible range",

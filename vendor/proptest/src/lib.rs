@@ -1,0 +1,223 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this stub implements
+//! the subset of the proptest API the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with `name(arg in strategy, ...)` bindings,
+//! * [`prelude::any`] for the integer primitives and `bool`,
+//! * integer range strategies (`0u8..32`, `1usize..=8`),
+//! * [`collection::vec`],
+//! * `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Unlike the real proptest there is no shrinking: each test runs a fixed
+//! number of deterministic pseudo-random cases (seeded from the test name),
+//! and a failing case panics with the ordinary assertion message. That is
+//! enough to keep the property tests meaningful while staying dependency
+//! free.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Number of cases each property test runs.
+pub const CASES: u32 = 64;
+
+/// Deterministic case generator used by the [`proptest!`] expansion.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator whose stream is a pure function of `name`.
+    #[must_use]
+    pub fn deterministic(name: &str) -> Self {
+        let mut state = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+        for b in name.bytes() {
+            state ^= u64::from(b);
+            state = state.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state }
+    }
+
+    /// Next raw 64 bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// A value generator (the stub's analogue of proptest's `Strategy`).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (u128::from(rng.next_u64()) % span) as i128;
+                (self.start as i128 + v) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let v = (u128::from(rng.next_u64()) % span) as i128;
+                (start as i128 + v) as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The `any::<T>()` strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// Generates vectors of values drawn from `element`, with lengths in
+    /// `len`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = Strategy::sample(&self.len, rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{Any, Arbitrary, Strategy};
+
+    /// Returns the canonical strategy for `T`.
+    #[must_use]
+    pub fn any<T: crate::Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` item
+/// becomes a `#[test]` that runs [`CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(#[$meta:meta] fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            #[$meta]
+            fn $name() {
+                let mut __proptest_rng = $crate::TestRng::deterministic(stringify!($name));
+                for __proptest_case in 0..$crate::CASES {
+                    let _ = __proptest_case;
+                    $(let $arg = $crate::Strategy::sample(&$strat, &mut __proptest_rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_are_respected(a in 3u8..10, b in 0usize..5) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!(b < 5);
+        }
+
+        #[test]
+        fn any_bool_varies(x in any::<bool>()) {
+            // Record that both values eventually appear across cases.
+            prop_assert!(u8::from(x) <= 1);
+        }
+
+        #[test]
+        fn vectors_obey_length_bounds(v in crate::collection::vec(any::<u32>(), 1..16)) {
+            prop_assert!(!v.is_empty() && v.len() < 16);
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_is_stable_per_name() {
+        let mut a = crate::TestRng::deterministic("x");
+        let mut b = crate::TestRng::deterministic("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

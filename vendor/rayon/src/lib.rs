@@ -1,0 +1,184 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the small slice of the rayon API the experiment sweeps use —
+//! `par_iter()` / `into_par_iter()` followed by `.map(f).collect::<Vec<_>>()`
+//! — on top of `std::thread::scope`. Work is divided into contiguous chunks,
+//! one per worker thread, and results are returned in input order.
+//!
+//! Unlike real rayon there is no work stealing: chunks are static, so a
+//! single slow item can leave threads idle. For the repository's sweeps
+//! (dozens of similar-cost simulations) static chunking is within a few
+//! percent of a real work-stealing pool.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+
+/// The glob-importable prelude, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Number of worker threads used for parallel collection.
+fn workers(items: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+    cores.min(items).max(1)
+}
+
+/// A materialized parallel iterator over owned items.
+#[derive(Debug)]
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParIter<I> {
+    /// Maps each item through `f` (lazily; work happens at `collect`).
+    pub fn map<R, F>(self, f: F) -> ParMap<I, F>
+    where
+        R: Send,
+        F: Fn(I) -> R + Sync,
+    {
+        ParMap { items: self.items, f }
+    }
+}
+
+/// The result of [`ParIter::map`], ready to collect in parallel.
+#[derive(Debug)]
+pub struct ParMap<I, F> {
+    items: Vec<I>,
+    f: F,
+}
+
+impl<I: Send, F> ParMap<I, F> {
+    /// Applies the mapping across worker threads and gathers results in
+    /// input order.
+    pub fn collect<C>(self) -> C
+    where
+        F: Fn(I) -> <C as FromParallelResults>::Item + Sync,
+        C: FromParallelResults,
+        <C as FromParallelResults>::Item: Send,
+    {
+        let ParMap { items, f } = self;
+        let n = items.len();
+        if n == 0 {
+            return C::from_ordered(Vec::new());
+        }
+        let threads = workers(n);
+        if threads == 1 {
+            return C::from_ordered(items.into_iter().map(f).collect());
+        }
+        let chunk = n.div_ceil(threads);
+        let mut chunks: Vec<Vec<I>> = Vec::with_capacity(threads);
+        let mut items = items;
+        while !items.is_empty() {
+            let rest = items.split_off(items.len().min(chunk));
+            chunks.push(std::mem::replace(&mut items, rest));
+        }
+        let f = &f;
+        let mut out = Vec::with_capacity(n);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<_>>()))
+                .collect();
+            for h in handles {
+                out.extend(h.join().expect("parallel worker panicked"));
+            }
+        });
+        C::from_ordered(out)
+    }
+}
+
+/// Collections buildable from ordered parallel results.
+pub trait FromParallelResults {
+    /// Element type.
+    type Item;
+
+    /// Builds the collection from results already in input order.
+    fn from_ordered(items: Vec<Self::Item>) -> Self;
+}
+
+impl<R> FromParallelResults for Vec<R> {
+    type Item = R;
+
+    fn from_ordered(items: Vec<R>) -> Self {
+        items
+    }
+}
+
+/// Conversion into a parallel iterator over owned items.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+
+    /// Converts `self`.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+/// Conversion into a parallel iterator over references.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a reference).
+    type Item: Send + 'a;
+
+    /// Borrowing conversion.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_over_ranges() {
+        let out: Vec<usize> = (0usize..17).into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out.len(), 17);
+        assert_eq!(out[16], 17);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let v: Vec<u32> = Vec::new();
+        let out: Vec<u32> = v.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+    }
+}
