@@ -1,0 +1,76 @@
+//! Front-end cost ablation: how much host time does each trace source
+//! cost, in isolation and end-to-end?
+//!
+//! Measures, on the Figure 10 mix (min-of-5 wall clock):
+//!
+//! * draining a replayed [`CapturedTrace`] with no simulator attached,
+//! * draining the live interpreter with no simulator attached,
+//! * the full event-driven simulator fed by replay,
+//! * the full event-driven simulator fed by live interpretation.
+//!
+//! The difference of the last two is the end-to-end value of
+//! capture-once/replay-many; the first two isolate the trace-production
+//! cost by itself.
+//!
+//! Run with `cargo run --release -p dvi-bench --example frontend_ablation`.
+
+use dvi_core::DviConfig;
+use dvi_experiments::Binaries;
+use dvi_program::{CapturedTrace, Interpreter};
+use dvi_sim::{SimConfig, Simulator};
+use std::time::Instant;
+
+const INSTRS_PER_RUN: u64 = 60_000;
+
+fn main() {
+    let layouts: Vec<_> = dvi_workloads::presets::save_restore_suite()
+        .iter()
+        .map(|spec| Binaries::build(spec).edvi)
+        .collect();
+    let traces: Vec<_> = layouts.iter().map(|l| CapturedTrace::record(l, INSTRS_PER_RUN)).collect();
+    let dynamic_instrs: u64 = traces.iter().map(|t| t.len() as u64).sum();
+    let config = SimConfig::micro97().with_dvi(DviConfig::full());
+
+    let time = |label: &str, f: &dyn Fn() -> u64| {
+        let mut best = f64::MAX;
+        let mut checksum = 0u64;
+        for _ in 0..5 {
+            let start = Instant::now();
+            checksum = f();
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        println!(
+            "{label}: {:.1} ns/instr ({:.2} MIPS, checksum {checksum})",
+            best * 1e9 / dynamic_instrs as f64,
+            dynamic_instrs as f64 / best / 1e6
+        );
+    };
+
+    time("replay-drain (trace production only)", &|| {
+        traces.iter().map(|t| t.replay().map(|d| u64::from(d.pc)).sum::<u64>()).sum()
+    });
+    time("interp-drain (trace production only)", &|| {
+        layouts
+            .iter()
+            .map(|l| {
+                Interpreter::new(l)
+                    .with_step_limit(INSTRS_PER_RUN)
+                    .map(|d| u64::from(d.pc))
+                    .sum::<u64>()
+            })
+            .sum()
+    });
+    time("sim+replay (sweep steady state)", &|| {
+        traces.iter().map(|t| Simulator::new(config.clone()).run(t.replay()).program_instrs).sum()
+    });
+    time("sim+interp (pre-capture behaviour)", &|| {
+        layouts
+            .iter()
+            .map(|l| {
+                Simulator::new(config.clone())
+                    .run(Interpreter::new(l).with_step_limit(INSTRS_PER_RUN))
+                    .program_instrs
+            })
+            .sum()
+    });
+}

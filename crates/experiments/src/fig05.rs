@@ -1,6 +1,6 @@
 //! Figure 5: average IPC as a function of physical register file size.
 
-use crate::harness::{mean, simulate, Binaries, Budget};
+use crate::harness::{mean, replay, Budget, CapturedBinaries};
 use crate::table::Table;
 use dvi_core::DviConfig;
 use dvi_sim::SimConfig;
@@ -61,9 +61,13 @@ pub fn run(budget: Budget) -> Figure05 {
 /// and benches with reduced scope).
 #[must_use]
 pub fn run_with(budget: Budget, benchmarks: &[WorkloadSpec], sizes: &[usize]) -> Figure05 {
-    let binaries: Vec<Binaries> = benchmarks.iter().map(Binaries::build).collect();
+    // Capture each benchmark's traces once (in parallel — the capture
+    // passes are the only remaining interpreter work); the whole size ×
+    // scheme grid replays them instead of re-interpreting the programs.
+    let binaries: Vec<CapturedBinaries> =
+        benchmarks.par_iter().map(|spec| CapturedBinaries::build(spec, budget)).collect();
     // Every (size, scheme, benchmark) simulation is independent; sweep the
-    // register-file sizes in parallel over the shared binaries.
+    // register-file sizes in parallel over the shared captured traces.
     let points = sizes
         .par_iter()
         .map(|&n| {
@@ -72,19 +76,12 @@ pub fn run_with(budget: Budget, benchmarks: &[WorkloadSpec], sizes: &[usize]) ->
             let mut full = Vec::new();
             for b in &binaries {
                 let base_cfg = SimConfig::micro97().with_phys_regs(n);
-                no_dvi.push(
-                    simulate(&b.baseline, base_cfg.clone().with_dvi(DviConfig::none()), budget)
-                        .ipc(),
-                );
+                no_dvi
+                    .push(replay(&b.baseline, base_cfg.clone().with_dvi(DviConfig::none())).ipc());
                 idvi.push(
-                    simulate(
-                        &b.baseline,
-                        base_cfg.clone().with_dvi(DviConfig::idvi_only()),
-                        budget,
-                    )
-                    .ipc(),
+                    replay(&b.baseline, base_cfg.clone().with_dvi(DviConfig::idvi_only())).ipc(),
                 );
-                full.push(simulate(&b.edvi, base_cfg.with_dvi(DviConfig::full()), budget).ipc());
+                full.push(replay(&b.edvi, base_cfg.with_dvi(DviConfig::full())).ipc());
             }
             SizePoint {
                 phys_regs: n,

@@ -1,6 +1,6 @@
 //! Figure 9: dynamic saves and restores eliminated.
 
-use crate::harness::{mean, simulate, Binaries, Budget};
+use crate::harness::{mean, replay, Budget, CapturedBinaries};
 use crate::table::Table;
 use dvi_core::DviConfig;
 use dvi_sim::SimConfig;
@@ -63,9 +63,10 @@ pub fn run_with(budget: Budget, benchmarks: &[dvi_workloads::WorkloadSpec]) -> F
     let rows = benchmarks
         .par_iter()
         .map(|spec| {
-            let binaries = Binaries::build(spec);
+            // One capture serves both hardware schemes.
+            let binaries = CapturedBinaries::build(spec, budget);
             let run_scheme = |dvi: DviConfig| {
-                let stats = simulate(&binaries.edvi, SimConfig::micro97().with_dvi(dvi), budget);
+                let stats = replay(&binaries.edvi, SimConfig::micro97().with_dvi(dvi));
                 (
                     stats.pct_save_restores_eliminated(),
                     stats.pct_mem_refs_eliminated(),

@@ -1,6 +1,6 @@
 //! Figure 10: IPC speedups from dead save/restore elimination.
 
-use crate::harness::{simulate, Binaries, Budget};
+use crate::harness::{replay, Budget, CapturedBinaries};
 use crate::table::Table;
 use dvi_core::DviConfig;
 use dvi_sim::SimConfig;
@@ -49,18 +49,15 @@ pub fn run_with(budget: Budget, benchmarks: &[dvi_workloads::WorkloadSpec]) -> F
     let rows = benchmarks
         .par_iter()
         .map(|spec| {
-            let binaries = Binaries::build(spec);
-            let base = simulate(&binaries.baseline, SimConfig::micro97(), budget).ipc();
-            let lvm = simulate(
-                &binaries.edvi,
-                SimConfig::micro97().with_dvi(DviConfig::lvm_scheme()),
-                budget,
-            )
-            .ipc();
-            let stack = simulate(
+            // One capture serves the baseline machine and both schemes.
+            let binaries = CapturedBinaries::build(spec, budget);
+            let base = replay(&binaries.baseline, SimConfig::micro97()).ipc();
+            let lvm =
+                replay(&binaries.edvi, SimConfig::micro97().with_dvi(DviConfig::lvm_scheme()))
+                    .ipc();
+            let stack = replay(
                 &binaries.edvi,
                 SimConfig::micro97().with_dvi(DviConfig::lvm_stack_scheme()),
-                budget,
             )
             .ipc();
             SpeedupRow {

@@ -1,7 +1,7 @@
 //! Figure 11: sensitivity of save/restore elimination to data-cache
 //! bandwidth (ports) and issue width.
 
-use crate::harness::{simulate, Binaries, Budget};
+use crate::harness::{replay, Budget, CapturedBinaries};
 use crate::table::Table;
 use dvi_core::DviConfig;
 use dvi_sim::SimConfig;
@@ -69,20 +69,19 @@ pub fn run_with(
     widths: &[usize],
     ports: &[usize],
 ) -> Figure11 {
-    // One task per benchmark (binaries are built once per benchmark); the
-    // width × port grid runs inside the task, and the row order stays
-    // benchmark-major as before.
+    // One task per benchmark (binaries are built and their traces captured
+    // once per benchmark); the width × port grid replays the captures
+    // inside the task, and the row order stays benchmark-major as before.
     let per_bench: Vec<Vec<SensitivityRow>> = benchmarks
         .par_iter()
         .map(|spec| {
-            let binaries = Binaries::build(spec);
+            let binaries = CapturedBinaries::build(spec, budget);
             let mut rows = Vec::with_capacity(widths.len() * ports.len());
             for &width in widths {
                 for &np in ports {
                     let machine = SimConfig::micro97().with_issue_width(width).with_cache_ports(np);
-                    let base = simulate(&binaries.baseline, machine.clone(), budget).ipc();
-                    let dvi =
-                        simulate(&binaries.edvi, machine.with_dvi(DviConfig::full()), budget).ipc();
+                    let base = replay(&binaries.baseline, machine.clone()).ipc();
+                    let dvi = replay(&binaries.edvi, machine.with_dvi(DviConfig::full())).ipc();
                     rows.push(SensitivityRow {
                         name: spec.name.clone(),
                         issue_width: width,

@@ -1,6 +1,6 @@
 //! Figure 13: E-DVI overhead.
 
-use crate::harness::{simulate, Binaries, Budget};
+use crate::harness::{replay, Budget, CapturedBinaries};
 use crate::table::Table;
 use dvi_core::DviConfig;
 use dvi_sim::SimConfig;
@@ -55,14 +55,15 @@ pub fn run_with(budget: Budget, benchmarks: &[dvi_workloads::WorkloadSpec]) -> F
     let rows = benchmarks
         .par_iter()
         .map(|spec| {
-            let binaries = Binaries::build(spec);
+            // One capture serves both instruction-cache geometries.
+            let binaries = CapturedBinaries::build(spec, budget);
             // The paper compares IPC of binaries with and without E-DVI in
             // the *absence* of the DVI optimizations, so the annotations are
             // pure fetch overhead.
             let no_dvi = DviConfig::none();
             let ipc_overhead = |config: SimConfig| {
-                let base = simulate(&binaries.baseline, config.clone().with_dvi(no_dvi), budget);
-                let edvi = simulate(&binaries.edvi, config.with_dvi(no_dvi), budget);
+                let base = replay(&binaries.baseline, config.clone().with_dvi(no_dvi));
+                let edvi = replay(&binaries.edvi, config.with_dvi(no_dvi));
                 (100.0 * (base.ipc() / edvi.ipc() - 1.0), base, edvi)
             };
             let (ipc64, base64, edvi64) = ipc_overhead(SimConfig::micro97());

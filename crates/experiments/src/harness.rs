@@ -1,8 +1,17 @@
 //! Shared plumbing for the experiment drivers.
+//!
+//! Every figure that sweeps machine configurations re-times the *same*
+//! dynamic instruction stream, so the drivers follow a
+//! capture-once/replay-many discipline: [`Binaries::capture`] records each
+//! binary's trace with the functional interpreter exactly once per budget,
+//! and [`replay`] feeds the recorded stream to the timing simulator for
+//! every sweep point. Replayed statistics are bit-identical to live
+//! interpretation (`dvi-sim/tests/replay_equiv.rs`), so this is purely a
+//! host-time optimization.
 
 use dvi_core::EdviPlacement;
 use dvi_isa::Abi;
-use dvi_program::{Interpreter, LayoutProgram};
+use dvi_program::{CapturedTrace, Interpreter, LayoutProgram};
 use dvi_sim::{SimConfig, SimStats, Simulator};
 use dvi_workloads::WorkloadSpec;
 
@@ -93,6 +102,61 @@ impl Binaries {
             100.0 * (with as f64 - base as f64) / base as f64
         }
     }
+
+    /// Records both binaries' dynamic traces once, for replay across every
+    /// machine configuration of a sweep.
+    #[must_use]
+    pub fn capture(&self, budget: Budget) -> CapturedBinaries {
+        CapturedBinaries {
+            name: self.name.clone(),
+            baseline: CapturedTrace::record(&self.baseline, budget.instrs_per_run),
+            edvi: CapturedTrace::record(&self.edvi, budget.instrs_per_run),
+            static_instrs: self.static_instrs,
+        }
+    }
+}
+
+/// The two binaries of a benchmark with their dynamic traces recorded once
+/// (see [`Binaries::capture`]); the sweep drivers replay these instead of
+/// re-interpreting the program at every sweep point.
+#[derive(Debug, Clone)]
+pub struct CapturedBinaries {
+    /// Benchmark name.
+    pub name: String,
+    /// Recorded trace of the baseline binary.
+    pub baseline: CapturedTrace,
+    /// Recorded trace of the annotated binary.
+    pub edvi: CapturedTrace,
+    /// Static instruction counts of the two binaries (baseline, E-DVI).
+    pub static_instrs: (usize, usize),
+}
+
+impl CapturedBinaries {
+    /// Builds both binaries for a workload and records their traces in one
+    /// step.
+    #[must_use]
+    pub fn build(spec: &WorkloadSpec, budget: Budget) -> Self {
+        Binaries::build(spec).capture(budget)
+    }
+
+    /// Static code-size increase of the annotated binary, in percent.
+    #[must_use]
+    pub fn code_growth_pct(&self) -> f64 {
+        let (base, with) = self.static_instrs;
+        if base == 0 {
+            0.0
+        } else {
+            100.0 * (with as f64 - base as f64) / base as f64
+        }
+    }
+}
+
+/// Times a recorded trace on `config`. Statistics are bit-identical to
+/// [`simulate`] on the layout the trace was recorded from with the same
+/// budget.
+#[must_use]
+pub fn replay(trace: &CapturedTrace, config: SimConfig) -> SimStats {
+    Simulator::new(config).run(trace.replay())
 }
 
 /// Times `layout` on `config` for at most `budget` instructions.
@@ -140,5 +204,21 @@ mod tests {
     fn mean_handles_empty_slices() {
         assert_eq!(mean(&[]), 0.0);
         assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replaying_a_captured_binary_matches_live_simulation() {
+        let budget = Budget { instrs_per_run: 10_000 };
+        let binaries = Binaries::build(&WorkloadSpec::small("cap", 4));
+        let captured = binaries.capture(budget);
+        assert_eq!(captured.code_growth_pct(), binaries.code_growth_pct());
+        for config in [
+            SimConfig::micro97(),
+            SimConfig::micro97().with_phys_regs(40).with_dvi(DviConfig::full()),
+        ] {
+            let live = simulate(&binaries.edvi, config.clone(), budget);
+            let replayed = replay(&captured.edvi, config);
+            assert_eq!(live, replayed, "replay must be bit-identical to live simulation");
+        }
     }
 }

@@ -1,0 +1,109 @@
+//! Golden-stats snapshots of every figure experiment.
+//!
+//! Each test renders a figure at a small fixed configuration and compares
+//! the output byte-for-byte against a fixture committed under
+//! `tests/fixtures/`. The simulator, interpreter, workload generator and
+//! compiler are all deterministic, so any drift in a figure's *shape* —
+//! a changed IPC, a changed elimination percentage, a changed peak — fails
+//! `cargo test` instead of silently corrupting the reproduction.
+//!
+//! To regenerate the fixtures after an intentional behaviour change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p dvi-experiments --test golden_figures
+//! ```
+//!
+//! then review the fixture diff like any other code change.
+
+use dvi_experiments::{fig02, fig03, fig05, fig06, fig09, fig10, fig11, fig12, fig13, Budget};
+use dvi_workloads::presets;
+use std::fs;
+use std::path::PathBuf;
+
+/// The fixed budget every snapshot uses. Small enough to keep the whole
+/// suite fast in debug builds, large enough that every benchmark exercises
+/// calls, saves/restores and both DVI sources.
+fn budget() -> Budget {
+    Budget { instrs_per_run: 12_000 }
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(format!("{name}.txt"))
+}
+
+/// Compares `rendered` against the committed fixture, or rewrites the
+/// fixture when `UPDATE_GOLDEN` is set.
+fn check(name: &str, rendered: &str) {
+    let path = fixture_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(path.parent().expect("fixture dir")).expect("create fixture dir");
+        fs::write(&path, rendered).expect("write fixture");
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); run UPDATE_GOLDEN=1 cargo test -p dvi-experiments \
+             --test golden_figures to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered, expected,
+        "figure `{name}` drifted from its golden fixture; if the change is intentional, \
+         regenerate with UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+#[test]
+fn golden_fig02_machine_configuration() {
+    check("fig02", &fig02::run().to_string());
+}
+
+#[test]
+fn golden_fig03_benchmark_characterization() {
+    check("fig03", &fig03::run(budget()).to_string());
+}
+
+#[test]
+fn golden_fig05_ipc_vs_register_file_size() {
+    let benches = vec![presets::perl_like(), presets::ijpeg_like()];
+    let fig = fig05::run_with(budget(), &benches, &[34, 48, 64, 80]);
+    check("fig05", &fig.to_string());
+}
+
+#[test]
+fn golden_fig06_relative_performance() {
+    let benches = vec![presets::perl_like(), presets::ijpeg_like()];
+    let fig05 = fig05::run_with(budget(), &benches, &[34, 48, 64, 80]);
+    check("fig06", &fig06::from_fig05(&fig05).to_string());
+}
+
+#[test]
+fn golden_fig09_saves_restores_eliminated() {
+    let benches = vec![presets::perl_like(), presets::go_like()];
+    check("fig09", &fig09::run_with(budget(), &benches).to_string());
+}
+
+#[test]
+fn golden_fig10_ipc_speedups() {
+    let benches = vec![presets::perl_like(), presets::go_like()];
+    check("fig10", &fig10::run_with(budget(), &benches).to_string());
+}
+
+#[test]
+fn golden_fig11_bandwidth_sensitivity() {
+    let benches = vec![presets::gcc_like()];
+    check("fig11", &fig11::run_with(budget(), &benches, &[4, 8], &[1, 2]).to_string());
+}
+
+#[test]
+fn golden_fig12_context_switches() {
+    let benches = vec![presets::li_like()];
+    check("fig12", &fig12::run_with(budget(), &benches).to_string());
+}
+
+#[test]
+fn golden_fig13_edvi_overhead() {
+    let benches = vec![presets::li_like(), presets::compress_like()];
+    check("fig13", &fig13::run_with(budget(), &benches).to_string());
+}

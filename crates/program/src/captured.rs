@@ -1,0 +1,326 @@
+//! Capture-once / replay-many traces.
+//!
+//! Design-space sweeps (the paper's Figures 5–13, the throughput benches)
+//! re-run the *same* dynamic instruction stream through dozens of machine
+//! configurations. Interpreting the program again for every sweep point
+//! re-pays the functional execution cost — register file updates, paged
+//! memory accesses, ALU evaluation — for a stream that is identical every
+//! time. A [`CapturedTrace`] runs the interpreter **once**
+//! ([`CapturedTrace::record`]) and stores the dynamic stream in a compact
+//! structure-of-arrays buffer; [`CapturedTrace::replay`] then reproduces the
+//! exact [`DynInst`] sequence with nothing but index arithmetic — no
+//! allocation, no hashing, no architectural state.
+//!
+//! # Format
+//!
+//! The encoding exploits the split between *static* and *dynamic*
+//! instruction information:
+//!
+//! * **Static per PC** (stored once, copied from the [`LayoutProgram`]):
+//!   the instruction itself and its owning procedure. A dynamic record never
+//!   repeats them.
+//! * **Dynamic per executed instruction** (stored per record):
+//!   - the program counter (`u32`),
+//!   - one flags byte ([`flags`] bits: memory-address present, branch
+//!     outcome present, branch outcome, fetch redirect),
+//!   - the effective address (`u64`, *only* for memory instructions, in a
+//!     side array consumed sequentially),
+//!   - the next PC (`u32`, *only* when control does not fall through, in a
+//!     second side array).
+//!
+//! The sequence number is the record index and the fall-through `next_pc`
+//! is `pc + 1`, so neither is stored. A typical record costs 5 bytes plus
+//! ~2 amortized bytes of side-array data — versus ~56 bytes for a stored
+//! [`DynInst`] — and replay streams it back in strictly sequential order,
+//! which the hardware prefetcher turns into effectively free loads.
+//!
+//! # Invariant
+//!
+//! For every layout and step limit, `record(layout, n).replay()` yields a
+//! sequence of `DynInst` values **bit-identical** to
+//! `Interpreter::new(layout).with_step_limit(n)`. The timing simulator
+//! consumes only `DynInst` values, so statistics from a replayed trace are
+//! bit-identical to live interpretation (locked down by
+//! `dvi-sim/tests/replay_equiv.rs`).
+
+use crate::interp::{ExecSummary, Interpreter};
+use crate::ir::ProcId;
+use crate::layout::LayoutProgram;
+use crate::trace::DynInst;
+use dvi_isa::Instr;
+
+/// Bit assignments of the per-record flags byte.
+pub mod flags {
+    /// The instruction referenced memory (`mem_addr` is present).
+    pub const HAS_MEM: u8 = 1 << 0;
+    /// The instruction was a conditional branch (`taken` is present).
+    pub const HAS_TAKEN: u8 = 1 << 1;
+    /// The branch was taken (meaningful only with [`HAS_TAKEN`]).
+    pub const TAKEN: u8 = 1 << 2;
+    /// Control did not fall through (`next_pc != pc + 1`; the target lives
+    /// in the redirect side array).
+    pub const REDIRECT: u8 = 1 << 3;
+}
+
+/// A dynamic instruction trace recorded once and replayable any number of
+/// times. See the module documentation for the format.
+#[derive(Debug, Clone)]
+pub struct CapturedTrace {
+    /// Static instruction image, indexed by PC (copied from the layout so
+    /// the trace is self-contained).
+    static_instrs: Box<[Instr]>,
+    /// Owning procedure of each static instruction, indexed by PC.
+    static_procs: Box<[ProcId]>,
+    /// Program counter of each dynamic record.
+    pcs: Vec<u32>,
+    /// Flags byte of each dynamic record (see [`flags`]).
+    flag_bits: Vec<u8>,
+    /// Effective addresses of memory instructions, in execution order.
+    mem_addrs: Vec<u64>,
+    /// Targets of records whose control transfer did not fall through, in
+    /// execution order.
+    redirect_targets: Vec<u32>,
+    /// Summary of the recording run (instruction count, halt, error).
+    summary: ExecSummary,
+}
+
+impl CapturedTrace {
+    /// Runs the interpreter over `layout` for at most `step_limit`
+    /// instructions and records the dynamic stream.
+    #[must_use]
+    pub fn record(layout: &LayoutProgram, step_limit: u64) -> CapturedTrace {
+        let mut interp = Interpreter::new(layout).with_step_limit(step_limit);
+        let estimate = usize::try_from(step_limit.min(1 << 24)).unwrap_or(usize::MAX);
+        let mut trace = CapturedTrace {
+            static_instrs: layout.code().into(),
+            static_procs: (0..layout.len() as u32)
+                .map(|pc| layout.proc_of(pc).unwrap_or(ProcId(0)))
+                .collect(),
+            pcs: Vec::with_capacity(estimate),
+            flag_bits: Vec::with_capacity(estimate),
+            mem_addrs: Vec::new(),
+            redirect_targets: Vec::new(),
+            summary: interp.summary(),
+        };
+        for d in interp.by_ref() {
+            trace.push(&d);
+        }
+        trace.summary = interp.summary();
+        trace
+    }
+
+    /// Appends one dynamic record.
+    fn push(&mut self, d: &DynInst) {
+        debug_assert_eq!(d.seq, self.pcs.len() as u64, "records must be pushed in order");
+        let mut f = 0u8;
+        if let Some(addr) = d.mem_addr {
+            f |= flags::HAS_MEM;
+            self.mem_addrs.push(addr);
+        }
+        if let Some(taken) = d.taken {
+            f |= flags::HAS_TAKEN;
+            if taken {
+                f |= flags::TAKEN;
+            }
+        }
+        if d.next_pc != d.pc + 1 {
+            f |= flags::REDIRECT;
+            self.redirect_targets.push(d.next_pc);
+        }
+        self.pcs.push(d.pc);
+        self.flag_bits.push(f);
+    }
+
+    /// Number of dynamic instructions in the trace.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pcs.len()
+    }
+
+    /// Whether the trace contains no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pcs.is_empty()
+    }
+
+    /// Summary of the recording run (instructions executed, whether the
+    /// program halted, the error that stopped it if any).
+    #[must_use]
+    pub fn summary(&self) -> ExecSummary {
+        self.summary
+    }
+
+    /// Approximate heap footprint of the captured trace, in bytes (useful
+    /// for sizing sweep batches).
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        self.pcs.len() * std::mem::size_of::<u32>()
+            + self.flag_bits.len()
+            + self.mem_addrs.len() * std::mem::size_of::<u64>()
+            + self.redirect_targets.len() * std::mem::size_of::<u32>()
+            + self.static_instrs.len() * std::mem::size_of::<Instr>()
+            + self.static_procs.len() * std::mem::size_of::<ProcId>()
+    }
+
+    /// A zero-allocation iterator reproducing the recorded [`DynInst`]
+    /// stream bit-identically.
+    #[must_use]
+    pub fn replay(&self) -> Replay<'_> {
+        Replay { trace: self, idx: 0, mem_idx: 0, redirect_idx: 0 }
+    }
+}
+
+impl<'a> IntoIterator for &'a CapturedTrace {
+    type Item = DynInst;
+    type IntoIter = Replay<'a>;
+
+    fn into_iter(self) -> Replay<'a> {
+        self.replay()
+    }
+}
+
+/// Iterator over a [`CapturedTrace`]; see [`CapturedTrace::replay`].
+#[derive(Debug, Clone)]
+pub struct Replay<'a> {
+    trace: &'a CapturedTrace,
+    idx: usize,
+    mem_idx: usize,
+    redirect_idx: usize,
+}
+
+impl Iterator for Replay<'_> {
+    type Item = DynInst;
+
+    fn next(&mut self) -> Option<DynInst> {
+        let t = self.trace;
+        let i = self.idx;
+        let pc = *t.pcs.get(i)?;
+        let f = t.flag_bits[i];
+        self.idx += 1;
+        let mem_addr = if f & flags::HAS_MEM != 0 {
+            let addr = t.mem_addrs[self.mem_idx];
+            self.mem_idx += 1;
+            Some(addr)
+        } else {
+            None
+        };
+        let taken = if f & flags::HAS_TAKEN != 0 { Some(f & flags::TAKEN != 0) } else { None };
+        let next_pc = if f & flags::REDIRECT != 0 {
+            let target = t.redirect_targets[self.redirect_idx];
+            self.redirect_idx += 1;
+            target
+        } else {
+            pc + 1
+        };
+        Some(DynInst {
+            seq: i as u64,
+            pc,
+            instr: t.static_instrs[pc as usize],
+            proc: t.static_procs[pc as usize],
+            mem_addr,
+            taken,
+            next_pc,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.trace.len() - self.idx;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for Replay<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{ProcBuilder, ProgramBuilder};
+    use dvi_isa::{AluOp, ArchReg, CmpOp};
+
+    fn r(i: u8) -> ArchReg {
+        ArchReg::new(i)
+    }
+
+    /// A program exercising every record shape: ALU, loads/stores, taken
+    /// and not-taken branches, calls, returns and the final halt.
+    fn mixed_program() -> LayoutProgram {
+        let mut b = ProgramBuilder::new();
+        let mut main = ProcBuilder::new("main");
+        let body = main.new_block();
+        main.emit(Instr::load_imm(r(8), 6));
+        main.emit(Instr::load_imm(r(9), crate::interp::DATA_BASE as i32));
+        main.switch_to(body);
+        main.emit(Instr::Store { rs: r(8), base: r(9), offset: 0 });
+        main.emit(Instr::Load { rd: r(10), base: r(9), offset: 0 });
+        main.emit_call("leaf");
+        main.emit(Instr::AluImm { op: AluOp::Sub, rd: r(8), rs: r(8), imm: 1 });
+        main.emit_branch(CmpOp::Ne, r(8), ArchReg::ZERO, body);
+        let exit = main.new_block();
+        main.switch_to(exit);
+        main.emit(Instr::Halt);
+        b.add_procedure(main).unwrap();
+        let mut leaf = ProcBuilder::new("leaf");
+        leaf.emit(Instr::Alu { op: AluOp::Add, rd: ArchReg::RV, rs: ArchReg::A0, rt: r(8) });
+        leaf.emit(Instr::Return);
+        b.add_procedure(leaf).unwrap();
+        b.build("main").unwrap().layout().unwrap()
+    }
+
+    #[test]
+    fn replay_is_bit_identical_to_live_interpretation() {
+        let layout = mixed_program();
+        let live: Vec<DynInst> = Interpreter::new(&layout).collect();
+        let trace = CapturedTrace::record(&layout, u64::MAX);
+        let replayed: Vec<DynInst> = trace.replay().collect();
+        assert_eq!(live.len(), replayed.len());
+        assert_eq!(live, replayed, "replay must reproduce the stream exactly");
+        assert_eq!(trace.len(), live.len());
+        assert!(trace.summary().halted);
+        assert_eq!(trace.summary().error, None);
+    }
+
+    #[test]
+    fn replay_respects_the_recording_step_limit() {
+        let layout = mixed_program();
+        let live: Vec<DynInst> = Interpreter::new(&layout).with_step_limit(13).collect();
+        let trace = CapturedTrace::record(&layout, 13);
+        assert_eq!(trace.len(), 13);
+        assert!(!trace.summary().halted);
+        let replayed: Vec<DynInst> = trace.replay().collect();
+        assert_eq!(live, replayed);
+    }
+
+    #[test]
+    fn replay_is_repeatable_and_exact_size() {
+        let layout = mixed_program();
+        let trace = CapturedTrace::record(&layout, u64::MAX);
+        let first: Vec<DynInst> = trace.replay().collect();
+        let second: Vec<DynInst> = trace.replay().collect();
+        assert_eq!(first, second, "a trace replays identically every time");
+        let mut it = trace.replay();
+        assert_eq!(it.len(), trace.len());
+        let _ = it.next();
+        assert_eq!(it.len(), trace.len() - 1);
+    }
+
+    #[test]
+    fn packed_encoding_is_much_smaller_than_stored_dyninsts() {
+        let layout = mixed_program();
+        let trace = CapturedTrace::record(&layout, u64::MAX);
+        let naive = trace.len() * std::mem::size_of::<DynInst>();
+        assert!(
+            trace.approx_bytes() < naive / 2,
+            "packed {} bytes vs naive {} bytes",
+            trace.approx_bytes(),
+            naive
+        );
+    }
+
+    #[test]
+    fn empty_trace_replays_empty() {
+        let layout = mixed_program();
+        let trace = CapturedTrace::record(&layout, 0);
+        assert!(trace.is_empty());
+        assert_eq!(trace.replay().count(), 0);
+    }
+}

@@ -11,6 +11,11 @@
 //! them (here: [`Interpreter`]), and the detailed out-of-order model timed
 //! the resulting instruction stream.
 //!
+//! Design-space sweeps that time the same program on many machine
+//! configurations should interpret it **once** and replay the recorded
+//! stream: see [`CapturedTrace`] (module [`captured`]) for the packed
+//! capture-once/replay-many trace buffer and its format guarantees.
+//!
 //! # Example
 //!
 //! ```
@@ -43,6 +48,7 @@
 #![warn(missing_docs)]
 
 mod builder;
+pub mod captured;
 mod error;
 mod interp;
 mod ir;
@@ -50,6 +56,7 @@ mod layout;
 mod trace;
 
 pub use builder::{ProcBuilder, ProgramBuilder};
+pub use captured::{CapturedTrace, Replay};
 pub use error::{InterpError, ProgramError};
 pub use interp::{ArchState, ExecSummary, Interpreter, DATA_BASE, STACK_BASE};
 pub use ir::{BasicBlock, BlockId, ProcId, Procedure, Program};

@@ -1,27 +1,33 @@
-//! The seed's original pipeline implementation, preserved verbatim as the
-//! throughput baseline.
+//! The seed's original pipeline back end, preserved as the throughput
+//! baseline.
 //!
-//! This is the simulator core exactly as it stood before the event-driven
+//! This is the simulator back end as it stood before the event-driven
 //! rewrite: a `VecDeque` instruction window whose entries are constructed
-//! (and whose `Vec` reclaim lists are allocated) per dispatch, decode-stage
-//! DVI reclaims returned as fresh `Vec`s, and writeback/issue implemented
-//! as full-window scans every cycle. It models the *same machine*
-//! cycle-for-cycle — `tests/scheduler_equiv.rs` asserts its `SimStats` are
-//! bit-identical to both current schedulers — so the `sim_throughput`
-//! bench can report an apples-to-apples host-speed comparison against the
-//! seed core (pair it with `Interpreter::with_sparse_memory` for the
-//! original interpreter memory as well).
+//! (and whose `Vec` reclaim lists are allocated) per dispatch, and
+//! writeback/issue implemented as full-window scans every cycle. It models
+//! the *same machine* cycle-for-cycle — `tests/scheduler_equiv.rs` asserts
+//! its `SimStats` are bit-identical to both current schedulers — so the
+//! `sim_throughput` bench can report an apples-to-apples host-speed
+//! comparison against the seed core (pair it with
+//! `Interpreter::with_sparse_memory` for the original interpreter memory
+//! as well).
 //!
-//! Do not extend this module; it intentionally tracks the seed, not the
-//! current design.
+//! The in-order front end (fetch and the per-instruction rename/dispatch
+//! decisions) is the shared, memoized [`crate::frontend::FrontEnd`]: the
+//! stages were verbatim copies of the main pipeline's and are behaviourally
+//! identical, so sharing them removes the duplication without perturbing
+//! the modelled machine. Only the *back end* here intentionally tracks the
+//! seed design (full-window scans, per-dispatch allocation); do not extend
+//! it.
 
 use crate::config::SimConfig;
-use crate::dvi_engine::{DviEngine, ReclaimList};
+use crate::dvi_engine::DviEngine;
+use crate::frontend::{Dispatch, FrontEnd};
 use crate::fu::FuPool;
 use crate::rename::{PhysReg, RenameState};
 use crate::stats::SimStats;
 use dvi_bpred::CombiningPredictor;
-use dvi_isa::{Abi, FuKind, Instr, InstrClass};
+use dvi_isa::{Abi, FuKind, InstrClass};
 use dvi_mem::{CachePorts, MemoryHierarchy};
 use dvi_program::DynInst;
 use std::collections::VecDeque;
@@ -38,62 +44,20 @@ enum EntryState {
 /// heap-allocated reclaim list.
 #[derive(Debug, Clone)]
 struct InFlight {
-    dyn_inst: DynInst,
+    mem_addr: Option<u64>,
     dst: Option<PhysReg>,
     old_dst: Option<PhysReg>,
     srcs: [Option<PhysReg>; 2],
+    class: InstrClass,
     reclaim: Vec<PhysReg>,
     state: EntryState,
     resolves_fetch_stall: bool,
 }
 
 impl InFlight {
-    fn new(
-        dyn_inst: DynInst,
-        dst: Option<PhysReg>,
-        old_dst: Option<PhysReg>,
-        srcs: [Option<PhysReg>; 2],
-    ) -> Self {
-        InFlight {
-            dyn_inst,
-            dst,
-            old_dst,
-            srcs,
-            reclaim: Vec::new(),
-            state: EntryState::Waiting,
-            resolves_fetch_stall: false,
-        }
-    }
-
     fn is_done(&self) -> bool {
         self.state == EntryState::Done
     }
-}
-
-/// Replicates the seed's `DviEngine::on_kill` return convention (a fresh
-/// `Vec` per event) on top of the current out-parameter API.
-fn on_kill_vec(
-    dvi: &mut DviEngine,
-    mask: dvi_isa::RegMask,
-    rename: &mut RenameState,
-) -> Vec<PhysReg> {
-    let mut out = ReclaimList::new();
-    dvi.on_kill(mask, rename, &mut out);
-    out.iter().collect()
-}
-
-/// Replicates the seed's `DviEngine::on_call` return convention.
-fn on_call_vec(dvi: &mut DviEngine, rename: &mut RenameState) -> Vec<PhysReg> {
-    let mut out = ReclaimList::new();
-    dvi.on_call(rename, &mut out);
-    out.iter().collect()
-}
-
-/// Replicates the seed's `DviEngine::on_return` return convention.
-fn on_return_vec(dvi: &mut DviEngine, rename: &mut RenameState) -> Vec<PhysReg> {
-    let mut out = ReclaimList::new();
-    dvi.on_return(rename, &mut out);
-    out.iter().collect()
 }
 
 /// Safety valve: if the pipeline makes no forward progress for this many
@@ -117,21 +81,11 @@ pub struct LegacySimulator {
     fu: FuPool,
     bpred: CombiningPredictor,
     window: VecDeque<InFlight>,
-    fetch_queue: VecDeque<DynInst>,
+    /// The shared in-order front end (fetch queue, redirect state machine,
+    /// per-PC decode memo, decode-stage DVI plumbing).
+    front: FrontEnd,
     cycle: u64,
     stats: SimStats,
-    /// Cycle at which fetch may resume after an I-cache miss or a resolved
-    /// misprediction.
-    fetch_stall_until: u64,
-    /// Sequence number of the mispredicted branch fetch is waiting on.
-    pending_mispredict: Option<u64>,
-    /// Physical registers reclaimed by DVI at decode, waiting to be attached
-    /// to the next dispatched window entry so they are freed at its commit.
-    pending_reclaim: Vec<PhysReg>,
-    /// Cache line of the most recent instruction fetch (the fetch stage
-    /// accesses the I-cache once per line, not once per instruction).
-    last_fetch_line: Option<u64>,
-    trace_done: bool,
 }
 
 impl LegacySimulator {
@@ -156,14 +110,9 @@ impl LegacySimulator {
             fu: FuPool::new(config.int_alu_units, config.int_mul_units),
             bpred: CombiningPredictor::new(config.predictor),
             window: VecDeque::with_capacity(config.window_size),
-            fetch_queue: VecDeque::with_capacity(config.fetch_queue),
+            front: FrontEnd::new(&config),
             cycle: 0,
             stats: SimStats::default(),
-            fetch_stall_until: 0,
-            pending_mispredict: None,
-            pending_reclaim: Vec::new(),
-            last_fetch_line: None,
-            trace_done: false,
             config,
         }
     }
@@ -181,7 +130,14 @@ impl LegacySimulator {
             self.writeback();
             self.issue();
             self.rename_dispatch();
-            self.fetch(&mut trace);
+            self.front.fetch(
+                self.cycle,
+                &self.config,
+                &mut self.mem,
+                &mut self.bpred,
+                &mut self.stats,
+                &mut trace,
+            );
 
             self.cycle += 1;
             self.fu.next_cycle();
@@ -189,7 +145,7 @@ impl LegacySimulator {
             let used = self.rename.total() - self.rename.free_count();
             self.stats.peak_phys_regs_used = self.stats.peak_phys_regs_used.max(used);
 
-            if self.trace_done && self.fetch_queue.is_empty() && self.window.is_empty() {
+            if self.front.is_drained() && self.window.is_empty() {
                 break;
             }
             if self.stats.committed_entries != last_progress.1 {
@@ -242,9 +198,7 @@ impl LegacySimulator {
                 self.rename.set_ready(dst);
             }
             if self.window[i].resolves_fetch_stall {
-                self.pending_mispredict = None;
-                self.fetch_stall_until =
-                    self.fetch_stall_until.max(self.cycle + 1 + self.config.mispredict_penalty);
+                self.front.resolve_fetch_stall(self.cycle, self.config.mispredict_penalty);
             }
         }
     }
@@ -263,7 +217,7 @@ impl LegacySimulator {
             if !ready {
                 continue;
             }
-            let class = self.window[i].dyn_inst.instr.class();
+            let class = self.window[i].class;
             let Some(kind) = class.fu_kind() else {
                 self.window[i].state = EntryState::Done;
                 continue;
@@ -284,11 +238,11 @@ impl LegacySimulator {
     fn execution_latency(&mut self, idx: usize, class: InstrClass) -> u64 {
         match class {
             InstrClass::Load => {
-                let addr = self.window[idx].dyn_inst.mem_addr.unwrap_or(0);
+                let addr = self.window[idx].mem_addr.unwrap_or(0);
                 self.mem.data_access(addr, false).latency
             }
             InstrClass::Store => {
-                let addr = self.window[idx].dyn_inst.mem_addr.unwrap_or(0);
+                let addr = self.window[idx].mem_addr.unwrap_or(0);
                 // Stores retire into the cache; the pipeline only waits for
                 // address/data readiness, so the latency charged here is the
                 // port occupancy, while the access updates the cache state.
@@ -303,168 +257,36 @@ impl LegacySimulator {
     fn rename_dispatch(&mut self) {
         let mut dispatched = 0;
         while dispatched < self.config.decode_width {
-            let Some(front) = self.fetch_queue.front() else { break };
-            let dyn_inst = *front;
-            let instr = dyn_inst.instr;
-
-            // E-DVI annotations are consumed at decode: they never occupy a
-            // window slot, a rename slot or a functional unit. Physical
-            // registers they unmap are freed when the next dispatched
-            // instruction (in practice, the annotated call) commits.
-            if let Instr::Kill { mask } = instr {
-                let reclaimed = on_kill_vec(&mut self.dvi, mask, &mut self.rename);
-                self.pending_reclaim.extend(reclaimed);
-                self.fetch_queue.pop_front();
-                dispatched += 1;
-                continue;
-            }
-
-            if instr.is_mem() {
-                self.stats.mem_refs += 1;
-            }
-
-            // Save/restore elimination happens here: the instruction was
-            // fetched and decoded but is not dispatched.
-            if instr.is_save() {
-                let data_reg = instr.src_regs()[0].expect("live-store has a data register");
-                if self.dvi.on_save(data_reg) {
-                    self.fetch_queue.pop_front();
-                    self.stats.program_instrs += 1;
+            let window_full = self.window.len() >= self.config.window_size;
+            let outcome = self.front.next_dispatch(
+                window_full,
+                &mut self.dvi,
+                &mut self.rename,
+                &mut self.stats,
+            );
+            match outcome {
+                Dispatch::Empty | Dispatch::StallWindow | Dispatch::StallRename => break,
+                Dispatch::Consumed => dispatched += 1,
+                Dispatch::Enter(e) => {
+                    // Exactly the seed's entry construction: a fresh owned
+                    // entry with a heap-allocated reclaim list per dispatch.
+                    let mut entry = InFlight {
+                        mem_addr: e.mem_addr,
+                        dst: e.dst,
+                        old_dst: e.old_dst,
+                        srcs: e.srcs,
+                        class: e.class,
+                        reclaim: Vec::new(),
+                        state: EntryState::Waiting,
+                        resolves_fetch_stall: e.resolves_fetch_stall,
+                    };
+                    self.front.drain_reclaim_into_vec(&mut entry.reclaim);
+                    if e.fu_kind.is_none() {
+                        entry.state = EntryState::Done;
+                    }
+                    self.window.push_back(entry);
                     dispatched += 1;
-                    continue;
                 }
-            } else if instr.is_restore() {
-                let dst = instr.dst_reg().expect("live-load has a destination");
-                if self.dvi.on_restore(dst) {
-                    self.fetch_queue.pop_front();
-                    self.stats.program_instrs += 1;
-                    dispatched += 1;
-                    continue;
-                }
-            }
-
-            // Everything else needs a window slot.
-            if self.window.len() >= self.config.window_size {
-                self.stats.rename_stalls_no_window += 1;
-                break;
-            }
-
-            // Rename sources before the destination (an instruction may read
-            // the register it overwrites).
-            let src_regs = instr.src_regs();
-            let srcs = [
-                src_regs[0].and_then(|r| self.rename.lookup(r)),
-                src_regs[1].and_then(|r| self.rename.lookup(r)),
-            ];
-
-            let mut dst = None;
-            let mut old_dst = None;
-            if let Some(d) = instr.dst_reg() {
-                match self.rename.rename_dst(d) {
-                    Some((new, old)) => {
-                        dst = Some(new);
-                        old_dst = old;
-                        self.dvi.on_dest_rename(d);
-                    }
-                    None => {
-                        self.stats.rename_stalls_no_reg += 1;
-                        break;
-                    }
-                }
-            }
-
-            // Implicit DVI and the LVM-Stack. Reclaimed mappings are freed
-            // when this call/return commits.
-            if instr.is_call() {
-                let reclaimed = on_call_vec(&mut self.dvi, &mut self.rename);
-                self.pending_reclaim.extend(reclaimed);
-            } else if instr.is_return() {
-                let reclaimed = on_return_vec(&mut self.dvi, &mut self.rename);
-                self.pending_reclaim.extend(reclaimed);
-            }
-
-            let mut entry = InFlight::new(dyn_inst, dst, old_dst, srcs);
-            entry.reclaim = std::mem::take(&mut self.pending_reclaim);
-            if self.pending_mispredict == Some(dyn_inst.seq) {
-                entry.resolves_fetch_stall = true;
-            }
-            if instr.class().fu_kind().is_none() {
-                entry.state = EntryState::Done;
-            }
-            self.window.push_back(entry);
-            self.fetch_queue.pop_front();
-            dispatched += 1;
-        }
-    }
-
-    // ------------------------------------------------------------ fetch --
-    fn fetch<I>(&mut self, trace: &mut I)
-    where
-        I: Iterator<Item = DynInst>,
-    {
-        if self.trace_done
-            || self.pending_mispredict.is_some()
-            || self.cycle < self.fetch_stall_until
-        {
-            return;
-        }
-        for _ in 0..self.config.fetch_width {
-            if self.fetch_queue.len() >= self.config.fetch_queue {
-                break;
-            }
-            let Some(dyn_inst) = trace.next() else {
-                self.trace_done = true;
-                break;
-            };
-            self.stats.fetched_instrs += 1;
-            if dyn_inst.instr.is_dvi() {
-                self.stats.fetched_kills += 1;
-            }
-
-            // Instruction-cache access: once per cache line, with a
-            // next-line prefetch so sequential code does not pay the full
-            // miss latency on every line (fetch units of this era overlap
-            // line fills with draining the fetch queue).
-            let line_bytes = self.config.icache.line_bytes;
-            let line = dyn_inst.byte_addr() / line_bytes;
-            let mut icache_miss = false;
-            if self.last_fetch_line != Some(line) {
-                self.last_fetch_line = Some(line);
-                let access = self.mem.inst_fetch(dyn_inst.byte_addr());
-                let _ = self.mem.inst_fetch((line + 1) * line_bytes);
-                if !access.l1_hit {
-                    self.fetch_stall_until = self.cycle + access.latency;
-                    icache_miss = true;
-                }
-            }
-
-            let mut redirected = false;
-            match dyn_inst.instr {
-                Instr::Branch { .. } => {
-                    let taken = dyn_inst.taken.unwrap_or(false);
-                    let predicted = self.bpred.predict(dyn_inst.byte_addr());
-                    self.bpred.update(dyn_inst.byte_addr(), taken);
-                    if predicted != taken {
-                        self.pending_mispredict = Some(dyn_inst.seq);
-                        redirected = true;
-                    }
-                }
-                Instr::Call { .. } => {
-                    self.bpred.push_return_address(dyn_inst.fallthrough_byte_addr());
-                }
-                Instr::Return => {
-                    let actual = dvi_program::LayoutProgram::byte_addr(dyn_inst.next_pc);
-                    if !self.bpred.predict_return(actual) {
-                        self.pending_mispredict = Some(dyn_inst.seq);
-                        redirected = true;
-                    }
-                }
-                _ => {}
-            }
-
-            self.fetch_queue.push_back(dyn_inst);
-            if redirected || icache_miss {
-                break;
             }
         }
     }

@@ -35,13 +35,23 @@
 //! scans an age-ordered ready bitset — O(events) per cycle instead of the
 //! classic O(window) full-window scans (see [`sched`] for the structures
 //! and the cycle-accuracy argument, and [`SchedulerKind`] to select the
-//! reference scan implementation instead). The original seed core is
-//! preserved unmodified in [`legacy`] as the throughput baseline; all
-//! three produce bit-identical [`SimStats`] (locked by
-//! `tests/scheduler_equiv.rs`), and the `sim_throughput` bench reports the
-//! simulated-MIPS ratio — ~2.8× on a 16-wide/320-register machine, ~2× at
-//! 8-wide/160, ~1.1× on the paper's 4-wide machine where the window is
-//! small and the scans were never dominant.
+//! reference scan implementation instead). The seed core's back end is
+//! preserved in [`legacy`] as the throughput baseline.
+//!
+//! The front end is **shared and memoized**: both cores fetch and
+//! rename/dispatch through [`frontend::FrontEnd`], whose per-PC
+//! [`DecodeMemo`] computes the static decoding of each instruction (class,
+//! functional unit, source/destination registers, DVI kill masks) exactly
+//! once per static PC — see [`frontend`] for the memoization invariants.
+//! For design-space sweeps, pair the simulator with
+//! [`dvi_program::CapturedTrace`]: record the dynamic stream once and
+//! replay it at every sweep point; replayed statistics are bit-identical
+//! to live interpretation (locked by `tests/replay_equiv.rs`, and all
+//! cores and both trace sources are locked together by
+//! `tests/scheduler_equiv.rs`). The `sim_throughput` bench reports the
+//! simulated-MIPS of every combination — capture/replay runs ~1.3–1.4×
+//! the seed baseline on the paper's 4-wide machine and ~2.2×/~3.2–3.5× at
+//! 8/16-wide where the seed's window scans also dominate.
 //!
 //! # Example
 //!
@@ -69,6 +79,7 @@
 
 mod config;
 mod dvi_engine;
+pub mod frontend;
 mod fu;
 pub mod legacy;
 mod pipeline;
@@ -80,6 +91,7 @@ mod window;
 
 pub use config::{SchedulerKind, SimConfig};
 pub use dvi_engine::{DviEngine, ReclaimList};
+pub use frontend::{DecodeKind, DecodeMemo, StaticDecode};
 pub use fu::FuPool;
 pub use pipeline::Simulator;
 pub use rename::{PhysReg, RenameState};

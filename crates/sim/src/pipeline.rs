@@ -25,17 +25,17 @@
 //! front-end or retirement behaviour; only writeback/wakeup/select differ.
 
 use crate::config::{SchedulerKind, SimConfig};
-use crate::dvi_engine::{DviEngine, ReclaimList};
+use crate::dvi_engine::DviEngine;
+use crate::frontend::{Dispatch, FrontEnd};
 use crate::fu::FuPool;
 use crate::rename::RenameState;
 use crate::sched::{Calendar, ReadyRing, Waiters};
 use crate::stats::SimStats;
 use crate::window::{EntryState, WindowRing};
 use dvi_bpred::CombiningPredictor;
-use dvi_isa::{Abi, FuKind, Instr, InstrClass};
+use dvi_isa::{Abi, FuKind, InstrClass};
 use dvi_mem::{CachePorts, MemoryHierarchy};
 use dvi_program::DynInst;
-use std::collections::VecDeque;
 
 /// Safety valve: if the pipeline makes no forward progress for this many
 /// cycles, the run is aborted (this indicates a modelling bug, not a
@@ -58,21 +58,11 @@ pub struct Simulator {
     fu: FuPool,
     bpred: CombiningPredictor,
     window: WindowRing,
-    fetch_queue: VecDeque<DynInst>,
+    /// The shared in-order front end (fetch queue, redirect state machine,
+    /// per-PC decode memo, decode-stage DVI plumbing).
+    front: FrontEnd,
     cycle: u64,
     stats: SimStats,
-    /// Cycle at which fetch may resume after an I-cache miss or a resolved
-    /// misprediction.
-    fetch_stall_until: u64,
-    /// Sequence number of the mispredicted branch fetch is waiting on.
-    pending_mispredict: Option<u64>,
-    /// Physical registers reclaimed by DVI at decode, waiting to be attached
-    /// to the next dispatched window entry so they are freed at its commit.
-    pending_reclaim: ReclaimList,
-    /// Cache line of the most recent instruction fetch (the fetch stage
-    /// accesses the I-cache once per line, not once per instruction).
-    last_fetch_line: Option<u64>,
-    trace_done: bool,
     // --- Event-driven scheduling state (unused by the naive scan). ---
     event_driven: bool,
     calendar: Calendar,
@@ -109,14 +99,9 @@ impl Simulator {
             ports: CachePorts::new(config.cache_ports),
             fu: FuPool::new(config.int_alu_units, config.int_mul_units),
             bpred: CombiningPredictor::new(config.predictor),
-            fetch_queue: VecDeque::with_capacity(config.fetch_queue),
+            front: FrontEnd::new(&config),
             cycle: 0,
             stats: SimStats::default(),
-            fetch_stall_until: 0,
-            pending_mispredict: None,
-            pending_reclaim: ReclaimList::new(),
-            last_fetch_line: None,
-            trace_done: false,
             event_driven: config.scheduler == SchedulerKind::EventDriven,
             calendar: Calendar::new(max_latency),
             waiters: Waiters::new(config.phys_regs),
@@ -142,7 +127,14 @@ impl Simulator {
             self.writeback();
             self.issue();
             self.rename_dispatch();
-            self.fetch(&mut trace);
+            self.front.fetch(
+                self.cycle,
+                &self.config,
+                &mut self.mem,
+                &mut self.bpred,
+                &mut self.stats,
+                &mut trace,
+            );
 
             self.cycle += 1;
             self.fu.next_cycle();
@@ -150,15 +142,12 @@ impl Simulator {
             let used = self.rename.total() - self.rename.free_count();
             self.stats.peak_phys_regs_used = self.stats.peak_phys_regs_used.max(used);
 
-            if self.trace_done && self.fetch_queue.is_empty() && self.window.is_empty() {
+            if self.front.is_drained() && self.window.is_empty() {
                 // Drain: registers reclaimed by a trailing `kill` (or left
                 // pending when rename stalled at trace end) have no later
                 // dispatched instruction to ride to commit — release them
                 // here so they are not leaked.
-                for i in 0..self.pending_reclaim.len() {
-                    self.rename.release(self.pending_reclaim.get(i));
-                }
-                self.pending_reclaim.clear();
+                self.front.release_pending_reclaims(&mut self.rename);
                 // With nothing in flight, every physical register must be
                 // either architecturally mapped or on the free list — a
                 // shortfall means a reclaim was leaked.
@@ -187,22 +176,21 @@ impl Simulator {
     fn commit(&mut self) {
         let mut committed = 0;
         while committed < self.config.commit_width {
-            let head = self.window.head_seq();
+            // `front` borrows only the `window` field; the releases below
+            // touch the disjoint `rename` (and, in debug builds, `waiters`)
+            // fields, so the entry is read in place without re-indexing.
             let Some(front) = self.window.front() else { break };
             if !front.is_done() {
                 break;
             }
-            let old_dst = front.old_dst;
-            let nreclaim = front.reclaim.len();
-            if let Some(old) = old_dst {
+            if let Some(old) = front.old_dst {
                 debug_assert!(
                     !self.event_driven || !self.waiters.has_waiters(old.0),
                     "released register still has waiters"
                 );
                 self.rename.release(old);
             }
-            for i in 0..nreclaim {
-                let p = self.window.get(head).reclaim.get(i);
+            for p in front.reclaim.iter() {
                 debug_assert!(
                     !self.event_driven || !self.waiters.has_waiters(p.0),
                     "reclaimed register still has waiters"
@@ -245,9 +233,7 @@ impl Simulator {
                 self.wake(p.0);
             }
             if resolves {
-                self.pending_mispredict = None;
-                self.fetch_stall_until =
-                    self.fetch_stall_until.max(self.cycle + 1 + self.config.mispredict_penalty);
+                self.front.resolve_fetch_stall(self.cycle, self.config.mispredict_penalty);
             }
         }
         self.scratch_events = events;
@@ -289,9 +275,7 @@ impl Simulator {
                 self.rename.set_ready(dst);
             }
             if self.window.get(wseq).resolves_fetch_stall {
-                self.pending_mispredict = None;
-                self.fetch_stall_until =
-                    self.fetch_stall_until.max(self.cycle + 1 + self.config.mispredict_penalty);
+                self.front.resolve_fetch_stall(self.cycle, self.config.mispredict_penalty);
             }
         }
     }
@@ -324,7 +308,7 @@ impl Simulator {
             let entry = self.window.get(wseq);
             debug_assert_eq!(entry.state, EntryState::Waiting);
             debug_assert_eq!(entry.missing, 0);
-            let class = entry.dyn_inst.instr.class();
+            let class = entry.class;
             let kind = class.fu_kind().expect("ready entries occupy a functional unit");
             if kind == FuKind::MemPort {
                 if !self.ports.try_acquire() {
@@ -359,7 +343,7 @@ impl Simulator {
             if !ready {
                 continue;
             }
-            let class = self.window.get(wseq).dyn_inst.instr.class();
+            let class = self.window.get(wseq).class;
             let Some(kind) = class.fu_kind() else {
                 self.window.get_mut(wseq).state = EntryState::Done;
                 continue;
@@ -381,11 +365,11 @@ impl Simulator {
     fn execution_latency(&mut self, wseq: u64, class: InstrClass) -> u64 {
         match class {
             InstrClass::Load => {
-                let addr = self.window.get(wseq).dyn_inst.mem_addr.unwrap_or(0);
+                let addr = self.window.get(wseq).mem_addr.unwrap_or(0);
                 self.mem.data_access(addr, false).latency
             }
             InstrClass::Store => {
-                let addr = self.window.get(wseq).dyn_inst.mem_addr.unwrap_or(0);
+                let addr = self.window.get(wseq).mem_addr.unwrap_or(0);
                 // Stores retire into the cache; the pipeline only waits for
                 // address/data readiness, so the latency charged here is the
                 // port occupancy, while the access updates the cache state.
@@ -400,183 +384,42 @@ impl Simulator {
     fn rename_dispatch(&mut self) {
         let mut dispatched = 0;
         while dispatched < self.config.decode_width {
-            let Some(front) = self.fetch_queue.front() else { break };
-            let dyn_inst = *front;
-            let instr = dyn_inst.instr;
-
-            // E-DVI annotations are consumed at decode: they never occupy a
-            // window slot, a rename slot or a functional unit. Physical
-            // registers they unmap are freed when the next dispatched
-            // instruction (in practice, the annotated call) commits.
-            if let Instr::Kill { mask } = instr {
-                self.dvi.on_kill(mask, &mut self.rename, &mut self.pending_reclaim);
-                self.fetch_queue.pop_front();
-                dispatched += 1;
-                continue;
-            }
-
-            if instr.is_mem() {
-                self.stats.mem_refs += 1;
-            }
-
-            // Save/restore elimination happens here: the instruction was
-            // fetched and decoded but is not dispatched.
-            if instr.is_save() {
-                let data_reg = instr.src_regs()[0].expect("live-store has a data register");
-                if self.dvi.on_save(data_reg) {
-                    self.fetch_queue.pop_front();
-                    self.stats.program_instrs += 1;
+            let outcome = self.front.next_dispatch(
+                self.window.is_full(),
+                &mut self.dvi,
+                &mut self.rename,
+                &mut self.stats,
+            );
+            match outcome {
+                Dispatch::Empty | Dispatch::StallWindow | Dispatch::StallRename => break,
+                Dispatch::Consumed => dispatched += 1,
+                Dispatch::Enter(e) => {
+                    let wseq = self.window.push(e.mem_addr, e.dst, e.old_dst, e.srcs, e.class);
+                    let entry = self.window.get_mut(wseq);
+                    entry.resolves_fetch_stall = e.resolves_fetch_stall;
+                    self.front.drain_reclaim_into(&mut entry.reclaim);
+                    if e.fu_kind.is_none() {
+                        // No functional unit: complete at dispatch (moves,
+                        // nops and control handled entirely in the front
+                        // end).
+                        entry.state = EntryState::Done;
+                    } else if self.event_driven {
+                        // Register with the wakeup network: wait on each
+                        // operand that has not been produced yet.
+                        let mut missing = 0u8;
+                        for p in e.srcs.iter().flatten() {
+                            if !self.rename.is_ready(*p) {
+                                self.waiters.wait(p.0, wseq);
+                                missing += 1;
+                            }
+                        }
+                        self.window.get_mut(wseq).missing = missing;
+                        if missing == 0 {
+                            self.ready.set(wseq);
+                        }
+                    }
                     dispatched += 1;
-                    continue;
                 }
-            } else if instr.is_restore() {
-                let dst = instr.dst_reg().expect("live-load has a destination");
-                if self.dvi.on_restore(dst) {
-                    self.fetch_queue.pop_front();
-                    self.stats.program_instrs += 1;
-                    dispatched += 1;
-                    continue;
-                }
-            }
-
-            // Everything else needs a window slot.
-            if self.window.is_full() {
-                self.stats.rename_stalls_no_window += 1;
-                break;
-            }
-
-            // Rename sources before the destination (an instruction may read
-            // the register it overwrites).
-            let src_regs = instr.src_regs();
-            let srcs = [
-                src_regs[0].and_then(|r| self.rename.lookup(r)),
-                src_regs[1].and_then(|r| self.rename.lookup(r)),
-            ];
-
-            let mut dst = None;
-            let mut old_dst = None;
-            if let Some(d) = instr.dst_reg() {
-                match self.rename.rename_dst(d) {
-                    Some((new, old)) => {
-                        dst = Some(new);
-                        old_dst = old;
-                        self.dvi.on_dest_rename(d);
-                    }
-                    None => {
-                        self.stats.rename_stalls_no_reg += 1;
-                        break;
-                    }
-                }
-            }
-
-            // Implicit DVI and the LVM-Stack. Reclaimed mappings are freed
-            // when this call/return commits.
-            if instr.is_call() {
-                self.dvi.on_call(&mut self.rename, &mut self.pending_reclaim);
-            } else if instr.is_return() {
-                self.dvi.on_return(&mut self.rename, &mut self.pending_reclaim);
-            }
-
-            let wseq = self.window.push(dyn_inst, dst, old_dst, srcs);
-            self.window.get_mut(wseq).reclaim.extend_from(&self.pending_reclaim);
-            self.pending_reclaim.clear();
-            if self.pending_mispredict == Some(dyn_inst.seq) {
-                self.window.get_mut(wseq).resolves_fetch_stall = true;
-            }
-            if instr.class().fu_kind().is_none() {
-                // No functional unit: complete at dispatch (moves, nops and
-                // control handled entirely in the front end).
-                self.window.get_mut(wseq).state = EntryState::Done;
-            } else if self.event_driven {
-                // Register with the wakeup network: wait on each operand
-                // that has not been produced yet.
-                let mut missing = 0u8;
-                for p in srcs.iter().flatten() {
-                    if !self.rename.is_ready(*p) {
-                        self.waiters.wait(p.0, wseq);
-                        missing += 1;
-                    }
-                }
-                self.window.get_mut(wseq).missing = missing;
-                if missing == 0 {
-                    self.ready.set(wseq);
-                }
-            }
-            self.fetch_queue.pop_front();
-            dispatched += 1;
-        }
-    }
-
-    // ------------------------------------------------------------ fetch --
-    fn fetch<I>(&mut self, trace: &mut I)
-    where
-        I: Iterator<Item = DynInst>,
-    {
-        if self.trace_done
-            || self.pending_mispredict.is_some()
-            || self.cycle < self.fetch_stall_until
-        {
-            return;
-        }
-        for _ in 0..self.config.fetch_width {
-            if self.fetch_queue.len() >= self.config.fetch_queue {
-                break;
-            }
-            let Some(dyn_inst) = trace.next() else {
-                self.trace_done = true;
-                break;
-            };
-            self.stats.fetched_instrs += 1;
-            if dyn_inst.instr.is_dvi() {
-                self.stats.fetched_kills += 1;
-            }
-
-            // Instruction-cache access: once per cache line, with a
-            // next-line prefetch so sequential code does not pay the full
-            // miss latency on every line (fetch units of this era overlap
-            // line fills with draining the fetch queue).
-            // Line size is a power of two; shift instead of dividing on the
-            // per-instruction path.
-            let line_shift = self.config.icache.line_bytes.trailing_zeros();
-            let line = dyn_inst.byte_addr() >> line_shift;
-            let mut icache_miss = false;
-            if self.last_fetch_line != Some(line) {
-                self.last_fetch_line = Some(line);
-                let access = self.mem.inst_fetch(dyn_inst.byte_addr());
-                let _ = self.mem.inst_fetch((line + 1) << line_shift);
-                if !access.l1_hit {
-                    self.fetch_stall_until = self.cycle + access.latency;
-                    icache_miss = true;
-                }
-            }
-
-            let mut redirected = false;
-            match dyn_inst.instr {
-                Instr::Branch { .. } => {
-                    let taken = dyn_inst.taken.unwrap_or(false);
-                    let predicted = self.bpred.predict(dyn_inst.byte_addr());
-                    self.bpred.update(dyn_inst.byte_addr(), taken);
-                    if predicted != taken {
-                        self.pending_mispredict = Some(dyn_inst.seq);
-                        redirected = true;
-                    }
-                }
-                Instr::Call { .. } => {
-                    self.bpred.push_return_address(dyn_inst.fallthrough_byte_addr());
-                }
-                Instr::Return => {
-                    let actual = dvi_program::LayoutProgram::byte_addr(dyn_inst.next_pc);
-                    if !self.bpred.predict_return(actual) {
-                        self.pending_mispredict = Some(dyn_inst.seq);
-                        redirected = true;
-                    }
-                }
-                _ => {}
-            }
-
-            self.fetch_queue.push_back(dyn_inst);
-            if redirected || icache_miss {
-                break;
             }
         }
     }
@@ -586,7 +429,7 @@ impl Simulator {
 mod tests {
     use super::*;
     use dvi_core::DviConfig;
-    use dvi_isa::{AluOp, ArchReg};
+    use dvi_isa::{AluOp, ArchReg, Instr};
     use dvi_program::{Interpreter, ProcBuilder, Program, ProgramBuilder};
 
     fn r(i: u8) -> ArchReg {

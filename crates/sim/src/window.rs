@@ -2,8 +2,7 @@
 
 use crate::rename::PhysReg;
 use crate::smallvec::SmallVec;
-use dvi_isa::Instr;
-use dvi_program::DynInst;
+use dvi_isa::InstrClass;
 
 /// Execution state of an in-flight instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,10 +19,16 @@ pub enum EntryState {
 }
 
 /// An instruction occupying an instruction-window / reorder-buffer slot.
+///
+/// Only the fields the back end actually consumes are stored: the decode
+/// products (class, renamed operands) come memoized from the front end and
+/// the sole dynamic field execution needs is the effective address —
+/// keeping the entry small makes the recycled ring cache-dense and the
+/// dispatch path copy-light.
 #[derive(Debug, Clone)]
 pub struct InFlight {
-    /// The dynamic instruction.
-    pub dyn_inst: DynInst,
+    /// Effective address for memory instructions.
+    pub mem_addr: Option<u64>,
     /// Physical register allocated for the destination, if any.
     pub dst: Option<PhysReg>,
     /// Previous mapping of the destination architectural register, returned
@@ -32,6 +37,10 @@ pub struct InFlight {
     /// Renamed source operands (`None` means always ready: the zero
     /// register, an immediate, or a register whose mapping DVI removed).
     pub srcs: [Option<PhysReg>; 2],
+    /// Resource-model class, memoized at dispatch by the front end's
+    /// per-PC decode table so issue never re-derives it from the
+    /// instruction.
+    pub class: InstrClass,
     /// Physical registers reclaimed by DVI that become free when this entry
     /// commits. The paper frees dead physical registers only when the
     /// DVI-providing instruction is non-speculative; deferring the release
@@ -53,16 +62,18 @@ impl InFlight {
     /// Creates a freshly dispatched entry.
     #[must_use]
     pub fn new(
-        dyn_inst: DynInst,
+        mem_addr: Option<u64>,
         dst: Option<PhysReg>,
         old_dst: Option<PhysReg>,
         srcs: [Option<PhysReg>; 2],
+        class: InstrClass,
     ) -> Self {
         InFlight {
-            dyn_inst,
+            mem_addr,
             dst,
             old_dst,
             srcs,
+            class,
             reclaim: SmallVec::new(),
             state: EntryState::Waiting,
             resolves_fetch_stall: false,
@@ -73,31 +84,24 @@ impl InFlight {
     /// A placeholder entry used to pre-fill recycled window slots.
     #[must_use]
     pub fn placeholder() -> Self {
-        let nop = DynInst {
-            seq: 0,
-            pc: 0,
-            instr: Instr::Nop,
-            proc: dvi_program::ProcId(0),
-            mem_addr: None,
-            taken: None,
-            next_pc: 0,
-        };
-        InFlight::new(nop, None, None, [None, None])
+        InFlight::new(None, None, None, [None, None], InstrClass::Nop)
     }
 
     /// Re-initializes a recycled slot in place, keeping the `reclaim`
     /// buffer's capacity.
     pub fn reset(
         &mut self,
-        dyn_inst: DynInst,
+        mem_addr: Option<u64>,
         dst: Option<PhysReg>,
         old_dst: Option<PhysReg>,
         srcs: [Option<PhysReg>; 2],
+        class: InstrClass,
     ) {
-        self.dyn_inst = dyn_inst;
+        self.mem_addr = mem_addr;
         self.dst = dst;
         self.old_dst = old_dst;
         self.srcs = srcs;
+        self.class = class;
         self.reclaim.clear();
         self.state = EntryState::Waiting;
         self.resolves_fetch_stall = false;
@@ -180,14 +184,15 @@ impl WindowRing {
     /// Panics if the window is full (the caller checks [`WindowRing::is_full`]).
     pub fn push(
         &mut self,
-        dyn_inst: DynInst,
+        mem_addr: Option<u64>,
         dst: Option<PhysReg>,
         old_dst: Option<PhysReg>,
         srcs: [Option<PhysReg>; 2],
+        class: InstrClass,
     ) -> u64 {
         assert!(!self.is_full(), "window overflow");
         let wseq = self.tail;
-        self.slots[(wseq & self.mask) as usize].reset(dyn_inst, dst, old_dst, srcs);
+        self.slots[(wseq & self.mask) as usize].reset(mem_addr, dst, old_dst, srcs, class);
         self.tail += 1;
         wseq
     }
@@ -254,28 +259,16 @@ impl WindowRing {
 mod tests {
     use super::*;
 
-    fn dummy_dyn(instr: Instr) -> DynInst {
-        DynInst {
-            seq: 0,
-            pc: 0,
-            instr,
-            proc: dvi_program::ProcId(0),
-            mem_addr: None,
-            taken: None,
-            next_pc: 1,
-        }
-    }
-
     #[test]
     fn new_entries_start_waiting() {
-        let e = InFlight::new(dummy_dyn(Instr::Nop), None, None, [None, None]);
+        let e = InFlight::new(None, None, None, [None, None], InstrClass::Nop);
         assert_eq!(e.state, EntryState::Waiting);
         assert!(!e.is_done());
     }
 
     #[test]
     fn done_state_is_reported() {
-        let mut e = InFlight::new(dummy_dyn(Instr::Nop), None, None, [None, None]);
+        let mut e = InFlight::new(None, None, None, [None, None], InstrClass::Nop);
         e.state = EntryState::Executing { done_at: 5 };
         assert!(!e.is_done());
         e.state = EntryState::Done;
@@ -286,15 +279,15 @@ mod tests {
     fn ring_recycles_slots_in_fifo_order() {
         let mut w = WindowRing::new(3); // ring size 4
         assert_eq!(w.ring_size(), 4);
-        let a = w.push(dummy_dyn(Instr::Nop), None, None, [None, None]);
-        let b = w.push(dummy_dyn(Instr::Nop), None, None, [None, None]);
-        let c = w.push(dummy_dyn(Instr::Nop), None, None, [None, None]);
+        let a = w.push(None, None, None, [None, None], InstrClass::Nop);
+        let b = w.push(None, None, None, [None, None], InstrClass::Nop);
+        let c = w.push(None, None, None, [None, None], InstrClass::Nop);
         assert!(w.is_full());
         assert_eq!((a, b, c), (0, 1, 2));
         assert_eq!(w.head_seq(), 0);
         w.pop_front();
         assert!(!w.is_full());
-        let d = w.push(dummy_dyn(Instr::Halt), None, None, [None, None]);
+        let d = w.push(Some(64), None, None, [None, None], InstrClass::Halt);
         assert_eq!(d, 3);
         assert!(w.contains(b) && w.contains(d) && !w.contains(a));
         assert_eq!(w.seqs().collect::<Vec<_>>(), vec![1, 2, 3]);
@@ -305,7 +298,7 @@ mod tests {
     fn reset_keeps_reclaim_capacity_but_clears_contents() {
         let mut e = InFlight::placeholder();
         e.reclaim.push(crate::rename::PhysReg(4));
-        e.reset(dummy_dyn(Instr::Nop), None, None, [None, None]);
+        e.reset(None, None, None, [None, None], InstrClass::Nop);
         assert!(e.reclaim.is_empty());
         assert_eq!(e.missing, 0);
     }

@@ -163,6 +163,16 @@ pub fn all() -> Vec<WorkloadSpec> {
     ]
 }
 
+/// Deterministically selects one of the presets by index (wrapping modulo
+/// the suite size). Property tests use this to sample random presets from
+/// a plain integer strategy.
+#[must_use]
+pub fn by_index(i: usize) -> WorkloadSpec {
+    let mut suite = all();
+    let n = suite.len();
+    suite.swap_remove(i % n)
+}
+
 /// The six benchmarks the paper uses for the save/restore study (Figure 9
 /// drops `compress`, which has too little save/restore activity).
 #[must_use]
@@ -201,6 +211,16 @@ mod tests {
         for p in &presets {
             assert!(p.dead_at_call_probability <= perl.dead_at_call_probability);
         }
+    }
+
+    #[test]
+    fn by_index_wraps_and_covers_every_preset() {
+        let names: Vec<String> = (0..7).map(|i| by_index(i).name).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 7, "each index selects a distinct preset");
+        assert_eq!(by_index(0).name, by_index(7).name, "indices wrap modulo the suite");
     }
 
     #[test]

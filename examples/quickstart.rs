@@ -5,7 +5,7 @@
 
 use dvi_core::DviConfig;
 use dvi_isa::Abi;
-use dvi_program::Interpreter;
+use dvi_program::CapturedTrace;
 use dvi_sim::{SimConfig, Simulator};
 use dvi_workloads::WorkloadSpec;
 
@@ -26,14 +26,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let compiled = dvi_compiler::compile(&bare, &abi, dvi_compiler::CompileOptions::default())?;
     println!("compiler report: {}", compiled.report);
 
-    // 3. Lay it out and time it on the paper's machine, with and without DVI.
+    // 3. Lay it out and record its dynamic trace once: the same capture
+    //    replays (bit-identically) on every machine configuration, so a
+    //    sweep pays the functional interpreter only once.
     let layout = compiled.program.layout()?;
-    let budget = 100_000;
+    let trace = CapturedTrace::record(&layout, 100_000);
 
-    let baseline =
-        Simulator::new(SimConfig::micro97()).run(Interpreter::new(&layout).with_step_limit(budget));
-    let with_dvi = Simulator::new(SimConfig::micro97().with_dvi(DviConfig::full()))
-        .run(Interpreter::new(&layout).with_step_limit(budget));
+    // 4. Time it on the paper's machine, with and without DVI.
+    let baseline = Simulator::new(SimConfig::micro97()).run(trace.replay());
+    let with_dvi =
+        Simulator::new(SimConfig::micro97().with_dvi(DviConfig::full())).run(trace.replay());
 
     println!("baseline machine : {baseline}");
     println!("DVI machine      : {with_dvi}");
