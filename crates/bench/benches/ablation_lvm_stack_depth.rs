@@ -5,13 +5,22 @@
 //! call chains). This ablation sweeps the depth and reports how the
 //! restore-elimination rate responds, alongside the wall-clock cost of each
 //! configuration.
+//!
+//! Host-side it follows the capture-once/replay-many discipline: the
+//! benchmark's trace is recorded once, the whole depth grid is timed in a
+//! single batched `SweepRunner` pass for the report, and the Criterion
+//! measurement replays the shared capture per depth (the interpreter never
+//! runs inside the timed region).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dvi_core::DviConfig;
 use dvi_experiments::{Binaries, Budget};
-use dvi_sim::SimConfig;
+use dvi_program::CapturedTrace;
+use dvi_sim::{SimConfig, Simulator, SweepRunner};
 use dvi_workloads::presets;
 use std::time::Duration;
+
+const DEPTHS: [usize; 5] = [1, 2, 4, 16, 64];
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_lvm_stack_depth");
@@ -19,26 +28,30 @@ fn bench(c: &mut Criterion) {
 
     let budget = Budget { instrs_per_run: 20_000 };
     let binaries = Binaries::build(&presets::li_like());
+    // Capture once; every depth point replays this trace.
+    let trace = CapturedTrace::record(&binaries.edvi, budget.instrs_per_run);
+
+    let config_for = |depth: usize| {
+        SimConfig::micro97().with_dvi(DviConfig::full().with_lvm_stack_entries(depth))
+    };
 
     // Report the elimination rate for each depth once (printed to stderr so
-    // it shows up in the bench log), then measure the simulation cost.
-    for depth in [1usize, 2, 4, 16, 64] {
-        let dvi = DviConfig::full().with_lvm_stack_entries(depth);
-        let config = SimConfig::micro97().with_dvi(dvi);
-        let trace =
-            dvi_program::Interpreter::new(&binaries.edvi).with_step_limit(budget.instrs_per_run);
-        let once = dvi_sim::Simulator::new(config.clone()).run(trace);
+    // it shows up in the bench log) — the whole grid rides one batched pass
+    // over the shared capture.
+    let grid_stats = SweepRunner::new(&trace, DEPTHS.into_iter().map(config_for)).run();
+    for (depth, stats) in DEPTHS.into_iter().zip(&grid_stats) {
+        assert!(!stats.deadlocked, "depth {depth} produced a partial run");
         eprintln!(
             "lvm-stack depth {depth:>3}: {:.1}% of saves+restores eliminated ({} restores eliminated)",
-            once.pct_save_restores_eliminated(),
-            once.dvi.restores_eliminated
+            stats.pct_save_restores_eliminated(),
+            stats.dvi.restores_eliminated
         );
+    }
+
+    for depth in DEPTHS {
+        let config = config_for(depth);
         g.bench_with_input(BenchmarkId::new("simulate", depth), &depth, |b, _| {
-            b.iter(|| {
-                let trace = dvi_program::Interpreter::new(&binaries.edvi)
-                    .with_step_limit(budget.instrs_per_run);
-                dvi_sim::Simulator::new(config.clone()).run(trace)
-            });
+            b.iter(|| Simulator::new(config.clone()).run(trace.replay()));
         });
     }
     g.finish();

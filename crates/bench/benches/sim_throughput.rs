@@ -19,6 +19,14 @@
 //! Three machines are measured: the paper's 4-wide/80-register machine,
 //! the scaled 8-wide/160 machine and a 16-wide/320 sweep machine.
 //!
+//! A separate **sweep** section compares the two ways of running a whole
+//! configuration grid over the captured traces: the serial capture/replay
+//! loop (one `Simulator::run` per grid point) versus one co-scheduled
+//! `SweepRunner` pass per trace (shared decode table + branch oracle; see
+//! `dvi_sim::batch`). The comparison first asserts the two produce
+//! bit-identical `SimStats`, so the CI bench-smoke job also acts as a
+//! batching regression test.
+//!
 //! Besides printing, the bench writes the headline numbers to
 //! `BENCH_sim_throughput.json` (next to the crate when run via `cargo
 //! bench`) so CI can archive throughput history. Set `BENCH_QUICK=1` for a
@@ -29,7 +37,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use dvi_core::DviConfig;
 use dvi_isa::Abi;
 use dvi_program::{CapturedTrace, Interpreter, LayoutProgram};
-use dvi_sim::{SchedulerKind, SimConfig, Simulator};
+use dvi_sim::{SchedulerKind, SimConfig, SimStats, Simulator, SweepRunner};
 use std::io::Write as _;
 use std::time::{Duration, Instant};
 
@@ -181,6 +189,76 @@ fn simulated_mips_all(mix: &Mix, config: &SimConfig) -> [f64; 4] {
     mips
 }
 
+/// The 8-configuration sweep grid of the batched-vs-serial comparison: the
+/// register-file axis of the paper's Figure 5 on the 4-wide machine with
+/// full DVI. Every member shares the Figure 2 predictor, so the batched
+/// runner shares one branch oracle across all eight.
+fn sweep_grid() -> Vec<SimConfig> {
+    [34usize, 40, 48, 56, 64, 72, 80, 96]
+        .into_iter()
+        .map(|n| SimConfig::micro97().with_phys_regs(n).with_dvi(DviConfig::full()))
+        .collect()
+}
+
+/// The serial capture/replay loop: one `Simulator::run` per (trace,
+/// config) pair — how sweeps ran before the batched runner. Returns total
+/// simulated instructions.
+fn run_sweep_serial(mix: &Mix, grid: &[SimConfig]) -> u64 {
+    mix.traces
+        .iter()
+        .map(|trace| {
+            grid.iter()
+                .map(|config| Simulator::new(config.clone()).run(trace.replay()).program_instrs)
+                .sum::<u64>()
+        })
+        .sum()
+}
+
+/// The batched runner: all grid members co-scheduled in one pass per
+/// trace. Returns total simulated instructions.
+fn run_sweep_batch(mix: &Mix, grid: &[SimConfig]) -> u64 {
+    mix.traces
+        .iter()
+        .map(|trace| {
+            SweepRunner::new(trace, grid.iter().cloned())
+                .run()
+                .iter()
+                .map(|s| s.program_instrs)
+                .sum::<u64>()
+        })
+        .sum()
+}
+
+/// Asserts the batched runner reproduces the serial statistics bit for
+/// bit on the bench's own grid and traces (the bench-smoke CI job runs
+/// this in quick mode, so a batching regression fails CI even before the
+/// throughput numbers are read).
+fn verify_sweep_equivalence(mix: &Mix, grid: &[SimConfig]) {
+    for trace in &mix.traces {
+        let batched = SweepRunner::new(trace, grid.iter().cloned()).run();
+        let serial: Vec<SimStats> =
+            grid.iter().map(|config| Simulator::new(config.clone()).run(trace.replay())).collect();
+        assert_eq!(batched, serial, "batched sweep diverged from serial replays");
+        assert!(batched.iter().all(|s| !s.deadlocked), "sweep member hit the deadlock watchdog");
+    }
+}
+
+/// Interleaved min-of-N for the sweep comparison: (serial MIPS, batch
+/// MIPS).
+fn sweep_mips(mix: &Mix, grid: &[SimConfig]) -> (f64, f64) {
+    let mut best = [f64::MAX; 2];
+    let mut instrs = [0u64; 2];
+    for _ in 0..reps() {
+        let start = Instant::now();
+        instrs[0] = run_sweep_serial(mix, grid);
+        best[0] = best[0].min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        instrs[1] = run_sweep_batch(mix, grid);
+        best[1] = best[1].min(start.elapsed().as_secs_f64());
+    }
+    (instrs[0] as f64 / best[0] / 1.0e6, instrs[1] as f64 / best[1] / 1.0e6)
+}
+
 /// One machine's headline numbers.
 struct MachineResult {
     name: &'static str,
@@ -190,8 +268,19 @@ struct MachineResult {
     replay: f64,
 }
 
+/// The sweep-comparison headline numbers.
+struct SweepResult {
+    configs: usize,
+    serial_mips: f64,
+    batch_mips: f64,
+}
+
 /// Writes the headline numbers as a JSON artifact for CI history.
-fn write_json(results: &[MachineResult], capture_seconds: f64) -> std::io::Result<()> {
+fn write_json(
+    results: &[MachineResult],
+    sweep: &SweepResult,
+    capture_seconds: f64,
+) -> std::io::Result<()> {
     let path =
         std::env::var("BENCH_JSON_PATH").unwrap_or_else(|_| "BENCH_sim_throughput.json".to_owned());
     let mut f = std::fs::File::create(&path)?;
@@ -217,7 +306,16 @@ fn write_json(results: &[MachineResult], capture_seconds: f64) -> std::io::Resul
             r.replay / r.event_driven,
         )?;
     }
-    writeln!(f, "  ]")?;
+    writeln!(f, "  ],")?;
+    writeln!(
+        f,
+        "  \"sweep\": {{\"configs\": {}, \"serial_mips\": {:.3}, \"batch_mips\": {:.3}, \
+         \"batch_vs_serial\": {:.3}}}",
+        sweep.configs,
+        sweep.serial_mips,
+        sweep.batch_mips,
+        sweep.batch_mips / sweep.serial_mips,
+    )?;
     writeln!(f, "}}")?;
     println!("sim_throughput: wrote {path}");
     Ok(())
@@ -256,7 +354,30 @@ fn bench(c: &mut Criterion) {
         mix.capture_seconds,
         mix.traces.iter().map(|t| t.len() as u64).sum::<u64>() as f64 / mix.capture_seconds / 1.0e6
     );
-    if let Err(e) = write_json(&results, mix.capture_seconds) {
+
+    // Batched-vs-serial sweep comparison: the same 8-configuration grid
+    // over the same captured traces, run as 8 serial replays per trace
+    // versus one co-scheduled `SweepRunner` pass per trace. The warm-up is
+    // a full bit-identity check, so the bench-smoke CI job doubles as a
+    // batching regression test.
+    let grid = sweep_grid();
+    verify_sweep_equivalence(&mix, &grid);
+    let (serial_mips, batch_mips) = sweep_mips(&mix, &grid);
+    let sweep = SweepResult { configs: grid.len(), serial_mips, batch_mips };
+    println!(
+        "sim_throughput/sweep/serial ({} configs): {serial_mips:.2} simulated-MIPS",
+        grid.len()
+    );
+    println!(
+        "sim_throughput/sweep/batch  ({} configs): {batch_mips:.2} simulated-MIPS",
+        grid.len()
+    );
+    println!(
+        "sim_throughput/sweep/speedup:              {:.2}x batched vs serial",
+        batch_mips / serial_mips
+    );
+
+    if let Err(e) = write_json(&results, &sweep, mix.capture_seconds) {
         eprintln!("sim_throughput: could not write JSON artifact: {e}");
     }
 
@@ -286,6 +407,12 @@ fn bench(c: &mut Criterion) {
     });
     g.bench_function("seed_baseline_8wide", |b| {
         b.iter(|| run_mix(&mix, &wide, Core::SeedBaseline));
+    });
+    g.bench_function("sweep_serial_8cfg", |b| {
+        b.iter(|| run_sweep_serial(&mix, &grid));
+    });
+    g.bench_function("sweep_batch_8cfg", |b| {
+        b.iter(|| run_sweep_batch(&mix, &grid));
     });
     g.finish();
 }

@@ -1,9 +1,10 @@
 //! Figure 5: average IPC as a function of physical register file size.
 
-use crate::harness::{mean, replay, Budget, CapturedBinaries};
+use crate::harness::{mean, sweep, Budget, CapturedBinaries};
 use crate::table::Table;
 use dvi_core::DviConfig;
 use dvi_sim::SimConfig;
+use dvi_sim::SimStats;
 use dvi_workloads::{presets, WorkloadSpec};
 use rayon::prelude::*;
 use std::fmt;
@@ -61,28 +62,33 @@ pub fn run(budget: Budget) -> Figure05 {
 /// and benches with reduced scope).
 #[must_use]
 pub fn run_with(budget: Budget, benchmarks: &[WorkloadSpec], sizes: &[usize]) -> Figure05 {
-    // Capture each benchmark's traces once (in parallel — the capture
-    // passes are the only remaining interpreter work); the whole size ×
-    // scheme grid replays them instead of re-interpreting the programs.
-    let binaries: Vec<CapturedBinaries> =
-        benchmarks.par_iter().map(|spec| CapturedBinaries::build(spec, budget)).collect();
-    // Every (size, scheme, benchmark) simulation is independent; sweep the
-    // register-file sizes in parallel over the shared captured traces.
-    let points = sizes
+    // Capture each benchmark's traces once (the capture passes are the
+    // only remaining interpreter work), then drive the entire size ×
+    // scheme grid through one batched sweep per trace: every register-file
+    // size re-times the shared capture in a single co-scheduled pass
+    // instead of one serial replay per grid point.
+    let per_bench: Vec<(Vec<SimStats>, Vec<SimStats>)> = benchmarks
         .par_iter()
-        .map(|&n| {
-            let mut no_dvi = Vec::new();
-            let mut idvi = Vec::new();
-            let mut full = Vec::new();
-            for b in &binaries {
-                let base_cfg = SimConfig::micro97().with_phys_regs(n);
-                no_dvi
-                    .push(replay(&b.baseline, base_cfg.clone().with_dvi(DviConfig::none())).ipc());
-                idvi.push(
-                    replay(&b.baseline, base_cfg.clone().with_dvi(DviConfig::idvi_only())).ipc(),
-                );
-                full.push(replay(&b.edvi, base_cfg.with_dvi(DviConfig::full())).ipc());
-            }
+        .map(|spec| {
+            let binaries = CapturedBinaries::build(spec, budget);
+            // Grid order: [none(size0), idvi(size0), none(size1), ...].
+            let base_grid = sizes.iter().flat_map(|&n| {
+                let cfg = SimConfig::micro97().with_phys_regs(n);
+                [cfg.clone().with_dvi(DviConfig::none()), cfg.with_dvi(DviConfig::idvi_only())]
+            });
+            let edvi_grid = sizes
+                .iter()
+                .map(|&n| SimConfig::micro97().with_phys_regs(n).with_dvi(DviConfig::full()));
+            (sweep(&binaries.baseline, base_grid), sweep(&binaries.edvi, edvi_grid))
+        })
+        .collect();
+    let points = sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            let no_dvi: Vec<f64> = per_bench.iter().map(|(base, _)| base[2 * i].ipc()).collect();
+            let idvi: Vec<f64> = per_bench.iter().map(|(base, _)| base[2 * i + 1].ipc()).collect();
+            let full: Vec<f64> = per_bench.iter().map(|(_, edvi)| edvi[i].ipc()).collect();
             SizePoint {
                 phys_regs: n,
                 ipc_no_dvi: mean(&no_dvi),

@@ -1,6 +1,6 @@
 //! Figure 9: dynamic saves and restores eliminated.
 
-use crate::harness::{mean, replay, Budget, CapturedBinaries};
+use crate::harness::{mean, sweep, Budget, CapturedBinaries};
 use crate::table::Table;
 use dvi_core::DviConfig;
 use dvi_sim::SimConfig;
@@ -63,20 +63,25 @@ pub fn run_with(budget: Budget, benchmarks: &[dvi_workloads::WorkloadSpec]) -> F
     let rows = benchmarks
         .par_iter()
         .map(|spec| {
-            // One capture serves both hardware schemes.
+            // One capture serves both hardware schemes, which ride a
+            // single batched pass over it.
             let binaries = CapturedBinaries::build(spec, budget);
-            let run_scheme = |dvi: DviConfig| {
-                let stats = replay(&binaries.edvi, SimConfig::micro97().with_dvi(dvi));
+            let stats = sweep(
+                &binaries.edvi,
+                [DviConfig::lvm_scheme(), DviConfig::lvm_stack_scheme()]
+                    .map(|dvi| SimConfig::micro97().with_dvi(dvi)),
+            );
+            let pcts = |s: &dvi_sim::SimStats| {
                 (
-                    stats.pct_save_restores_eliminated(),
-                    stats.pct_mem_refs_eliminated(),
-                    stats.pct_instrs_eliminated(),
+                    s.pct_save_restores_eliminated(),
+                    s.pct_mem_refs_eliminated(),
+                    s.pct_instrs_eliminated(),
                 )
             };
             EliminationRow {
                 name: spec.name.clone(),
-                lvm: run_scheme(DviConfig::lvm_scheme()),
-                lvm_stack: run_scheme(DviConfig::lvm_stack_scheme()),
+                lvm: pcts(&stats[0]),
+                lvm_stack: pcts(&stats[1]),
             }
         })
         .collect();

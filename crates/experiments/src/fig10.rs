@@ -1,6 +1,6 @@
 //! Figure 10: IPC speedups from dead save/restore elimination.
 
-use crate::harness::{replay, Budget, CapturedBinaries};
+use crate::harness::{replay, sweep, Budget, CapturedBinaries};
 use crate::table::Table;
 use dvi_core::DviConfig;
 use dvi_sim::SimConfig;
@@ -49,22 +49,20 @@ pub fn run_with(budget: Budget, benchmarks: &[dvi_workloads::WorkloadSpec]) -> F
     let rows = benchmarks
         .par_iter()
         .map(|spec| {
-            // One capture serves the baseline machine and both schemes.
+            // One capture serves the baseline machine and both schemes;
+            // the two schemes ride one batched pass over the E-DVI trace.
             let binaries = CapturedBinaries::build(spec, budget);
             let base = replay(&binaries.baseline, SimConfig::micro97()).ipc();
-            let lvm =
-                replay(&binaries.edvi, SimConfig::micro97().with_dvi(DviConfig::lvm_scheme()))
-                    .ipc();
-            let stack = replay(
+            let schemes = sweep(
                 &binaries.edvi,
-                SimConfig::micro97().with_dvi(DviConfig::lvm_stack_scheme()),
-            )
-            .ipc();
+                [DviConfig::lvm_scheme(), DviConfig::lvm_stack_scheme()]
+                    .map(|dvi| SimConfig::micro97().with_dvi(dvi)),
+            );
             SpeedupRow {
                 name: spec.name.clone(),
                 base_ipc: base,
-                lvm_speedup_pct: 100.0 * (lvm / base - 1.0),
-                lvm_stack_speedup_pct: 100.0 * (stack / base - 1.0),
+                lvm_speedup_pct: 100.0 * (schemes[0].ipc() / base - 1.0),
+                lvm_stack_speedup_pct: 100.0 * (schemes[1].ipc() / base - 1.0),
             }
         })
         .collect();

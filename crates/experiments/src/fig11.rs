@@ -1,7 +1,7 @@
 //! Figure 11: sensitivity of save/restore elimination to data-cache
 //! bandwidth (ports) and issue width.
 
-use crate::harness::{replay, Budget, CapturedBinaries};
+use crate::harness::{sweep, Budget, CapturedBinaries};
 use crate::table::Table;
 use dvi_core::DviConfig;
 use dvi_sim::SimConfig;
@@ -70,28 +70,37 @@ pub fn run_with(
     ports: &[usize],
 ) -> Figure11 {
     // One task per benchmark (binaries are built and their traces captured
-    // once per benchmark); the width × port grid replays the captures
-    // inside the task, and the row order stays benchmark-major as before.
+    // once per benchmark); the whole width × port grid rides one batched
+    // pass over each capture, and the row order stays benchmark-major as
+    // before.
     let per_bench: Vec<Vec<SensitivityRow>> = benchmarks
         .par_iter()
         .map(|spec| {
             let binaries = CapturedBinaries::build(spec, budget);
-            let mut rows = Vec::with_capacity(widths.len() * ports.len());
-            for &width in widths {
-                for &np in ports {
-                    let machine = SimConfig::micro97().with_issue_width(width).with_cache_ports(np);
-                    let base = replay(&binaries.baseline, machine.clone()).ipc();
-                    let dvi = replay(&binaries.edvi, machine.with_dvi(DviConfig::full())).ipc();
-                    rows.push(SensitivityRow {
-                        name: spec.name.clone(),
-                        issue_width: width,
-                        cache_ports: np,
-                        base_ipc: base,
-                        dvi_ipc: dvi,
-                    });
-                }
-            }
-            rows
+            let machines: Vec<SimConfig> = widths
+                .iter()
+                .flat_map(|&width| {
+                    ports.iter().map(move |&np| {
+                        SimConfig::micro97().with_issue_width(width).with_cache_ports(np)
+                    })
+                })
+                .collect();
+            let base = sweep(&binaries.baseline, machines.iter().cloned());
+            let dvi = sweep(
+                &binaries.edvi,
+                machines.iter().map(|m| m.clone().with_dvi(DviConfig::full())),
+            );
+            machines
+                .iter()
+                .zip(base.iter().zip(&dvi))
+                .map(|(machine, (base, dvi))| SensitivityRow {
+                    name: spec.name.clone(),
+                    issue_width: machine.issue_width,
+                    cache_ports: machine.cache_ports,
+                    base_ipc: base.ipc(),
+                    dvi_ipc: dvi.ipc(),
+                })
+                .collect()
         })
         .collect();
     Figure11 { rows: per_bench.into_iter().flatten().collect() }

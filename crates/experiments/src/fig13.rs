@@ -1,6 +1,6 @@
 //! Figure 13: E-DVI overhead.
 
-use crate::harness::{replay, Budget, CapturedBinaries};
+use crate::harness::{sweep, Budget, CapturedBinaries};
 use crate::table::Table;
 use dvi_core::DviConfig;
 use dvi_sim::SimConfig;
@@ -55,19 +55,20 @@ pub fn run_with(budget: Budget, benchmarks: &[dvi_workloads::WorkloadSpec]) -> F
     let rows = benchmarks
         .par_iter()
         .map(|spec| {
-            // One capture serves both instruction-cache geometries.
+            // One capture serves both instruction-cache geometries, which
+            // ride one batched pass over each binary's trace.
             let binaries = CapturedBinaries::build(spec, budget);
             // The paper compares IPC of binaries with and without E-DVI in
             // the *absence* of the DVI optimizations, so the annotations are
             // pure fetch overhead.
             let no_dvi = DviConfig::none();
-            let ipc_overhead = |config: SimConfig| {
-                let base = replay(&binaries.baseline, config.clone().with_dvi(no_dvi));
-                let edvi = replay(&binaries.edvi, config.with_dvi(no_dvi));
-                (100.0 * (base.ipc() / edvi.ipc() - 1.0), base, edvi)
-            };
-            let (ipc64, base64, edvi64) = ipc_overhead(SimConfig::micro97());
-            let (ipc32, _, _) = ipc_overhead(SimConfig::micro97_small_icache());
+            let geometries = [SimConfig::micro97(), SimConfig::micro97_small_icache()]
+                .map(|c| c.with_dvi(no_dvi));
+            let base = sweep(&binaries.baseline, geometries.clone());
+            let edvi = sweep(&binaries.edvi, geometries);
+            let ipc_overhead = |i: usize| 100.0 * (base[i].ipc() / edvi[i].ipc() - 1.0);
+            let (ipc64, ipc32) = (ipc_overhead(0), ipc_overhead(1));
+            let (base64, edvi64) = (base[0], edvi[0]);
             let fetch_overhead = if base64.fetched_instrs == 0 {
                 0.0
             } else {

@@ -4,15 +4,18 @@
 //! dynamic instruction stream, so the drivers follow a
 //! capture-once/replay-many discipline: [`Binaries::capture`] records each
 //! binary's trace with the functional interpreter exactly once per budget,
-//! and [`replay`] feeds the recorded stream to the timing simulator for
-//! every sweep point. Replayed statistics are bit-identical to live
-//! interpretation (`dvi-sim/tests/replay_equiv.rs`), so this is purely a
-//! host-time optimization.
+//! and the whole configuration grid of a figure re-times the capture —
+//! through [`sweep`], which batches every grid point into one co-scheduled
+//! pass over the trace (`dvi_sim::batch::SweepRunner`), or through
+//! [`replay`] for a single point. Both are bit-identical to live
+//! interpretation (`dvi-sim/tests/replay_equiv.rs`,
+//! `dvi-sim/tests/batch_equiv.rs`), so this is purely a host-time
+//! optimization.
 
 use dvi_core::EdviPlacement;
 use dvi_isa::Abi;
 use dvi_program::{CapturedTrace, Interpreter, LayoutProgram};
-use dvi_sim::{SimConfig, SimStats, Simulator};
+use dvi_sim::{SimConfig, SimStats, Simulator, SweepRunner};
 use dvi_workloads::WorkloadSpec;
 
 /// How many instructions each timing simulation runs. The paper simulates
@@ -157,6 +160,17 @@ impl CapturedBinaries {
 #[must_use]
 pub fn replay(trace: &CapturedTrace, config: SimConfig) -> SimStats {
     Simulator::new(config).run(trace.replay())
+}
+
+/// Times a recorded trace on every configuration of a grid in **one**
+/// batched pass (`dvi_sim::batch::SweepRunner`): the grid members are
+/// co-scheduled over the shared trace and share its static-decode table
+/// and branch-oracle bitstream. Per-configuration statistics are returned
+/// in grid order and are bit-identical to calling [`replay`] once per
+/// configuration (`dvi-sim/tests/batch_equiv.rs`).
+#[must_use]
+pub fn sweep(trace: &CapturedTrace, configs: impl IntoIterator<Item = SimConfig>) -> Vec<SimStats> {
+    SweepRunner::new(trace, configs).run()
 }
 
 /// Times `layout` on `config` for at most `budget` instructions.

@@ -77,6 +77,28 @@ impl MemoryHierarchy {
         MemAccess { latency, l1_hit: l1.hit }
     }
 
+    /// Fetches an instruction line whose L1I outcome the caller already
+    /// knows.
+    ///
+    /// The L1 instruction cache is touched *only* by [`inst_fetch`]
+    /// (`inst_fetch` is this method plus the L1I lookup), so its hit/miss
+    /// stream is a pure function of the fetch address sequence and can be
+    /// precomputed once per trace and shared across many simulations — see
+    /// `dvi_sim::batch::IcacheOracle`. Only the unified-L2 interaction of
+    /// a miss, which *is* entangled with the caller's data accesses,
+    /// happens here, on this hierarchy's own L2; the local L1I tag array
+    /// is bypassed entirely (its statistics must then come from the
+    /// oracle's own counters).
+    ///
+    /// [`inst_fetch`]: MemoryHierarchy::inst_fetch
+    pub fn inst_fetch_known(&mut self, addr: u64, l1_hit: bool) -> MemAccess {
+        let mut latency = self.l1i.config().latency;
+        if !l1_hit {
+            latency += self.lower_levels(addr, AccessKind::Read);
+        }
+        MemAccess { latency, l1_hit }
+    }
+
     /// Performs a data access; returns the access latency.
     pub fn data_access(&mut self, addr: u64, is_write: bool) -> MemAccess {
         let kind = if is_write { AccessKind::Write } else { AccessKind::Read };

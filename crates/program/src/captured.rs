@@ -162,33 +162,86 @@ impl CapturedTrace {
             + self.static_procs.len() * std::mem::size_of::<ProcId>()
     }
 
-    /// A zero-allocation iterator reproducing the recorded [`DynInst`]
-    /// stream bit-identically.
+    /// The static instruction image the trace was recorded from, indexed by
+    /// PC. Consumers that memoize per-PC decode products (the simulator's
+    /// `StaticDecode` table) can precompute them for the whole image and
+    /// share the result across every cursor into this trace.
     #[must_use]
-    pub fn replay(&self) -> Replay<'_> {
-        Replay { trace: self, idx: 0, mem_idx: 0, redirect_idx: 0 }
+    pub fn static_code(&self) -> &[Instr] {
+        &self.static_instrs
+    }
+
+    /// A cursor over the trace positioned at the first record; a
+    /// zero-allocation iterator reproducing the recorded [`DynInst`] stream
+    /// bit-identically. Any number of cursors can read one trace
+    /// concurrently at independent positions without cloning the buffers.
+    #[must_use]
+    pub fn cursor(&self) -> TraceCursor<'_> {
+        TraceCursor { trace: self, idx: 0, mem_idx: 0, redirect_idx: 0 }
+    }
+
+    /// Alias of [`CapturedTrace::cursor`], kept for the established
+    /// capture-once/replay-many vocabulary.
+    #[must_use]
+    pub fn replay(&self) -> TraceCursor<'_> {
+        self.cursor()
     }
 }
 
 impl<'a> IntoIterator for &'a CapturedTrace {
     type Item = DynInst;
-    type IntoIter = Replay<'a>;
+    type IntoIter = TraceCursor<'a>;
 
-    fn into_iter(self) -> Replay<'a> {
-        self.replay()
+    fn into_iter(self) -> TraceCursor<'a> {
+        self.cursor()
     }
 }
 
-/// Iterator over a [`CapturedTrace`]; see [`CapturedTrace::replay`].
+/// The former name of [`TraceCursor`], kept as an alias for existing code.
+pub type Replay<'a> = TraceCursor<'a>;
+
+/// A read position into a [`CapturedTrace`]; see [`CapturedTrace::cursor`].
+///
+/// A cursor borrows the trace's structure-of-arrays buffers immutably, so a
+/// batched sweep can hold dozens of cursors into one capture — each timing
+/// a different machine configuration at its own position — while the trace
+/// data itself exists exactly once in memory.
 #[derive(Debug, Clone)]
-pub struct Replay<'a> {
+pub struct TraceCursor<'a> {
     trace: &'a CapturedTrace,
     idx: usize,
     mem_idx: usize,
     redirect_idx: usize,
 }
 
-impl Iterator for Replay<'_> {
+impl TraceCursor<'_> {
+    /// Number of records already consumed (the `seq` of the next record).
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.idx
+    }
+
+    /// Number of records left to read.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.trace.len() - self.idx
+    }
+
+    /// Whether every record has been consumed.
+    #[must_use]
+    pub fn is_exhausted(&self) -> bool {
+        self.idx >= self.trace.len()
+    }
+
+    /// Rewinds the cursor to the first record.
+    pub fn rewind(&mut self) {
+        self.idx = 0;
+        self.mem_idx = 0;
+        self.redirect_idx = 0;
+    }
+}
+
+impl Iterator for TraceCursor<'_> {
     type Item = DynInst;
 
     fn next(&mut self) -> Option<DynInst> {
@@ -224,12 +277,12 @@ impl Iterator for Replay<'_> {
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let remaining = self.trace.len() - self.idx;
+        let remaining = self.remaining();
         (remaining, Some(remaining))
     }
 }
 
-impl ExactSizeIterator for Replay<'_> {}
+impl ExactSizeIterator for TraceCursor<'_> {}
 
 #[cfg(test)]
 mod tests {

@@ -56,9 +56,9 @@ mod layout;
 mod trace;
 
 pub use builder::{ProcBuilder, ProgramBuilder};
-pub use captured::{CapturedTrace, Replay};
+pub use captured::{CapturedTrace, Replay, TraceCursor};
 pub use error::{InterpError, ProgramError};
 pub use interp::{ArchState, ExecSummary, Interpreter, DATA_BASE, STACK_BASE};
 pub use ir::{BasicBlock, BlockId, ProcId, Procedure, Program};
 pub use layout::{LayoutProgram, INSTR_ADDR_SHIFT};
-pub use trace::DynInst;
+pub use trace::{DynInst, InstrSource};

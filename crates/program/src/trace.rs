@@ -25,6 +25,27 @@ pub struct DynInst {
     pub next_pc: u32,
 }
 
+/// A source of dynamic instructions driving a simulation session.
+///
+/// This is the seam between the program substrate and the timing simulator:
+/// a session pulls one [`DynInst`] at a time until the source is exhausted.
+/// The trait is blanket-implemented for every `Iterator<Item = DynInst>`,
+/// so the live [`crate::Interpreter`], a [`crate::TraceCursor`] over a
+/// [`crate::CapturedTrace`], and plain collections of records all qualify
+/// without adapters.
+pub trait InstrSource {
+    /// Pulls the next dynamic instruction, or `None` when the stream is
+    /// over. Once `None` is returned the source stays exhausted.
+    fn next_instr(&mut self) -> Option<DynInst>;
+}
+
+impl<I: Iterator<Item = DynInst>> InstrSource for I {
+    #[inline]
+    fn next_instr(&mut self) -> Option<DynInst> {
+        self.next()
+    }
+}
+
 impl DynInst {
     /// Byte address of the instruction (for I-cache / predictor indexing).
     #[must_use]

@@ -31,14 +31,16 @@
 //!   same memo contents and, byte for byte, the same [`crate::SimStats`]
 //!   (locked down by `tests/replay_equiv.rs`).
 
+use crate::batch::{IcacheCursor, OracleCursor};
 use crate::config::SimConfig;
 use crate::dvi_engine::{DviEngine, ReclaimList};
 use crate::rename::{PhysReg, RenameState};
 use crate::stats::SimStats;
-use dvi_bpred::CombiningPredictor;
+use dvi_bpred::{CombiningPredictor, PredictorConfig, PredictorStats};
 use dvi_isa::{ArchReg, FuKind, Instr, InstrClass, RegMask};
-use dvi_mem::MemoryHierarchy;
-use dvi_program::{DynInst, LayoutProgram};
+use dvi_mem::{CacheStats, MemAccess, MemoryHierarchy};
+use dvi_program::{CapturedTrace, DynInst, InstrSource, LayoutProgram};
+use std::sync::Arc;
 
 /// A fixed-capacity FIFO of fetched instructions.
 ///
@@ -223,6 +225,171 @@ impl DecodeMemo {
     }
 }
 
+/// A fully precomputed, immutable table of [`StaticDecode`] records for one
+/// program image, indexed by PC.
+///
+/// Where [`DecodeMemo`] fills lazily and is private to one simulator, a
+/// `StaticDecodeTable` is computed once for a whole image (typically from a
+/// [`CapturedTrace`]'s static code) and shared — behind an [`Arc`] — by
+/// every member of a batched sweep, so N co-scheduled sessions keep one
+/// cache-resident decode table instead of N private memos. Entry contents
+/// are identical to what a memo would compute ([`StaticDecode::new`] is a
+/// pure function of the instruction), so sharing is invisible to the
+/// modelled machine.
+#[derive(Debug)]
+pub struct StaticDecodeTable {
+    slots: Box<[StaticDecode]>,
+}
+
+impl StaticDecodeTable {
+    /// Precomputes the decode record of every instruction in `code`
+    /// (indexed by PC).
+    #[must_use]
+    pub fn from_code(code: &[Instr]) -> StaticDecodeTable {
+        StaticDecodeTable { slots: code.iter().map(|&i| StaticDecode::new(i)).collect() }
+    }
+
+    /// Precomputes the table for the static image of a captured trace.
+    #[must_use]
+    pub fn for_trace(trace: &CapturedTrace) -> StaticDecodeTable {
+        StaticDecodeTable::from_code(trace.static_code())
+    }
+
+    /// Number of static instructions in the table.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The decode record at `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is outside the image; debug builds additionally assert
+    /// that `instr` matches the instruction the table was built from (one
+    /// table serves exactly one program image).
+    #[inline]
+    #[must_use]
+    pub fn get(&self, pc: u32, instr: Instr) -> &StaticDecode {
+        let entry = &self.slots[pc as usize];
+        debug_assert_eq!(
+            entry.instr, instr,
+            "shared decode table built from a different program image (pc {pc})"
+        );
+        entry
+    }
+}
+
+/// The decode-product source of one front end: a private lazily-filled memo
+/// (the default), or an immutable precomputed table shared across the
+/// members of a batched sweep.
+#[derive(Debug)]
+enum Decoder {
+    Memo(DecodeMemo),
+    Shared(Arc<StaticDecodeTable>),
+}
+
+impl Decoder {
+    #[inline]
+    fn decode(&mut self, pc: u32, instr: Instr) -> &StaticDecode {
+        match self {
+            Decoder::Memo(memo) => memo.decode(pc, instr),
+            Decoder::Shared(table) => table.get(pc, instr),
+        }
+    }
+}
+
+/// The fetch stage's view of branch prediction.
+///
+/// Fetch consumes exactly three predictor products: "did this conditional
+/// branch mispredict", "did this return mispredict", and the side effect of
+/// pushing a call's return address. Crucially, every one of them is
+/// produced *in trace order at fetch* — the predictor's evolution is a pure
+/// function of the dynamic instruction stream, independent of machine
+/// width, register count or DVI scheme. A batched sweep exploits that:
+/// instead of N identical [`CombiningPredictor`]s (the largest
+/// single block of per-session state) re-deriving the same answers, one
+/// [`crate::batch::BranchOracle`] records the misprediction bitstream once
+/// per trace and every member replays it through an [`OracleCursor`].
+///
+/// Both variants produce bit-identical timing and [`PredictorStats`]
+/// (locked by `tests/batch_equiv.rs`).
+#[derive(Debug)]
+pub(crate) enum FetchPredictor {
+    /// A private live predictor (the default, and the only option for live
+    /// interpreter sources).
+    Live(CombiningPredictor),
+    /// A cursor over a shared, pre-recorded misprediction bitstream.
+    Oracle(OracleCursor),
+}
+
+impl FetchPredictor {
+    /// A live predictor with the given configuration.
+    pub(crate) fn live(config: PredictorConfig) -> FetchPredictor {
+        FetchPredictor::Live(CombiningPredictor::new(config))
+    }
+
+    /// Processes the conditional branch at byte address `pc` with outcome
+    /// `taken`; returns whether the direction was mispredicted.
+    #[inline]
+    pub(crate) fn branch(&mut self, pc: u64, taken: bool) -> bool {
+        match self {
+            FetchPredictor::Live(bp) => {
+                let predicted = bp.predict(pc);
+                bp.update(pc, taken);
+                predicted != taken
+            }
+            FetchPredictor::Oracle(cursor) => cursor.branch(),
+        }
+    }
+
+    /// Processes a call: pushes the return address on the live RAS (the
+    /// oracle baked the RAS evolution into its return bits).
+    #[inline]
+    pub(crate) fn call(&mut self, return_addr: u64) {
+        match self {
+            FetchPredictor::Live(bp) => bp.push_return_address(return_addr),
+            FetchPredictor::Oracle(_) => {}
+        }
+    }
+
+    /// Processes the return whose actual target is `actual`; returns whether
+    /// the return address was mispredicted.
+    #[inline]
+    pub(crate) fn ret(&mut self, actual: u64) -> bool {
+        match self {
+            FetchPredictor::Live(bp) => !bp.predict_return(actual),
+            FetchPredictor::Oracle(cursor) => cursor.ret(),
+        }
+    }
+
+    /// Accumulated statistics (exact at any position for both variants).
+    pub(crate) fn stats(&self) -> PredictorStats {
+        match self {
+            FetchPredictor::Live(bp) => bp.stats(),
+            FetchPredictor::Oracle(cursor) => cursor.stats(),
+        }
+    }
+}
+
+/// The fetch stage's view of the L1 instruction cache: its own tag array
+/// in the memory hierarchy (the default), or a cursor over a shared
+/// [`crate::batch::IcacheOracle`] bitstream — the L1I is touched only at
+/// fetch in trace order, so its outcomes are trace-pure per geometry (see
+/// the oracle's docs). The unified-L2 interaction of a miss always happens
+/// on the session's own hierarchy.
+#[derive(Debug)]
+enum IcacheModel {
+    Live,
+    Oracle(IcacheCursor),
+}
+
 /// The outcome of one dispatch attempt (see [`FrontEnd::next_dispatch`]).
 #[derive(Debug)]
 pub(crate) enum Dispatch {
@@ -267,7 +434,8 @@ pub(crate) struct FrontEnd {
     /// accesses the I-cache once per line, not once per instruction).
     last_fetch_line: Option<u64>,
     trace_done: bool,
-    memo: DecodeMemo,
+    decoder: Decoder,
+    icache: IcacheModel,
     /// Physical registers reclaimed by DVI at decode, waiting to be
     /// attached to the next dispatched window entry so they are freed at
     /// its commit.
@@ -276,14 +444,48 @@ pub(crate) struct FrontEnd {
 
 impl FrontEnd {
     pub(crate) fn new(config: &SimConfig) -> FrontEnd {
+        FrontEnd::build(config, Decoder::Memo(DecodeMemo::new()), IcacheModel::Live)
+    }
+
+    /// A front end reading sweep-shared front-end products — a precomputed
+    /// decode table and/or an L1I outcome bitstream — instead of private
+    /// structures.
+    pub(crate) fn with_shared(
+        config: &SimConfig,
+        decode: Option<Arc<StaticDecodeTable>>,
+        icache: Option<IcacheCursor>,
+    ) -> FrontEnd {
+        let decoder = match decode {
+            Some(table) => Decoder::Shared(table),
+            None => Decoder::Memo(DecodeMemo::new()),
+        };
+        let icache = match icache {
+            Some(cursor) => IcacheModel::Oracle(cursor),
+            None => IcacheModel::Live,
+        };
+        FrontEnd::build(config, decoder, icache)
+    }
+
+    fn build(config: &SimConfig, decoder: Decoder, icache: IcacheModel) -> FrontEnd {
         FrontEnd {
             fetch_queue: FetchQueue::new(config.fetch_queue),
             fetch_stall_until: 0,
             pending_mispredict: None,
             last_fetch_line: None,
             trace_done: false,
-            memo: DecodeMemo::new(),
+            decoder,
+            icache,
             pending_reclaim: ReclaimList::new(),
+        }
+    }
+
+    /// The L1I statistics accumulated by a shared I-cache oracle cursor,
+    /// if this front end uses one (they replace the bypassed private
+    /// cache's counters in the final statistics).
+    pub(crate) fn icache_oracle_stats(&self) -> Option<CacheStats> {
+        match &self.icache {
+            IcacheModel::Live => None,
+            IcacheModel::Oracle(cursor) => Some(cursor.stats()),
         }
     }
 
@@ -324,20 +526,27 @@ impl FrontEnd {
     }
 
     /// The fetch stage: pull up to `fetch_width` instructions from the
-    /// trace into the fetch queue, modelling the I-cache (one access per
+    /// source into the fetch queue, modelling the I-cache (one access per
     /// line, next-line prefetch) and the branch predictor. Fetch stops at
     /// an I-cache miss or a predictor redirect and stalls entirely while a
     /// misprediction is unresolved.
-    pub(crate) fn fetch<I>(
+    ///
+    /// The predictor interaction below (which records are direction
+    /// predictions, which push the RAS, which pop it, and the byte addresses
+    /// used) *is* the event sequence a [`crate::batch::BranchOracle`]
+    /// pre-records — `BranchOracle::record` drives a [`FetchPredictor`]
+    /// through the same `match` over the same records, so the two cannot
+    /// diverge without failing `tests/batch_equiv.rs`.
+    pub(crate) fn fetch<S>(
         &mut self,
         cycle: u64,
         config: &SimConfig,
         mem: &mut MemoryHierarchy,
-        bpred: &mut CombiningPredictor,
+        pred: &mut FetchPredictor,
         stats: &mut SimStats,
-        trace: &mut I,
+        source: &mut S,
     ) where
-        I: Iterator<Item = DynInst>,
+        S: InstrSource,
     {
         if self.trace_done
             || self.pending_mispredict.is_some()
@@ -353,7 +562,7 @@ impl FrontEnd {
             if self.fetch_queue.len() >= config.fetch_queue {
                 break;
             }
-            let Some(dyn_inst) = trace.next() else {
+            let Some(dyn_inst) = source.next_instr() else {
                 self.trace_done = true;
                 break;
             };
@@ -370,13 +579,29 @@ impl FrontEnd {
             // Instruction-cache access: once per cache line, with a
             // next-line prefetch so sequential code does not pay the full
             // miss latency on every line (fetch units of this era overlap
-            // line fills with draining the fetch queue).
+            // line fills with draining the fetch queue). With a shared
+            // oracle the L1I outcomes come from the pre-recorded bitstream
+            // (this access sequence is what `IcacheOracle::record`
+            // replays); each miss's unified-L2 interaction still happens
+            // on this session's own hierarchy.
             let line = byte_addr >> line_shift;
             let mut icache_miss = false;
             if self.last_fetch_line != Some(line) {
                 self.last_fetch_line = Some(line);
-                let access = mem.inst_fetch(byte_addr);
-                let _ = mem.inst_fetch((line + 1) << line_shift);
+                let access = match &mut self.icache {
+                    IcacheModel::Live => {
+                        let access = mem.inst_fetch(byte_addr);
+                        let _ = mem.inst_fetch((line + 1) << line_shift);
+                        access
+                    }
+                    IcacheModel::Oracle(cursor) => {
+                        let hit = cursor.next_hit();
+                        let prefetch_hit = cursor.next_hit();
+                        let access: MemAccess = mem.inst_fetch_known(byte_addr, hit);
+                        let _ = mem.inst_fetch_known((line + 1) << line_shift, prefetch_hit);
+                        access
+                    }
+                };
                 if !access.l1_hit {
                     self.fetch_stall_until = cycle + access.latency;
                     icache_miss = true;
@@ -387,19 +612,17 @@ impl FrontEnd {
             match dyn_inst.instr {
                 Instr::Branch { .. } => {
                     let taken = dyn_inst.taken.unwrap_or(false);
-                    let predicted = bpred.predict(byte_addr);
-                    bpred.update(byte_addr, taken);
-                    if predicted != taken {
+                    if pred.branch(byte_addr, taken) {
                         self.pending_mispredict = Some(dyn_inst.seq);
                         redirected = true;
                     }
                 }
                 Instr::Call { .. } => {
-                    bpred.push_return_address(LayoutProgram::byte_addr(dyn_inst.pc + 1));
+                    pred.call(LayoutProgram::byte_addr(dyn_inst.pc + 1));
                 }
                 Instr::Return => {
                     let actual = LayoutProgram::byte_addr(dyn_inst.next_pc);
-                    if !bpred.predict_return(actual) {
+                    if pred.ret(actual) {
                         self.pending_mispredict = Some(dyn_inst.seq);
                         redirected = true;
                     }
@@ -435,10 +658,10 @@ impl FrontEnd {
         // Only these four fields of the queued record feed dispatch; copy
         // them out instead of the whole `DynInst`.
         let (pc, instr, seq, mem_addr) = (front.pc, front.instr, front.seq, front.mem_addr);
-        // Borrow the memo entry in place (`self.memo` is a disjoint field
-        // from the queue and reclaim list mutated below), so the hot path
-        // never copies the decode record.
-        let d = self.memo.decode(pc, instr);
+        // Borrow the decode entry in place (`self.decoder` is a disjoint
+        // field from the queue and reclaim list mutated below), so the hot
+        // path never copies the decode record.
+        let d = self.decoder.decode(pc, instr);
 
         // E-DVI annotations are consumed at decode: they never occupy a
         // window slot, a rename slot or a functional unit. Physical

@@ -22,11 +22,10 @@
 
 use crate::config::SimConfig;
 use crate::dvi_engine::DviEngine;
-use crate::frontend::{Dispatch, FrontEnd};
+use crate::frontend::{Dispatch, FetchPredictor, FrontEnd};
 use crate::fu::FuPool;
 use crate::rename::{PhysReg, RenameState};
 use crate::stats::SimStats;
-use dvi_bpred::CombiningPredictor;
 use dvi_isa::{Abi, FuKind, InstrClass};
 use dvi_mem::{CachePorts, MemoryHierarchy};
 use dvi_program::DynInst;
@@ -79,7 +78,7 @@ pub struct LegacySimulator {
     mem: MemoryHierarchy,
     ports: CachePorts,
     fu: FuPool,
-    bpred: CombiningPredictor,
+    pred: FetchPredictor,
     window: VecDeque<InFlight>,
     /// The shared in-order front end (fetch queue, redirect state machine,
     /// per-PC decode memo, decode-stage DVI plumbing).
@@ -108,7 +107,7 @@ impl LegacySimulator {
             ),
             ports: CachePorts::new(config.cache_ports),
             fu: FuPool::new(config.int_alu_units, config.int_mul_units),
-            bpred: CombiningPredictor::new(config.predictor),
+            pred: FetchPredictor::live(config.predictor),
             window: VecDeque::with_capacity(config.window_size),
             front: FrontEnd::new(&config),
             cycle: 0,
@@ -134,7 +133,7 @@ impl LegacySimulator {
                 self.cycle,
                 &self.config,
                 &mut self.mem,
-                &mut self.bpred,
+                &mut self.pred,
                 &mut self.stats,
                 &mut trace,
             );
@@ -152,12 +151,13 @@ impl LegacySimulator {
                 last_progress = (self.cycle, self.stats.committed_entries);
             } else if self.cycle - last_progress.0 > PROGRESS_LIMIT {
                 debug_assert!(false, "pipeline deadlock: no commit in {PROGRESS_LIMIT} cycles");
+                self.stats.deadlocked = true;
                 break;
             }
         }
         self.stats.cycles = self.cycle;
         self.stats.dvi = self.dvi.stats();
-        self.stats.branch = self.bpred.stats();
+        self.stats.branch = self.pred.stats();
         self.stats.memory = self.mem.stats();
         self.stats
     }

@@ -28,6 +28,30 @@
 //! pressure, data-cache bandwidth, commit bandwidth) without simulating
 //! wrong-path instructions.
 //!
+//! # Driving the simulator: sessions
+//!
+//! The driving API is a resumable **session**: [`SimSession`] couples one
+//! [`SimConfig`] with any [`dvi_program::InstrSource`] — the live
+//! [`dvi_program::Interpreter`], or a [`dvi_program::TraceCursor`] into a
+//! recorded [`dvi_program::CapturedTrace`] — and advances under caller
+//! control: [`SimSession::tick`] simulates one cycle,
+//! [`SimSession::is_drained`] reports completion, and
+//! [`SimSession::finish`] returns the [`SimStats`]. The blocking
+//! [`Simulator::run`] is retained as the one-line shorthand
+//! (`SimSession::new(config, trace).run_to_completion()`).
+//!
+//! Returning control between cycles is what makes design-space sweeps
+//! batchable: [`batch::SweepRunner`] co-schedules N sessions — one per
+//! machine configuration — round-robin over **one** shared captured trace,
+//! sharing every piece of front-end state that is a pure function of the
+//! trace: the trace buffers, one immutable [`StaticDecodeTable`], one
+//! [`batch::BranchOracle`] misprediction bitstream in place of N private
+//! predictor table sets, and one [`batch::IcacheOracle`] L1I outcome
+//! bitstream in place of N private instruction-cache tag arrays. The
+//! config-dependent back end — window, renaming, data path, unified L2 —
+//! stays private per member, so per-member statistics are bit-identical
+//! to serial runs (`tests/batch_equiv.rs`).
+//!
 //! # Host performance
 //!
 //! The back end is **event-driven**: writeback drains a completion
@@ -43,21 +67,16 @@
 //! [`DecodeMemo`] computes the static decoding of each instruction (class,
 //! functional unit, source/destination registers, DVI kill masks) exactly
 //! once per static PC — see [`frontend`] for the memoization invariants.
-//! For design-space sweeps, pair the simulator with
-//! [`dvi_program::CapturedTrace`]: record the dynamic stream once and
-//! replay it at every sweep point; replayed statistics are bit-identical
-//! to live interpretation (locked by `tests/replay_equiv.rs`, and all
-//! cores and both trace sources are locked together by
-//! `tests/scheduler_equiv.rs`). The `sim_throughput` bench reports the
-//! simulated-MIPS of every combination — capture/replay runs ~1.3–1.4×
-//! the seed baseline on the paper's 4-wide machine and ~2.2×/~3.2–3.5× at
-//! 8/16-wide where the seed's window scans also dominate.
+//! The `sim_throughput` bench reports the simulated-MIPS of every
+//! combination, and its `sweep` section measures the batched runner
+//! against the serial capture/replay loop on an 8-configuration grid.
 //!
 //! # Example
 //!
 //! ```
 //! use dvi_core::DviConfig;
-//! use dvi_sim::{SimConfig, Simulator};
+//! use dvi_program::CapturedTrace;
+//! use dvi_sim::{batch, SimConfig, SimSession, Simulator};
 //! use dvi_workloads::{generate, WorkloadSpec};
 //!
 //! // Build and lower a small workload.
@@ -66,17 +85,30 @@
 //! let compiled = dvi_compiler::compile(&program, &abi, dvi_compiler::CompileOptions::default())?;
 //! let layout = compiled.program.layout()?;
 //!
-//! // Time it on the paper's machine with full DVI.
+//! // Record the dynamic stream once; every sweep point replays it.
+//! let trace = CapturedTrace::record(&layout, 20_000);
+//!
+//! // One-off run: the blocking shorthand over a session.
 //! let config = SimConfig::micro97().with_dvi(DviConfig::full());
-//! let trace = dvi_program::Interpreter::new(&layout).with_step_limit(20_000);
-//! let stats = Simulator::new(config).run(trace);
-//! assert!(stats.ipc() > 0.1);
+//! let stats = Simulator::new(config.clone()).run(trace.replay());
+//! assert!(stats.ipc() > 0.1 && !stats.deadlocked);
+//!
+//! // The same run, driven cycle-by-cycle.
+//! let mut session = SimSession::new(config.clone(), trace.cursor());
+//! while session.tick() {}
+//! assert_eq!(session.finish(), stats);
+//!
+//! // A whole register-file sweep in one batched pass over the trace.
+//! let grid = [40usize, 56, 80].map(|n| config.clone().with_phys_regs(n));
+//! let swept = batch::SweepRunner::new(&trace, grid).run();
+//! assert_eq!(swept[2], stats, "80 registers is the shorthand run above");
 //! # Ok::<(), dvi_program::ProgramError>(())
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 mod config;
 mod dvi_engine;
 pub mod frontend;
@@ -85,16 +117,19 @@ pub mod legacy;
 mod pipeline;
 mod rename;
 pub mod sched;
+mod session;
 mod smallvec;
 mod stats;
 mod window;
 
+pub use batch::{sweep, BranchOracle, IcacheOracle, SharedTables, SweepRunner};
 pub use config::{SchedulerKind, SimConfig};
 pub use dvi_engine::{DviEngine, ReclaimList};
-pub use frontend::{DecodeKind, DecodeMemo, StaticDecode};
+pub use frontend::{DecodeKind, DecodeMemo, StaticDecode, StaticDecodeTable};
 pub use fu::FuPool;
 pub use pipeline::Simulator;
 pub use rename::{PhysReg, RenameState};
+pub use session::SimSession;
 pub use smallvec::SmallVec;
 pub use stats::SimStats;
 pub use window::{EntryState, InFlight, WindowRing};

@@ -24,45 +24,81 @@
 //! branch predictor and the memory hierarchy, so they cannot drift in
 //! front-end or retirement behaviour; only writeback/wakeup/select differ.
 
+use crate::batch::{IcacheCursor, OracleCursor, SharedTables};
 use crate::config::{SchedulerKind, SimConfig};
 use crate::dvi_engine::DviEngine;
-use crate::frontend::{Dispatch, FrontEnd};
+use crate::frontend::{Dispatch, FetchPredictor, FrontEnd};
 use crate::fu::FuPool;
 use crate::rename::RenameState;
 use crate::sched::{Calendar, ReadyRing, Waiters};
+use crate::session::SimSession;
 use crate::stats::SimStats;
 use crate::window::{EntryState, WindowRing};
-use dvi_bpred::CombiningPredictor;
 use dvi_isa::{Abi, FuKind, InstrClass};
 use dvi_mem::{CachePorts, MemoryHierarchy};
-use dvi_program::DynInst;
+use dvi_program::{DynInst, InstrSource};
 
 /// Safety valve: if the pipeline makes no forward progress for this many
-/// cycles, the run is aborted (this indicates a modelling bug, not a
-/// property of the workload).
-const PROGRESS_LIMIT: u64 = 100_000;
+/// cycles, the run is aborted with [`SimStats::deadlocked`] set (this
+/// indicates a modelling bug, not a property of the workload).
+pub(crate) const PROGRESS_LIMIT: u64 = 100_000;
 
-/// The trace-driven out-of-order timing simulator.
+/// The blocking convenience wrapper over [`SimSession`].
 ///
 /// See the crate-level documentation for the modelling assumptions. A
 /// `Simulator` is single-use: construct it with a [`SimConfig`], call
 /// [`Simulator::run`] with a dynamic instruction stream (usually a
-/// [`dvi_program::Interpreter`]) and read the returned [`SimStats`].
+/// [`dvi_program::Interpreter`] or a [`dvi_program::TraceCursor`]) and
+/// read the returned [`SimStats`]. For cycle-at-a-time control — or to
+/// co-schedule many configurations over one shared trace — drive a
+/// [`SimSession`] (or [`crate::batch::SweepRunner`]) directly; `run` is
+/// exactly `SimSession::new(config, trace).run_to_completion()`.
 #[derive(Debug)]
 pub struct Simulator {
+    config: SimConfig,
+}
+
+impl Simulator {
+    /// Builds a simulator for the given machine configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`SimConfig::validate`].
+    #[must_use]
+    pub fn new(config: SimConfig) -> Self {
+        config.validate();
+        Simulator { config }
+    }
+
+    /// Runs the machine over a dynamic instruction stream until every
+    /// instruction has committed, and returns the accumulated statistics.
+    pub fn run<I>(self, trace: I) -> SimStats
+    where
+        I: IntoIterator<Item = DynInst>,
+    {
+        SimSession::new(self.config, trace.into_iter()).run_to_completion()
+    }
+}
+
+/// The pipeline state and per-cycle machinery of one simulated machine,
+/// driven cycle-at-a-time by [`SimSession`].
+#[derive(Debug)]
+pub(crate) struct Core {
     config: SimConfig,
     rename: RenameState,
     dvi: DviEngine,
     mem: MemoryHierarchy,
     ports: CachePorts,
     fu: FuPool,
-    bpred: CombiningPredictor,
+    /// Fetch-stage branch prediction: a private live predictor, or a
+    /// cursor over a sweep-shared [`crate::batch::BranchOracle`].
+    pred: FetchPredictor,
     window: WindowRing,
     /// The shared in-order front end (fetch queue, redirect state machine,
-    /// per-PC decode memo, decode-stage DVI plumbing).
+    /// per-PC decode products, decode-stage DVI plumbing).
     front: FrontEnd,
-    cycle: u64,
-    stats: SimStats,
+    pub(crate) cycle: u64,
+    pub(crate) stats: SimStats,
     // --- Event-driven scheduling state (unused by the naive scan). ---
     event_driven: bool,
     calendar: Calendar,
@@ -75,19 +111,37 @@ pub struct Simulator {
     scratch_ready: Vec<u64>,
 }
 
-impl Simulator {
-    /// Builds a simulator for the given machine configuration.
+impl Core {
+    /// Builds a core with private front-end tables (decode memo, live
+    /// predictor).
     ///
     /// # Panics
     ///
     /// Panics if the configuration fails [`SimConfig::validate`].
-    #[must_use]
-    pub fn new(config: SimConfig) -> Self {
+    pub(crate) fn new(config: SimConfig) -> Core {
+        let pred = FetchPredictor::live(config.predictor);
+        let front = FrontEnd::new(&config);
+        Core::build(config, pred, front)
+    }
+
+    /// Builds a core whose decode table, branch prediction and/or L1I
+    /// outcomes come from immutable state shared across a batched sweep.
+    pub(crate) fn with_shared(config: SimConfig, tables: SharedTables) -> Core {
+        let pred = match tables.branches {
+            Some(oracle) => FetchPredictor::Oracle(OracleCursor::new(oracle)),
+            None => FetchPredictor::live(config.predictor),
+        };
+        let icache = tables.icache.map(IcacheCursor::new);
+        let front = FrontEnd::with_shared(&config, tables.decode, icache);
+        Core::build(config, pred, front)
+    }
+
+    fn build(config: SimConfig, pred: FetchPredictor, front: FrontEnd) -> Core {
         config.validate();
         let window = WindowRing::new(config.window_size);
         // The longest schedulable latency is a load missing every level.
         let max_latency = config.dcache.latency + config.l2.latency + config.memory_latency + 64;
-        Simulator {
+        Core {
             rename: RenameState::new(config.phys_regs),
             dvi: DviEngine::new(config.dvi, Abi::mips_like()),
             mem: MemoryHierarchy::new(
@@ -98,8 +152,8 @@ impl Simulator {
             ),
             ports: CachePorts::new(config.cache_ports),
             fu: FuPool::new(config.int_alu_units, config.int_mul_units),
-            bpred: CombiningPredictor::new(config.predictor),
-            front: FrontEnd::new(&config),
+            pred,
+            front,
             cycle: 0,
             stats: SimStats::default(),
             event_driven: config.scheduler == SchedulerKind::EventDriven,
@@ -114,61 +168,61 @@ impl Simulator {
         }
     }
 
-    /// Runs the machine over a dynamic instruction stream until every
-    /// instruction has committed, and returns the accumulated statistics.
-    pub fn run<I>(mut self, trace: I) -> SimStats
-    where
-        I: IntoIterator<Item = DynInst>,
-    {
-        let mut trace = trace.into_iter();
-        let mut last_progress = (0u64, 0u64); // (cycle, committed)
-        loop {
-            self.commit();
-            self.writeback();
-            self.issue();
-            self.rename_dispatch();
-            self.front.fetch(
-                self.cycle,
-                &self.config,
-                &mut self.mem,
-                &mut self.bpred,
-                &mut self.stats,
-                &mut trace,
-            );
+    /// Simulates one cycle: commit, writeback, issue, rename/dispatch and
+    /// fetch, then per-cycle resource bookkeeping.
+    pub(crate) fn step<S: InstrSource>(&mut self, source: &mut S) {
+        self.commit();
+        self.writeback();
+        self.issue();
+        self.rename_dispatch();
+        self.front.fetch(
+            self.cycle,
+            &self.config,
+            &mut self.mem,
+            &mut self.pred,
+            &mut self.stats,
+            source,
+        );
 
-            self.cycle += 1;
-            self.fu.next_cycle();
-            self.ports.next_cycle();
-            let used = self.rename.total() - self.rename.free_count();
-            self.stats.peak_phys_regs_used = self.stats.peak_phys_regs_used.max(used);
+        self.cycle += 1;
+        self.fu.next_cycle();
+        self.ports.next_cycle();
+        let used = self.rename.total() - self.rename.free_count();
+        self.stats.peak_phys_regs_used = self.stats.peak_phys_regs_used.max(used);
+    }
 
-            if self.front.is_drained() && self.window.is_empty() {
-                // Drain: registers reclaimed by a trailing `kill` (or left
-                // pending when rename stalled at trace end) have no later
-                // dispatched instruction to ride to commit — release them
-                // here so they are not leaked.
-                self.front.release_pending_reclaims(&mut self.rename);
-                // With nothing in flight, every physical register must be
-                // either architecturally mapped or on the free list — a
-                // shortfall means a reclaim was leaked.
-                debug_assert_eq!(
-                    self.rename.mapped_count() + self.rename.free_count(),
-                    self.rename.total(),
-                    "physical registers leaked at drain"
-                );
-                break;
-            }
-            if self.stats.committed_entries != last_progress.1 {
-                last_progress = (self.cycle, self.stats.committed_entries);
-            } else if self.cycle - last_progress.0 > PROGRESS_LIMIT {
-                debug_assert!(false, "pipeline deadlock: no commit in {PROGRESS_LIMIT} cycles");
-                break;
-            }
-        }
+    /// Whether the source is exhausted and the pipeline empty.
+    pub(crate) fn at_drain(&self) -> bool {
+        self.front.is_drained() && self.window.is_empty()
+    }
+
+    /// Drain-time reclaim release: registers reclaimed by a trailing
+    /// `kill` (or left pending when rename stalled at trace end) have no
+    /// later dispatched instruction to ride to commit — release them here
+    /// so they are not leaked.
+    pub(crate) fn release_at_drain(&mut self) {
+        self.front.release_pending_reclaims(&mut self.rename);
+        // With nothing in flight, every physical register must be either
+        // architecturally mapped or on the free list — a shortfall means a
+        // reclaim was leaked.
+        debug_assert_eq!(
+            self.rename.mapped_count() + self.rename.free_count(),
+            self.rename.total(),
+            "physical registers leaked at drain"
+        );
+    }
+
+    /// Folds the subsystem counters into the statistics and returns them.
+    pub(crate) fn finalize(mut self) -> SimStats {
         self.stats.cycles = self.cycle;
         self.stats.dvi = self.dvi.stats();
-        self.stats.branch = self.bpred.stats();
+        self.stats.branch = self.pred.stats();
         self.stats.memory = self.mem.stats();
+        if let Some(l1i) = self.front.icache_oracle_stats() {
+            // The private L1I tag array was bypassed in favour of a shared
+            // oracle; its counters live in the oracle cursor.
+            self.stats.memory.l1i = l1i;
+        }
         self.stats
     }
 
@@ -465,7 +519,9 @@ mod tests {
     fn run_program(prog: &Program, config: SimConfig) -> SimStats {
         let layout = prog.layout().unwrap();
         let interp = Interpreter::new(&layout).with_step_limit(1_000_000);
-        Simulator::new(config).run(interp)
+        let stats = Simulator::new(config).run(interp);
+        assert!(!stats.deadlocked, "watchdog fired: statistics describe a partial run");
+        stats
     }
 
     #[test]

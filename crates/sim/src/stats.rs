@@ -37,6 +37,12 @@ pub struct SimStats {
     /// Largest number of physical registers simultaneously in use
     /// (mapped + in-flight destinations).
     pub peak_phys_regs_used: usize,
+    /// Whether the run was aborted by the forward-progress watchdog: no
+    /// instruction committed for `PROGRESS_LIMIT` consecutive cycles. This
+    /// indicates a modelling bug (debug builds also assert), and every other
+    /// counter in the struct describes a *partial* run — consumers must
+    /// check this flag instead of trusting silently truncated statistics.
+    pub deadlocked: bool,
 }
 
 impl SimStats {
@@ -81,7 +87,11 @@ impl fmt::Display for SimStats {
             self.cycles,
             self.ipc(),
             self.pct_save_restores_eliminated()
-        )
+        )?;
+        if self.deadlocked {
+            write!(f, " [DEADLOCKED: partial run]")?;
+        }
+        Ok(())
     }
 }
 

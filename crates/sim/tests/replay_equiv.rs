@@ -53,6 +53,10 @@ fn assert_replay_equivalent(
             from_live, from_replay,
             "{context}: replayed stats diverge from live interpretation ({scheduler:?})"
         );
+        assert!(
+            !from_live.deadlocked,
+            "{context}: the forward-progress watchdog fired on a healthy workload"
+        );
     }
     let from_live = live_legacy(layout, config.clone(), steps);
     let from_replay = dvi_sim::legacy::LegacySimulator::new(config.clone()).run(trace.replay());

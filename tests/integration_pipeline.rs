@@ -53,6 +53,10 @@ fn dvi_machine_commits_the_same_work_in_no_more_cycles() {
     };
     let baseline = run(DviConfig::none());
     let full = run(DviConfig::full());
+    assert!(
+        !baseline.deadlocked && !full.deadlocked,
+        "the forward-progress watchdog must not fire on healthy workloads"
+    );
     assert_eq!(baseline.program_instrs, full.program_instrs, "same program work either way");
     assert!(full.dvi.save_restores_eliminated() > 0);
     assert!(
@@ -102,6 +106,7 @@ fn register_reclamation_lets_a_smaller_file_keep_up() {
     // part of the gap to the generously sized file.
     let small_base = run(38, DviConfig::none());
     let small_dvi = run(38, DviConfig::full());
+    assert!(!small_base.deadlocked && !small_dvi.deadlocked, "partial stats would be meaningless");
     assert!(small_dvi.ipc() >= small_base.ipc() * 0.98);
     assert!(
         small_dvi.rename_stalls_no_reg <= small_base.rename_stalls_no_reg,
