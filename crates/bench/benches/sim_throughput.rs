@@ -12,7 +12,14 @@
 //!   recorded once per benchmark, the way every figure sweep now runs.
 //!   Capture happens outside the timed region: a sweep pays it once and
 //!   replays dozens of configurations, so steady-state sweep throughput is
-//!   the replay number (the one-off capture cost is reported separately).
+//!   the replay number (the one-off capture cost is reported separately);
+//! * **replay + shared products** — the same core consuming every
+//!   precomputed trace-pure product (decode table, branch/I-cache
+//!   oracles, the dependence graph wiring dispatch straight to producer
+//!   window entries, and the decode-stage DVI event stream). This is the
+//!   per-member steady state of a batched sweep, measured serially; the
+//!   one-off precompute cost (`depgraph_build_seconds`,
+//!   `shared_precompute_seconds`) is reported separately like capture.
 //!
 //! All four produce bit-identical `SimStats` (`tests/replay_equiv.rs`,
 //! `tests/scheduler_equiv.rs`), so this is a pure host-speed comparison.
@@ -37,8 +44,12 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use dvi_core::DviConfig;
 use dvi_isa::Abi;
 use dvi_program::{CapturedTrace, Interpreter, LayoutProgram};
-use dvi_sim::{SchedulerKind, SimConfig, SimStats, Simulator, SweepRunner};
+use dvi_sim::{
+    BranchOracle, DviOracle, IcacheOracle, SchedulerKind, SharedTables, SimConfig, SimSession,
+    SimStats, Simulator, StaticDecodeTable, SweepRunner,
+};
 use std::io::Write as _;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Whether the bench runs in CI-smoke quick mode.
@@ -98,6 +109,12 @@ enum Core {
     /// The current core replaying pre-recorded traces (the sweep
     /// configuration).
     Replay,
+    /// The current core replaying with every precomputed trace-pure
+    /// product attached: decode table, branch and I-cache oracles, the
+    /// dependence graph (producer-link dispatch wiring) and the DVI event
+    /// stream. The one-off precompute cost is amortized across a sweep and
+    /// reported separately, like the capture cost.
+    ReplayShared,
 }
 
 /// The 4-wide machine of Figure 2.
@@ -118,20 +135,50 @@ fn very_wide_machine() -> SimConfig {
     SimConfig::micro97().with_issue_width(16).with_phys_regs(320).with_dvi(DviConfig::full())
 }
 
-/// The workload mix plus its once-captured traces.
+/// The workload mix plus its once-captured traces and their precomputed
+/// trace-pure products.
 struct Mix {
     layouts: Vec<LayoutProgram>,
     traces: Vec<CapturedTrace>,
+    /// One shared-product bundle per trace (decode table, branch/I-cache
+    /// oracles, dependence graph, full-DVI event stream) — all three bench
+    /// machines agree on the trace-pure axes, so one bundle serves them.
+    shared: Vec<SharedTables>,
     /// Wall-clock seconds the one-off capture pass took.
     capture_seconds: f64,
+    /// Wall-clock seconds the one-off dependence-graph builds took.
+    depgraph_seconds: f64,
+    /// Wall-clock seconds recording the remaining shared products took
+    /// (decode table, branch/I-cache/DVI oracles).
+    precompute_seconds: f64,
 }
 
 impl Mix {
     fn build() -> Mix {
         let layouts = fig10_mix();
         let start = Instant::now();
-        let traces = layouts.iter().map(|l| CapturedTrace::record(l, instrs_per_run())).collect();
-        Mix { layouts, traces, capture_seconds: start.elapsed().as_secs_f64() }
+        let mut traces: Vec<CapturedTrace> =
+            layouts.iter().map(|l| CapturedTrace::record(l, instrs_per_run())).collect();
+        let capture_seconds = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        for trace in &mut traces {
+            trace.build_depgraph();
+        }
+        let depgraph_seconds = start.elapsed().as_secs_f64();
+        let reference = narrow_machine();
+        let start = Instant::now();
+        let shared = traces
+            .iter()
+            .map(|trace| SharedTables {
+                decode: Some(Arc::new(StaticDecodeTable::for_trace(trace))),
+                branches: Some(Arc::new(BranchOracle::record(trace, reference.predictor))),
+                icache: Some(Arc::new(IcacheOracle::record(trace, reference.icache))),
+                depgraph: trace.depgraph().cloned(),
+                dvi: Some(Arc::new(DviOracle::record(trace, reference.dvi))),
+            })
+            .collect();
+        let precompute_seconds = start.elapsed().as_secs_f64();
+        Mix { layouts, traces, shared, capture_seconds, depgraph_seconds, precompute_seconds }
     }
 }
 
@@ -142,6 +189,16 @@ fn run_mix(mix: &Mix, config: &SimConfig, core: Core) -> u64 {
             .traces
             .iter()
             .map(|trace| Simulator::new(config.clone()).run(trace.replay()).program_instrs)
+            .sum(),
+        Core::ReplayShared => mix
+            .traces
+            .iter()
+            .zip(&mix.shared)
+            .map(|(trace, shared)| {
+                SimSession::with_shared_tables(config.clone(), trace.cursor(), shared.clone())
+                    .run_to_completion()
+                    .program_instrs
+            })
             .sum(),
         _ => mix
             .layouts
@@ -168,10 +225,11 @@ fn run_mix(mix: &Mix, config: &SimConfig, core: Core) -> u64 {
 /// Interleaved min-of-N timing: every core is measured once per round, so
 /// host frequency/load drift hits all cores alike and the *ratios* stay
 /// meaningful even on a noisy container.
-fn simulated_mips_all(mix: &Mix, config: &SimConfig) -> [f64; 4] {
-    const CORES: [Core; 4] = [Core::SeedBaseline, Core::NaiveScan, Core::EventDriven, Core::Replay];
-    let mut best = [f64::MAX; 4];
-    let mut instrs = [0u64; 4];
+fn simulated_mips_all(mix: &Mix, config: &SimConfig) -> [f64; 5] {
+    const CORES: [Core; 5] =
+        [Core::SeedBaseline, Core::NaiveScan, Core::EventDriven, Core::Replay, Core::ReplayShared];
+    let mut best = [f64::MAX; 5];
+    let mut instrs = [0u64; 5];
     for (i, &core) in CORES.iter().enumerate() {
         instrs[i] = run_mix(mix, config, core); // warm-up
     }
@@ -182,11 +240,28 @@ fn simulated_mips_all(mix: &Mix, config: &SimConfig) -> [f64; 4] {
             best[i] = best[i].min(start.elapsed().as_secs_f64());
         }
     }
-    let mut mips = [0.0; 4];
-    for i in 0..4 {
+    let mut mips = [0.0; 5];
+    for i in 0..5 {
         mips[i] = instrs[i] as f64 / best[i] / 1.0e6;
     }
     mips
+}
+
+/// Asserts the shared-products serial path is bit-identical to the plain
+/// replay path on every bench machine before anything is timed.
+fn verify_shared_equivalence(mix: &Mix, machines: &[(&'static str, SimConfig)]) {
+    for (name, config) in machines {
+        for (trace, shared) in mix.traces.iter().zip(&mix.shared) {
+            let plain = Simulator::new(config.clone()).run(trace.replay());
+            let with_shared =
+                SimSession::with_shared_tables(config.clone(), trace.cursor(), shared.clone())
+                    .run_to_completion();
+            assert_eq!(
+                plain, with_shared,
+                "{name}: shared-products replay diverged from plain replay"
+            );
+        }
+    }
 }
 
 /// The 8-configuration sweep grid of the batched-vs-serial comparison: the
@@ -266,6 +341,7 @@ struct MachineResult {
     naive_scan: f64,
     event_driven: f64,
     replay: f64,
+    replay_shared: f64,
 }
 
 /// The sweep-comparison headline numbers.
@@ -276,11 +352,7 @@ struct SweepResult {
 }
 
 /// Writes the headline numbers as a JSON artifact for CI history.
-fn write_json(
-    results: &[MachineResult],
-    sweep: &SweepResult,
-    capture_seconds: f64,
-) -> std::io::Result<()> {
+fn write_json(results: &[MachineResult], sweep: &SweepResult, mix: &Mix) -> std::io::Result<()> {
     let path =
         std::env::var("BENCH_JSON_PATH").unwrap_or_else(|_| "BENCH_sim_throughput.json".to_owned());
     let mut f = std::fs::File::create(&path)?;
@@ -288,22 +360,27 @@ fn write_json(
     writeln!(f, "  \"bench\": \"sim_throughput\",")?;
     writeln!(f, "  \"quick\": {},", quick_mode())?;
     writeln!(f, "  \"instrs_per_run\": {},", instrs_per_run())?;
-    writeln!(f, "  \"capture_seconds\": {capture_seconds:.4},")?;
+    writeln!(f, "  \"capture_seconds\": {:.4},", mix.capture_seconds)?;
+    writeln!(f, "  \"depgraph_build_seconds\": {:.4},", mix.depgraph_seconds)?;
+    writeln!(f, "  \"shared_precompute_seconds\": {:.4},", mix.precompute_seconds)?;
     writeln!(f, "  \"simulated_mips\": [")?;
     for (i, r) in results.iter().enumerate() {
         let comma = if i + 1 == results.len() { "" } else { "," };
         writeln!(
             f,
             "    {{\"machine\": \"{}\", \"seed_baseline\": {:.3}, \"naive_scan\": {:.3}, \
-             \"event_driven\": {:.3}, \"replay\": {:.3}, \"replay_vs_seed\": {:.3}, \
-             \"replay_vs_event\": {:.3}}}{comma}",
+             \"event_driven\": {:.3}, \"replay\": {:.3}, \"replay_shared\": {:.3}, \
+             \"replay_vs_seed\": {:.3}, \"replay_vs_event\": {:.3}, \
+             \"replay_shared_vs_replay\": {:.3}}}{comma}",
             r.name,
             r.seed_baseline,
             r.naive_scan,
             r.event_driven,
             r.replay,
+            r.replay_shared,
             r.replay / r.seed_baseline,
             r.replay / r.event_driven,
+            r.replay_shared / r.replay,
         )?;
     }
     writeln!(f, "  ],")?;
@@ -333,26 +410,40 @@ fn bench(c: &mut Criterion) {
         ("8-wide/160-reg", wide_machine()),
         ("16-wide/320-reg", very_wide_machine()),
     ];
+    verify_shared_equivalence(&mix, &machines);
     let mut results = Vec::new();
     for (name, config) in &machines {
-        let [seed_baseline, naive_scan, event_driven, replay] = simulated_mips_all(&mix, config);
-        let r = MachineResult { name, seed_baseline, naive_scan, event_driven, replay };
+        let [seed_baseline, naive_scan, event_driven, replay, replay_shared] =
+            simulated_mips_all(&mix, config);
+        let r =
+            MachineResult { name, seed_baseline, naive_scan, event_driven, replay, replay_shared };
         println!("sim_throughput/{name}/seed_baseline:  {:.2} simulated-MIPS", r.seed_baseline);
         println!("sim_throughput/{name}/naive_scan:     {:.2} simulated-MIPS", r.naive_scan);
         println!("sim_throughput/{name}/event_driven:   {:.2} simulated-MIPS", r.event_driven);
         println!("sim_throughput/{name}/capture_replay: {:.2} simulated-MIPS", r.replay);
+        println!("sim_throughput/{name}/replay_shared:  {:.2} simulated-MIPS", r.replay_shared);
         println!(
-            "sim_throughput/{name}/speedup:        {:.2}x vs seed, {:.2}x vs live event-driven",
+            "sim_throughput/{name}/speedup:        {:.2}x vs seed, {:.2}x vs live event-driven, \
+             {:.2}x shared-products vs plain replay",
             r.replay / r.seed_baseline,
-            r.replay / r.event_driven
+            r.replay / r.event_driven,
+            r.replay_shared / r.replay,
         );
         results.push(r);
     }
+    let dynamic_instrs = mix.traces.iter().map(|t| t.len() as u64).sum::<u64>() as f64;
     println!(
         "sim_throughput/capture: one-off capture of the mix took {:.3}s ({:.2} MIPS), amortized \
          across every sweep point",
         mix.capture_seconds,
-        mix.traces.iter().map(|t| t.len() as u64).sum::<u64>() as f64 / mix.capture_seconds / 1.0e6
+        dynamic_instrs / mix.capture_seconds / 1.0e6
+    );
+    println!(
+        "sim_throughput/depgraph_build: one-off dependence-graph builds took {:.4}s \
+         ({:.1} ns/record); shared-product recording took {:.4}s — both amortized like capture",
+        mix.depgraph_seconds,
+        mix.depgraph_seconds * 1.0e9 / dynamic_instrs,
+        mix.precompute_seconds,
     );
 
     // Batched-vs-serial sweep comparison: the same 8-configuration grid
@@ -377,7 +468,7 @@ fn bench(c: &mut Criterion) {
         batch_mips / serial_mips
     );
 
-    if let Err(e) = write_json(&results, &sweep, mix.capture_seconds) {
+    if let Err(e) = write_json(&results, &sweep, &mix) {
         eprintln!("sim_throughput: could not write JSON artifact: {e}");
     }
 
@@ -392,6 +483,9 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10).warm_up_time(warm).measurement_time(measure);
     g.bench_function("capture_replay_4wide", |b| {
         b.iter(|| run_mix(&mix, &narrow, Core::Replay));
+    });
+    g.bench_function("replay_shared_4wide", |b| {
+        b.iter(|| run_mix(&mix, &narrow, Core::ReplayShared));
     });
     g.bench_function("event_driven_4wide", |b| {
         b.iter(|| run_mix(&mix, &narrow, Core::EventDriven));

@@ -1,23 +1,32 @@
 //! Front-end cost ablation: how much host time does each trace source
-//! cost, in isolation and end-to-end?
+//! cost, in isolation and end-to-end — and how much of the remaining
+//! per-member back end do the precomputed trace-pure products remove?
 //!
 //! Measures, on the Figure 10 mix (min-of-5 wall clock):
 //!
 //! * draining a replayed [`CapturedTrace`] with no simulator attached,
 //! * draining the live interpreter with no simulator attached,
+//! * building the trace's dependence graph (the one-off precompute),
 //! * the full event-driven simulator fed by replay,
+//! * the same simulator consuming every precomputed trace-pure product
+//!   (decode table, branch/I-cache oracles, dependence graph, DVI event
+//!   stream) — the per-member steady state of a batched sweep,
 //! * the full event-driven simulator fed by live interpretation.
 //!
-//! The difference of the last two is the end-to-end value of
-//! capture-once/replay-many; the first two isolate the trace-production
-//! cost by itself.
+//! The replay-vs-interp difference is the end-to-end value of
+//! capture-once/replay-many; the shared-vs-replay difference is the
+//! back-end shrink the dependence-graph layer buys per member.
 //!
 //! Run with `cargo run --release -p dvi-bench --example frontend_ablation`.
 
 use dvi_core::DviConfig;
 use dvi_experiments::Binaries;
-use dvi_program::{CapturedTrace, Interpreter};
-use dvi_sim::{SimConfig, Simulator};
+use dvi_program::{CapturedTrace, DepGraph, Interpreter};
+use dvi_sim::{
+    BranchOracle, DviOracle, IcacheOracle, SharedTables, SimConfig, SimSession, Simulator,
+    StaticDecodeTable,
+};
+use std::sync::Arc;
 use std::time::Instant;
 
 const INSTRS_PER_RUN: u64 = 60_000;
@@ -30,6 +39,16 @@ fn main() {
     let traces: Vec<_> = layouts.iter().map(|l| CapturedTrace::record(l, INSTRS_PER_RUN)).collect();
     let dynamic_instrs: u64 = traces.iter().map(|t| t.len() as u64).sum();
     let config = SimConfig::micro97().with_dvi(DviConfig::full());
+    let shared: Vec<SharedTables> = traces
+        .iter()
+        .map(|trace| SharedTables {
+            decode: Some(Arc::new(StaticDecodeTable::for_trace(trace))),
+            branches: Some(Arc::new(BranchOracle::record(trace, config.predictor))),
+            icache: Some(Arc::new(IcacheOracle::record(trace, config.icache))),
+            depgraph: Some(Arc::new(DepGraph::build(trace))),
+            dvi: Some(Arc::new(DviOracle::record(trace, config.dvi))),
+        })
+        .collect();
 
     let time = |label: &str, f: &dyn Fn() -> u64| {
         let mut best = f64::MAX;
@@ -60,8 +79,22 @@ fn main() {
             })
             .sum()
     });
-    time("sim+replay (sweep steady state)", &|| {
+    time("depgraph-build (one-off precompute)", &|| {
+        traces.iter().map(|t| DepGraph::build(t).len() as u64).sum()
+    });
+    time("sim+replay (plain replay back end)", &|| {
         traces.iter().map(|t| Simulator::new(config.clone()).run(t.replay()).program_instrs).sum()
+    });
+    time("sim+replay+shared (sweep steady state: depgraph + oracles)", &|| {
+        traces
+            .iter()
+            .zip(&shared)
+            .map(|(t, tables)| {
+                SimSession::with_shared_tables(config.clone(), t.cursor(), tables.clone())
+                    .run_to_completion()
+                    .program_instrs
+            })
+            .sum()
     });
     time("sim+interp (pre-capture behaviour)", &|| {
         layouts

@@ -106,14 +106,22 @@ impl Binaries {
         }
     }
 
-    /// Records both binaries' dynamic traces once, for replay across every
-    /// machine configuration of a sweep.
+    /// Records both binaries' dynamic traces once — and builds each
+    /// trace's dependence graph ([`dvi_program::DepGraph`]) in the same
+    /// breath — for replay across every machine configuration of a sweep.
+    /// The precompute-once discipline extends to the graph: every sweep
+    /// point shares it by reference, and the one-off build cost is
+    /// recorded in the trace's [`dvi_program::ExecSummary`].
     #[must_use]
     pub fn capture(&self, budget: Budget) -> CapturedBinaries {
+        let mut baseline = CapturedTrace::record(&self.baseline, budget.instrs_per_run);
+        baseline.build_depgraph();
+        let mut edvi = CapturedTrace::record(&self.edvi, budget.instrs_per_run);
+        edvi.build_depgraph();
         CapturedBinaries {
             name: self.name.clone(),
-            baseline: CapturedTrace::record(&self.baseline, budget.instrs_per_run),
-            edvi: CapturedTrace::record(&self.edvi, budget.instrs_per_run),
+            baseline,
+            edvi,
             static_instrs: self.static_instrs,
         }
     }
@@ -164,10 +172,13 @@ pub fn replay(trace: &CapturedTrace, config: SimConfig) -> SimStats {
 
 /// Times a recorded trace on every configuration of a grid in **one**
 /// batched pass (`dvi_sim::batch::SweepRunner`): the grid members are
-/// co-scheduled over the shared trace and share its static-decode table
-/// and branch-oracle bitstream. Per-configuration statistics are returned
-/// in grid order and are bit-identical to calling [`replay`] once per
-/// configuration (`dvi-sim/tests/batch_equiv.rs`).
+/// co-scheduled over the shared trace and share every trace-pure product —
+/// the static-decode table, the branch/I-cache oracle bitstreams, the
+/// dependence graph (producer-link dispatch wiring) and one decode-stage
+/// DVI event stream per distinct DVI configuration on the grid.
+/// Per-configuration statistics are returned in grid order and are
+/// bit-identical to calling [`replay`] once per configuration
+/// (`dvi-sim/tests/batch_equiv.rs`).
 #[must_use]
 pub fn sweep(trace: &CapturedTrace, configs: impl IntoIterator<Item = SimConfig>) -> Vec<SimStats> {
     SweepRunner::new(trace, configs).run()

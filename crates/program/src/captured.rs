@@ -43,11 +43,13 @@
 //! bit-identical to live interpretation (locked down by
 //! `dvi-sim/tests/replay_equiv.rs`).
 
+use crate::depgraph::DepGraph;
 use crate::interp::{ExecSummary, Interpreter};
 use crate::ir::ProcId;
 use crate::layout::LayoutProgram;
 use crate::trace::DynInst;
 use dvi_isa::Instr;
+use std::sync::Arc;
 
 /// Bit assignments of the per-record flags byte.
 pub mod flags {
@@ -82,6 +84,10 @@ pub struct CapturedTrace {
     redirect_targets: Vec<u32>,
     /// Summary of the recording run (instruction count, halt, error).
     summary: ExecSummary,
+    /// The precomputed dependence graph, once built
+    /// ([`CapturedTrace::build_depgraph`]); shared by reference with every
+    /// consumer of the trace.
+    depgraph: Option<Arc<DepGraph>>,
 }
 
 impl CapturedTrace {
@@ -101,11 +107,19 @@ impl CapturedTrace {
             mem_addrs: Vec::new(),
             redirect_targets: Vec::new(),
             summary: interp.summary(),
+            depgraph: None,
         };
         for d in interp.by_ref() {
             trace.push(&d);
         }
         trace.summary = interp.summary();
+        // The capacity estimate above can overshoot short programs by a
+        // wide margin; release the slack so `approx_bytes` (which reports
+        // capacities — the memory actually held) matches reality.
+        trace.pcs.shrink_to_fit();
+        trace.flag_bits.shrink_to_fit();
+        trace.mem_addrs.shrink_to_fit();
+        trace.redirect_targets.shrink_to_fit();
         trace
     }
 
@@ -151,15 +165,42 @@ impl CapturedTrace {
     }
 
     /// Approximate heap footprint of the captured trace, in bytes (useful
-    /// for sizing sweep batches).
+    /// for sizing sweep batches). Accounts for every side array — the
+    /// dynamic record buffers at their allocated capacity, the static
+    /// image, and the attached [`DepGraph`] storage when one has been
+    /// built.
     #[must_use]
     pub fn approx_bytes(&self) -> usize {
-        self.pcs.len() * std::mem::size_of::<u32>()
-            + self.flag_bits.len()
-            + self.mem_addrs.len() * std::mem::size_of::<u64>()
-            + self.redirect_targets.len() * std::mem::size_of::<u32>()
+        self.pcs.capacity() * std::mem::size_of::<u32>()
+            + self.flag_bits.capacity()
+            + self.mem_addrs.capacity() * std::mem::size_of::<u64>()
+            + self.redirect_targets.capacity() * std::mem::size_of::<u32>()
             + self.static_instrs.len() * std::mem::size_of::<Instr>()
             + self.static_procs.len() * std::mem::size_of::<ProcId>()
+            + self.depgraph.as_ref().map_or(0, |g| g.approx_bytes())
+    }
+
+    /// The precomputed dependence graph attached to this trace, if
+    /// [`CapturedTrace::build_depgraph`] has run.
+    #[must_use]
+    pub fn depgraph(&self) -> Option<&Arc<DepGraph>> {
+        self.depgraph.as_ref()
+    }
+
+    /// Builds the trace's [`DepGraph`] (one extra pass over the records),
+    /// attaches it for every consumer to share by reference, and returns
+    /// it. Idempotent: repeated calls return the already-built graph. The
+    /// build's wall-clock cost is surfaced in
+    /// [`ExecSummary::depgraph_build_nanos`].
+    pub fn build_depgraph(&mut self) -> Arc<DepGraph> {
+        if self.depgraph.is_none() {
+            let start = std::time::Instant::now();
+            let graph = Arc::new(DepGraph::build(self));
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.summary.depgraph_build_nanos = Some(nanos);
+            self.depgraph = Some(graph);
+        }
+        Arc::clone(self.depgraph.as_ref().expect("just built"))
     }
 
     /// The static instruction image the trace was recorded from, indexed by
@@ -367,6 +408,26 @@ mod tests {
             trace.approx_bytes(),
             naive
         );
+    }
+
+    #[test]
+    fn approx_bytes_accounts_for_the_attached_depgraph() {
+        let layout = mixed_program();
+        let mut trace = CapturedTrace::record(&layout, u64::MAX);
+        let before = trace.approx_bytes();
+        assert!(trace.depgraph().is_none());
+        assert_eq!(trace.summary().depgraph_build_nanos, None);
+        let graph = trace.build_depgraph();
+        assert_eq!(graph.len(), trace.len());
+        assert_eq!(
+            trace.approx_bytes(),
+            before + graph.approx_bytes(),
+            "the dependence graph storage must be accounted"
+        );
+        assert!(trace.summary().depgraph_build_nanos.is_some());
+        // Idempotent: a second build returns the same graph.
+        let again = trace.build_depgraph();
+        assert!(Arc::ptr_eq(&graph, &again));
     }
 
     #[test]

@@ -49,6 +49,7 @@
 
 mod builder;
 pub mod captured;
+pub mod depgraph;
 mod error;
 mod interp;
 mod ir;
@@ -57,6 +58,7 @@ mod trace;
 
 pub use builder::{ProcBuilder, ProgramBuilder};
 pub use captured::{CapturedTrace, Replay, TraceCursor};
+pub use depgraph::{DepGraph, SrcDep};
 pub use error::{InterpError, ProgramError};
 pub use interp::{ArchState, ExecSummary, Interpreter, DATA_BASE, STACK_BASE};
 pub use ir::{BasicBlock, BlockId, ProcId, Procedure, Program};

@@ -32,6 +32,19 @@
 //!   member's own config-dependent data accesses — stays on the member's
 //!   private hierarchy ([`dvi_mem::MemoryHierarchy::inst_fetch_known`]).
 //!   Shared only when every member uses the same L1I geometry.
+//! * one [`dvi_program::DepGraph`] instead of N alias-table walks: the
+//!   dynamic def-use structure of the trace is machine-independent, so
+//!   dispatch wires each window entry directly to its producers' window
+//!   sequence numbers and the rename table drops out of the dependence
+//!   path entirely (it still owns free-list occupancy and reclaim timing,
+//!   which *are* machine state).
+//! * one [`DviOracle`] per distinct DVI configuration instead of N live
+//!   LVM / LVM-Stack instances: decode-stage DVI is in-order and
+//!   trace-pure given a [`dvi_core::DviConfig`], so the
+//!   reclaim/elimination event stream is recorded once per distinct
+//!   configuration on the grid and shared by every member that agrees on
+//!   it (fig05/fig06 vary the DVI axis; members in undersized groups fall
+//!   back to live engines).
 //!
 //! # Equivalence
 //!
@@ -42,13 +55,16 @@
 //! `tests/batch_equiv.rs` across random presets × machine grids).
 
 use crate::config::SimConfig;
+use crate::dvi_engine::{DviEngine, ReclaimList};
 use crate::frontend::{FetchPredictor, StaticDecodeTable};
+use crate::rename::RenameState;
 use crate::session::SimSession;
 use crate::stats::SimStats;
 use dvi_bpred::{PredictorConfig, PredictorStats};
-use dvi_isa::Instr;
+use dvi_core::{DviConfig, DviStats};
+use dvi_isa::{Abi, Instr, RegMask, NUM_ARCH_REGS};
 use dvi_mem::{AccessKind, Cache, CacheConfig, CacheStats};
-use dvi_program::{CapturedTrace, LayoutProgram, TraceCursor};
+use dvi_program::{CapturedTrace, DepGraph, LayoutProgram, TraceCursor};
 use std::sync::Arc;
 
 /// A packed bitstream with sequential append and random read.
@@ -331,7 +347,292 @@ impl IcacheCursor {
     }
 }
 
-/// The bundle of sweep-shared, immutable front-end products a
+/// A pre-recorded decode-stage DVI event stream for one captured trace and
+/// one [`DviConfig`].
+///
+/// Decode-stage DVI is driven strictly in trace order at dispatch — kills,
+/// calls, returns, save/restore elimination checks and destination renames
+/// — and every decision it makes (which saves/restores are eliminated,
+/// which architectural registers lose their mapping at which event) is a
+/// pure function of the trace and the DVI configuration: machine width,
+/// register-file size and cache geometry never enter. A sweep therefore
+/// records the stream **once per distinct [`DviConfig`] on the grid** by
+/// running one live [`DviEngine`] (plus a shadow mapped-bit tracker
+/// standing in for the alias table) over the trace, and every member that
+/// agrees on the DVI configuration replays the recorded decisions through
+/// a [`DviCursor`] instead of carrying its own LVM / LVM-Stack machinery.
+///
+/// Replay is indistinguishable from the live engine: elimination decisions,
+/// unmap order (and therefore free-list order and every downstream
+/// allocation) and [`DviStats`] are bit-identical, locked by
+/// `tests/batch_equiv.rs` and `tests/depgraph_equiv.rs`.
+#[derive(Debug)]
+pub struct DviOracle {
+    /// The DVI configuration the stream was recorded under.
+    config: DviConfig,
+    /// One bit per `live-store`/`live-load` record in trace order: whether
+    /// the decode stage eliminates it.
+    elim: BitStream,
+    /// One mask per `kill`/`call`/`return` record in trace order: the
+    /// architectural registers whose mappings the event removes.
+    unmaps: Vec<RegMask>,
+    /// Size of the ABI's I-DVI mask (for exact `idvi_regs_killed`
+    /// accounting during replay).
+    idvi_mask_len: u64,
+}
+
+impl DviOracle {
+    /// Runs the decode-stage DVI machinery over the whole trace and
+    /// records the elimination bits and unmap masks.
+    ///
+    /// The `match` below mirrors `FrontEnd::next_dispatch` event for event
+    /// — elimination guards before dispatch, destination renames before
+    /// call events — so the recorded stream cannot diverge from what a
+    /// live engine would decide at dispatch time.
+    #[must_use]
+    pub fn record(trace: &CapturedTrace, config: DviConfig) -> DviOracle {
+        let abi = Abi::mips_like();
+        let mut oracle = DviOracle {
+            config,
+            elim: BitStream::default(),
+            unmaps: Vec::new(),
+            idvi_mask_len: abi.idvi_mask().len() as u64,
+        };
+        let mut engine = DviEngine::new(config, abi);
+        // Shadow alias-table occupancy: at reset every architectural
+        // register is mapped. Only mapped-ness matters to the recorded
+        // decisions; the physical names differ per member and stay theirs.
+        let mut mapped = [true; NUM_ARCH_REGS];
+        // The shadow unmap action: clear the mapped bit and collect the
+        // register into the event's recorded mask.
+        fn shadow<'a>(
+            mapped: &'a mut [bool; NUM_ARCH_REGS],
+            out: &'a mut RegMask,
+        ) -> impl FnMut(dvi_isa::ArchReg) -> bool + 'a {
+            move |reg| {
+                let slot = &mut mapped[reg.index()];
+                let was_mapped = *slot;
+                if was_mapped {
+                    *slot = false;
+                    out.insert(reg);
+                }
+                was_mapped
+            }
+        }
+        for d in trace.cursor() {
+            match d.instr {
+                Instr::Kill { mask } => {
+                    let mut unmapped = RegMask::empty();
+                    engine.on_kill(mask, shadow(&mut mapped, &mut unmapped));
+                    oracle.unmaps.push(unmapped);
+                }
+                Instr::LiveStore { rs, .. } => oracle.elim.push(engine.on_save(rs)),
+                Instr::LiveLoad { rd, .. } => {
+                    let eliminated = engine.on_restore(rd);
+                    oracle.elim.push(eliminated);
+                    if !eliminated {
+                        // The restore dispatches: destination renaming
+                        // re-maps the register and marks it live.
+                        mapped[rd.index()] = true;
+                        engine.on_dest_rename(rd);
+                    }
+                }
+                Instr::Call { .. } => {
+                    // Dispatch renames the destination (the return-address
+                    // register) before the decode-stage call event.
+                    if let Some(rd) = d.instr.dst_reg() {
+                        mapped[rd.index()] = true;
+                        engine.on_dest_rename(rd);
+                    }
+                    let mut unmapped = RegMask::empty();
+                    engine.on_call(shadow(&mut mapped, &mut unmapped));
+                    oracle.unmaps.push(unmapped);
+                }
+                Instr::Return => {
+                    let mut unmapped = RegMask::empty();
+                    engine.on_return(shadow(&mut mapped, &mut unmapped));
+                    oracle.unmaps.push(unmapped);
+                }
+                _ => {
+                    if let Some(rd) = d.instr.dst_reg() {
+                        mapped[rd.index()] = true;
+                        engine.on_dest_rename(rd);
+                    }
+                }
+            }
+        }
+        oracle
+    }
+
+    /// The DVI configuration the stream was recorded under.
+    #[must_use]
+    pub fn config(&self) -> DviConfig {
+        self.config
+    }
+
+    /// Number of recorded elimination decisions (saves + restores).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.elim.len
+    }
+
+    /// Whether the trace contained no saves or restores.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.elim.len == 0
+    }
+
+    /// Number of recorded unmap events (kills + calls + returns).
+    #[must_use]
+    pub fn unmap_events(&self) -> usize {
+        self.unmaps.len()
+    }
+
+    /// The recorded elimination decision of the `idx`-th save/restore in
+    /// trace order (differential-test inspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn eliminated(&self, idx: usize) -> bool {
+        assert!(idx < self.elim.len, "elimination index out of range");
+        self.elim.get(idx)
+    }
+
+    /// The recorded unmap mask of the `event`-th kill/call/return in trace
+    /// order (differential-test inspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `event` is out of range.
+    #[must_use]
+    pub fn unmap_mask(&self, event: usize) -> RegMask {
+        self.unmaps[event]
+    }
+}
+
+/// A consuming read position into a shared [`DviOracle`], accumulating
+/// exact [`DviStats`] as it goes (these replace the bypassed live engine's
+/// counters in the member's final statistics).
+#[derive(Debug, Clone)]
+pub struct DviCursor {
+    oracle: Arc<DviOracle>,
+    /// Next elimination bit (saves/restores, trace order).
+    elim_idx: usize,
+    /// Next unmap mask (kills/calls/returns, trace order).
+    unmap_idx: usize,
+    stats: DviStats,
+}
+
+impl DviCursor {
+    /// A cursor positioned at the first event.
+    #[must_use]
+    pub fn new(oracle: Arc<DviOracle>) -> DviCursor {
+        DviCursor { oracle, elim_idx: 0, unmap_idx: 0, stats: DviStats::new() }
+    }
+
+    /// Applies the next unmap event to the member's own alias table,
+    /// queueing the released physical registers (the member still owes the
+    /// reclaim *timing*: the registers ride the next dispatched window
+    /// entry to commit, exactly as with a live engine).
+    fn apply_unmaps(&mut self, rename: &mut RenameState, out: &mut ReclaimList) {
+        assert!(
+            self.unmap_idx < self.oracle.unmaps.len(),
+            "DVI oracle exhausted: the session is dispatching a different trace \
+             than the oracle was recorded from"
+        );
+        let mask = self.oracle.unmaps[self.unmap_idx];
+        self.unmap_idx += 1;
+        for reg in mask.iter() {
+            let p = rename
+                .unmap(reg)
+                .expect("DVI oracle unmapped a register the member has no mapping for");
+            out.push(p);
+        }
+        self.stats.phys_regs_reclaimed_early += mask.len() as u64;
+    }
+
+    /// The next elimination bit without consuming it (a stalled dispatch
+    /// re-attempts the same save/restore).
+    fn peek_elim(&self) -> bool {
+        assert!(
+            self.elim_idx < self.oracle.elim.len,
+            "DVI oracle exhausted: the session is dispatching a different trace \
+             than the oracle was recorded from"
+        );
+        self.oracle.elim.get(self.elim_idx)
+    }
+
+    /// An explicit `kill` consumed at decode (`mask` is the static kill
+    /// mask, for exact E-DVI accounting).
+    pub(crate) fn on_kill(
+        &mut self,
+        mask: RegMask,
+        rename: &mut RenameState,
+        out: &mut ReclaimList,
+    ) {
+        if self.oracle.config.use_edvi {
+            self.stats.edvi_instructions += 1;
+            self.stats.edvi_regs_killed += mask.len() as u64;
+        }
+        self.apply_unmaps(rename, out);
+    }
+
+    /// A dispatch attempt on a save. Counts the attempt (a save stalled
+    /// behind a full window is re-attempted and re-counted, exactly like
+    /// the live engine) and consumes the bit only when it eliminates.
+    pub(crate) fn on_save_attempt(&mut self) -> bool {
+        self.stats.saves_seen += 1;
+        let eliminated = self.peek_elim();
+        if eliminated {
+            self.stats.saves_eliminated += 1;
+            self.elim_idx += 1;
+        }
+        eliminated
+    }
+
+    /// A dispatch attempt on a restore (see [`DviCursor::on_save_attempt`]).
+    pub(crate) fn on_restore_attempt(&mut self) -> bool {
+        self.stats.restores_seen += 1;
+        let eliminated = self.peek_elim();
+        if eliminated {
+            self.stats.restores_eliminated += 1;
+            self.elim_idx += 1;
+        }
+        eliminated
+    }
+
+    /// A non-eliminated save/restore entered the window: its (false)
+    /// elimination bit is consumed.
+    pub(crate) fn on_save_restore_dispatched(&mut self) {
+        self.elim_idx += 1;
+    }
+
+    /// A procedure call dispatched.
+    pub(crate) fn on_call(&mut self, rename: &mut RenameState, out: &mut ReclaimList) {
+        if self.oracle.config.use_idvi {
+            self.stats.idvi_regs_killed += self.oracle.idvi_mask_len;
+        }
+        self.apply_unmaps(rename, out);
+    }
+
+    /// A procedure return dispatched.
+    pub(crate) fn on_return(&mut self, rename: &mut RenameState, out: &mut ReclaimList) {
+        if self.oracle.config.use_idvi {
+            self.stats.idvi_regs_killed += self.oracle.idvi_mask_len;
+        }
+        self.apply_unmaps(rename, out);
+    }
+
+    /// Statistics over the events consumed so far.
+    #[must_use]
+    pub(crate) fn stats(&self) -> DviStats {
+        self.stats
+    }
+}
+
+/// The bundle of sweep-shared, immutable trace-pure products a
 /// [`SimSession`] can consume in place of its private state. Every field
 /// is optional and independently shareable; all of them leave the modelled
 /// machine bit-identical (`tests/batch_equiv.rs`).
@@ -346,16 +647,26 @@ pub struct SharedTables {
     /// Pre-recorded L1I hit bits (bypasses the private L1I tag array; must
     /// match the member's L1I geometry).
     pub icache: Option<Arc<IcacheOracle>>,
+    /// The trace's precomputed dependence graph
+    /// ([`dvi_program::DepGraph`]): dispatch wires window entries directly
+    /// to their producers' window sequence numbers instead of renaming
+    /// sources through the alias table (event-driven scheduler only).
+    pub depgraph: Option<Arc<DepGraph>>,
+    /// Pre-recorded decode-stage DVI event stream (replaces the private
+    /// live [`DviEngine`]; must match the member's [`DviConfig`]).
+    pub dvi: Option<Arc<DviOracle>>,
 }
 
-/// The smallest sweep for which recording the branch and I-cache oracles
+/// The default of [`SweepRunner::with_oracle_min_members`]: the smallest
+/// number of members sharing a recorded oracle for which the recording
 /// pays for itself. Each recording is a full extra pass over the trace
-/// (≈ 5 ns/record for the predictor, ≈ 2 ns for the L1I) amortized across
-/// the members, while the per-member saving is of the same few-ns order —
-/// so a 1–2 member sweep would pay pure overhead. Below the threshold the
-/// members simply keep private live structures (the decode table, built
-/// from the *static* image in O(code size), is always shared).
-const ORACLE_MIN_MEMBERS: usize = 3;
+/// (≈ 5 ns/record for the predictor, ≈ 2 ns for the L1I or the DVI
+/// stream) amortized across the members that share it, while the
+/// per-member saving is of the same few-ns order — so a stream shared by
+/// only 1–2 members would pay pure overhead. Below the threshold members
+/// simply keep private live structures (the decode table, built from the
+/// *static* image in O(code size), is always shared).
+pub const ORACLE_MIN_MEMBERS: usize = 3;
 
 /// How many trace records the co-scheduler advances one member through
 /// before re-evaluating which member is furthest behind.
@@ -398,7 +709,21 @@ const RECORDS_PER_TURN: u64 = 65_536;
 pub struct SweepRunner<'a> {
     trace: &'a CapturedTrace,
     members: Vec<Member<'a>>,
+    /// Products shared by every member (decode table, and — once
+    /// [`SweepRunner::prepare_shared`] has run — the branch/I-cache
+    /// oracles and the dependence graph where applicable).
     shared: SharedTables,
+    /// One recorded DVI event stream per distinct [`DviConfig`] that
+    /// enough members share (members whose group is smaller fall back to
+    /// private live engines).
+    dvi_oracles: Vec<Arc<DviOracle>>,
+    /// Minimum members sharing a recording before it is worth making.
+    oracle_min_members: usize,
+    /// Whether members wire dispatch through the shared dependence graph
+    /// (see [`SweepRunner::without_depgraph`]).
+    use_depgraph: bool,
+    /// Whether `prepare_shared` has run.
+    prepared: bool,
 }
 
 /// One sweep member's lifecycle. Sessions are materialized only when first
@@ -434,30 +759,123 @@ impl Member<'_> {
 impl<'a> SweepRunner<'a> {
     /// Prepares one member per configuration, all reading `trace` through
     /// independent cursors. The static-decode table is always shared; the
-    /// branch and I-cache oracles are shared when every configuration
-    /// agrees on the predictor configuration / L1I geometry respectively
-    /// (members with a divergent one would need different bitstreams, so a
-    /// heterogeneous batch falls back to the private live structure) *and*
-    /// the sweep is large enough to amortize recording them
-    /// ([`ORACLE_MIN_MEMBERS`]).
+    /// remaining trace-pure products are recorded lazily when the sweep
+    /// runs (see [`SweepRunner::prepare_shared`]), so builder options can
+    /// still adjust the sharing policy.
     #[must_use]
     pub fn new(trace: &'a CapturedTrace, configs: impl IntoIterator<Item = SimConfig>) -> Self {
-        let configs: Vec<SimConfig> = configs.into_iter().collect();
-        let mut shared = SharedTables {
+        let shared = SharedTables {
             decode: Some(Arc::new(StaticDecodeTable::for_trace(trace))),
-            branches: None,
-            icache: None,
+            ..SharedTables::default()
         };
-        if let Some(first) = configs.first().filter(|_| configs.len() >= ORACLE_MIN_MEMBERS) {
+        let members = configs.into_iter().map(|c| Member::Pending(Box::new(c))).collect();
+        SweepRunner {
+            trace,
+            members,
+            shared,
+            dvi_oracles: Vec::new(),
+            oracle_min_members: ORACLE_MIN_MEMBERS,
+            use_depgraph: true,
+            prepared: false,
+        }
+    }
+
+    /// Disables dependence-graph dispatch wiring for this sweep: members
+    /// rename sources through their private alias tables even when the
+    /// trace carries a prebuilt graph. A host-time policy knob only —
+    /// statistics are bit-identical either way. Useful where the graph's
+    /// streamed row traffic (~9 bytes per record per member) outweighs the
+    /// skipped alias-table walk; on the reference container the two are
+    /// within measurement noise of each other (see the ROADMAP's PR 4
+    /// decomposition).
+    #[must_use]
+    pub fn without_depgraph(mut self) -> Self {
+        assert!(!self.prepared, "set the depgraph policy before running the sweep");
+        self.use_depgraph = false;
+        self
+    }
+
+    /// Sets the oracle-recording amortization threshold: a pre-recorded
+    /// event stream (branch, I-cache or DVI oracle) is only recorded when
+    /// at least `n` members would share it, since each recording costs a
+    /// full extra pass over the trace. The default is
+    /// [`ORACLE_MIN_MEMBERS`]; `1` forces recording for every product,
+    /// `usize::MAX` disables oracle recording entirely. Values below 1 are
+    /// clamped to 1. The choice affects host time only — member statistics
+    /// are bit-identical either way.
+    #[must_use]
+    pub fn with_oracle_min_members(mut self, n: usize) -> Self {
+        assert!(!self.prepared, "set the oracle threshold before running the sweep");
+        self.oracle_min_members = n.max(1);
+        self
+    }
+
+    /// Records the shareable trace-pure products under the current policy:
+    ///
+    /// * the **dependence graph** — config-independent, so it is shared by
+    ///   every member: taken from the trace when already attached
+    ///   ([`CapturedTrace::build_depgraph`]), otherwise built here for
+    ///   sweeps of at least two members;
+    /// * the **branch** and **I-cache oracles** — when every member agrees
+    ///   on the predictor configuration / L1I geometry respectively and
+    ///   the sweep meets the amortization threshold;
+    /// * one **DVI oracle per distinct [`DviConfig`]** shared by at least
+    ///   the threshold number of members (fig05/fig06-style sweeps vary
+    ///   the DVI axis, so agreement is per group, not global); members in
+    ///   smaller groups fall back to private live engines.
+    fn prepare_shared(&mut self) {
+        if self.prepared {
+            return;
+        }
+        self.prepared = true;
+        let configs: Vec<&SimConfig> = self
+            .members
+            .iter()
+            .map(|m| match m {
+                Member::Pending(c) => &**c,
+                _ => unreachable!("members are pending until the sweep runs"),
+            })
+            .collect();
+        // Only event-driven members consume the graph (the naive scan's
+        // reference loops re-check per-operand ready bits), so a grid
+        // without any skips the build entirely.
+        let any_event_driven =
+            configs.iter().any(|c| c.scheduler == crate::config::SchedulerKind::EventDriven);
+        self.shared.depgraph = match self.trace.depgraph() {
+            _ if !self.use_depgraph || !any_event_driven => None,
+            Some(graph) => Some(Arc::clone(graph)),
+            None if configs.len() >= 2 => Some(Arc::new(DepGraph::build(self.trace))),
+            None => None,
+        };
+        if let Some(first) = configs.first().filter(|_| configs.len() >= self.oracle_min_members) {
             if configs.iter().all(|c| c.predictor == first.predictor) {
-                shared.branches = Some(Arc::new(BranchOracle::record(trace, first.predictor)));
+                self.shared.branches =
+                    Some(Arc::new(BranchOracle::record(self.trace, first.predictor)));
             }
             if configs.iter().all(|c| c.icache == first.icache) {
-                shared.icache = Some(Arc::new(IcacheOracle::record(trace, first.icache)));
+                self.shared.icache = Some(Arc::new(IcacheOracle::record(self.trace, first.icache)));
             }
         }
-        let members = configs.into_iter().map(|c| Member::Pending(Box::new(c))).collect();
-        SweepRunner { trace, members, shared }
+        let mut groups: Vec<(DviConfig, usize)> = Vec::new();
+        for config in &configs {
+            match groups.iter_mut().find(|(dvi, _)| *dvi == config.dvi) {
+                Some((_, count)) => *count += 1,
+                None => groups.push((config.dvi, 1)),
+            }
+        }
+        self.dvi_oracles = groups
+            .into_iter()
+            .filter(|&(_, count)| count >= self.oracle_min_members)
+            .map(|(dvi, _)| Arc::new(DviOracle::record(self.trace, dvi)))
+            .collect();
+    }
+
+    /// The shared-product bundle member `config` consumes: the globally
+    /// shared products plus its DVI group's oracle, if one was recorded.
+    fn tables_for(&self, config: &SimConfig) -> SharedTables {
+        let mut tables = self.shared.clone();
+        tables.dvi = self.dvi_oracles.iter().find(|o| o.config() == config.dvi).map(Arc::clone);
+        tables
     }
 
     /// Number of sweep members.
@@ -487,6 +905,7 @@ impl<'a> SweepRunner<'a> {
     /// (see [`RECORDS_PER_TURN`]).
     #[must_use]
     pub fn run(mut self) -> Vec<SimStats> {
+        self.prepare_shared();
         loop {
             let mut laggard: Option<(usize, u64)> = None;
             for (i, member) in self.members.iter().enumerate() {
@@ -511,14 +930,15 @@ impl<'a> SweepRunner<'a> {
     /// materializing its session on first schedule and retiring it to bare
     /// statistics the moment it finishes.
     fn advance(&mut self, i: usize, target: u64) {
-        let member = &mut self.members[i];
-        if let Member::Pending(config) = member {
-            *member = Member::Active(Box::new(SimSession::with_shared_tables(
+        if let Member::Pending(config) = &self.members[i] {
+            let tables = self.tables_for(config);
+            self.members[i] = Member::Active(Box::new(SimSession::with_shared_tables(
                 (**config).clone(),
                 self.trace.cursor(),
-                self.shared.clone(),
+                tables,
             )));
         }
+        let member = &mut self.members[i];
         let Member::Active(session) = member else {
             unreachable!("the scheduler only advances unfinished members")
         };

@@ -1,6 +1,28 @@
 //! The decode-stage DVI machinery: LVM, LVM-Stack and the elimination /
 //! reclamation decisions.
+//!
+//! Two interchangeable implementations stand behind the pipeline's
+//! dispatch stage ([`DviModel`]):
+//!
+//! * [`DviEngine`] — the live machinery: the Live Value Mask, the
+//!   LVM-Stack and the per-event decisions, exactly as the paper's decode
+//!   hardware makes them.
+//! * [`crate::batch::DviCursor`] — a cursor over a pre-recorded
+//!   [`crate::batch::DviOracle`] event stream. Decode-stage DVI is
+//!   in-order and a pure function of (trace, [`DviConfig`]), so a batched
+//!   sweep records the elimination bits and reclaim masks once per
+//!   distinct DVI configuration and shares the stream across every member
+//!   that agrees on it, instead of running N live LVM/LVM-Stack instances.
+//!
+//! The engine's event entry points take the register-unmap action as a
+//! closure rather than a concrete alias table: the pipeline passes "unmap
+//! in my [`RenameState`] and queue the physical register for release",
+//! while the oracle recorder passes a shadow mapped-bit tracker that turns
+//! the same decisions into a storable [`RegMask`] stream. One
+//! implementation of the decision logic serves both, so they cannot
+//! drift.
 
+use crate::batch::DviCursor;
 use crate::rename::{PhysReg, RenameState};
 use crate::smallvec::SmallVec;
 use dvi_core::{DviConfig, DviStats, Lvm, LvmStack};
@@ -79,38 +101,40 @@ impl DviEngine {
         self.lvm.set_live(reg);
     }
 
-    fn reclaim_mask(&mut self, mask: RegMask, rename: &mut RenameState, out: &mut ReclaimList) {
+    fn reclaim_mask(&mut self, mask: RegMask, mut unmap: impl FnMut(ArchReg) -> bool) {
         if self.config.reclaim_phys_regs {
-            let before = out.len();
+            let mut reclaimed = 0u64;
             for reg in mask.iter() {
                 if reg.is_zero() {
                     continue;
                 }
-                if let Some(p) = rename.unmap(reg) {
-                    out.push(p);
+                if unmap(reg) {
+                    reclaimed += 1;
                 }
             }
-            self.stats.phys_regs_reclaimed_early += (out.len() - before) as u64;
+            self.stats.phys_regs_reclaimed_early += reclaimed;
         }
     }
 
-    /// Handles an explicit `kill` at decode, appending the physical
-    /// registers whose mappings were removed (to be returned to the free
-    /// list) to `out`.
-    pub fn on_kill(&mut self, mask: RegMask, rename: &mut RenameState, out: &mut ReclaimList) {
+    /// Handles an explicit `kill` at decode. `unmap` is the caller's
+    /// register-unmap action (remove the alias-table mapping of the given
+    /// register and return whether one existed); it is invoked, in mask
+    /// order, for each killed register when register reclamation is
+    /// enabled.
+    pub fn on_kill(&mut self, mask: RegMask, unmap: impl FnMut(ArchReg) -> bool) {
         if !self.config.use_edvi {
             return;
         }
         self.stats.edvi_instructions += 1;
         self.stats.edvi_regs_killed += mask.len() as u64;
         self.lvm.kill_mask(mask);
-        self.reclaim_mask(mask, rename, out);
+        self.reclaim_mask(mask, unmap);
     }
 
     /// Handles a procedure call at decode: pushes the LVM snapshot used for
-    /// restore elimination and applies implicit DVI, appending reclaimed
-    /// physical registers to `out`.
-    pub fn on_call(&mut self, rename: &mut RenameState, out: &mut ReclaimList) {
+    /// restore elimination and applies implicit DVI through `unmap` (see
+    /// [`DviEngine::on_kill`]).
+    pub fn on_call(&mut self, unmap: impl FnMut(ArchReg) -> bool) {
         if self.config.eliminate_restores {
             self.stack.push(&self.lvm);
         }
@@ -120,18 +144,17 @@ impl DviEngine {
         let mask = self.abi.idvi_mask();
         self.stats.idvi_regs_killed += mask.len() as u64;
         self.lvm.kill_mask(mask);
-        self.reclaim_mask(mask, rename, out);
+        self.reclaim_mask(mask, unmap);
     }
 
-    /// Handles a procedure return at decode: applies implicit DVI and pops
-    /// the LVM snapshot back, appending reclaimed physical registers to
-    /// `out`.
-    pub fn on_return(&mut self, rename: &mut RenameState, out: &mut ReclaimList) {
+    /// Handles a procedure return at decode: applies implicit DVI through
+    /// `unmap` (see [`DviEngine::on_kill`]) and pops the LVM snapshot back.
+    pub fn on_return(&mut self, unmap: impl FnMut(ArchReg) -> bool) {
         if self.config.use_idvi {
             let mask = self.abi.idvi_mask();
             self.stats.idvi_regs_killed += mask.len() as u64;
             self.lvm.kill_mask(mask);
-            self.reclaim_mask(mask, rename, out);
+            self.reclaim_mask(mask, unmap);
         }
         if self.config.eliminate_restores {
             let snapshot = self.stack.pop_or_all_live();
@@ -170,6 +193,111 @@ impl DviEngine {
     }
 }
 
+/// The dispatch stage's view of decode-stage DVI: a private live
+/// [`DviEngine`] (the default), or a cursor over a sweep-shared
+/// [`crate::batch::DviOracle`] event stream. Both produce bit-identical
+/// elimination decisions, reclaim sequences and [`DviStats`] (locked by
+/// `tests/batch_equiv.rs` and `tests/depgraph_equiv.rs`).
+#[derive(Debug)]
+pub(crate) enum DviModel {
+    /// Live LVM / LVM-Stack machinery.
+    Live(DviEngine),
+    /// Pre-recorded per-DVI-configuration event stream.
+    Oracle(DviCursor),
+}
+
+/// The pipeline's unmap action: remove the mapping from the alias table
+/// and queue the physical register for release at the carrying
+/// instruction's commit.
+fn unmap_into<'a>(
+    rename: &'a mut RenameState,
+    out: &'a mut ReclaimList,
+) -> impl FnMut(ArchReg) -> bool + 'a {
+    move |reg| match rename.unmap(reg) {
+        Some(p) => {
+            out.push(p);
+            true
+        }
+        None => false,
+    }
+}
+
+impl DviModel {
+    /// An explicit `kill` consumed at decode.
+    pub(crate) fn on_kill(
+        &mut self,
+        mask: RegMask,
+        rename: &mut RenameState,
+        out: &mut ReclaimList,
+    ) {
+        match self {
+            DviModel::Live(engine) => engine.on_kill(mask, unmap_into(rename, out)),
+            DviModel::Oracle(cursor) => cursor.on_kill(mask, rename, out),
+        }
+    }
+
+    /// A dispatch attempt on a `live-store`; returns whether the save is
+    /// eliminated (and always counts the attempt).
+    pub(crate) fn on_save_attempt(&mut self, data_reg: ArchReg) -> bool {
+        match self {
+            DviModel::Live(engine) => engine.on_save(data_reg),
+            DviModel::Oracle(cursor) => cursor.on_save_attempt(),
+        }
+    }
+
+    /// A dispatch attempt on a `live-load`; returns whether the restore is
+    /// eliminated (and always counts the attempt).
+    pub(crate) fn on_restore_attempt(&mut self, dst_reg: ArchReg) -> bool {
+        match self {
+            DviModel::Live(engine) => engine.on_restore(dst_reg),
+            DviModel::Oracle(cursor) => cursor.on_restore_attempt(),
+        }
+    }
+
+    /// Destination renaming marks the register live again (a no-op for the
+    /// oracle, whose recording already folded the liveness evolution into
+    /// the event stream).
+    pub(crate) fn on_dest_rename(&mut self, reg: ArchReg) {
+        match self {
+            DviModel::Live(engine) => engine.on_dest_rename(reg),
+            DviModel::Oracle(_) => {}
+        }
+    }
+
+    /// A procedure call dispatched (after its destination rename).
+    pub(crate) fn on_call(&mut self, rename: &mut RenameState, out: &mut ReclaimList) {
+        match self {
+            DviModel::Live(engine) => engine.on_call(unmap_into(rename, out)),
+            DviModel::Oracle(cursor) => cursor.on_call(rename, out),
+        }
+    }
+
+    /// A procedure return dispatched.
+    pub(crate) fn on_return(&mut self, rename: &mut RenameState, out: &mut ReclaimList) {
+        match self {
+            DviModel::Live(engine) => engine.on_return(unmap_into(rename, out)),
+            DviModel::Oracle(cursor) => cursor.on_return(rename, out),
+        }
+    }
+
+    /// A non-eliminated save/restore left decode for the window: the
+    /// oracle's elimination stream advances past its (false) bit.
+    pub(crate) fn on_save_restore_dispatched(&mut self) {
+        match self {
+            DviModel::Live(_) => {}
+            DviModel::Oracle(cursor) => cursor.on_save_restore_dispatched(),
+        }
+    }
+
+    /// Counters accumulated so far.
+    pub(crate) fn stats(&self) -> DviStats {
+        match self {
+            DviModel::Live(engine) => engine.stats(),
+            DviModel::Oracle(cursor) => cursor.stats(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,9 +315,9 @@ mod tests {
         let (mut dvi, mut rename) = engine(DviConfig::full());
         let mut out = ReclaimList::new();
         // E2: kill r16.
-        dvi.on_kill(RegMask::empty().with(r(16)), &mut rename, &mut out);
+        dvi.on_kill(RegMask::empty().with(r(16)), unmap_into(&mut rename, &mut out));
         // I2: call proc.
-        dvi.on_call(&mut rename, &mut out);
+        dvi.on_call(unmap_into(&mut rename, &mut out));
         // I3: save r16 — eliminated.
         assert!(dvi.on_save(r(16)));
         // I4: r16 <- ... (destination renaming makes it live again).
@@ -198,7 +326,7 @@ mod tests {
         // I6: restore r16 — eliminated using the LVM-Stack snapshot.
         assert!(dvi.on_restore(r(16)));
         // I7: return.
-        dvi.on_return(&mut rename, &mut out);
+        dvi.on_return(unmap_into(&mut rename, &mut out));
         let stats = dvi.stats();
         assert_eq!(stats.saves_eliminated, 1);
         assert_eq!(stats.restores_eliminated, 1);
@@ -209,8 +337,8 @@ mod tests {
     fn lvm_scheme_eliminates_saves_but_not_restores() {
         let (mut dvi, mut rename) = engine(DviConfig::lvm_scheme());
         let mut out = ReclaimList::new();
-        dvi.on_kill(RegMask::empty().with(r(16)), &mut rename, &mut out);
-        dvi.on_call(&mut rename, &mut out);
+        dvi.on_kill(RegMask::empty().with(r(16)), unmap_into(&mut rename, &mut out));
+        dvi.on_call(unmap_into(&mut rename, &mut out));
         assert!(dvi.on_save(r(16)));
         dvi.on_dest_rename(r(16));
         assert!(!dvi.on_restore(r(16)), "the LVM scheme cannot eliminate restores");
@@ -220,9 +348,9 @@ mod tests {
     fn no_dvi_configuration_eliminates_nothing() {
         let (mut dvi, mut rename) = engine(DviConfig::none());
         let mut reclaimed = ReclaimList::new();
-        dvi.on_kill(RegMask::from_range(16, 23), &mut rename, &mut reclaimed);
+        dvi.on_kill(RegMask::from_range(16, 23), unmap_into(&mut rename, &mut reclaimed));
         assert!(reclaimed.is_empty());
-        dvi.on_call(&mut rename, &mut reclaimed);
+        dvi.on_call(unmap_into(&mut rename, &mut reclaimed));
         assert!(!dvi.on_save(r(16)));
         assert_eq!(dvi.stats().saves_seen, 1);
         assert_eq!(dvi.stats().saves_eliminated, 0);
@@ -234,7 +362,7 @@ mod tests {
         let (mut dvi, mut rename) = engine(DviConfig::idvi_only());
         let before = rename.mapped_count();
         let mut reclaimed = ReclaimList::new();
-        dvi.on_call(&mut rename, &mut reclaimed);
+        dvi.on_call(unmap_into(&mut rename, &mut reclaimed));
         assert!(!reclaimed.is_empty());
         assert_eq!(rename.mapped_count(), before - reclaimed.len());
         assert_eq!(dvi.stats().phys_regs_reclaimed_early, reclaimed.len() as u64);
@@ -246,7 +374,7 @@ mod tests {
     fn edvi_kills_are_ignored_when_edvi_is_disabled() {
         let (mut dvi, mut rename) = engine(DviConfig::idvi_only());
         let mut reclaimed = ReclaimList::new();
-        dvi.on_kill(RegMask::empty().with(r(16)), &mut rename, &mut reclaimed);
+        dvi.on_kill(RegMask::empty().with(r(16)), unmap_into(&mut rename, &mut reclaimed));
         assert!(reclaimed.is_empty());
         assert!(dvi.lvm().is_live(r(16)));
     }
@@ -255,18 +383,18 @@ mod tests {
     fn returns_restore_the_callers_snapshot() {
         let (mut dvi, mut rename) = engine(DviConfig::full());
         let mut out = ReclaimList::new();
-        dvi.on_kill(RegMask::empty().with(r(17)), &mut rename, &mut out);
-        dvi.on_call(&mut rename, &mut out);
+        dvi.on_kill(RegMask::empty().with(r(17)), unmap_into(&mut rename, &mut out));
+        dvi.on_call(unmap_into(&mut rename, &mut out));
         dvi.on_dest_rename(r(17));
         assert!(dvi.lvm().is_live(r(17)));
-        dvi.on_return(&mut rename, &mut out);
+        dvi.on_return(unmap_into(&mut rename, &mut out));
         assert!(!dvi.lvm().is_live(r(17)), "the pop restores the caller's dead bit");
     }
 
     #[test]
     fn flush_makes_everything_live_again() {
         let (mut dvi, mut rename) = engine(DviConfig::full());
-        dvi.on_kill(RegMask::from_range(16, 23), &mut rename, &mut ReclaimList::new());
+        dvi.on_kill(RegMask::from_range(16, 23), unmap_into(&mut rename, &mut ReclaimList::new()));
         dvi.flush();
         assert_eq!(dvi.live_registers(), 32);
         assert!(!dvi.on_save(r(16)));

@@ -33,7 +33,7 @@
 
 use crate::batch::{IcacheCursor, OracleCursor};
 use crate::config::SimConfig;
-use crate::dvi_engine::{DviEngine, ReclaimList};
+use crate::dvi_engine::{DviModel, ReclaimList};
 use crate::rename::{PhysReg, RenameState};
 use crate::stats::SimStats;
 use dvi_bpred::{CombiningPredictor, PredictorConfig, PredictorStats};
@@ -111,7 +111,7 @@ impl FetchQueue {
 
 /// How the decode stage treats an instruction (the static half of the
 /// decision; the dynamic half — is the register dead *right now* — lives in
-/// the [`DviEngine`]).
+/// the [`crate::DviEngine`] or its pre-recorded oracle equivalent).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DecodeKind {
     /// An E-DVI annotation carrying a kill mask; consumed at decode.
@@ -396,8 +396,13 @@ pub(crate) enum Dispatch {
     /// The fetch queue is empty; nothing to dispatch this cycle.
     Empty,
     /// The instruction was consumed at decode without a window slot: an
-    /// E-DVI kill, or a save/restore the DVI hardware eliminated.
-    Consumed,
+    /// E-DVI kill, or a save/restore the DVI hardware eliminated. Carries
+    /// the consumed record's trace sequence number so a dependence-graph
+    /// back end can mark the record as never dispatched.
+    Consumed {
+        /// Trace sequence number of the consumed record.
+        seq: u64,
+    },
     /// The window is full; dispatch must stop for this cycle.
     StallWindow,
     /// The free list is empty; dispatch must stop for this cycle.
@@ -414,7 +419,12 @@ pub(crate) struct EnterWindow {
     pub fu_kind: Option<FuKind>,
     pub dst: Option<PhysReg>,
     pub old_dst: Option<PhysReg>,
+    /// Renamed source operands. Left `[None, None]` when the core wires
+    /// dependences through a shared [`dvi_program::DepGraph`] instead of
+    /// the alias table (the producer links carry the same information).
     pub srcs: [Option<PhysReg>; 2],
+    /// Trace sequence number of the dispatched record.
+    pub seq: u64,
     /// Whether this is the mispredicted branch/return fetch is stalled on.
     pub resolves_fetch_stall: bool,
 }
@@ -436,6 +446,11 @@ pub(crate) struct FrontEnd {
     trace_done: bool,
     decoder: Decoder,
     icache: IcacheModel,
+    /// When set, source operands are *not* renamed through the alias
+    /// table: the core resolves them via a shared
+    /// [`dvi_program::DepGraph`]'s producer links, and
+    /// [`EnterWindow::srcs`] stays `[None, None]`.
+    depgraph_srcs: bool,
     /// Physical registers reclaimed by DVI at decode, waiting to be
     /// attached to the next dispatched window entry so they are freed at
     /// its commit.
@@ -444,16 +459,19 @@ pub(crate) struct FrontEnd {
 
 impl FrontEnd {
     pub(crate) fn new(config: &SimConfig) -> FrontEnd {
-        FrontEnd::build(config, Decoder::Memo(DecodeMemo::new()), IcacheModel::Live)
+        FrontEnd::build(config, Decoder::Memo(DecodeMemo::new()), IcacheModel::Live, false)
     }
 
     /// A front end reading sweep-shared front-end products — a precomputed
     /// decode table and/or an L1I outcome bitstream — instead of private
-    /// structures.
+    /// structures. `depgraph_srcs` marks that the core wires source
+    /// dependences through a shared dependence graph, so the per-source
+    /// alias-table lookups at dispatch are skipped.
     pub(crate) fn with_shared(
         config: &SimConfig,
         decode: Option<Arc<StaticDecodeTable>>,
         icache: Option<IcacheCursor>,
+        depgraph_srcs: bool,
     ) -> FrontEnd {
         let decoder = match decode {
             Some(table) => Decoder::Shared(table),
@@ -463,10 +481,15 @@ impl FrontEnd {
             Some(cursor) => IcacheModel::Oracle(cursor),
             None => IcacheModel::Live,
         };
-        FrontEnd::build(config, decoder, icache)
+        FrontEnd::build(config, decoder, icache, depgraph_srcs)
     }
 
-    fn build(config: &SimConfig, decoder: Decoder, icache: IcacheModel) -> FrontEnd {
+    fn build(
+        config: &SimConfig,
+        decoder: Decoder,
+        icache: IcacheModel,
+        depgraph_srcs: bool,
+    ) -> FrontEnd {
         FrontEnd {
             fetch_queue: FetchQueue::new(config.fetch_queue),
             fetch_stall_until: 0,
@@ -475,6 +498,7 @@ impl FrontEnd {
             trace_done: false,
             decoder,
             icache,
+            depgraph_srcs,
             pending_reclaim: ReclaimList::new(),
         }
     }
@@ -648,7 +672,7 @@ impl FrontEnd {
     pub(crate) fn next_dispatch(
         &mut self,
         window_full: bool,
-        dvi: &mut DviEngine,
+        dvi: &mut DviModel,
         rename: &mut RenameState,
         stats: &mut SimStats,
     ) -> Dispatch {
@@ -670,7 +694,7 @@ impl FrontEnd {
         if let DecodeKind::Kill(mask) = d.kind {
             dvi.on_kill(mask, rename, &mut self.pending_reclaim);
             self.fetch_queue.pop_front();
-            return Dispatch::Consumed;
+            return Dispatch::Consumed { seq };
         }
 
         if d.is_mem {
@@ -682,15 +706,15 @@ impl FrontEnd {
         // count the save/restore as seen) on every dispatch attempt,
         // exactly as the seed core did.
         match d.kind {
-            DecodeKind::Save(data_reg) if dvi.on_save(data_reg) => {
+            DecodeKind::Save(data_reg) if dvi.on_save_attempt(data_reg) => {
                 self.fetch_queue.pop_front();
                 stats.program_instrs += 1;
-                return Dispatch::Consumed;
+                return Dispatch::Consumed { seq };
             }
-            DecodeKind::Restore(dst_reg) if dvi.on_restore(dst_reg) => {
+            DecodeKind::Restore(dst_reg) if dvi.on_restore_attempt(dst_reg) => {
                 self.fetch_queue.pop_front();
                 stats.program_instrs += 1;
-                return Dispatch::Consumed;
+                return Dispatch::Consumed { seq };
             }
             _ => {}
         }
@@ -702,9 +726,14 @@ impl FrontEnd {
         }
 
         // Rename sources before the destination (an instruction may read
-        // the register it overwrites).
-        let srcs =
-            [d.srcs[0].and_then(|r| rename.lookup(r)), d.srcs[1].and_then(|r| rename.lookup(r))];
+        // the register it overwrites). With a shared dependence graph the
+        // lookups are skipped: the graph's producer links replace the
+        // alias-table walk on the dependence path.
+        let srcs = if self.depgraph_srcs {
+            [None, None]
+        } else {
+            [d.srcs[0].and_then(|r| rename.lookup(r)), d.srcs[1].and_then(|r| rename.lookup(r))]
+        };
 
         let mut dst = None;
         let mut old_dst = None;
@@ -727,6 +756,7 @@ impl FrontEnd {
         match d.kind {
             DecodeKind::Call => dvi.on_call(rename, &mut self.pending_reclaim),
             DecodeKind::Return => dvi.on_return(rename, &mut self.pending_reclaim),
+            DecodeKind::Save(_) | DecodeKind::Restore(_) => dvi.on_save_restore_dispatched(),
             _ => {}
         }
 
@@ -739,6 +769,7 @@ impl FrontEnd {
             dst,
             old_dst,
             srcs,
+            seq,
         })
     }
 }

@@ -21,7 +21,7 @@
 //! it.
 
 use crate::config::SimConfig;
-use crate::dvi_engine::DviEngine;
+use crate::dvi_engine::{DviEngine, DviModel};
 use crate::frontend::{Dispatch, FetchPredictor, FrontEnd};
 use crate::fu::FuPool;
 use crate::rename::{PhysReg, RenameState};
@@ -74,7 +74,7 @@ const PROGRESS_LIMIT: u64 = 100_000;
 pub struct LegacySimulator {
     config: SimConfig,
     rename: RenameState,
-    dvi: DviEngine,
+    dvi: DviModel,
     mem: MemoryHierarchy,
     ports: CachePorts,
     fu: FuPool,
@@ -98,7 +98,7 @@ impl LegacySimulator {
         config.validate();
         LegacySimulator {
             rename: RenameState::new(config.phys_regs),
-            dvi: DviEngine::new(config.dvi, Abi::mips_like()),
+            dvi: DviModel::Live(DviEngine::new(config.dvi, Abi::mips_like())),
             mem: MemoryHierarchy::new(
                 config.icache,
                 config.dcache,
@@ -266,7 +266,7 @@ impl LegacySimulator {
             );
             match outcome {
                 Dispatch::Empty | Dispatch::StallWindow | Dispatch::StallRename => break,
-                Dispatch::Consumed => dispatched += 1,
+                Dispatch::Consumed { .. } => dispatched += 1,
                 Dispatch::Enter(e) => {
                     // Exactly the seed's entry construction: a fresh owned
                     // entry with a heap-allocated reclaim list per dispatch.

@@ -43,14 +43,18 @@
 //! Returning control between cycles is what makes design-space sweeps
 //! batchable: [`batch::SweepRunner`] co-schedules N sessions — one per
 //! machine configuration — round-robin over **one** shared captured trace,
-//! sharing every piece of front-end state that is a pure function of the
-//! trace: the trace buffers, one immutable [`StaticDecodeTable`], one
+//! sharing everything that is a pure function of the trace: the trace
+//! buffers, one immutable [`StaticDecodeTable`], one
 //! [`batch::BranchOracle`] misprediction bitstream in place of N private
-//! predictor table sets, and one [`batch::IcacheOracle`] L1I outcome
-//! bitstream in place of N private instruction-cache tag arrays. The
-//! config-dependent back end — window, renaming, data path, unified L2 —
-//! stays private per member, so per-member statistics are bit-identical
-//! to serial runs (`tests/batch_equiv.rs`).
+//! predictor table sets, one [`batch::IcacheOracle`] L1I outcome
+//! bitstream in place of N private instruction-cache tag arrays, one
+//! [`dvi_program::DepGraph`] wiring dispatch straight to producer window
+//! entries in place of N alias-table walks, and one [`batch::DviOracle`]
+//! decode-stage DVI event stream per distinct DVI configuration in place
+//! of N live LVM / LVM-Stack instances. The config-dependent residue —
+//! window, free-list occupancy and reclaim timing, data path, unified L2
+//! — stays private per member, so per-member statistics are bit-identical
+//! to serial runs (`tests/batch_equiv.rs`, `tests/depgraph_equiv.rs`).
 //!
 //! # Host performance
 //!
@@ -122,7 +126,9 @@ mod smallvec;
 mod stats;
 mod window;
 
-pub use batch::{sweep, BranchOracle, IcacheOracle, SharedTables, SweepRunner};
+pub use batch::{
+    sweep, BranchOracle, DviCursor, DviOracle, IcacheOracle, SharedTables, SweepRunner,
+};
 pub use config::{SchedulerKind, SimConfig};
 pub use dvi_engine::{DviEngine, ReclaimList};
 pub use frontend::{DecodeKind, DecodeMemo, StaticDecode, StaticDecodeTable};

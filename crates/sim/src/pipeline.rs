@@ -24,9 +24,9 @@
 //! branch predictor and the memory hierarchy, so they cannot drift in
 //! front-end or retirement behaviour; only writeback/wakeup/select differ.
 
-use crate::batch::{IcacheCursor, OracleCursor, SharedTables};
+use crate::batch::{DviCursor, IcacheCursor, OracleCursor, SharedTables};
 use crate::config::{SchedulerKind, SimConfig};
-use crate::dvi_engine::DviEngine;
+use crate::dvi_engine::{DviEngine, DviModel};
 use crate::frontend::{Dispatch, FetchPredictor, FrontEnd};
 use crate::fu::FuPool;
 use crate::rename::RenameState;
@@ -36,7 +36,8 @@ use crate::stats::SimStats;
 use crate::window::{EntryState, WindowRing};
 use dvi_isa::{Abi, FuKind, InstrClass};
 use dvi_mem::{CachePorts, MemoryHierarchy};
-use dvi_program::{DynInst, InstrSource};
+use dvi_program::{DepGraph, DynInst, InstrSource};
+use std::sync::Arc;
 
 /// Safety valve: if the pipeline makes no forward progress for this many
 /// cycles, the run is aborted with [`SimStats::deadlocked`] set (this
@@ -80,13 +81,189 @@ impl Simulator {
     }
 }
 
+/// Sentinel in [`DepWire::slots`]: the record was consumed at decode
+/// (kill, eliminated save/restore) and never occupied a window entry.
+const NOT_DISPATCHED: u64 = u64::MAX;
+
+/// The dependence-graph wiring of one core: maps the shared
+/// [`DepGraph`]'s producer *record indices* onto this member's *window
+/// sequence numbers* so dispatch and wakeup bypass the alias table.
+///
+/// The map is a power-of-two ring indexed by `record_seq & mask`, written
+/// once per record in dispatch order (the entry's window sequence number,
+/// or [`NOT_DISPATCHED`]). Soundness rests on one invariant, maintained
+/// by [`DepWire::ensure_span`] before every write: the ring is longer
+/// than the record-index span of the instruction window, so
+///
+/// * a producer further back than the ring length is necessarily
+///   committed (its operand is ready), and
+/// * a producer within the ring length reads its own slot — aliasing
+///   would require a younger record at the same masked index, which the
+///   span invariant excludes while the producer can still be in flight.
+///
+/// The invariant check is amortized: because the window head's record
+/// sequence number only grows, a single precomputed watermark
+/// (`check_at = head_seq + ring_len`) certifies every record before it,
+/// and the head is only re-read when a record crosses the watermark.
+#[derive(Debug)]
+struct DepWire {
+    graph: Arc<DepGraph>,
+    slots: Vec<u64>,
+    /// First record sequence number at which the span invariant must be
+    /// re-established (see the type docs).
+    check_at: u64,
+    /// Sever bits this machine acts on ([`DepGraph::sever_mask`]).
+    sever: u8,
+    /// Dense completion bits, one per window ring position: mirrors
+    /// "`state == Done`" of the occupying entry. Resolution probes this
+    /// word-packed set instead of the producer's (much larger) window
+    /// entry — the dependence-path analogue of the alias table's dense
+    /// ready-bit array.
+    done: Vec<u64>,
+    /// Window ring mask (positions index `done`).
+    ring_mask: u64,
+}
+
+impl DepWire {
+    fn new(graph: Arc<DepGraph>, config: &SimConfig, window_ring: u64) -> DepWire {
+        let reclaim = config.dvi.reclaim_phys_regs;
+        DepWire {
+            graph,
+            // Start comfortably above the window span; consumed-at-decode
+            // records stretch the span past the window size, and
+            // `ensure_span` grows the ring when they do.
+            slots: vec![NOT_DISPATCHED; (window_ring as usize * 4).max(256)],
+            check_at: 0,
+            sever: DepGraph::sever_mask(
+                config.dvi.use_edvi && reclaim,
+                config.dvi.use_idvi && reclaim,
+            ),
+            done: vec![0; (window_ring as usize).div_ceil(64)],
+            ring_mask: window_ring - 1,
+        }
+    }
+
+    /// Marks the entry at `wseq`'s ring position complete (at writeback,
+    /// or at dispatch for entries that need no functional unit).
+    #[inline]
+    fn set_done(&mut self, wseq: u64) {
+        let pos = (wseq & self.ring_mask) as usize;
+        self.done[pos >> 6] |= 1 << (pos & 63);
+    }
+
+    /// Clears the completion bit of a freshly claimed ring slot.
+    #[inline]
+    fn clear_done(&mut self, wseq: u64) {
+        let pos = (wseq & self.ring_mask) as usize;
+        self.done[pos >> 6] &= !(1 << (pos & 63));
+    }
+
+    /// Whether the entry at `wseq`'s ring position has completed.
+    #[inline]
+    fn is_done(&self, wseq: u64) -> bool {
+        let pos = (wseq & self.ring_mask) as usize;
+        self.done[pos >> 6] >> (pos & 63) & 1 == 1
+    }
+
+    /// Re-establishes the span invariant before writing record `seq`'s
+    /// slot: on the (amortized-rare) watermark crossing, re-reads the
+    /// window head and grows the ring if the span caught up with it.
+    #[inline]
+    fn ensure_span(&mut self, seq: u64, window: &WindowRing) {
+        if seq < self.check_at {
+            return;
+        }
+        self.reestablish_span(seq, window);
+    }
+
+    /// Cold path of [`DepWire::ensure_span`]: recompute the watermark,
+    /// growing the ring when the window's record span caught up with its
+    /// length. Existing in-window entries are rehashed from their stored
+    /// sequence numbers; everything older is committed or consumed, for
+    /// which the default [`NOT_DISPATCHED`] gives the correct (ready)
+    /// answer.
+    #[cold]
+    fn reestablish_span(&mut self, seq: u64, window: &WindowRing) {
+        let Some(head) = window.front().map(|e| e.seq) else {
+            // Empty window: every later head is a record at or after
+            // `seq`, so the span stays under the ring length for the next
+            // ring-length records.
+            self.check_at = seq + self.slots.len() as u64;
+            return;
+        };
+        let span = (seq - head) as usize;
+        if span >= self.slots.len() {
+            let new_len = (span + 1).next_power_of_two() * 2;
+            let mut slots = vec![NOT_DISPATCHED; new_len];
+            for wseq in window.seqs() {
+                slots[(window.get(wseq).seq as usize) & (new_len - 1)] = wseq;
+            }
+            self.slots = slots;
+        }
+        // The head's record sequence number only grows, so every record
+        // before `head + len` keeps the span under the ring length.
+        self.check_at = head + self.slots.len() as u64;
+    }
+
+    /// Records the dispatch outcome of record `seq`.
+    #[inline]
+    fn mark(&mut self, seq: u64, value: u64) {
+        let mask = self.slots.len() - 1;
+        self.slots[seq as usize & mask] = value;
+    }
+
+    /// Resolves both source operands of record `seq` against the member's
+    /// window: `None` means the operand is available, `Some(wseq)` the
+    /// window entry it must wait on. Equivalent to the alias-table walk:
+    /// an operand is available exactly when `rename.lookup` would return
+    /// `None` (no producer, or a DVI-severed mapping) or a physical
+    /// register whose value has been produced.
+    #[inline]
+    fn resolve_pair(&self, seq: u64, window: &WindowRing) -> [Option<u64>; 2] {
+        let (producers, flags) = self.graph.row(seq as usize);
+        let cut = flags & self.sever;
+        let mask = self.slots.len() - 1;
+        let mut waits = [None, None];
+        for (k, wait) in waits.iter_mut().enumerate() {
+            let producer = producers[k];
+            if producer == DepGraph::NO_PRODUCER || cut & DepGraph::OPERAND_CUT[k] != 0 {
+                continue;
+            }
+            if seq - u64::from(producer) > mask as u64 {
+                // Beyond the ring: the span invariant guarantees the
+                // producer committed long ago.
+                continue;
+            }
+            let wseq = self.slots[producer as usize & mask];
+            if wseq == NOT_DISPATCHED || wseq < window.head_seq() {
+                continue;
+            }
+            debug_assert!(window.contains(wseq), "producer entry neither committed nor in flight");
+            debug_assert_eq!(
+                window.get(wseq).seq,
+                u64::from(producer),
+                "dependence ring slot aliased"
+            );
+            debug_assert_eq!(
+                self.is_done(wseq),
+                window.get(wseq).state == EntryState::Done,
+                "completion bit out of sync with the entry state"
+            );
+            if !self.is_done(wseq) {
+                *wait = Some(wseq);
+            }
+        }
+        waits
+    }
+}
+
 /// The pipeline state and per-cycle machinery of one simulated machine,
 /// driven cycle-at-a-time by [`SimSession`].
 #[derive(Debug)]
 pub(crate) struct Core {
     config: SimConfig,
     rename: RenameState,
-    dvi: DviEngine,
+    dvi: DviModel,
     mem: MemoryHierarchy,
     ports: CachePorts,
     fu: FuPool,
@@ -101,6 +278,10 @@ pub(crate) struct Core {
     pub(crate) stats: SimStats,
     // --- Event-driven scheduling state (unused by the naive scan). ---
     event_driven: bool,
+    /// Producer-link wiring over a shared dependence graph; `None` renames
+    /// sources through the alias table (the default, and the only option
+    /// for the naive-scan scheduler and live instruction sources).
+    dep: Option<DepWire>,
     calendar: Calendar,
     waiters: Waiters,
     ready: ReadyRing,
@@ -121,29 +302,53 @@ impl Core {
     pub(crate) fn new(config: SimConfig) -> Core {
         let pred = FetchPredictor::live(config.predictor);
         let front = FrontEnd::new(&config);
-        Core::build(config, pred, front)
+        Core::build(config, pred, front, None, None)
     }
 
-    /// Builds a core whose decode table, branch prediction and/or L1I
-    /// outcomes come from immutable state shared across a batched sweep.
+    /// Builds a core consuming immutable trace-pure products shared across
+    /// a batched sweep: decode table, branch prediction, L1I outcomes,
+    /// dependence graph and/or the decode-stage DVI event stream. Absent
+    /// products fall back to private live structures.
     pub(crate) fn with_shared(config: SimConfig, tables: SharedTables) -> Core {
         let pred = match tables.branches {
             Some(oracle) => FetchPredictor::Oracle(OracleCursor::new(oracle)),
             None => FetchPredictor::live(config.predictor),
         };
         let icache = tables.icache.map(IcacheCursor::new);
-        let front = FrontEnd::with_shared(&config, tables.decode, icache);
-        Core::build(config, pred, front)
+        // Producer-link wiring is an event-driven-scheduler refinement;
+        // the naive scan's reference writeback/issue loops re-check
+        // per-operand physical-register ready bits, so those members keep
+        // alias-table renaming.
+        let depgraph = tables.depgraph.filter(|_| config.scheduler == SchedulerKind::EventDriven);
+        let dvi = tables.dvi.map(|oracle| DviModel::Oracle(DviCursor::new(oracle)));
+        let front = FrontEnd::with_shared(&config, tables.decode, icache, depgraph.is_some());
+        Core::build(config, pred, front, depgraph, dvi)
     }
 
-    fn build(config: SimConfig, pred: FetchPredictor, front: FrontEnd) -> Core {
+    fn build(
+        config: SimConfig,
+        pred: FetchPredictor,
+        front: FrontEnd,
+        depgraph: Option<Arc<DepGraph>>,
+        dvi: Option<DviModel>,
+    ) -> Core {
         config.validate();
         let window = WindowRing::new(config.window_size);
+        let dep = depgraph.map(|graph| DepWire::new(graph, &config, window.ring_size()));
+        // Waiter lists are keyed by physical register under alias-table
+        // renaming, and by window ring position under producer-link
+        // wiring (in-flight producers only).
+        let waiter_keys = if dep.is_some() {
+            usize::try_from(window.ring_size()).expect("window ring fits in usize")
+        } else {
+            config.phys_regs
+        };
         // The longest schedulable latency is a load missing every level.
         let max_latency = config.dcache.latency + config.l2.latency + config.memory_latency + 64;
         Core {
             rename: RenameState::new(config.phys_regs),
-            dvi: DviEngine::new(config.dvi, Abi::mips_like()),
+            dvi: dvi
+                .unwrap_or_else(|| DviModel::Live(DviEngine::new(config.dvi, Abi::mips_like()))),
             mem: MemoryHierarchy::new(
                 config.icache,
                 config.dcache,
@@ -157,8 +362,9 @@ impl Core {
             cycle: 0,
             stats: SimStats::default(),
             event_driven: config.scheduler == SchedulerKind::EventDriven,
+            dep,
             calendar: Calendar::new(max_latency),
-            waiters: Waiters::new(config.phys_regs),
+            waiters: Waiters::new(waiter_keys),
             ready: ReadyRing::new(window.ring_size()),
             scratch_events: Vec::new(),
             scratch_woken: Vec::new(),
@@ -166,6 +372,13 @@ impl Core {
             window,
             config,
         }
+    }
+
+    /// Waiter-list key of an in-flight producer under producer-link
+    /// wiring: its window ring position.
+    #[inline]
+    fn waiter_key(&self, wseq: u64) -> usize {
+        (wseq & (self.window.ring_size() - 1)) as usize
     }
 
     /// Simulates one cycle: commit, writeback, issue, rename/dispatch and
@@ -228,6 +441,7 @@ impl Core {
 
     // ----------------------------------------------------------- commit --
     fn commit(&mut self) {
+        let dep_wired = self.dep.is_some();
         let mut committed = 0;
         while committed < self.config.commit_width {
             // `front` borrows only the `window` field; the releases below
@@ -237,16 +451,22 @@ impl Core {
             if !front.is_done() {
                 break;
             }
+            debug_assert!(
+                !dep_wired || !self.waiters.has_waiters(self.waiter_key(self.window.head_seq())),
+                "committing entry still has waiters"
+            );
             if let Some(old) = front.old_dst {
                 debug_assert!(
-                    !self.event_driven || !self.waiters.has_waiters(old.0),
+                    !self.event_driven
+                        || dep_wired
+                        || !self.waiters.has_waiters(usize::from(old.0)),
                     "released register still has waiters"
                 );
                 self.rename.release(old);
             }
             for p in front.reclaim.iter() {
                 debug_assert!(
-                    !self.event_driven || !self.waiters.has_waiters(p.0),
+                    !self.event_driven || dep_wired || !self.waiters.has_waiters(usize::from(p.0)),
                     "reclaimed register still has waiters"
                 );
                 self.rename.release(p);
@@ -283,8 +503,15 @@ impl Core {
             entry.state = EntryState::Done;
             let dst = entry.dst;
             let resolves = entry.resolves_fetch_stall;
-            if let Some(p) = dst {
-                self.wake(p.0);
+            if let Some(dep) = &mut self.dep {
+                // Producer-link wiring: publish completion in the dense
+                // bitset and wake waiters keyed on this entry's ring
+                // position (the physical-register ready bits are not on
+                // the dependence path at all).
+                dep.set_done(wseq);
+                self.drain_waiters(self.waiter_key(wseq));
+            } else if let Some(p) = dst {
+                self.wake_phys(p.0);
             }
             if resolves {
                 self.front.resolve_fetch_stall(self.cycle, self.config.mispredict_penalty);
@@ -295,13 +522,20 @@ impl Core {
 
     /// Marks physical register `p` produced and moves waiters whose last
     /// missing operand this was into the ready set.
-    fn wake(&mut self, p: u16) {
+    fn wake_phys(&mut self, p: u16) {
         self.rename.set_ready(crate::rename::PhysReg(p));
-        if !self.waiters.has_waiters(p) {
+        self.drain_waiters(usize::from(p));
+    }
+
+    /// Drains the waiter list of producer key `key`, decrementing each
+    /// waiter's missing-operand count and marking newly complete entries
+    /// ready.
+    fn drain_waiters(&mut self, key: usize) {
+        if !self.waiters.has_waiters(key) {
             return;
         }
         let mut woken = std::mem::take(&mut self.scratch_woken);
-        self.waiters.drain(p, &mut woken);
+        self.waiters.drain(key, &mut woken);
         for &wseq in &woken {
             let entry = self.window.get_mut(wseq);
             debug_assert_eq!(entry.state, EntryState::Waiting, "waiter is not waiting");
@@ -446,10 +680,20 @@ impl Core {
             );
             match outcome {
                 Dispatch::Empty | Dispatch::StallWindow | Dispatch::StallRename => break,
-                Dispatch::Consumed => dispatched += 1,
+                Dispatch::Consumed { seq } => {
+                    if let Some(dep) = &mut self.dep {
+                        // Consumed at decode: the record never produces a
+                        // window entry, so any (well-formed-ly impossible)
+                        // link to it resolves ready.
+                        dep.ensure_span(seq, &self.window);
+                        dep.mark(seq, NOT_DISPATCHED);
+                    }
+                    dispatched += 1;
+                }
                 Dispatch::Enter(e) => {
                     let wseq = self.window.push(e.mem_addr, e.dst, e.old_dst, e.srcs, e.class);
                     let entry = self.window.get_mut(wseq);
+                    entry.seq = e.seq;
                     entry.resolves_fetch_stall = e.resolves_fetch_stall;
                     self.front.drain_reclaim_into(&mut entry.reclaim);
                     if e.fu_kind.is_none() {
@@ -457,13 +701,36 @@ impl Core {
                         // nops and control handled entirely in the front
                         // end).
                         entry.state = EntryState::Done;
+                        if let Some(dep) = &mut self.dep {
+                            dep.ensure_span(e.seq, &self.window);
+                            dep.mark(e.seq, wseq);
+                            dep.set_done(wseq);
+                        }
+                    } else if let Some(dep) = &mut self.dep {
+                        // Producer-link wiring: resolve both operands
+                        // against the shared dependence graph — wait
+                        // exactly on producers that are in flight and not
+                        // yet complete, keyed by their window position.
+                        dep.clear_done(wseq);
+                        dep.ensure_span(e.seq, &self.window);
+                        let ring_mask = self.window.ring_size() - 1;
+                        let mut missing = 0u8;
+                        for pw in dep.resolve_pair(e.seq, &self.window).into_iter().flatten() {
+                            self.waiters.wait((pw & ring_mask) as usize, wseq);
+                            missing += 1;
+                        }
+                        dep.mark(e.seq, wseq);
+                        self.window.get_mut(wseq).missing = missing;
+                        if missing == 0 {
+                            self.ready.set(wseq);
+                        }
                     } else if self.event_driven {
                         // Register with the wakeup network: wait on each
                         // operand that has not been produced yet.
                         let mut missing = 0u8;
                         for p in e.srcs.iter().flatten() {
                             if !self.rename.is_ready(*p) {
-                                self.waiters.wait(p.0, wseq);
+                                self.waiters.wait(usize::from(p.0), wseq);
                                 missing += 1;
                             }
                         }

@@ -122,38 +122,47 @@ impl Calendar {
     }
 }
 
-/// Per-physical-register lists of window entries waiting on the value.
+/// Per-producer lists of window entries waiting on a value.
+///
+/// The key space depends on how the core wires dependences: with
+/// alias-table renaming the lists are keyed by **physical register** (one
+/// list per physical register, so the structure scales with the register
+/// file), while the dependence-graph back end keys them by the producer's
+/// **window ring position** — in-flight producers only, so the structure
+/// scales with the window and shrinks for large register files. Both
+/// keyings deliver the same wakeups in the same registration order.
 #[derive(Debug)]
 pub struct Waiters {
     lists: Vec<SmallVec<u64, 2>>,
 }
 
 impl Waiters {
-    /// Creates empty waiter lists for `phys_regs` registers.
+    /// Creates empty waiter lists over a key space of `keys` producers
+    /// (physical registers, or window ring slots).
     #[must_use]
-    pub fn new(phys_regs: usize) -> Self {
-        Waiters { lists: (0..phys_regs).map(|_| SmallVec::new()).collect() }
+    pub fn new(keys: usize) -> Self {
+        Waiters { lists: (0..keys).map(|_| SmallVec::new()).collect() }
     }
 
-    /// Registers `wseq` as waiting on physical register `p`. An entry with
-    /// two missing operands on the same register registers twice.
-    pub fn wait(&mut self, p: u16, wseq: u64) {
-        self.lists[p as usize].push(wseq);
+    /// Registers `wseq` as waiting on producer key `key`. An entry with
+    /// two missing operands on the same producer registers twice.
+    pub fn wait(&mut self, key: usize, wseq: u64) {
+        self.lists[key].push(wseq);
     }
 
-    /// Drains the waiter list of `p` into `out` (preserving registration
-    /// order). Called exactly when `p` transitions to ready.
-    pub fn drain(&mut self, p: u16, out: &mut Vec<u64>) {
+    /// Drains the waiter list of `key` into `out` (preserving registration
+    /// order). Called exactly when the producer's value becomes ready.
+    pub fn drain(&mut self, key: usize, out: &mut Vec<u64>) {
         out.clear();
-        let list = &mut self.lists[p as usize];
+        let list = &mut self.lists[key];
         out.extend(list.iter());
         list.clear();
     }
 
-    /// Whether `p` has any waiters (used by debug assertions).
+    /// Whether `key` has any waiters (used by debug assertions).
     #[must_use]
-    pub fn has_waiters(&self, p: u16) -> bool {
-        !self.lists[p as usize].is_empty()
+    pub fn has_waiters(&self, key: usize) -> bool {
+        !self.lists[key].is_empty()
     }
 }
 

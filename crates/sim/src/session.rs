@@ -63,21 +63,29 @@ impl<S: InstrSource> SimSession<S> {
         SimSession::from_core(Core::new(config), source)
     }
 
-    /// Builds a session whose front end reads shared, trace-pure tables
-    /// instead of private ones (see [`SharedTables`]): a precomputed
-    /// [`crate::StaticDecodeTable`] in place of the lazily-filled decode
-    /// memo, a [`crate::BranchOracle`] bitstream in place of a live branch
-    /// predictor, and/or an [`crate::IcacheOracle`] bitstream in place of
-    /// the private L1I tag array. All leave the modelled machine
-    /// bit-identical; [`crate::batch::SweepRunner`] uses this to share the
-    /// tables across every member of a sweep.
+    /// Builds a session whose front and back end read shared, trace-pure
+    /// products instead of private ones (see [`SharedTables`]): a
+    /// precomputed [`crate::StaticDecodeTable`] in place of the
+    /// lazily-filled decode memo, a [`crate::BranchOracle`] bitstream in
+    /// place of a live branch predictor, an [`crate::IcacheOracle`]
+    /// bitstream in place of the private L1I tag array, a
+    /// [`dvi_program::DepGraph`] wiring dispatch directly to producer
+    /// window entries in place of alias-table source renaming, and/or a
+    /// [`crate::DviOracle`] event stream in place of the live decode-stage
+    /// DVI machinery. All leave the modelled machine bit-identical;
+    /// [`crate::batch::SweepRunner`] uses this to share the products
+    /// across every member of a sweep.
+    ///
+    /// The dependence graph and DVI oracle must have been built from the
+    /// same captured trace the session replays (their event streams are
+    /// indexed by the trace's record sequence numbers).
     ///
     /// # Panics
     ///
     /// Panics if the configuration fails [`SimConfig::validate`], or if an
     /// oracle is supplied that was recorded under a different predictor
-    /// configuration / L1I geometry than `config` requests (its bitstream
-    /// would describe a different machine).
+    /// configuration / L1I geometry / DVI configuration than `config`
+    /// requests (its stream would describe a different machine).
     #[must_use]
     pub fn with_shared_tables(config: SimConfig, source: S, tables: SharedTables) -> SimSession<S> {
         if let Some(oracle) = &tables.branches {
@@ -92,6 +100,13 @@ impl<S: InstrSource> SimSession<S> {
                 oracle.geometry(),
                 config.icache,
                 "I-cache oracle was recorded under a different L1I geometry"
+            );
+        }
+        if let Some(oracle) = &tables.dvi {
+            assert_eq!(
+                oracle.config(),
+                config.dvi,
+                "DVI oracle was recorded under a different DVI configuration"
             );
         }
         SimSession::from_core(Core::with_shared(config, tables), source)

@@ -53,6 +53,10 @@ pub struct InFlight {
     /// Whether this is the conditional branch or return the front end
     /// mispredicted (fetch resumes when it completes).
     pub resolves_fetch_stall: bool,
+    /// Trace sequence number of the dispatched record (maintained by the
+    /// dependence-graph back end to map producer records to window
+    /// entries; zero when unused).
+    pub seq: u64,
     /// Source operands not yet produced (maintained by the event-driven
     /// scheduler; the naive scan ignores it).
     pub missing: u8,
@@ -77,6 +81,7 @@ impl InFlight {
             reclaim: SmallVec::new(),
             state: EntryState::Waiting,
             resolves_fetch_stall: false,
+            seq: 0,
             missing: 0,
         }
     }
@@ -105,6 +110,7 @@ impl InFlight {
         self.reclaim.clear();
         self.state = EntryState::Waiting;
         self.resolves_fetch_stall = false;
+        self.seq = 0;
         self.missing = 0;
     }
 

@@ -110,6 +110,56 @@ fn single_member_sweep_matches_plain_replay() {
     );
 }
 
+/// A grid that disagrees on the DVI axis, the fig05/fig06 shape: two DVI
+/// configurations populous enough to earn their own recorded oracles plus
+/// a singleton that must fall back to a live engine — all bit-identical to
+/// serial replays.
+#[test]
+fn dvi_axis_grid_shares_per_group_oracles_and_matches_serial() {
+    let layout = edvi_layout(&presets::perl_like());
+    let trace = CapturedTrace::record(&layout, 12_000);
+    let mut grid = Vec::new();
+    // Group 1: full DVI across register-file sizes (one oracle).
+    for regs in [34usize, 48, 80] {
+        grid.push(SimConfig::micro97().with_phys_regs(regs).with_dvi(DviConfig::full()));
+    }
+    // Group 2: no DVI across the same sizes (a second oracle).
+    for regs in [34usize, 48, 80] {
+        grid.push(SimConfig::micro97().with_phys_regs(regs));
+    }
+    // Singleton: below the amortization threshold, falls back to a
+    // private live engine.
+    grid.push(SimConfig::micro97().with_dvi(DviConfig::idvi_only()));
+    assert_batch_equivalent(&trace, &grid, "DVI-axis grid");
+}
+
+/// The oracle-recording amortization threshold is a builder option: with a
+/// threshold of 1 every product (including singleton DVI groups) is
+/// recorded, with `usize::MAX` no oracle is — both remain bit-identical to
+/// serial replays, since sharing is a host-time policy only.
+#[test]
+fn oracle_threshold_option_is_invisible_to_the_modelled_machine() {
+    let layout = edvi_layout(&WorkloadSpec::small("threshold", 23));
+    let trace = CapturedTrace::record(&layout, 8_000);
+    let grid = [
+        SimConfig::micro97().with_dvi(DviConfig::full()),
+        SimConfig::micro97().with_dvi(DviConfig::lvm_scheme()),
+        SimConfig::micro97(),
+    ];
+    let serial: Vec<SimStats> =
+        grid.iter().map(|config| Simulator::new(config.clone()).run(trace.replay())).collect();
+    for threshold in [1, usize::MAX] {
+        let batched =
+            SweepRunner::new(&trace, grid.iter().cloned()).with_oracle_min_members(threshold).run();
+        assert_eq!(
+            batched, serial,
+            "threshold {threshold}: batched stats diverge from serial replays"
+        );
+    }
+    let no_depgraph = SweepRunner::new(&trace, grid.iter().cloned()).without_depgraph().run();
+    assert_eq!(no_depgraph, serial, "depgraph opt-out diverges from serial replays");
+}
+
 fn dvi_scheme(index: u8) -> DviConfig {
     match index % 5 {
         0 => DviConfig::none(),
