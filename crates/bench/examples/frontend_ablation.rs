@@ -7,15 +7,26 @@
 //! * draining a replayed [`CapturedTrace`] with no simulator attached,
 //! * draining the live interpreter with no simulator attached,
 //! * building the trace's dependence graph (the one-off precompute),
+//! * driving the mix's memory references through a standalone
+//!   [`dvi_mem::MemoryHierarchy`] in trace order — an isolated lower
+//!   bound on the D-cache model's share of the back end,
 //! * the full event-driven simulator fed by replay,
 //! * the same simulator consuming every precomputed trace-pure product
 //!   (decode table, branch/I-cache oracles, dependence graph, DVI event
 //!   stream) — the per-member steady state of a batched sweep,
+//! * the same shared-products simulator with a [`dvi_mem::PerfectDcache`]
+//!   swapped in through the [`dvi_mem::DataMemModel`] seam (**a
+//!   different modelled machine** — printed for the host-cost contrast
+//!   and as the end-to-end proof the data side is swappable),
 //! * the full event-driven simulator fed by live interpretation.
 //!
 //! The replay-vs-interp difference is the end-to-end value of
 //! capture-once/replay-many; the shared-vs-replay difference is the
-//! back-end shrink the dependence-graph layer buys per member.
+//! back-end shrink the dependence-graph layer buys per member; and the
+//! final **back-end decomposition** line splits the shared-products
+//! steady state into trace production, the isolated D-cache model drive
+//! and the residual window/scheduler/rename core — the decomposition the
+//! ROADMAP's honest-performance tables quote.
 //!
 //! Run with `cargo run --release -p dvi-bench --example frontend_ablation`.
 
@@ -50,7 +61,7 @@ fn main() {
         })
         .collect();
 
-    let time = |label: &str, f: &dyn Fn() -> u64| {
+    let time = |label: &str, f: &dyn Fn() -> u64| -> f64 {
         let mut best = f64::MAX;
         let mut checksum = 0u64;
         for _ in 0..5 {
@@ -58,14 +69,15 @@ fn main() {
             checksum = f();
             best = best.min(start.elapsed().as_secs_f64());
         }
+        let ns_per_instr = best * 1e9 / dynamic_instrs as f64;
         println!(
-            "{label}: {:.1} ns/instr ({:.2} MIPS, checksum {checksum})",
-            best * 1e9 / dynamic_instrs as f64,
+            "{label}: {ns_per_instr:.1} ns/instr ({:.2} MIPS, checksum {checksum})",
             dynamic_instrs as f64 / best / 1e6
         );
+        ns_per_instr
     };
 
-    time("replay-drain (trace production only)", &|| {
+    let replay_drain = time("replay-drain (trace production only)", &|| {
         traces.iter().map(|t| t.replay().map(|d| u64::from(d.pc)).sum::<u64>()).sum()
     });
     time("interp-drain (trace production only)", &|| {
@@ -82,10 +94,37 @@ fn main() {
     time("depgraph-build (one-off precompute)", &|| {
         traces.iter().map(|t| DepGraph::build(t).len() as u64).sum()
     });
+    // Lower bound on the D-cache model's share of the back end: the
+    // mix's memory references driven through a standalone hierarchy in
+    // trace order, with none of the window/scheduler machinery around it.
+    // (The in-pipeline access order differs — issue order, interleaved
+    // with L1I misses on the shared L2 — so this isolates the model's
+    // tag-walk/LRU cost, not an exact slice of the end-to-end number.)
+    let dcache_drive = time("dcache-drive (mix mem refs through a standalone hierarchy)", &|| {
+        traces
+            .iter()
+            .map(|t| {
+                let mut mem = dvi_mem::MemoryHierarchy::new(
+                    config.icache,
+                    config.dcache,
+                    config.l2,
+                    config.memory_latency,
+                );
+                t.replay()
+                    .filter(|d| d.instr.class().uses_cache_port())
+                    .map(|d| {
+                        let addr = d.mem_addr.expect("memory records carry an address");
+                        mem.data_access(addr, matches!(d.instr.class(), dvi_isa::InstrClass::Store))
+                            .latency
+                    })
+                    .sum::<u64>()
+            })
+            .sum()
+    });
     time("sim+replay (plain replay back end)", &|| {
         traces.iter().map(|t| Simulator::new(config.clone()).run(t.replay()).program_instrs).sum()
     });
-    time("sim+replay+shared (sweep steady state: depgraph + oracles)", &|| {
+    let shared_ns = time("sim+replay+shared (sweep steady state: depgraph + oracles)", &|| {
         traces
             .iter()
             .zip(&shared)
@@ -93,6 +132,26 @@ fn main() {
                 SimSession::with_shared_tables(config.clone(), t.cursor(), tables.clone())
                     .run_to_completion()
                     .program_instrs
+            })
+            .sum()
+    });
+    // A *different modelled machine* (every data access hits in one
+    // cycle): end-to-end proof the data side swaps through the
+    // `DataMemModel` seam, and a second host-cost contrast for the
+    // D-cache share (fewer simulated stall cycles AND no tag walks).
+    time("sim+replay+shared+perfect-L1D (different machine: always-hit data side)", &|| {
+        traces
+            .iter()
+            .zip(&shared)
+            .map(|(t, tables)| {
+                SimSession::with_dcache_model(
+                    config.clone(),
+                    t.cursor(),
+                    tables.clone(),
+                    Box::new(dvi_mem::PerfectDcache::new(config.dcache.latency)),
+                )
+                .run_to_completion()
+                .program_instrs
             })
             .sum()
     });
@@ -106,4 +165,15 @@ fn main() {
             })
             .sum()
     });
+    // The honest back-end split of the sweep steady state: what the
+    // ROADMAP's decomposition tables quote. Trace production and the
+    // isolated D-cache drive are measured above; the remainder is the
+    // window/scheduler/rename core plus everything the isolation cannot
+    // capture (issue-order effects, shared-L2 interleaving).
+    println!(
+        "backend-decomposition: shared steady state {shared_ns:.1} ns/instr = replay-drain \
+         {replay_drain:.1} + dcache-model ≈{dcache_drive:.1} + window/sched/rename residual \
+         ≈{:.1}",
+        (shared_ns - replay_drain - dcache_drive).max(0.0)
+    );
 }

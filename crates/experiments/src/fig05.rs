@@ -1,6 +1,6 @@
 //! Figure 5: average IPC as a function of physical register file size.
 
-use crate::harness::{mean, sweep, Budget, CapturedBinaries};
+use crate::harness::{mean, sweep_parallel, Budget, CapturedBinaries};
 use crate::table::Table;
 use dvi_core::DviConfig;
 use dvi_sim::SimConfig;
@@ -79,7 +79,10 @@ pub fn run_with(budget: Budget, benchmarks: &[WorkloadSpec], sizes: &[usize]) ->
             let edvi_grid = sizes
                 .iter()
                 .map(|&n| SimConfig::micro97().with_phys_regs(n).with_dvi(DviConfig::full()));
-            (sweep(&binaries.baseline, base_grid), sweep(&binaries.edvi, edvi_grid))
+            (
+                sweep_parallel(&binaries.baseline, base_grid),
+                sweep_parallel(&binaries.edvi, edvi_grid),
+            )
         })
         .collect();
     let points = sizes

@@ -1,6 +1,6 @@
 //! Figure 9: dynamic saves and restores eliminated.
 
-use crate::harness::{mean, sweep, Budget, CapturedBinaries};
+use crate::harness::{mean, sweep_parallel, Budget, CapturedBinaries};
 use crate::table::Table;
 use dvi_core::DviConfig;
 use dvi_sim::SimConfig;
@@ -66,7 +66,7 @@ pub fn run_with(budget: Budget, benchmarks: &[dvi_workloads::WorkloadSpec]) -> F
             // One capture serves both hardware schemes, which ride a
             // single batched pass over it.
             let binaries = CapturedBinaries::build(spec, budget);
-            let stats = sweep(
+            let stats = sweep_parallel(
                 &binaries.edvi,
                 [DviConfig::lvm_scheme(), DviConfig::lvm_stack_scheme()]
                     .map(|dvi| SimConfig::micro97().with_dvi(dvi)),

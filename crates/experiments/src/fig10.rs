@@ -1,6 +1,6 @@
 //! Figure 10: IPC speedups from dead save/restore elimination.
 
-use crate::harness::{replay, sweep, Budget, CapturedBinaries};
+use crate::harness::{replay, sweep_parallel, Budget, CapturedBinaries};
 use crate::table::Table;
 use dvi_core::DviConfig;
 use dvi_sim::SimConfig;
@@ -53,7 +53,7 @@ pub fn run_with(budget: Budget, benchmarks: &[dvi_workloads::WorkloadSpec]) -> F
             // the two schemes ride one batched pass over the E-DVI trace.
             let binaries = CapturedBinaries::build(spec, budget);
             let base = replay(&binaries.baseline, SimConfig::micro97()).ipc();
-            let schemes = sweep(
+            let schemes = sweep_parallel(
                 &binaries.edvi,
                 [DviConfig::lvm_scheme(), DviConfig::lvm_stack_scheme()]
                     .map(|dvi| SimConfig::micro97().with_dvi(dvi)),

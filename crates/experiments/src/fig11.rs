@@ -1,7 +1,7 @@
 //! Figure 11: sensitivity of save/restore elimination to data-cache
 //! bandwidth (ports) and issue width.
 
-use crate::harness::{sweep, Budget, CapturedBinaries};
+use crate::harness::{sweep_parallel, Budget, CapturedBinaries};
 use crate::table::Table;
 use dvi_core::DviConfig;
 use dvi_sim::SimConfig;
@@ -85,8 +85,8 @@ pub fn run_with(
                     })
                 })
                 .collect();
-            let base = sweep(&binaries.baseline, machines.iter().cloned());
-            let dvi = sweep(
+            let base = sweep_parallel(&binaries.baseline, machines.iter().cloned());
+            let dvi = sweep_parallel(
                 &binaries.edvi,
                 machines.iter().map(|m| m.clone().with_dvi(DviConfig::full())),
             );

@@ -1,6 +1,6 @@
 //! Figure 13: E-DVI overhead.
 
-use crate::harness::{sweep, Budget, CapturedBinaries};
+use crate::harness::{sweep_parallel, Budget, CapturedBinaries};
 use crate::table::Table;
 use dvi_core::DviConfig;
 use dvi_sim::SimConfig;
@@ -64,8 +64,8 @@ pub fn run_with(budget: Budget, benchmarks: &[dvi_workloads::WorkloadSpec]) -> F
             let no_dvi = DviConfig::none();
             let geometries = [SimConfig::micro97(), SimConfig::micro97_small_icache()]
                 .map(|c| c.with_dvi(no_dvi));
-            let base = sweep(&binaries.baseline, geometries.clone());
-            let edvi = sweep(&binaries.edvi, geometries);
+            let base = sweep_parallel(&binaries.baseline, geometries.clone());
+            let edvi = sweep_parallel(&binaries.edvi, geometries);
             let ipc_overhead = |i: usize| 100.0 * (base[i].ipc() / edvi[i].ipc() - 1.0);
             let (ipc64, ipc32) = (ipc_overhead(0), ipc_overhead(1));
             let (base64, edvi64) = (base[0], edvi[0]);

@@ -184,6 +184,20 @@ pub fn sweep(trace: &CapturedTrace, configs: impl IntoIterator<Item = SimConfig>
     SweepRunner::new(trace, configs).run()
 }
 
+/// [`sweep`] with the grid members distributed across the host's cores
+/// (`SweepRunner::run_parallel`): same shared products, same grid-order
+/// results, bit-identical statistics at any thread count
+/// (`dvi-sim/tests/parallel_equiv.rs`) — the figure drivers' default.
+/// Member threads nest under the drivers' per-benchmark rayon fan-out; on
+/// a single-core host both collapse to the serial schedule.
+#[must_use]
+pub fn sweep_parallel(
+    trace: &CapturedTrace,
+    configs: impl IntoIterator<Item = SimConfig>,
+) -> Vec<SimStats> {
+    SweepRunner::new(trace, configs).run_parallel()
+}
+
 /// Times `layout` on `config` for at most `budget` instructions.
 #[must_use]
 pub fn simulate(layout: &LayoutProgram, config: SimConfig, budget: Budget) -> SimStats {

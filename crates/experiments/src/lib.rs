@@ -44,5 +44,5 @@ pub mod fig13;
 mod harness;
 mod table;
 
-pub use harness::{replay, simulate, sweep, Binaries, Budget, CapturedBinaries};
+pub use harness::{replay, simulate, sweep, sweep_parallel, Binaries, Budget, CapturedBinaries};
 pub use table::Table;

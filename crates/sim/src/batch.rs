@@ -53,8 +53,17 @@
 //! state, the decode table holds exactly what each memo would compute, and
 //! the oracle bitstream reproduces each live predictor decision (locked by
 //! `tests/batch_equiv.rs` across random presets × machine grids).
+//!
+//! # Parallelism
+//!
+//! Because members share nothing mutable — every shared product is an
+//! [`Arc`] of immutable, `Sync` data (compile-time-asserted below) — a
+//! sweep also runs *across threads*: [`SweepRunner::run_parallel`]
+//! distributes the members over the host's cores, each running to
+//! completion privately, with statistics bit-identical to the serial
+//! runner at any thread count (`tests/parallel_equiv.rs`).
 
-use crate::config::SimConfig;
+use crate::config::{DmemGeometry, SimConfig};
 use crate::dvi_engine::{DviEngine, ReclaimList};
 use crate::frontend::{FetchPredictor, StaticDecodeTable};
 use crate::rename::RenameState;
@@ -65,7 +74,25 @@ use dvi_core::{DviConfig, DviStats};
 use dvi_isa::{Abi, Instr, RegMask, NUM_ARCH_REGS};
 use dvi_mem::{AccessKind, Cache, CacheConfig, CacheStats};
 use dvi_program::{CapturedTrace, DepGraph, LayoutProgram, TraceCursor};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Compile-time proof that one copy of every sweep-shared product can be
+/// read concurrently from many member threads: the parallel runner hands
+/// `Arc`s of these across [`std::thread::scope`] / rayon workers, so a
+/// non-`Sync` field sneaking into any of them must fail the build here,
+/// not a customer's sweep.
+const _: () = {
+    const fn shared_across_member_threads<T: Send + Sync>() {}
+    shared_across_member_threads::<CapturedTrace>();
+    shared_across_member_threads::<StaticDecodeTable>();
+    shared_across_member_threads::<BranchOracle>();
+    shared_across_member_threads::<IcacheOracle>();
+    shared_across_member_threads::<DviOracle>();
+    shared_across_member_threads::<DepGraph>();
+    shared_across_member_threads::<SharedTables>();
+};
 
 /// A packed bitstream with sequential append and random read.
 #[derive(Debug, Default)]
@@ -926,6 +953,118 @@ impl<'a> SweepRunner<'a> {
             .collect()
     }
 
+    /// Groups the member indices by data-side geometry
+    /// ([`SimConfig::dmem_geometry`]), in first-appearance order. Members
+    /// of one group make identical L1D hit/miss decisions for identical
+    /// access sequences — the agreement rule a future shared D-cache
+    /// product (the data-side analogue of [`IcacheOracle`]) will be
+    /// recorded and shared under, exactly as [`DviOracle`]s are grouped
+    /// per distinct [`DviConfig`] today.
+    #[must_use]
+    pub fn dmem_geometry_groups(&self) -> Vec<(DmemGeometry, Vec<usize>)> {
+        let mut groups: Vec<(DmemGeometry, Vec<usize>)> = Vec::new();
+        for (i, member) in self.members.iter().enumerate() {
+            let Member::Pending(config) = member else {
+                unreachable!("members are pending until the sweep runs")
+            };
+            let geometry = config.dmem_geometry();
+            match groups.iter_mut().find(|(g, _)| *g == geometry) {
+                Some((_, indices)) => indices.push(i),
+                None => groups.push((geometry, vec![i])),
+            }
+        }
+        groups
+    }
+
+    /// Runs every member to completion across **threads** and returns the
+    /// per-configuration statistics in the order the configurations were
+    /// given, bit-identical to [`SweepRunner::run`] and to serial replays.
+    ///
+    /// The shared products are recorded once up front (same policy as the
+    /// serial runner), then the members — which share no mutable state,
+    /// only `Arc`s of immutable trace-pure products — are distributed
+    /// across a rayon worker pool, each running to completion on its own
+    /// thread. Determinism is structural, not scheduling-dependent: a
+    /// member's statistics are a pure function of its configuration, the
+    /// trace and the shared products, so thread count and interleaving
+    /// cannot perturb them (locked by `tests/parallel_equiv.rs` across
+    /// thread counts).
+    ///
+    /// Scheduling trade-off versus [`SweepRunner::run`]: the serial
+    /// runner's laggard-first co-scheduling keeps all member cursors in
+    /// one cache-hot region of the trace; the parallel runner gives that
+    /// up in exchange for N cores, each member streaming the whole trace
+    /// privately. On a multi-core host with the trace resident in a
+    /// shared cache level the trade is clearly right; on one core it
+    /// degenerates to the serial member-at-a-time schedule.
+    #[must_use]
+    pub fn run_parallel(self) -> Vec<SimStats> {
+        let (trace, jobs) = self.into_parallel_jobs();
+        jobs.into_par_iter().map(|(config, tables)| run_member(trace, config, tables)).collect()
+    }
+
+    /// [`SweepRunner::run_parallel`] with an explicit worker-thread count
+    /// (clamped to `1..=members`): the knob the equivalence tests and the
+    /// bench sweep over. Workers pull members off a shared queue, so a
+    /// straggler member does not idle the other threads.
+    #[must_use]
+    pub fn run_parallel_threads(self, threads: usize) -> Vec<SimStats> {
+        let (trace, jobs) = self.into_parallel_jobs();
+        let threads = threads.clamp(1, jobs.len().max(1));
+        if threads == 1 {
+            return jobs.into_iter().map(|(c, t)| run_member(trace, c, t)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut results: Vec<Option<SimStats>> = (0..jobs.len()).map(|_| None).collect();
+        let jobs = &jobs;
+        let next = &next;
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut done = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some((config, tables)) = jobs.get(i) else { break };
+                            done.push((i, run_member(trace, config.clone(), tables.clone())));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            for worker in workers {
+                for (i, stats) in worker.join().expect("sweep worker panicked") {
+                    results[i] = Some(stats);
+                }
+            }
+        });
+        results.into_iter().map(|s| s.expect("every member runs exactly once")).collect()
+    }
+
+    /// Records the shared products and flattens the pending members into
+    /// standalone `(config, tables)` jobs for the parallel runners.
+    fn into_parallel_jobs(mut self) -> (&'a CapturedTrace, Vec<(SimConfig, SharedTables)>) {
+        self.prepare_shared();
+        let tables: Vec<SharedTables> = self
+            .members
+            .iter()
+            .map(|m| match m {
+                Member::Pending(config) => self.tables_for(config),
+                _ => unreachable!("members are pending until the sweep runs"),
+            })
+            .collect();
+        let jobs = self
+            .members
+            .into_iter()
+            .zip(tables)
+            .map(|(m, t)| match m {
+                Member::Pending(config) => (*config, t),
+                _ => unreachable!("members are pending until the sweep runs"),
+            })
+            .collect();
+        (self.trace, jobs)
+    }
+
     /// Advances member `i` until it has fetched `target` records,
     /// materializing its session on first schedule and retiring it to bare
     /// statistics the moment it finishes.
@@ -952,11 +1091,29 @@ impl<'a> SweepRunner<'a> {
     }
 }
 
+/// One member of a parallel sweep, run start to finish on whatever thread
+/// picked it up: a fresh session over its own cursor into the shared
+/// trace, consuming the shared product bundle by reference.
+fn run_member(trace: &CapturedTrace, config: SimConfig, tables: SharedTables) -> SimStats {
+    SimSession::with_shared_tables(config, trace.cursor(), tables).run_to_completion()
+}
+
 /// Convenience wrapper: runs `configs` over `trace` in one batched pass
 /// and returns the per-configuration statistics.
 #[must_use]
 pub fn sweep(trace: &CapturedTrace, configs: impl IntoIterator<Item = SimConfig>) -> Vec<SimStats> {
     SweepRunner::new(trace, configs).run()
+}
+
+/// Convenience wrapper: runs `configs` over `trace` with members
+/// distributed across the host's cores ([`SweepRunner::run_parallel`]).
+/// Statistics are bit-identical to [`sweep`].
+#[must_use]
+pub fn sweep_parallel(
+    trace: &CapturedTrace,
+    configs: impl IntoIterator<Item = SimConfig>,
+) -> Vec<SimStats> {
+    SweepRunner::new(trace, configs).run_parallel()
 }
 
 #[cfg(test)]

@@ -3,6 +3,86 @@
 use dvi_bpred::PredictorConfig;
 use dvi_core::DviConfig;
 use dvi_mem::CacheConfig;
+use std::fmt;
+
+/// A structural defect in a [`SimConfig`], reported by
+/// [`SimConfig::check`] before any simulator state is built — instead of
+/// a panic from deep inside the first run that trips over it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// A pipeline width (fetch/decode/issue/commit) is zero.
+    ZeroWidth {
+        /// Which width field is zero.
+        stage: &'static str,
+    },
+    /// The instruction window has no entries.
+    EmptyWindow,
+    /// The window cannot feed the configured issue width
+    /// (`window_size < issue_width` caps sustained IPC below the
+    /// machine's nominal width — always a configuration mistake).
+    WindowSmallerThanWidth {
+        /// Configured window entries.
+        window: usize,
+        /// Configured issue width.
+        width: usize,
+    },
+    /// The fetch queue has no entries.
+    EmptyFetchQueue,
+    /// The physical register file cannot rename (`phys_regs` must exceed
+    /// the architectural register count or renaming deadlocks).
+    TooFewPhysRegs {
+        /// Configured physical registers.
+        given: usize,
+        /// Smallest viable file (architectural registers + 1).
+        minimum: usize,
+    },
+    /// No integer ALU is configured.
+    NoFunctionalUnits,
+    /// No data-cache port is configured.
+    NoCachePorts,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroWidth { stage } => {
+                write!(f, "{stage} width must be non-zero")
+            }
+            ConfigError::EmptyWindow => write!(f, "instruction window must be non-empty"),
+            ConfigError::WindowSmallerThanWidth { window, width } => write!(
+                f,
+                "instruction window ({window} entries) is smaller than the issue width \
+                 ({width}): the machine could never sustain its nominal width"
+            ),
+            ConfigError::EmptyFetchQueue => write!(f, "fetch queue must be non-empty"),
+            ConfigError::TooFewPhysRegs { given, minimum } => write!(
+                f,
+                "physical register file too small: {given} registers cannot rename \
+                 (need at least {minimum} to avoid renaming deadlock)"
+            ),
+            ConfigError::NoFunctionalUnits => write!(f, "need at least one integer unit"),
+            ConfigError::NoCachePorts => write!(f, "need at least one cache port"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// The data-side geometry axes of a machine ([`SimConfig::dmem_geometry`]):
+/// L1D geometry, unified-L2 geometry and main-memory latency. Members of a
+/// sweep that agree on all three make identical L1D hit/miss decisions for
+/// identical access sequences — the precondition for sharing a recorded
+/// D-cache product between them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DmemGeometry {
+    /// L1 data cache geometry.
+    pub dcache: CacheConfig,
+    /// Unified L2 geometry.
+    pub l2: CacheConfig,
+    /// Main-memory latency in cycles.
+    pub memory_latency: u64,
+}
 
 /// Which wakeup/select implementation the simulator uses. Both model the
 /// same machine cycle-for-cycle; they differ only in host-time complexity.
@@ -168,19 +248,78 @@ impl SimConfig {
         self
     }
 
-    /// Validates the structural parameters.
+    /// The data-side geometry of this machine: the axes on which two
+    /// sweep members must agree for their L1-data-side behaviour to be
+    /// interchangeable. This is the grouping key for a future shared
+    /// D-cache oracle (the data-side analogue of
+    /// [`crate::batch::IcacheOracle`]'s L1I-geometry agreement rule); see
+    /// [`crate::batch::SweepRunner::dmem_geometry_groups`].
+    #[must_use]
+    pub fn dmem_geometry(&self) -> DmemGeometry {
+        DmemGeometry { dcache: self.dcache, l2: self.l2, memory_latency: self.memory_latency }
+    }
+
+    /// Checks the structural parameters, returning the first defect as a
+    /// descriptive [`ConfigError`] — the fallible twin of
+    /// [`SimConfig::validate`] for callers assembling configurations from
+    /// external input (sweep grids, CLI flags) who want an error value
+    /// instead of a downstream panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found: a zero pipeline width, an
+    /// empty window or fetch queue, a window smaller than the issue
+    /// width, an unrenamable register file, or a machine with no integer
+    /// unit / no cache port.
+    pub fn check(&self) -> Result<(), ConfigError> {
+        for (stage, width) in [
+            ("fetch", self.fetch_width),
+            ("decode", self.decode_width),
+            ("issue", self.issue_width),
+            ("commit", self.commit_width),
+        ] {
+            if width == 0 {
+                return Err(ConfigError::ZeroWidth { stage });
+            }
+        }
+        if self.window_size == 0 {
+            return Err(ConfigError::EmptyWindow);
+        }
+        if self.window_size < self.issue_width {
+            return Err(ConfigError::WindowSmallerThanWidth {
+                window: self.window_size,
+                width: self.issue_width,
+            });
+        }
+        if self.fetch_queue == 0 {
+            return Err(ConfigError::EmptyFetchQueue);
+        }
+        if self.phys_regs <= dvi_isa::NUM_ARCH_REGS {
+            return Err(ConfigError::TooFewPhysRegs {
+                given: self.phys_regs,
+                minimum: dvi_isa::NUM_ARCH_REGS + 1,
+            });
+        }
+        if self.int_alu_units == 0 {
+            return Err(ConfigError::NoFunctionalUnits);
+        }
+        if self.cache_ports == 0 {
+            return Err(ConfigError::NoCachePorts);
+        }
+        Ok(())
+    }
+
+    /// Validates the structural parameters (the panicking form of
+    /// [`SimConfig::check`], used by the simulator constructors).
     ///
     /// # Panics
     ///
-    /// Panics on degenerate configurations (zero widths or empty window).
+    /// Panics with the [`ConfigError`] description on degenerate
+    /// configurations.
     pub fn validate(&self) {
-        assert!(self.fetch_width > 0 && self.decode_width > 0, "front-end widths must be non-zero");
-        assert!(self.issue_width > 0 && self.commit_width > 0, "back-end widths must be non-zero");
-        assert!(self.window_size > 0, "instruction window must be non-empty");
-        assert!(self.fetch_queue > 0, "fetch queue must be non-empty");
-        assert!(self.phys_regs > dvi_isa::NUM_ARCH_REGS, "physical register file too small");
-        assert!(self.int_alu_units > 0, "need at least one integer unit");
-        assert!(self.cache_ports > 0, "need at least one cache port");
+        if let Err(defect) = self.check() {
+            panic!("invalid machine configuration: {defect}");
+        }
     }
 }
 
@@ -241,5 +380,66 @@ mod tests {
     #[should_panic(expected = "deadlock")]
     fn too_few_physical_registers_is_rejected() {
         let _ = SimConfig::micro97().with_phys_regs(32);
+    }
+
+    #[test]
+    fn check_accepts_every_stock_machine() {
+        for config in [
+            SimConfig::micro97(),
+            SimConfig::micro97_small_icache(),
+            SimConfig::micro97().with_issue_width(1),
+            SimConfig::micro97().with_issue_width(16).with_phys_regs(320),
+        ] {
+            assert_eq!(config.check(), Ok(()), "stock machine rejected");
+        }
+    }
+
+    #[test]
+    fn check_rejects_zero_widths_with_the_offending_stage() {
+        let zero_fetch = SimConfig { fetch_width: 0, ..SimConfig::micro97() };
+        assert_eq!(zero_fetch.check(), Err(ConfigError::ZeroWidth { stage: "fetch" }));
+        let zero_issue = SimConfig { issue_width: 0, ..SimConfig::micro97() };
+        assert_eq!(zero_issue.check(), Err(ConfigError::ZeroWidth { stage: "issue" }));
+        let zero_commit = SimConfig { commit_width: 0, ..SimConfig::micro97() };
+        assert!(matches!(zero_commit.check(), Err(ConfigError::ZeroWidth { stage: "commit" })));
+    }
+
+    #[test]
+    fn check_rejects_degenerate_structures() {
+        let no_window = SimConfig { window_size: 0, ..SimConfig::micro97() };
+        assert_eq!(no_window.check(), Err(ConfigError::EmptyWindow));
+        let tiny_window = SimConfig { window_size: 2, ..SimConfig::micro97() };
+        assert_eq!(
+            tiny_window.check(),
+            Err(ConfigError::WindowSmallerThanWidth { window: 2, width: 4 })
+        );
+        let no_queue = SimConfig { fetch_queue: 0, ..SimConfig::micro97() };
+        assert_eq!(no_queue.check(), Err(ConfigError::EmptyFetchQueue));
+        let no_alu = SimConfig { int_alu_units: 0, ..SimConfig::micro97() };
+        assert_eq!(no_alu.check(), Err(ConfigError::NoFunctionalUnits));
+        let no_ports = SimConfig { cache_ports: 0, ..SimConfig::micro97() };
+        assert_eq!(no_ports.check(), Err(ConfigError::NoCachePorts));
+    }
+
+    #[test]
+    fn check_rejects_unrenamable_register_files_descriptively() {
+        let cramped = SimConfig { phys_regs: dvi_isa::NUM_ARCH_REGS, ..SimConfig::micro97() };
+        let err = cramped.check().unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::TooFewPhysRegs {
+                given: dvi_isa::NUM_ARCH_REGS,
+                minimum: dvi_isa::NUM_ARCH_REGS + 1
+            }
+        );
+        let text = err.to_string();
+        assert!(text.contains("deadlock"), "error must explain the consequence: {text}");
+        assert!(text.contains(&dvi_isa::NUM_ARCH_REGS.to_string()));
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than the issue width")]
+    fn validate_panics_with_the_check_description() {
+        SimConfig { window_size: 3, ..SimConfig::micro97() }.validate();
     }
 }

@@ -700,6 +700,15 @@ impl FrontEnd {
         if d.is_mem {
             stats.mem_refs += 1;
         }
+        // Dynamic invariant behind the window's push-time address check
+        // (see `WindowRing::push`): the interpreter attaches an effective
+        // address to exactly the records whose class occupies a cache
+        // port. A violation here is a decode or capture bug.
+        debug_assert_eq!(
+            d.class.uses_cache_port(),
+            mem_addr.is_some(),
+            "decode class and effective address disagree at pc {pc}"
+        );
 
         // Save/restore elimination happens here: the instruction was
         // fetched and decoded but is not dispatched. The guards run (and

@@ -236,13 +236,16 @@ impl LegacySimulator {
     }
 
     fn execution_latency(&mut self, idx: usize, class: InstrClass) -> u64 {
+        // As in the main core's SoA window, an address-less memory
+        // operation is a decode/capture bug that must not silently alias
+        // to cache line 0 (the seed's `unwrap_or(0)` did exactly that).
         match class {
             InstrClass::Load => {
-                let addr = self.window[idx].mem_addr.unwrap_or(0);
+                let addr = self.window[idx].mem_addr.expect("memory operation without an address");
                 self.mem.data_access(addr, false).latency
             }
             InstrClass::Store => {
-                let addr = self.window[idx].mem_addr.unwrap_or(0);
+                let addr = self.window[idx].mem_addr.expect("memory operation without an address");
                 // Stores retire into the cache; the pipeline only waits for
                 // address/data readiness, so the latency charged here is the
                 // port occupancy, while the access updates the cache state.

@@ -55,6 +55,10 @@
 //! window, free-list occupancy and reclaim timing, data path, unified L2
 //! — stays private per member, so per-member statistics are bit-identical
 //! to serial runs (`tests/batch_equiv.rs`, `tests/depgraph_equiv.rs`).
+//! And because every shared product is immutable and `Sync`, the same
+//! sweep also runs across threads: [`batch::SweepRunner::run_parallel`]
+//! distributes members over the host's cores with statistics
+//! bit-identical at any thread count (`tests/parallel_equiv.rs`).
 //!
 //! # Host performance
 //!
@@ -127,9 +131,11 @@ mod stats;
 mod window;
 
 pub use batch::{
-    sweep, BranchOracle, DviCursor, DviOracle, IcacheOracle, SharedTables, SweepRunner,
+    sweep, sweep_parallel, BranchOracle, DviCursor, DviOracle, IcacheOracle, SharedTables,
+    SweepRunner,
 };
-pub use config::{SchedulerKind, SimConfig};
+pub use config::DmemGeometry;
+pub use config::{ConfigError, SchedulerKind, SimConfig};
 pub use dvi_engine::{DviEngine, ReclaimList};
 pub use frontend::{DecodeKind, DecodeMemo, StaticDecode, StaticDecodeTable};
 pub use fu::FuPool;
@@ -138,4 +144,4 @@ pub use rename::{PhysReg, RenameState};
 pub use session::SimSession;
 pub use smallvec::SmallVec;
 pub use stats::SimStats;
-pub use window::{EntryState, InFlight, WindowRing};
+pub use window::{EntryState, WindowRing};

@@ -23,6 +23,20 @@
 //! Both backends share fetch, rename/dispatch, commit, the DVI engine, the
 //! branch predictor and the memory hierarchy, so they cannot drift in
 //! front-end or retirement behaviour; only writeback/wakeup/select differ.
+//!
+//! # Data layout
+//!
+//! The per-cycle stages run over the *structure-of-arrays* instruction
+//! window ([`crate::window`]): every stage loop reads exactly the packed
+//! arrays it needs (commit: the `done` flags and `old_dst`; writeback:
+//! `done`/`dst`; select: `class` and, for memory operations, the
+//! effective address) instead of loading ~80-byte entry structs, and the
+//! window's `done` flag array doubles as the completion set the
+//! dependence-graph wiring probes — the back end keeps no second copy of
+//! any per-entry fact. The modelled machine is unchanged: all
+//! equivalence suites (`scheduler_equiv`, `replay_equiv`, `batch_equiv`,
+//! `depgraph_equiv`) and the golden figures lock the statistics
+//! bit-for-bit.
 
 use crate::batch::{DviCursor, IcacheCursor, OracleCursor, SharedTables};
 use crate::config::{SchedulerKind, SimConfig};
@@ -35,7 +49,7 @@ use crate::session::SimSession;
 use crate::stats::SimStats;
 use crate::window::{EntryState, WindowRing};
 use dvi_isa::{Abi, FuKind, InstrClass};
-use dvi_mem::{CachePorts, MemoryHierarchy};
+use dvi_mem::{CachePorts, DataMemModel, MemoryHierarchy};
 use dvi_program::{DepGraph, DynInst, InstrSource};
 use std::sync::Arc;
 
@@ -114,14 +128,6 @@ struct DepWire {
     check_at: u64,
     /// Sever bits this machine acts on ([`DepGraph::sever_mask`]).
     sever: u8,
-    /// Dense completion bits, one per window ring position: mirrors
-    /// "`state == Done`" of the occupying entry. Resolution probes this
-    /// word-packed set instead of the producer's (much larger) window
-    /// entry — the dependence-path analogue of the alias table's dense
-    /// ready-bit array.
-    done: Vec<u64>,
-    /// Window ring mask (positions index `done`).
-    ring_mask: u64,
 }
 
 impl DepWire {
@@ -138,31 +144,7 @@ impl DepWire {
                 config.dvi.use_edvi && reclaim,
                 config.dvi.use_idvi && reclaim,
             ),
-            done: vec![0; (window_ring as usize).div_ceil(64)],
-            ring_mask: window_ring - 1,
         }
-    }
-
-    /// Marks the entry at `wseq`'s ring position complete (at writeback,
-    /// or at dispatch for entries that need no functional unit).
-    #[inline]
-    fn set_done(&mut self, wseq: u64) {
-        let pos = (wseq & self.ring_mask) as usize;
-        self.done[pos >> 6] |= 1 << (pos & 63);
-    }
-
-    /// Clears the completion bit of a freshly claimed ring slot.
-    #[inline]
-    fn clear_done(&mut self, wseq: u64) {
-        let pos = (wseq & self.ring_mask) as usize;
-        self.done[pos >> 6] &= !(1 << (pos & 63));
-    }
-
-    /// Whether the entry at `wseq`'s ring position has completed.
-    #[inline]
-    fn is_done(&self, wseq: u64) -> bool {
-        let pos = (wseq & self.ring_mask) as usize;
-        self.done[pos >> 6] >> (pos & 63) & 1 == 1
     }
 
     /// Re-establishes the span invariant before writing record `seq`'s
@@ -184,7 +166,7 @@ impl DepWire {
     /// answer.
     #[cold]
     fn reestablish_span(&mut self, seq: u64, window: &WindowRing) {
-        let Some(head) = window.front().map(|e| e.seq) else {
+        let Some(head) = (!window.is_empty()).then(|| window.dseq(window.head_seq())) else {
             // Empty window: every later head is a record at or after
             // `seq`, so the span stays under the ring length for the next
             // ring-length records.
@@ -196,7 +178,7 @@ impl DepWire {
             let new_len = (span + 1).next_power_of_two() * 2;
             let mut slots = vec![NOT_DISPATCHED; new_len];
             for wseq in window.seqs() {
-                slots[(window.get(wseq).seq as usize) & (new_len - 1)] = wseq;
+                slots[(window.dseq(wseq) as usize) & (new_len - 1)] = wseq;
             }
             self.slots = slots;
         }
@@ -217,7 +199,9 @@ impl DepWire {
     /// window entry it must wait on. Equivalent to the alias-table walk:
     /// an operand is available exactly when `rename.lookup` would return
     /// `None` (no producer, or a DVI-severed mapping) or a physical
-    /// register whose value has been produced.
+    /// register whose value has been produced. Completion is probed
+    /// straight off the window's packed `done` flag array — the
+    /// dependence-path analogue of the alias table's dense ready bits.
     #[inline]
     fn resolve_pair(&self, seq: u64, window: &WindowRing) -> [Option<u64>; 2] {
         let (producers, flags) = self.graph.row(seq as usize);
@@ -240,16 +224,11 @@ impl DepWire {
             }
             debug_assert!(window.contains(wseq), "producer entry neither committed nor in flight");
             debug_assert_eq!(
-                window.get(wseq).seq,
+                window.dseq(wseq),
                 u64::from(producer),
                 "dependence ring slot aliased"
             );
-            debug_assert_eq!(
-                self.is_done(wseq),
-                window.get(wseq).state == EntryState::Done,
-                "completion bit out of sync with the entry state"
-            );
-            if !self.is_done(wseq) {
+            if !window.is_done(wseq) {
                 *wait = Some(wseq);
             }
         }
@@ -302,7 +281,7 @@ impl Core {
     pub(crate) fn new(config: SimConfig) -> Core {
         let pred = FetchPredictor::live(config.predictor);
         let front = FrontEnd::new(&config);
-        Core::build(config, pred, front, None, None)
+        Core::build(config, pred, front, None, None, None)
     }
 
     /// Builds a core consuming immutable trace-pure products shared across
@@ -310,6 +289,18 @@ impl Core {
     /// dependence graph and/or the decode-stage DVI event stream. Absent
     /// products fall back to private live structures.
     pub(crate) fn with_shared(config: SimConfig, tables: SharedTables) -> Core {
+        Core::with_shared_and_dcache(config, tables, None)
+    }
+
+    /// [`Core::with_shared`] with an optional substitute L1-data-side
+    /// model (see [`dvi_mem::DataMemModel`]): the session-level seam for a
+    /// per-member D-cache — a perfect cache for an upper-bound machine, or
+    /// a future pre-recorded D-cache oracle cursor.
+    pub(crate) fn with_shared_and_dcache(
+        config: SimConfig,
+        tables: SharedTables,
+        dcache: Option<Box<dyn DataMemModel>>,
+    ) -> Core {
         let pred = match tables.branches {
             Some(oracle) => FetchPredictor::Oracle(OracleCursor::new(oracle)),
             None => FetchPredictor::live(config.predictor),
@@ -322,7 +313,7 @@ impl Core {
         let depgraph = tables.depgraph.filter(|_| config.scheduler == SchedulerKind::EventDriven);
         let dvi = tables.dvi.map(|oracle| DviModel::Oracle(DviCursor::new(oracle)));
         let front = FrontEnd::with_shared(&config, tables.decode, icache, depgraph.is_some());
-        Core::build(config, pred, front, depgraph, dvi)
+        Core::build(config, pred, front, depgraph, dvi, dcache)
     }
 
     fn build(
@@ -331,6 +322,7 @@ impl Core {
         front: FrontEnd,
         depgraph: Option<Arc<DepGraph>>,
         dvi: Option<DviModel>,
+        dcache: Option<Box<dyn DataMemModel>>,
     ) -> Core {
         config.validate();
         let window = WindowRing::new(config.window_size);
@@ -343,18 +335,18 @@ impl Core {
         } else {
             config.phys_regs
         };
+        let mut mem =
+            MemoryHierarchy::new(config.icache, config.dcache, config.l2, config.memory_latency);
+        if let Some(model) = dcache {
+            mem = mem.with_dcache_model(model);
+        }
         // The longest schedulable latency is a load missing every level.
         let max_latency = config.dcache.latency + config.l2.latency + config.memory_latency + 64;
         Core {
             rename: RenameState::new(config.phys_regs),
             dvi: dvi
                 .unwrap_or_else(|| DviModel::Live(DviEngine::new(config.dvi, Abi::mips_like()))),
-            mem: MemoryHierarchy::new(
-                config.icache,
-                config.dcache,
-                config.l2,
-                config.memory_latency,
-            ),
+            mem,
             ports: CachePorts::new(config.cache_ports),
             fu: FuPool::new(config.int_alu_units, config.int_mul_units),
             pred,
@@ -440,22 +432,26 @@ impl Core {
     }
 
     // ----------------------------------------------------------- commit --
+    /// In-order commit: retire up to `commit_width` finished entries off
+    /// the window head. Per retiring entry this reads one `done` flag,
+    /// one `old_dst` halfword and the (usually empty) reclaim list — the
+    /// rest of the slot's arrays are never touched.
     fn commit(&mut self) {
         let dep_wired = self.dep.is_some();
         let mut committed = 0;
         while committed < self.config.commit_width {
-            // `front` borrows only the `window` field; the releases below
-            // touch the disjoint `rename` (and, in debug builds, `waiters`)
-            // fields, so the entry is read in place without re-indexing.
-            let Some(front) = self.window.front() else { break };
-            if !front.is_done() {
+            if self.window.is_empty() {
+                break;
+            }
+            let head = self.window.head_seq();
+            if !self.window.is_done(head) {
                 break;
             }
             debug_assert!(
-                !dep_wired || !self.waiters.has_waiters(self.waiter_key(self.window.head_seq())),
+                !dep_wired || !self.waiters.has_waiters(self.waiter_key(head)),
                 "committing entry still has waiters"
             );
-            if let Some(old) = front.old_dst {
+            if let Some(old) = self.window.old_dst(head) {
                 debug_assert!(
                     !self.event_driven
                         || dep_wired
@@ -464,7 +460,7 @@ impl Core {
                 );
                 self.rename.release(old);
             }
-            for p in front.reclaim.iter() {
+            for p in self.window.reclaim(head).iter() {
                 debug_assert!(
                     !self.event_driven || dep_wired || !self.waiters.has_waiters(usize::from(p.0)),
                     "reclaimed register still has waiters"
@@ -487,8 +483,11 @@ impl Core {
         }
     }
 
-    /// Event-driven writeback: drain exactly the calendar bucket for this
-    /// cycle and wake each result's waiters.
+    /// Event-driven writeback fused with wakeup: drain exactly the
+    /// calendar bucket for this cycle, publish each completion in the
+    /// window's `done` flag array (the same array dependence-graph
+    /// resolution probes — there is no second copy to keep in sync) and
+    /// wake each result's waiters in the same pass.
     fn writeback_event(&mut self) {
         if self.calendar.pending() == 0 {
             return;
@@ -496,19 +495,15 @@ impl Core {
         let mut events = std::mem::take(&mut self.scratch_events);
         self.calendar.drain_due(self.cycle, &mut events);
         for &wseq in &events {
-            let entry = self.window.get_mut(wseq);
-            debug_assert!(
-                matches!(entry.state, EntryState::Executing { done_at } if done_at == self.cycle)
+            debug_assert_eq!(
+                self.window.state(wseq),
+                EntryState::Executing { done_at: self.cycle }
             );
-            entry.state = EntryState::Done;
-            let dst = entry.dst;
-            let resolves = entry.resolves_fetch_stall;
-            if let Some(dep) = &mut self.dep {
-                // Producer-link wiring: publish completion in the dense
-                // bitset and wake waiters keyed on this entry's ring
-                // position (the physical-register ready bits are not on
-                // the dependence path at all).
-                dep.set_done(wseq);
+            let (dst, resolves) = self.window.complete(wseq);
+            if self.dep.is_some() {
+                // Producer-link wiring: waiters are keyed on this entry's
+                // ring position (the physical-register ready bits are not
+                // on the dependence path at all).
                 self.drain_waiters(self.waiter_key(wseq));
             } else if let Some(p) = dst {
                 self.wake_phys(p.0);
@@ -537,11 +532,8 @@ impl Core {
         let mut woken = std::mem::take(&mut self.scratch_woken);
         self.waiters.drain(key, &mut woken);
         for &wseq in &woken {
-            let entry = self.window.get_mut(wseq);
-            debug_assert_eq!(entry.state, EntryState::Waiting, "waiter is not waiting");
-            debug_assert!(entry.missing > 0, "waiter had no missing operands");
-            entry.missing -= 1;
-            if entry.missing == 0 {
+            debug_assert!(self.window.is_waiting(wseq), "waiter is not waiting");
+            if self.window.dec_missing(wseq) == 0 {
                 self.ready.set(wseq);
             }
         }
@@ -551,18 +543,15 @@ impl Core {
     /// Reference writeback: scan the whole window for completions.
     fn writeback_scan(&mut self) {
         for wseq in self.window.seqs() {
-            let done_at = match self.window.get(wseq).state {
-                EntryState::Executing { done_at } => done_at,
-                _ => continue,
-            };
+            let EntryState::Executing { done_at } = self.window.state(wseq) else { continue };
             if done_at > self.cycle {
                 continue;
             }
-            self.window.get_mut(wseq).state = EntryState::Done;
-            if let Some(dst) = self.window.get(wseq).dst {
+            self.window.set_done(wseq);
+            if let Some(dst) = self.window.dst(wseq) {
                 self.rename.set_ready(dst);
             }
-            if self.window.get(wseq).resolves_fetch_stall {
+            if self.window.resolves_fetch_stall(wseq) {
                 self.front.resolve_fetch_stall(self.cycle, self.config.mispredict_penalty);
             }
         }
@@ -593,10 +582,8 @@ impl Core {
             if issued >= self.config.issue_width {
                 break;
             }
-            let entry = self.window.get(wseq);
-            debug_assert_eq!(entry.state, EntryState::Waiting);
-            debug_assert_eq!(entry.missing, 0);
-            let class = entry.class;
+            debug_assert!(self.window.is_waiting(wseq));
+            let class = self.window.class(wseq);
             let kind = class.fu_kind().expect("ready entries occupy a functional unit");
             if kind == FuKind::MemPort {
                 if !self.ports.try_acquire() {
@@ -607,7 +594,7 @@ impl Core {
             }
             let latency = self.execution_latency(wseq, class);
             let done_at = self.cycle + latency.max(1);
-            self.window.get_mut(wseq).state = EntryState::Executing { done_at };
+            self.window.mark_executing(wseq, done_at);
             self.ready.clear(wseq);
             self.calendar.schedule(self.cycle, done_at, wseq);
             issued += 1;
@@ -623,17 +610,17 @@ impl Core {
             if issued >= self.config.issue_width {
                 break;
             }
-            if self.window.get(wseq).state != EntryState::Waiting {
+            if !self.window.is_waiting(wseq) {
                 continue;
             }
             let ready =
-                self.window.get(wseq).srcs.iter().flatten().all(|p| self.rename.is_ready(*p));
+                self.window.srcs(wseq).into_iter().flatten().all(|p| self.rename.is_ready(p));
             if !ready {
                 continue;
             }
-            let class = self.window.get(wseq).class;
+            let class = self.window.class(wseq);
             let Some(kind) = class.fu_kind() else {
-                self.window.get_mut(wseq).state = EntryState::Done;
+                self.window.set_done(wseq);
                 continue;
             };
             if kind == FuKind::MemPort {
@@ -644,20 +631,22 @@ impl Core {
                 continue;
             }
             let latency = self.execution_latency(wseq, class);
-            self.window.get_mut(wseq).state =
-                EntryState::Executing { done_at: self.cycle + latency.max(1) };
+            self.window.mark_executing(wseq, self.cycle + latency.max(1));
             issued += 1;
         }
     }
 
     fn execution_latency(&mut self, wseq: u64, class: InstrClass) -> u64 {
+        // Memory classes are guaranteed an effective address by
+        // `WindowRing::push` — the decode bug that used to silently alias
+        // an address-less load onto line 0 can no longer reach this point.
         match class {
             InstrClass::Load => {
-                let addr = self.window.get(wseq).mem_addr.unwrap_or(0);
+                let addr = self.window.mem_addr(wseq);
                 self.mem.data_access(addr, false).latency
             }
             InstrClass::Store => {
-                let addr = self.window.get(wseq).mem_addr.unwrap_or(0);
+                let addr = self.window.mem_addr(wseq);
                 // Stores retire into the cache; the pipeline only waits for
                 // address/data readiness, so the latency charged here is the
                 // port occupancy, while the access updates the cache state.
@@ -691,27 +680,32 @@ impl Core {
                     dispatched += 1;
                 }
                 Dispatch::Enter(e) => {
-                    let wseq = self.window.push(e.mem_addr, e.dst, e.old_dst, e.srcs, e.class);
-                    let entry = self.window.get_mut(wseq);
-                    entry.seq = e.seq;
-                    entry.resolves_fetch_stall = e.resolves_fetch_stall;
-                    self.front.drain_reclaim_into(&mut entry.reclaim);
+                    let wseq = self.window.push(
+                        e.mem_addr,
+                        e.dst,
+                        e.old_dst,
+                        e.srcs,
+                        e.class,
+                        e.seq,
+                        e.resolves_fetch_stall,
+                    );
+                    self.front.drain_reclaim_into(self.window.reclaim_mut(wseq));
                     if e.fu_kind.is_none() {
                         // No functional unit: complete at dispatch (moves,
                         // nops and control handled entirely in the front
-                        // end).
-                        entry.state = EntryState::Done;
+                        // end). The window's `done` flag is the completion
+                        // set dependence resolution probes, so there is
+                        // nothing extra to publish.
+                        self.window.set_done(wseq);
                         if let Some(dep) = &mut self.dep {
                             dep.ensure_span(e.seq, &self.window);
                             dep.mark(e.seq, wseq);
-                            dep.set_done(wseq);
                         }
                     } else if let Some(dep) = &mut self.dep {
                         // Producer-link wiring: resolve both operands
                         // against the shared dependence graph — wait
                         // exactly on producers that are in flight and not
                         // yet complete, keyed by their window position.
-                        dep.clear_done(wseq);
                         dep.ensure_span(e.seq, &self.window);
                         let ring_mask = self.window.ring_size() - 1;
                         let mut missing = 0u8;
@@ -720,7 +714,7 @@ impl Core {
                             missing += 1;
                         }
                         dep.mark(e.seq, wseq);
-                        self.window.get_mut(wseq).missing = missing;
+                        self.window.set_missing(wseq, missing);
                         if missing == 0 {
                             self.ready.set(wseq);
                         }
@@ -734,7 +728,7 @@ impl Core {
                                 missing += 1;
                             }
                         }
-                        self.window.get_mut(wseq).missing = missing;
+                        self.window.set_missing(wseq, missing);
                         if missing == 0 {
                             self.ready.set(wseq);
                         }
@@ -923,6 +917,43 @@ mod tests {
         // annotation or a program instruction (committed or eliminated).
         assert_eq!(full.program_instrs + full.fetched_kills, full.fetched_instrs);
         assert_eq!(baseline.program_instrs + baseline.fetched_kills, baseline.fetched_instrs);
+    }
+
+    #[test]
+    fn dcache_model_seam_is_bit_identical_for_same_geometry() {
+        // Substituting a fresh tag array of the member's own geometry
+        // through the `DataMemModel` seam must be invisible end to end;
+        // a perfect D-cache is a deliberately different (no-slower)
+        // machine.
+        let spec = dvi_workloads::WorkloadSpec::small("dmem-seam", 13);
+        let program = dvi_workloads::generate(&spec);
+        let abi = Abi::mips_like();
+        let compiled =
+            dvi_compiler::compile(&program, &abi, dvi_compiler::CompileOptions::default()).unwrap();
+        let layout = compiled.program.layout().unwrap();
+        let trace = dvi_program::CapturedTrace::record(&layout, 20_000);
+        let config = SimConfig::micro97().with_dvi(dvi_core::DviConfig::full());
+
+        let stock = Simulator::new(config.clone()).run(trace.replay());
+        let same_geometry = SimSession::with_dcache_model(
+            config.clone(),
+            trace.cursor(),
+            SharedTables::default(),
+            Box::new(dvi_mem::CacheLevel::new(config.dcache)),
+        )
+        .run_to_completion();
+        assert_eq!(stock, same_geometry, "same-geometry dcache swap must be invisible");
+
+        let perfect = SimSession::with_dcache_model(
+            config.clone(),
+            trace.cursor(),
+            SharedTables::default(),
+            Box::new(dvi_mem::PerfectDcache::new(config.dcache.latency)),
+        )
+        .run_to_completion();
+        assert_eq!(perfect.memory.l1d.misses, 0, "a perfect D-cache never misses");
+        assert!(perfect.cycles <= stock.cycles, "an always-hit data side cannot be slower");
+        assert_eq!(perfect.program_instrs, stock.program_instrs);
     }
 
     #[test]

@@ -112,6 +112,34 @@ impl<S: InstrSource> SimSession<S> {
         SimSession::from_core(Core::with_shared(config, tables), source)
     }
 
+    /// Builds a session whose L1-data-side model is `dcache` instead of
+    /// the tag array `config.dcache` describes (see
+    /// [`dvi_mem::DataMemModel`] and
+    /// [`dvi_mem::MemoryHierarchy::with_dcache_model`]). Shared tables
+    /// compose with the substitution exactly as in
+    /// [`SimSession::with_shared_tables`] (pass
+    /// [`SharedTables::default`] for a fully private session).
+    ///
+    /// Substituting a model that makes the same hit/miss decisions (a
+    /// fresh [`dvi_mem::CacheLevel`] of the member's own geometry — or,
+    /// the design target, a pre-recorded D-cache oracle cursor) leaves
+    /// the statistics bit-identical; any other model simulates a
+    /// different machine on purpose (e.g. [`dvi_mem::PerfectDcache`] for
+    /// an upper-bound run).
+    ///
+    /// # Panics
+    ///
+    /// As [`SimSession::with_shared_tables`].
+    #[must_use]
+    pub fn with_dcache_model(
+        config: SimConfig,
+        source: S,
+        tables: SharedTables,
+        dcache: Box<dyn dvi_mem::DataMemModel>,
+    ) -> SimSession<S> {
+        SimSession::from_core(Core::with_shared_and_dcache(config, tables, Some(dcache)), source)
+    }
+
     fn from_core(core: Core, source: S) -> SimSession<S> {
         SimSession { core, source, last_progress: (0, 0), finished: false }
     }

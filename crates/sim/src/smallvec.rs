@@ -1,7 +1,8 @@
 //! A minimal inline small-vector used on the simulator's hot paths.
 //!
-//! The instruction window recycles its entries, and each entry carries a
-//! short list of physical registers to free at commit ([`crate::window::InFlight::reclaim`]).
+//! The instruction window recycles its slots, and each slot carries a
+//! short list of physical registers to free at commit
+//! ([`crate::window::WindowRing::reclaim`]).
 //! With a heap `Vec` every dispatch/commit pair may allocate; with
 //! [`SmallVec`] the common case (a handful of registers) lives inline in
 //! the entry and the buffer — inline or spilled — is reused when the window

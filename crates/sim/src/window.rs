@@ -1,10 +1,50 @@
-//! Instruction-window (reorder buffer) entries and the recycled entry ring.
+//! The instruction window as packed structure-of-arrays state.
+//!
+//! The window used to be a ring of `InFlight` structs — one ~80-byte
+//! record per entry with an `enum` state machine inside — and every
+//! back-end stage loaded whole entries to read one or two fields. This
+//! module stores the same information as parallel arrays over ring slots
+//! (*structure of arrays*), so each per-cycle loop touches exactly the
+//! array it needs:
+//!
+//! * **commit** reads one byte of the `done` flag array per retiring entry
+//!   (plus `old_dst`/`reclaim` only when it actually retires);
+//! * **writeback** flips `done` flags and reads `dst`/`resolves`;
+//! * **issue** reads `class` (and `mem_addr` for memory operations);
+//! * **dispatch** writes each array at most once — and entries that carry
+//!   no value (no destination, no memory address) never touch those
+//!   arrays at all.
+//!
+//! The execution state machine (`Waiting → Executing → Done`) is encoded
+//! as two flag arrays (`issued`, `done`) plus a `done_at` cycle array
+//! instead of a per-entry enum; [`WindowRing::state`] reconstructs the
+//! [`EntryState`] view for the reference naive-scan scheduler and for
+//! assertions. The `done` flags double as the completion set the
+//! dependence-graph back end probes when resolving producer links (it
+//! used to mirror them in a private bitset).
+//!
+//! Entries are identified by their *window sequence number* (`wseq`), a
+//! monotonically increasing dispatch counter; the slot of entry `wseq` is
+//! `wseq & mask`, so slot storage — including each slot's inline reclaim
+//! buffer — is reused as the window advances, and a sequence number dates
+//! an entry unambiguously for the scheduler's calendar and waiter lists.
+//!
+//! # Memory operations carry their address — enforced at push
+//!
+//! [`WindowRing::push`] *requires* an effective address for every entry of
+//! a memory class and refuses to store one for anything else. The old
+//! per-entry `Option<u64>` silently defaulted to address 0 deep in the
+//! issue stage (`unwrap_or(0)`), so a front-end decode bug could quietly
+//! alias every load onto cache line 0 and skew miss rates; now the
+//! malformed entry is unrepresentable and the bug panics at dispatch,
+//! where the offending record is still identifiable.
 
 use crate::rename::PhysReg;
 use crate::smallvec::SmallVec;
 use dvi_isa::InstrClass;
 
-/// Execution state of an in-flight instruction.
+/// Execution state of an in-flight instruction (the derived view over the
+/// packed `issued`/`done`/`done_at` arrays — see the module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EntryState {
     /// Waiting for source operands or a functional unit.
@@ -18,119 +58,60 @@ pub enum EntryState {
     Done,
 }
 
-/// An instruction occupying an instruction-window / reorder-buffer slot.
-///
-/// Only the fields the back end actually consumes are stored: the decode
-/// products (class, renamed operands) come memoized from the front end and
-/// the sole dynamic field execution needs is the effective address —
-/// keeping the entry small makes the recycled ring cache-dense and the
-/// dispatch path copy-light.
-#[derive(Debug, Clone)]
-pub struct InFlight {
-    /// Effective address for memory instructions.
-    pub mem_addr: Option<u64>,
-    /// Physical register allocated for the destination, if any.
-    pub dst: Option<PhysReg>,
-    /// Previous mapping of the destination architectural register, returned
-    /// to the free list when this instruction commits.
-    pub old_dst: Option<PhysReg>,
-    /// Renamed source operands (`None` means always ready: the zero
-    /// register, an immediate, or a register whose mapping DVI removed).
-    pub srcs: [Option<PhysReg>; 2],
-    /// Resource-model class, memoized at dispatch by the front end's
-    /// per-PC decode table so issue never re-derives it from the
-    /// instruction.
-    pub class: InstrClass,
-    /// Physical registers reclaimed by DVI that become free when this entry
-    /// commits. The paper frees dead physical registers only when the
-    /// DVI-providing instruction is non-speculative; deferring the release
-    /// to commit additionally guarantees no older in-flight instruction
-    /// still references them. Stored inline ([`SmallVec`]) and recycled
-    /// with the window slot, so dispatch/commit never allocate.
-    pub reclaim: SmallVec<PhysReg, 8>,
-    /// Current state.
-    pub state: EntryState,
-    /// Whether this is the conditional branch or return the front end
-    /// mispredicted (fetch resumes when it completes).
-    pub resolves_fetch_stall: bool,
-    /// Trace sequence number of the dispatched record (maintained by the
-    /// dependence-graph back end to map producer records to window
-    /// entries; zero when unused).
-    pub seq: u64,
-    /// Source operands not yet produced (maintained by the event-driven
-    /// scheduler; the naive scan ignores it).
-    pub missing: u8,
+/// Packed encoding of `Option<PhysReg>`: `NO_REG` is `None`.
+const NO_REG: u16 = u16::MAX;
+
+#[inline]
+fn pack(p: Option<PhysReg>) -> u16 {
+    p.map_or(NO_REG, |p| p.0)
 }
 
-impl InFlight {
-    /// Creates a freshly dispatched entry.
-    #[must_use]
-    pub fn new(
-        mem_addr: Option<u64>,
-        dst: Option<PhysReg>,
-        old_dst: Option<PhysReg>,
-        srcs: [Option<PhysReg>; 2],
-        class: InstrClass,
-    ) -> Self {
-        InFlight {
-            mem_addr,
-            dst,
-            old_dst,
-            srcs,
-            class,
-            reclaim: SmallVec::new(),
-            state: EntryState::Waiting,
-            resolves_fetch_stall: false,
-            seq: 0,
-            missing: 0,
-        }
-    }
-
-    /// A placeholder entry used to pre-fill recycled window slots.
-    #[must_use]
-    pub fn placeholder() -> Self {
-        InFlight::new(None, None, None, [None, None], InstrClass::Nop)
-    }
-
-    /// Re-initializes a recycled slot in place, keeping the `reclaim`
-    /// buffer's capacity.
-    pub fn reset(
-        &mut self,
-        mem_addr: Option<u64>,
-        dst: Option<PhysReg>,
-        old_dst: Option<PhysReg>,
-        srcs: [Option<PhysReg>; 2],
-        class: InstrClass,
-    ) {
-        self.mem_addr = mem_addr;
-        self.dst = dst;
-        self.old_dst = old_dst;
-        self.srcs = srcs;
-        self.class = class;
-        self.reclaim.clear();
-        self.state = EntryState::Waiting;
-        self.resolves_fetch_stall = false;
-        self.seq = 0;
-        self.missing = 0;
-    }
-
-    /// Whether the entry has finished executing.
-    #[must_use]
-    pub fn is_done(&self) -> bool {
-        self.state == EntryState::Done
-    }
+#[inline]
+fn unpack(raw: u16) -> Option<PhysReg> {
+    (raw != NO_REG).then_some(PhysReg(raw))
 }
 
-/// The instruction window as a fixed ring of recycled [`InFlight`] slots.
-///
-/// Entries are identified by their *window sequence number* (`wseq`), a
-/// monotonically increasing dispatch counter. The slot of entry `wseq` is
-/// `wseq & mask`, so slot storage — including each entry's inline reclaim
-/// buffer — is reused as the window advances, and a sequence number dates
-/// an entry unambiguously for the scheduler's calendar and waiter lists.
+/// The instruction window as parallel arrays over a fixed ring of recycled
+/// slots. See the module documentation for the layout rationale.
 #[derive(Debug)]
 pub struct WindowRing {
-    slots: Vec<InFlight>,
+    // --- per-slot parallel arrays (indexed by `wseq & mask`) ---
+    /// Resource-model class.
+    class: Vec<InstrClass>,
+    /// Whether the entry issued to a functional unit (`Executing` or, once
+    /// `done` is also set, finished after executing).
+    issued: Vec<bool>,
+    /// Whether the entry finished (eligible for commit). This is the
+    /// completion set the dependence-graph back end probes directly.
+    done: Vec<bool>,
+    /// Whether this is the mispredicted branch/return fetch stalls on.
+    resolves: Vec<bool>,
+    /// Source operands not yet produced (event-driven scheduler only).
+    missing: Vec<u8>,
+    /// Destination physical register ([`NO_REG`] = none).
+    dst: Vec<u16>,
+    /// Previous mapping of the destination architectural register, freed
+    /// at commit ([`NO_REG`] = none).
+    old_dst: Vec<u16>,
+    /// Renamed source operands ([`NO_REG`] = always ready). Left unset
+    /// under dependence-graph wiring (producer links carry the
+    /// information).
+    srcs: Vec<[u16; 2]>,
+    /// Effective address — written and read only for memory classes.
+    mem_addr: Vec<u64>,
+    /// Cycle at which execution finishes (valid while `issued`).
+    done_at: Vec<u64>,
+    /// Trace sequence number of the dispatched record (dependence-graph
+    /// back end; zero when unused).
+    dseq: Vec<u64>,
+    /// Physical registers reclaimed by DVI that become free when this
+    /// entry commits. The paper frees dead physical registers only when
+    /// the DVI-providing instruction is non-speculative; deferring the
+    /// release to commit additionally guarantees no older in-flight
+    /// instruction still references them. Stored inline ([`SmallVec`])
+    /// and recycled with the slot, so dispatch/commit never allocate.
+    reclaim: Vec<SmallVec<PhysReg, 8>>,
+    // --- ring bookkeeping ---
     mask: u64,
     capacity: usize,
     head: u64,
@@ -141,17 +122,29 @@ impl WindowRing {
     /// Creates an empty window of `capacity` entries.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        let ring = (capacity.max(1)).next_power_of_two() as u64;
+        let ring = capacity.max(1).next_power_of_two();
         WindowRing {
-            slots: (0..ring).map(|_| InFlight::placeholder()).collect(),
-            mask: ring - 1,
+            class: vec![InstrClass::Nop; ring],
+            issued: vec![false; ring],
+            done: vec![false; ring],
+            resolves: vec![false; ring],
+            missing: vec![0; ring],
+            dst: vec![NO_REG; ring],
+            old_dst: vec![NO_REG; ring],
+            srcs: vec![[NO_REG; 2]; ring],
+            mem_addr: vec![0; ring],
+            done_at: vec![0; ring],
+            dseq: vec![0; ring],
+            reclaim: (0..ring).map(|_| SmallVec::new()).collect(),
+            mask: ring as u64 - 1,
             capacity,
             head: 0,
             tail: 0,
         }
     }
 
-    /// Ring size (power of two ≥ capacity), for sizing the ready bitset.
+    /// Ring size (power of two ≥ capacity), for sizing the ready bitset
+    /// and the waiter-list key space.
     #[must_use]
     pub fn ring_size(&self) -> u64 {
         self.mask + 1
@@ -182,12 +175,36 @@ impl WindowRing {
         self.head
     }
 
-    /// Claims the next slot, re-initializing it in place, and returns its
-    /// sequence number.
+    /// Whether `wseq` is currently in the window.
+    #[must_use]
+    pub fn contains(&self, wseq: u64) -> bool {
+        (self.head..self.tail).contains(&wseq)
+    }
+
+    /// Iterates over the occupied sequence numbers in age order.
+    pub fn seqs(&self) -> impl Iterator<Item = u64> {
+        self.head..self.tail
+    }
+
+    #[inline]
+    fn slot(&self, wseq: u64) -> usize {
+        debug_assert!(self.contains(wseq), "stale window sequence {wseq}");
+        (wseq & self.mask) as usize
+    }
+
+    /// Claims the next slot, re-initializing its arrays in place, and
+    /// returns its sequence number. The trace record sequence number and
+    /// the fetch-stall marker are part of the claim so the whole dispatch
+    /// write happens in one pass over the slot.
     ///
     /// # Panics
     ///
-    /// Panics if the window is full (the caller checks [`WindowRing::is_full`]).
+    /// Panics if the window is full (the caller checks
+    /// [`WindowRing::is_full`]), or if a memory-class entry arrives
+    /// without an effective address / a non-memory entry arrives with one
+    /// (see the module docs — the malformed entry used to alias to cache
+    /// line 0 silently).
+    #[allow(clippy::too_many_arguments)]
     pub fn push(
         &mut self,
         mem_addr: Option<u64>,
@@ -195,31 +212,33 @@ impl WindowRing {
         old_dst: Option<PhysReg>,
         srcs: [Option<PhysReg>; 2],
         class: InstrClass,
+        dseq: u64,
+        resolves_fetch_stall: bool,
     ) -> u64 {
         assert!(!self.is_full(), "window overflow");
+        assert_eq!(
+            class.uses_cache_port(),
+            mem_addr.is_some(),
+            "effective address and memory class must agree at dispatch ({class}): \
+             a memory operation without an address would silently alias to line 0"
+        );
         let wseq = self.tail;
-        self.slots[(wseq & self.mask) as usize].reset(mem_addr, dst, old_dst, srcs, class);
+        let s = (wseq & self.mask) as usize;
+        self.class[s] = class;
+        self.issued[s] = false;
+        self.done[s] = false;
+        self.resolves[s] = resolves_fetch_stall;
+        self.missing[s] = 0;
+        self.dst[s] = pack(dst);
+        self.old_dst[s] = pack(old_dst);
+        self.srcs[s] = [pack(srcs[0]), pack(srcs[1])];
+        if let Some(addr) = mem_addr {
+            self.mem_addr[s] = addr;
+        }
+        self.dseq[s] = dseq;
+        self.reclaim[s].clear();
         self.tail += 1;
         wseq
-    }
-
-    /// The oldest entry, if any.
-    #[must_use]
-    pub fn front(&self) -> Option<&InFlight> {
-        if self.is_empty() {
-            None
-        } else {
-            Some(&self.slots[(self.head & self.mask) as usize])
-        }
-    }
-
-    /// Mutable access to the oldest entry, if any.
-    pub fn front_mut(&mut self) -> Option<&mut InFlight> {
-        if self.is_empty() {
-            None
-        } else {
-            Some(&mut self.slots[(self.head & self.mask) as usize])
-        }
     }
 
     /// Retires the oldest entry (its slot is recycled by a later push).
@@ -232,32 +251,164 @@ impl WindowRing {
         self.head += 1;
     }
 
-    /// The entry with sequence number `wseq`.
+    // ------------------------------------------------------ field access --
+
+    /// Resource-model class of the entry.
+    #[inline]
+    #[must_use]
+    pub fn class(&self, wseq: u64) -> InstrClass {
+        self.class[self.slot(wseq)]
+    }
+
+    /// Destination physical register, if any.
+    #[inline]
+    #[must_use]
+    pub fn dst(&self, wseq: u64) -> Option<PhysReg> {
+        unpack(self.dst[self.slot(wseq)])
+    }
+
+    /// Previous mapping of the destination register, freed at commit.
+    #[inline]
+    #[must_use]
+    pub fn old_dst(&self, wseq: u64) -> Option<PhysReg> {
+        unpack(self.old_dst[self.slot(wseq)])
+    }
+
+    /// Renamed source operands (`None` = always ready).
+    #[inline]
+    #[must_use]
+    pub fn srcs(&self, wseq: u64) -> [Option<PhysReg>; 2] {
+        let [a, b] = self.srcs[self.slot(wseq)];
+        [unpack(a), unpack(b)]
+    }
+
+    /// Effective address of a memory-class entry (guaranteed present by
+    /// [`WindowRing::push`]).
+    #[inline]
+    #[must_use]
+    pub fn mem_addr(&self, wseq: u64) -> u64 {
+        let s = self.slot(wseq);
+        debug_assert!(self.class[s].uses_cache_port(), "address read on a non-memory entry");
+        self.mem_addr[s]
+    }
+
+    /// Trace sequence number of the dispatched record.
+    #[inline]
+    #[must_use]
+    pub fn dseq(&self, wseq: u64) -> u64 {
+        self.dseq[self.slot(wseq)]
+    }
+
+    /// Whether fetch resumes when this entry completes.
+    #[inline]
+    #[must_use]
+    pub fn resolves_fetch_stall(&self, wseq: u64) -> bool {
+        self.resolves[self.slot(wseq)]
+    }
+
+    /// Sets the missing-operand count at dispatch.
+    #[inline]
+    pub fn set_missing(&mut self, wseq: u64, missing: u8) {
+        let s = self.slot(wseq);
+        self.missing[s] = missing;
+    }
+
+    /// Decrements the missing-operand count at wakeup; returns the
+    /// remaining count.
     ///
     /// # Panics
     ///
-    /// Panics (in debug builds) if `wseq` is not currently in the window.
+    /// Panics (in debug builds) if the count is already zero.
+    #[inline]
+    pub fn dec_missing(&mut self, wseq: u64) -> u8 {
+        let s = self.slot(wseq);
+        debug_assert!(self.missing[s] > 0, "waiter had no missing operands");
+        self.missing[s] -= 1;
+        self.missing[s]
+    }
+
+    /// The DVI reclaim list riding this entry to commit.
+    #[inline]
+    pub fn reclaim_mut(&mut self, wseq: u64) -> &mut SmallVec<PhysReg, 8> {
+        let s = self.slot(wseq);
+        &mut self.reclaim[s]
+    }
+
+    /// Read access to the entry's DVI reclaim list (commit releases it).
+    #[inline]
     #[must_use]
-    pub fn get(&self, wseq: u64) -> &InFlight {
-        debug_assert!(self.contains(wseq), "stale window sequence {wseq}");
-        &self.slots[(wseq & self.mask) as usize]
+    pub fn reclaim(&self, wseq: u64) -> &SmallVec<PhysReg, 8> {
+        &self.reclaim[self.slot(wseq)]
     }
 
-    /// Mutable access to the entry with sequence number `wseq`.
-    pub fn get_mut(&mut self, wseq: u64) -> &mut InFlight {
-        debug_assert!(self.contains(wseq), "stale window sequence {wseq}");
-        &mut self.slots[(wseq & self.mask) as usize]
-    }
+    // -------------------------------------------------- execution state --
 
-    /// Whether `wseq` is currently in the window.
+    /// Whether the entry has finished executing (this flag array is what
+    /// the dependence-graph back end probes when resolving producer
+    /// links).
+    #[inline]
     #[must_use]
-    pub fn contains(&self, wseq: u64) -> bool {
-        (self.head..self.tail).contains(&wseq)
+    pub fn is_done(&self, wseq: u64) -> bool {
+        self.done[self.slot(wseq)]
     }
 
-    /// Iterates over the occupied sequence numbers in age order.
-    pub fn seqs(&self) -> impl Iterator<Item = u64> {
-        self.head..self.tail
+    /// Whether the entry is waiting (not issued, not finished).
+    #[inline]
+    #[must_use]
+    pub fn is_waiting(&self, wseq: u64) -> bool {
+        let s = self.slot(wseq);
+        !self.issued[s] && !self.done[s]
+    }
+
+    /// Marks the entry finished (at writeback — or directly at dispatch
+    /// for entries that occupy no functional unit).
+    #[inline]
+    pub fn set_done(&mut self, wseq: u64) {
+        let s = self.slot(wseq);
+        self.done[s] = true;
+    }
+
+    /// Fused writeback step: marks the entry finished and returns the
+    /// fields wakeup consumes — the destination register and the
+    /// fetch-stall marker — in one pass over the slot.
+    #[inline]
+    pub fn complete(&mut self, wseq: u64) -> (Option<PhysReg>, bool) {
+        let s = self.slot(wseq);
+        debug_assert!(self.issued[s] && !self.done[s], "completing an entry not executing");
+        self.done[s] = true;
+        (unpack(self.dst[s]), self.resolves[s])
+    }
+
+    /// Marks the entry issued, finishing execution at `done_at`.
+    #[inline]
+    pub fn mark_executing(&mut self, wseq: u64, done_at: u64) {
+        let s = self.slot(wseq);
+        debug_assert!(!self.issued[s] && !self.done[s], "entry issued twice");
+        self.issued[s] = true;
+        self.done_at[s] = done_at;
+    }
+
+    /// Cycle at which an issued entry finishes execution.
+    #[inline]
+    #[must_use]
+    pub fn done_at(&self, wseq: u64) -> u64 {
+        let s = self.slot(wseq);
+        debug_assert!(self.issued[s], "done_at read on an un-issued entry");
+        self.done_at[s]
+    }
+
+    /// The derived [`EntryState`] view (reference scheduler, assertions).
+    #[inline]
+    #[must_use]
+    pub fn state(&self, wseq: u64) -> EntryState {
+        let s = self.slot(wseq);
+        if self.done[s] {
+            EntryState::Done
+        } else if self.issued[s] {
+            EntryState::Executing { done_at: self.done_at[s] }
+        } else {
+            EntryState::Waiting
+        }
     }
 }
 
@@ -267,45 +418,116 @@ mod tests {
 
     #[test]
     fn new_entries_start_waiting() {
-        let e = InFlight::new(None, None, None, [None, None], InstrClass::Nop);
-        assert_eq!(e.state, EntryState::Waiting);
-        assert!(!e.is_done());
+        let mut w = WindowRing::new(4);
+        let e = w.push(None, None, None, [None, None], InstrClass::Nop, 0, false);
+        assert_eq!(w.state(e), EntryState::Waiting);
+        assert!(w.is_waiting(e));
+        assert!(!w.is_done(e));
     }
 
     #[test]
-    fn done_state_is_reported() {
-        let mut e = InFlight::new(None, None, None, [None, None], InstrClass::Nop);
-        e.state = EntryState::Executing { done_at: 5 };
-        assert!(!e.is_done());
-        e.state = EntryState::Done;
-        assert!(e.is_done());
+    fn state_transitions_are_derived_from_the_flag_arrays() {
+        let mut w = WindowRing::new(4);
+        let e = w.push(None, Some(PhysReg(3)), None, [None, None], InstrClass::IntAlu, 0, false);
+        w.mark_executing(e, 5);
+        assert_eq!(w.state(e), EntryState::Executing { done_at: 5 });
+        assert_eq!(w.done_at(e), 5);
+        assert!(!w.is_done(e) && !w.is_waiting(e));
+        w.set_done(e);
+        assert_eq!(w.state(e), EntryState::Done);
+        assert!(w.is_done(e));
     }
 
     #[test]
     fn ring_recycles_slots_in_fifo_order() {
         let mut w = WindowRing::new(3); // ring size 4
         assert_eq!(w.ring_size(), 4);
-        let a = w.push(None, None, None, [None, None], InstrClass::Nop);
-        let b = w.push(None, None, None, [None, None], InstrClass::Nop);
-        let c = w.push(None, None, None, [None, None], InstrClass::Nop);
+        let a = w.push(None, None, None, [None, None], InstrClass::Nop, 0, false);
+        let b = w.push(None, None, None, [None, None], InstrClass::Nop, 0, false);
+        let c = w.push(None, None, None, [None, None], InstrClass::Nop, 0, false);
         assert!(w.is_full());
         assert_eq!((a, b, c), (0, 1, 2));
         assert_eq!(w.head_seq(), 0);
         w.pop_front();
         assert!(!w.is_full());
-        let d = w.push(Some(64), None, None, [None, None], InstrClass::Halt);
+        let d = w.push(Some(64), None, None, [None, None], InstrClass::Load, 0, false);
         assert_eq!(d, 3);
         assert!(w.contains(b) && w.contains(d) && !w.contains(a));
         assert_eq!(w.seqs().collect::<Vec<_>>(), vec![1, 2, 3]);
         assert_eq!(w.len(), 3);
+        assert_eq!(w.mem_addr(d), 64);
     }
 
     #[test]
-    fn reset_keeps_reclaim_capacity_but_clears_contents() {
-        let mut e = InFlight::placeholder();
-        e.reclaim.push(crate::rename::PhysReg(4));
-        e.reset(None, None, None, [None, None], InstrClass::Nop);
-        assert!(e.reclaim.is_empty());
-        assert_eq!(e.missing, 0);
+    fn push_resets_the_recycled_slot() {
+        let mut w = WindowRing::new(1); // ring size 1: every push recycles slot 0
+        let a = w.push(
+            None,
+            Some(PhysReg(7)),
+            Some(PhysReg(8)),
+            [Some(PhysReg(1)), None],
+            InstrClass::IntAlu,
+            99,
+            true,
+        );
+        w.reclaim_mut(a).push(PhysReg(4));
+        w.set_missing(a, 2);
+        assert!(w.resolves_fetch_stall(a));
+        assert_eq!(w.dseq(a), 99);
+        w.mark_executing(a, 9);
+        w.set_done(a);
+        w.pop_front();
+        let b = w.push(None, None, None, [None, None], InstrClass::Nop, 0, false);
+        assert!(w.reclaim(b).is_empty());
+        assert_eq!(w.state(b), EntryState::Waiting);
+        assert!(!w.resolves_fetch_stall(b));
+        assert_eq!(w.dseq(b), 0);
+        assert_eq!(w.dst(b), None);
+        assert_eq!(w.old_dst(b), None);
+        assert_eq!(w.srcs(b), [None, None]);
+        assert_eq!(w.missing[(b & w.mask) as usize], 0, "missing count restarts at zero");
+    }
+
+    #[test]
+    fn wakeup_decrements_missing_operands() {
+        let mut w = WindowRing::new(4);
+        let e = w.push(
+            None,
+            None,
+            None,
+            [Some(PhysReg(1)), Some(PhysReg(2))],
+            InstrClass::IntAlu,
+            0,
+            false,
+        );
+        w.set_missing(e, 2);
+        assert_eq!(w.dec_missing(e), 1);
+        assert_eq!(w.dec_missing(e), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "memory class must agree")]
+    fn memory_op_without_an_address_is_unrepresentable() {
+        let mut w = WindowRing::new(4);
+        // The old encoding stored `None` and the issue stage silently read
+        // address 0; the SoA window refuses the push outright.
+        let _ = w.push(None, Some(PhysReg(3)), None, [None, None], InstrClass::Load, 0, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "memory class must agree")]
+    fn address_on_a_non_memory_op_is_rejected() {
+        let mut w = WindowRing::new(4);
+        let _ =
+            w.push(Some(0x40), Some(PhysReg(3)), None, [None, None], InstrClass::IntAlu, 0, false);
+    }
+
+    #[test]
+    fn stores_carry_their_address() {
+        let mut w = WindowRing::new(4);
+        let e =
+            w.push(Some(0xbeef), None, None, [Some(PhysReg(5)), None], InstrClass::Store, 0, false);
+        assert_eq!(w.mem_addr(e), 0xbeef);
+        assert_eq!(w.srcs(e), [Some(PhysReg(5)), None]);
     }
 }
