@@ -1,10 +1,11 @@
 //! Figure 5: average IPC as a function of physical register file size.
 
-use crate::harness::{mean, sweep_parallel, Budget, CapturedBinaries};
+use crate::harness::{fold_outcomes, mean, sweep_parallel_outcomes, Budget, CapturedBinaries};
 use crate::table::Table;
 use dvi_core::DviConfig;
 use dvi_sim::SimConfig;
 use dvi_sim::SimStats;
+use dvi_sim::SweepSummary;
 use dvi_workloads::{presets, WorkloadSpec};
 use rayon::prelude::*;
 use std::fmt;
@@ -33,6 +34,10 @@ pub struct SizePoint {
 pub struct Figure05 {
     /// One entry per register-file size.
     pub points: Vec<SizePoint>,
+    /// Fault-isolation summary over every sweep member behind the figure;
+    /// deadlocked, degraded or panicked members are folded into the curves
+    /// as partial/zeroed statistics instead of aborting the figure.
+    pub health: SweepSummary,
 }
 
 impl Figure05 {
@@ -67,7 +72,7 @@ pub fn run_with(budget: Budget, benchmarks: &[WorkloadSpec], sizes: &[usize]) ->
     // scheme grid through one batched sweep per trace: every register-file
     // size re-times the shared capture in a single co-scheduled pass
     // instead of one serial replay per grid point.
-    let per_bench: Vec<(Vec<SimStats>, Vec<SimStats>)> = benchmarks
+    let per_bench: Vec<(Vec<SimStats>, Vec<SimStats>, SweepSummary)> = benchmarks
         .par_iter()
         .map(|spec| {
             let binaries = CapturedBinaries::build(spec, budget);
@@ -79,19 +84,26 @@ pub fn run_with(budget: Budget, benchmarks: &[WorkloadSpec], sizes: &[usize]) ->
             let edvi_grid = sizes
                 .iter()
                 .map(|&n| SimConfig::micro97().with_phys_regs(n).with_dvi(DviConfig::full()));
-            (
-                sweep_parallel(&binaries.baseline, base_grid),
-                sweep_parallel(&binaries.edvi, edvi_grid),
-            )
+            let (base, mut health) =
+                fold_outcomes(sweep_parallel_outcomes(&binaries.baseline, base_grid));
+            let (edvi, edvi_health) =
+                fold_outcomes(sweep_parallel_outcomes(&binaries.edvi, edvi_grid));
+            health.merge(edvi_health);
+            (base, edvi, health)
         })
         .collect();
+    let mut health = SweepSummary::default();
+    for (_, _, h) in &per_bench {
+        health.merge(*h);
+    }
     let points = sizes
         .iter()
         .enumerate()
         .map(|(i, &n)| {
-            let no_dvi: Vec<f64> = per_bench.iter().map(|(base, _)| base[2 * i].ipc()).collect();
-            let idvi: Vec<f64> = per_bench.iter().map(|(base, _)| base[2 * i + 1].ipc()).collect();
-            let full: Vec<f64> = per_bench.iter().map(|(_, edvi)| edvi[i].ipc()).collect();
+            let no_dvi: Vec<f64> = per_bench.iter().map(|(base, _, _)| base[2 * i].ipc()).collect();
+            let idvi: Vec<f64> =
+                per_bench.iter().map(|(base, _, _)| base[2 * i + 1].ipc()).collect();
+            let full: Vec<f64> = per_bench.iter().map(|(_, edvi, _)| edvi[i].ipc()).collect();
             SizePoint {
                 phys_regs: n,
                 ipc_no_dvi: mean(&no_dvi),
@@ -100,7 +112,7 @@ pub fn run_with(budget: Budget, benchmarks: &[WorkloadSpec], sizes: &[usize]) ->
             }
         })
         .collect();
-    Figure05 { points }
+    Figure05 { points, health }
 }
 
 impl fmt::Display for Figure05 {
@@ -115,7 +127,14 @@ impl fmt::Display for Figure05 {
             ]);
         }
         writeln!(f, "Figure 5: average IPC vs. physical register file size")?;
-        write!(f, "{t}")
+        write!(f, "{t}")?;
+        // Only imperfect runs carry the health line, so the golden figure
+        // fixtures of healthy runs stay byte-identical.
+        if !self.health.all_ok() {
+            writeln!(f)?;
+            write!(f, "sweep health: {}", self.health)?;
+        }
+        Ok(())
     }
 }
 
@@ -139,6 +158,8 @@ mod tests {
         let knee_no = fig.knee(0, 0.9).unwrap();
         let knee_idvi = fig.knee(1, 0.9).unwrap();
         assert!(knee_idvi <= knee_no, "I-DVI knee {knee_idvi} vs no-DVI knee {knee_no}");
+        assert!(fig.health.all_ok(), "healthy sweep: {}", fig.health);
         assert!(fig.to_string().contains("Phys regs"));
+        assert!(!fig.to_string().contains("sweep health"), "healthy figures omit the health line");
     }
 }

@@ -155,6 +155,7 @@ mod tests {
                     ipc_edvi_idvi: knee(n, 16.0),
                 })
                 .collect(),
+            health: dvi_sim::SweepSummary::default(),
         };
         let fig06 = from_fig05(&fig05);
         assert!(fig06.peak_dvi.0 < fig06.peak_no_dvi.0, "DVI peak should use fewer registers");

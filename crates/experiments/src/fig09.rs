@@ -1,9 +1,9 @@
 //! Figure 9: dynamic saves and restores eliminated.
 
-use crate::harness::{mean, sweep_parallel, Budget, CapturedBinaries};
+use crate::harness::{fold_outcomes, mean, sweep_parallel_outcomes, Budget, CapturedBinaries};
 use crate::table::Table;
 use dvi_core::DviConfig;
-use dvi_sim::SimConfig;
+use dvi_sim::{SimConfig, SweepSummary};
 use dvi_workloads::presets;
 use rayon::prelude::*;
 use std::fmt;
@@ -25,6 +25,8 @@ pub struct EliminationRow {
 pub struct Figure09 {
     /// One row per benchmark with significant save/restore activity.
     pub rows: Vec<EliminationRow>,
+    /// Fault-isolation summary over every sweep member behind the figure.
+    pub health: SweepSummary,
 }
 
 impl Figure09 {
@@ -60,17 +62,17 @@ pub fn run(budget: Budget) -> Figure09 {
 /// Runs both schemes on an explicit benchmark list.
 #[must_use]
 pub fn run_with(budget: Budget, benchmarks: &[dvi_workloads::WorkloadSpec]) -> Figure09 {
-    let rows = benchmarks
+    let per_bench: Vec<(EliminationRow, SweepSummary)> = benchmarks
         .par_iter()
         .map(|spec| {
             // One capture serves both hardware schemes, which ride a
             // single batched pass over it.
             let binaries = CapturedBinaries::build(spec, budget);
-            let stats = sweep_parallel(
+            let (stats, health) = fold_outcomes(sweep_parallel_outcomes(
                 &binaries.edvi,
                 [DviConfig::lvm_scheme(), DviConfig::lvm_stack_scheme()]
                     .map(|dvi| SimConfig::micro97().with_dvi(dvi)),
-            );
+            ));
             let pcts = |s: &dvi_sim::SimStats| {
                 (
                     s.pct_save_restores_eliminated(),
@@ -78,14 +80,23 @@ pub fn run_with(budget: Budget, benchmarks: &[dvi_workloads::WorkloadSpec]) -> F
                     s.pct_instrs_eliminated(),
                 )
             };
-            EliminationRow {
+            let row = EliminationRow {
                 name: spec.name.clone(),
                 lvm: pcts(&stats[0]),
                 lvm_stack: pcts(&stats[1]),
-            }
+            };
+            (row, health)
         })
         .collect();
-    Figure09 { rows }
+    let mut health = SweepSummary::default();
+    let rows = per_bench
+        .into_iter()
+        .map(|(row, h)| {
+            health.merge(h);
+            row
+        })
+        .collect();
+    Figure09 { rows, health }
 }
 
 impl fmt::Display for Figure09 {
@@ -113,7 +124,11 @@ impl fmt::Display for Figure09 {
         writeln!(f, "Figure 9: dynamic saves and restores eliminated")?;
         write!(f, "{t}")?;
         let (a, b, c) = self.lvm_stack_averages();
-        writeln!(f, "LVM-Stack averages: {a:.1}% of saves+restores, {b:.1}% of memory references, {c:.1}% of instructions")
+        writeln!(f, "LVM-Stack averages: {a:.1}% of saves+restores, {b:.1}% of memory references, {c:.1}% of instructions")?;
+        if !self.health.all_ok() {
+            writeln!(f, "sweep health: {}", self.health)?;
+        }
+        Ok(())
     }
 }
 
@@ -132,6 +147,7 @@ mod tests {
         assert!(row.lvm_stack.0 <= 100.0);
         assert!(row.lvm_stack.1 <= row.lvm_stack.0);
         assert!(row.lvm_stack.2 <= row.lvm_stack.1);
+        assert!(fig.health.all_ok(), "healthy sweep: {}", fig.health);
         assert!(fig.to_string().contains("LVM-Stack"));
     }
 }

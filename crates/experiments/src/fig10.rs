@@ -1,9 +1,9 @@
 //! Figure 10: IPC speedups from dead save/restore elimination.
 
-use crate::harness::{replay, sweep_parallel, Budget, CapturedBinaries};
+use crate::harness::{fold_outcomes, replay, sweep_parallel_outcomes, Budget, CapturedBinaries};
 use crate::table::Table;
 use dvi_core::DviConfig;
-use dvi_sim::SimConfig;
+use dvi_sim::{SimConfig, SweepSummary};
 use dvi_workloads::presets;
 use rayon::prelude::*;
 use std::fmt;
@@ -26,6 +26,8 @@ pub struct SpeedupRow {
 pub struct Figure10 {
     /// One row per benchmark.
     pub rows: Vec<SpeedupRow>,
+    /// Fault-isolation summary over every sweep member behind the figure.
+    pub health: SweepSummary,
 }
 
 impl Figure10 {
@@ -46,27 +48,36 @@ pub fn run(budget: Budget) -> Figure10 {
 /// Runs the speedup study on an explicit benchmark list.
 #[must_use]
 pub fn run_with(budget: Budget, benchmarks: &[dvi_workloads::WorkloadSpec]) -> Figure10 {
-    let rows = benchmarks
+    let per_bench: Vec<(SpeedupRow, SweepSummary)> = benchmarks
         .par_iter()
         .map(|spec| {
             // One capture serves the baseline machine and both schemes;
             // the two schemes ride one batched pass over the E-DVI trace.
             let binaries = CapturedBinaries::build(spec, budget);
             let base = replay(&binaries.baseline, SimConfig::micro97()).ipc();
-            let schemes = sweep_parallel(
+            let (schemes, health) = fold_outcomes(sweep_parallel_outcomes(
                 &binaries.edvi,
                 [DviConfig::lvm_scheme(), DviConfig::lvm_stack_scheme()]
                     .map(|dvi| SimConfig::micro97().with_dvi(dvi)),
-            );
-            SpeedupRow {
+            ));
+            let row = SpeedupRow {
                 name: spec.name.clone(),
                 base_ipc: base,
                 lvm_speedup_pct: 100.0 * (schemes[0].ipc() / base - 1.0),
                 lvm_stack_speedup_pct: 100.0 * (schemes[1].ipc() / base - 1.0),
-            }
+            };
+            (row, health)
         })
         .collect();
-    Figure10 { rows }
+    let mut health = SweepSummary::default();
+    let rows = per_bench
+        .into_iter()
+        .map(|(row, h)| {
+            health.merge(h);
+            row
+        })
+        .collect();
+    Figure10 { rows, health }
 }
 
 impl fmt::Display for Figure10 {
@@ -82,7 +93,11 @@ impl fmt::Display for Figure10 {
         }
         writeln!(f, "Figure 10: IPC speedups from dead save/restore elimination")?;
         write!(f, "{t}")?;
-        writeln!(f, "best speedup: {:+.1}%", self.best_speedup_pct())
+        writeln!(f, "best speedup: {:+.1}%", self.best_speedup_pct())?;
+        if !self.health.all_ok() {
+            writeln!(f, "sweep health: {}", self.health)?;
+        }
+        Ok(())
     }
 }
 
@@ -104,6 +119,7 @@ mod tests {
             row.lvm_stack_speedup_pct
         );
         assert!(fig.best_speedup_pct() >= row.lvm_stack_speedup_pct - 1e-9);
+        assert!(fig.health.all_ok(), "healthy sweep: {}", fig.health);
         assert!(fig.to_string().contains("Base IPC"));
     }
 }

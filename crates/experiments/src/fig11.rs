@@ -1,10 +1,10 @@
 //! Figure 11: sensitivity of save/restore elimination to data-cache
 //! bandwidth (ports) and issue width.
 
-use crate::harness::{sweep_parallel, Budget, CapturedBinaries};
+use crate::harness::{fold_outcomes, sweep_parallel_outcomes, Budget, CapturedBinaries};
 use crate::table::Table;
 use dvi_core::DviConfig;
-use dvi_sim::SimConfig;
+use dvi_sim::{SimConfig, SweepSummary};
 use dvi_workloads::presets;
 use rayon::prelude::*;
 use std::fmt;
@@ -41,6 +41,8 @@ impl SensitivityRow {
 pub struct Figure11 {
     /// One row per (benchmark, issue width, port count).
     pub rows: Vec<SensitivityRow>,
+    /// Fault-isolation summary over every sweep member behind the figure.
+    pub health: SweepSummary,
 }
 
 impl Figure11 {
@@ -73,7 +75,7 @@ pub fn run_with(
     // once per benchmark); the whole width × port grid rides one batched
     // pass over each capture, and the row order stays benchmark-major as
     // before.
-    let per_bench: Vec<Vec<SensitivityRow>> = benchmarks
+    let per_bench: Vec<(Vec<SensitivityRow>, SweepSummary)> = benchmarks
         .par_iter()
         .map(|spec| {
             let binaries = CapturedBinaries::build(spec, budget);
@@ -85,12 +87,16 @@ pub fn run_with(
                     })
                 })
                 .collect();
-            let base = sweep_parallel(&binaries.baseline, machines.iter().cloned());
-            let dvi = sweep_parallel(
+            let (base, mut health) = fold_outcomes(sweep_parallel_outcomes(
+                &binaries.baseline,
+                machines.iter().cloned(),
+            ));
+            let (dvi, dvi_health) = fold_outcomes(sweep_parallel_outcomes(
                 &binaries.edvi,
                 machines.iter().map(|m| m.clone().with_dvi(DviConfig::full())),
-            );
-            machines
+            ));
+            health.merge(dvi_health);
+            let rows = machines
                 .iter()
                 .zip(base.iter().zip(&dvi))
                 .map(|(machine, (base, dvi))| SensitivityRow {
@@ -100,10 +106,19 @@ pub fn run_with(
                     base_ipc: base.ipc(),
                     dvi_ipc: dvi.ipc(),
                 })
-                .collect()
+                .collect();
+            (rows, health)
         })
         .collect();
-    Figure11 { rows: per_bench.into_iter().flatten().collect() }
+    let mut health = SweepSummary::default();
+    let rows = per_bench
+        .into_iter()
+        .flat_map(|(rows, h)| {
+            health.merge(h);
+            rows
+        })
+        .collect();
+    Figure11 { rows, health }
 }
 
 impl fmt::Display for Figure11 {
@@ -127,7 +142,12 @@ impl fmt::Display for Figure11 {
             ]);
         }
         writeln!(f, "Figure 11: cache-bandwidth sensitivity of save/restore elimination")?;
-        write!(f, "{t}")
+        write!(f, "{t}")?;
+        if !self.health.all_ok() {
+            writeln!(f)?;
+            write!(f, "sweep health: {}", self.health)?;
+        }
+        Ok(())
     }
 }
 
@@ -153,6 +173,7 @@ mod tests {
         let base_1 = fig.rows.iter().find(|r| r.cache_ports == 1).unwrap().base_ipc;
         let base_3 = fig.rows.iter().find(|r| r.cache_ports == 3).unwrap().base_ipc;
         assert!(base_3 >= base_1 * 0.98);
+        assert!(fig.health.all_ok(), "healthy sweep: {}", fig.health);
         assert!(fig.to_string().contains("Cache ports"));
     }
 }

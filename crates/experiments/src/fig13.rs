@@ -1,9 +1,9 @@
 //! Figure 13: E-DVI overhead.
 
-use crate::harness::{sweep_parallel, Budget, CapturedBinaries};
+use crate::harness::{fold_outcomes, sweep_parallel_outcomes, Budget, CapturedBinaries};
 use crate::table::Table;
 use dvi_core::DviConfig;
-use dvi_sim::SimConfig;
+use dvi_sim::{SimConfig, SweepSummary};
 use dvi_workloads::presets;
 use rayon::prelude::*;
 use std::fmt;
@@ -30,6 +30,8 @@ pub struct OverheadRow {
 pub struct Figure13 {
     /// One row per benchmark.
     pub rows: Vec<OverheadRow>,
+    /// Fault-isolation summary over every sweep member behind the figure.
+    pub health: SweepSummary,
 }
 
 impl Figure13 {
@@ -52,7 +54,7 @@ pub fn run(budget: Budget) -> Figure13 {
 /// Runs the overhead study on an explicit benchmark list.
 #[must_use]
 pub fn run_with(budget: Budget, benchmarks: &[dvi_workloads::WorkloadSpec]) -> Figure13 {
-    let rows = benchmarks
+    let per_bench: Vec<(OverheadRow, SweepSummary)> = benchmarks
         .par_iter()
         .map(|spec| {
             // One capture serves both instruction-cache geometries, which
@@ -64,8 +66,11 @@ pub fn run_with(budget: Budget, benchmarks: &[dvi_workloads::WorkloadSpec]) -> F
             let no_dvi = DviConfig::none();
             let geometries = [SimConfig::micro97(), SimConfig::micro97_small_icache()]
                 .map(|c| c.with_dvi(no_dvi));
-            let base = sweep_parallel(&binaries.baseline, geometries.clone());
-            let edvi = sweep_parallel(&binaries.edvi, geometries);
+            let (base, mut health) =
+                fold_outcomes(sweep_parallel_outcomes(&binaries.baseline, geometries.clone()));
+            let (edvi, edvi_health) =
+                fold_outcomes(sweep_parallel_outcomes(&binaries.edvi, geometries));
+            health.merge(edvi_health);
             let ipc_overhead = |i: usize| 100.0 * (base[i].ipc() / edvi[i].ipc() - 1.0);
             let (ipc64, ipc32) = (ipc_overhead(0), ipc_overhead(1));
             let (base64, edvi64) = (base[0], edvi[0]);
@@ -76,16 +81,25 @@ pub fn run_with(budget: Budget, benchmarks: &[dvi_workloads::WorkloadSpec]) -> F
                 // instruction.
                 100.0 * edvi64.fetched_kills as f64 / edvi64.program_instrs as f64
             };
-            OverheadRow {
+            let row = OverheadRow {
                 name: spec.name.clone(),
                 dynamic_fetch_overhead_pct: fetch_overhead,
                 static_code_overhead_pct: binaries.code_growth_pct(),
                 ipc_overhead_32k_pct: ipc32,
                 ipc_overhead_64k_pct: ipc64,
-            }
+            };
+            (row, health)
         })
         .collect();
-    Figure13 { rows }
+    let mut health = SweepSummary::default();
+    let rows = per_bench
+        .into_iter()
+        .map(|(row, h)| {
+            health.merge(h);
+            row
+        })
+        .collect();
+    Figure13 { rows, health }
 }
 
 impl fmt::Display for Figure13 {
@@ -107,7 +121,12 @@ impl fmt::Display for Figure13 {
             ]);
         }
         writeln!(f, "Figure 13: E-DVI overhead (optimizations disabled)")?;
-        write!(f, "{t}")
+        write!(f, "{t}")?;
+        if !self.health.all_ok() {
+            writeln!(f)?;
+            write!(f, "sweep health: {}", self.health)?;
+        }
+        Ok(())
     }
 }
 
@@ -128,6 +147,7 @@ mod tests {
         // negligible).
         assert!(row.ipc_overhead_64k_pct.abs() < 8.0);
         assert!(fig.worst_ipc_overhead_pct() < 10.0);
+        assert!(fig.health.all_ok(), "healthy sweep: {}", fig.health);
         assert!(fig.to_string().contains("IPC overhead"));
     }
 }

@@ -15,7 +15,7 @@
 use dvi_core::EdviPlacement;
 use dvi_isa::Abi;
 use dvi_program::{CapturedTrace, Interpreter, LayoutProgram};
-use dvi_sim::{SimConfig, SimStats, Simulator, SweepRunner};
+use dvi_sim::{MemberOutcome, SimConfig, SimStats, Simulator, SweepRunner, SweepSummary};
 use dvi_workloads::WorkloadSpec;
 
 /// How many instructions each timing simulation runs. The paper simulates
@@ -196,6 +196,55 @@ pub fn sweep_parallel(
     configs: impl IntoIterator<Item = SimConfig>,
 ) -> Vec<SimStats> {
     SweepRunner::new(trace, configs).run_parallel()
+}
+
+/// [`sweep`] with per-member fault isolation: each grid member's result is
+/// a [`MemberOutcome`] instead of a bare [`SimStats`], so one panicking or
+/// deadlocking member no longer aborts the whole figure — the driver keeps
+/// the surviving members and reports the failures through
+/// [`fold_outcomes`].
+#[must_use]
+pub fn sweep_outcomes(
+    trace: &CapturedTrace,
+    configs: impl IntoIterator<Item = SimConfig>,
+) -> Vec<MemberOutcome> {
+    SweepRunner::new(trace, configs).run_outcomes()
+}
+
+/// [`sweep_outcomes`] with the grid members distributed across the host's
+/// cores — the fault-isolated counterpart of [`sweep_parallel`]. A worker
+/// thread dying no longer takes the run down: its members come back as
+/// [`MemberOutcome::Panicked`].
+#[must_use]
+pub fn sweep_parallel_outcomes(
+    trace: &CapturedTrace,
+    configs: impl IntoIterator<Item = SimConfig>,
+) -> Vec<MemberOutcome> {
+    SweepRunner::new(trace, configs).run_parallel_outcomes()
+}
+
+/// Splits fault-isolated sweep results into per-member statistics (grid
+/// order preserved) and a health summary for the figure's table.
+///
+/// Completed members — healthy, degraded or deadlocked — contribute their
+/// real (possibly partial) statistics. A [`MemberOutcome::Panicked`] member
+/// has no statistics at all, so it contributes a zeroed placeholder with
+/// `deadlocked` set: the figure renders an obviously-broken row (IPC 0,
+/// flagged incomplete) instead of aborting, and the returned
+/// [`SweepSummary`] counts the failure.
+#[must_use]
+pub fn fold_outcomes(outcomes: Vec<MemberOutcome>) -> (Vec<SimStats>, SweepSummary) {
+    let health = SweepSummary::of(&outcomes);
+    let stats = outcomes
+        .into_iter()
+        .map(|outcome| match outcome {
+            MemberOutcome::Ok(stats)
+            | MemberOutcome::Degraded { stats, .. }
+            | MemberOutcome::Deadlocked { partial: stats, .. } => stats,
+            MemberOutcome::Panicked { .. } => SimStats { deadlocked: true, ..SimStats::default() },
+        })
+        .collect();
+    (stats, health)
 }
 
 /// Times `layout` on `config` for at most `budget` instructions.

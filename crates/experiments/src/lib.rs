@@ -44,5 +44,8 @@ pub mod fig13;
 mod harness;
 mod table;
 
-pub use harness::{replay, simulate, sweep, sweep_parallel, Binaries, Budget, CapturedBinaries};
+pub use harness::{
+    fold_outcomes, replay, simulate, sweep, sweep_outcomes, sweep_parallel,
+    sweep_parallel_outcomes, Binaries, Budget, CapturedBinaries,
+};
 pub use table::Table;

@@ -43,13 +43,18 @@
 //! bit-identical to live interpretation (locked down by
 //! `dvi-sim/tests/replay_equiv.rs`).
 
+use crate::artifact::{
+    xxh64, ArtifactError, ArtifactReader, ArtifactWriter, ByteReader, ByteWriter,
+};
 use crate::depgraph::DepGraph;
+use crate::error::InterpError;
 use crate::interp::{ExecSummary, Interpreter};
 use crate::ir::ProcId;
 use crate::layout::LayoutProgram;
 use crate::trace::DynInst;
 use dvi_isa::Instr;
-use std::sync::Arc;
+use std::path::Path;
+use std::sync::{Arc, OnceLock};
 
 /// Bit assignments of the per-record flags byte.
 pub mod flags {
@@ -88,6 +93,13 @@ pub struct CapturedTrace {
     /// ([`CapturedTrace::build_depgraph`]); shared by reference with every
     /// consumer of the trace.
     depgraph: Option<Arc<DepGraph>>,
+    /// Lazily computed [`CapturedTrace::fingerprint`]. The hash covers the
+    /// whole dynamic stream (~1 ms per 10⁵ records), and checkpointed
+    /// sweeps, artifact saves and oracle-bundle validation all ask for it —
+    /// so it is computed once per trace, not once per consumer. Safe to
+    /// cache because everything it covers is immutable after construction
+    /// (only the excluded dependence graph can be attached later).
+    fingerprint: OnceLock<u64>,
 }
 
 impl CapturedTrace {
@@ -108,6 +120,7 @@ impl CapturedTrace {
             redirect_targets: Vec::new(),
             summary: interp.summary(),
             depgraph: None,
+            fingerprint: OnceLock::new(),
         };
         for d in interp.by_ref() {
             trace.push(&d);
@@ -227,6 +240,418 @@ impl CapturedTrace {
     pub fn replay(&self) -> TraceCursor<'_> {
         self.cursor()
     }
+
+    // ------------------------------------------------ durable artifacts --
+
+    /// Serializes the trace (and its attached [`DepGraph`], if built) into
+    /// a checksummed artifact container — see [`crate::artifact`] for the
+    /// header/section layout and the corruption guarantees.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ArtifactWriter::new(TRACE_MAGIC, TRACE_VERSION);
+        for (tag, payload) in self.core_sections() {
+            w.section(tag, payload);
+        }
+        if let Some(graph) = &self.depgraph {
+            w.section(section::DEPGRAPH, graph.to_bytes());
+        }
+        w.to_bytes()
+    }
+
+    /// Writes the trace artifact to `path` atomically
+    /// ([`ArtifactWriter::write_atomic`]).
+    pub fn save(&self, path: &Path) -> Result<(), ArtifactError> {
+        let mut w = ArtifactWriter::new(TRACE_MAGIC, TRACE_VERSION);
+        for (tag, payload) in self.core_sections() {
+            w.section(tag, payload);
+        }
+        if let Some(graph) = &self.depgraph {
+            w.section(section::DEPGRAPH, graph.to_bytes());
+        }
+        w.write_atomic(path)
+    }
+
+    /// Reads a trace artifact from `path` (see
+    /// [`CapturedTrace::from_bytes`]).
+    pub fn load(path: &Path) -> Result<CapturedTrace, ArtifactError> {
+        let bytes = std::fs::read(path).map_err(|e| ArtifactError::Io(e.to_string()))?;
+        CapturedTrace::from_bytes(&bytes)
+    }
+
+    /// Decodes a trace artifact produced by [`CapturedTrace::to_bytes`] /
+    /// [`CapturedTrace::save`]. Every section checksum is verified before
+    /// any decoding, and the decoded arrays are cross-checked against each
+    /// other (record counts, flag/side-array consistency, PC range), so a
+    /// corrupted or internally inconsistent artifact is rejected with a
+    /// typed [`ArtifactError`] instead of replaying garbage.
+    pub fn from_bytes(bytes: &[u8]) -> Result<CapturedTrace, ArtifactError> {
+        let malformed = |context: String| ArtifactError::Malformed { context };
+        let r = ArtifactReader::parse(bytes, TRACE_MAGIC, TRACE_VERSION)?;
+
+        let mut meta = ByteReader::new(r.section(section::META)?, "trace metadata");
+        let records = meta.count()?;
+        let static_len = meta.count()?;
+        let summary = read_summary(&mut meta)?;
+        meta.finish()?;
+
+        let mut instrs = ByteReader::new(r.section(section::STATIC_INSTRS)?, "static code");
+        let mut static_instrs = Vec::with_capacity(static_len);
+        for _ in 0..static_len {
+            static_instrs.push(read_instr(&mut instrs)?);
+        }
+        instrs.finish()?;
+
+        let mut procs = ByteReader::new(r.section(section::STATIC_PROCS)?, "static procedures");
+        let mut static_procs = Vec::with_capacity(static_len);
+        for _ in 0..static_len {
+            static_procs.push(ProcId(procs.u32()? as usize));
+        }
+        procs.finish()?;
+
+        let mut pcs_r = ByteReader::new(r.section(section::PCS)?, "record PCs");
+        let mut pcs = Vec::with_capacity(records);
+        for _ in 0..records {
+            let pc = pcs_r.u32()?;
+            if pc as usize >= static_len {
+                return Err(malformed(format!(
+                    "record PC {pc} is outside the {static_len}-instruction static image"
+                )));
+            }
+            pcs.push(pc);
+        }
+        pcs_r.finish()?;
+
+        let flags_section = r.section(section::FLAGS)?;
+        if flags_section.len() != records {
+            return Err(malformed(format!(
+                "{} flag bytes for {records} records",
+                flags_section.len()
+            )));
+        }
+        let flag_bits = flags_section.to_vec();
+        let mems = flag_bits.iter().filter(|f| *f & flags::HAS_MEM != 0).count();
+        let redirects = flag_bits.iter().filter(|f| *f & flags::REDIRECT != 0).count();
+
+        let mut mem_r = ByteReader::new(r.section(section::MEM_ADDRS)?, "memory addresses");
+        if mem_r.remaining() != mems * 8 {
+            return Err(malformed(format!(
+                "{} memory-address bytes for {mems} memory records",
+                mem_r.remaining()
+            )));
+        }
+        let mut mem_addrs = Vec::with_capacity(mems);
+        for _ in 0..mems {
+            mem_addrs.push(mem_r.u64()?);
+        }
+
+        let mut red_r = ByteReader::new(r.section(section::REDIRECTS)?, "redirect targets");
+        if red_r.remaining() != redirects * 4 {
+            return Err(malformed(format!(
+                "{} redirect-target bytes for {redirects} redirecting records",
+                red_r.remaining()
+            )));
+        }
+        let mut redirect_targets = Vec::with_capacity(redirects);
+        for _ in 0..redirects {
+            redirect_targets.push(red_r.u32()?);
+        }
+
+        let depgraph = match r.section_opt(section::DEPGRAPH) {
+            Some(payload) => {
+                let graph = DepGraph::from_bytes(payload)?;
+                if graph.len() != records {
+                    return Err(malformed(format!(
+                        "dependence graph covers {} records, trace has {records}",
+                        graph.len()
+                    )));
+                }
+                Some(Arc::new(graph))
+            }
+            None => None,
+        };
+
+        Ok(CapturedTrace {
+            static_instrs: static_instrs.into(),
+            static_procs: static_procs.into(),
+            pcs,
+            flag_bits,
+            mem_addrs,
+            redirect_targets,
+            summary,
+            depgraph,
+            fingerprint: OnceLock::new(),
+        })
+    }
+
+    /// A stable content fingerprint of the trace: the hash of the static
+    /// image and every dynamic array. Derived and volatile data —
+    /// the dependence graph and the metadata section, which carries the
+    /// wall-clock graph-build time — are deliberately excluded, so two
+    /// traces have equal fingerprints exactly when they replay the same
+    /// stream from the same static image: the validity condition for
+    /// sharing derived artifacts (oracle recordings, sweep checkpoints)
+    /// across processes. Computed on first use, cached for the trace's
+    /// lifetime (the covered data is immutable after construction).
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        *self.fingerprint.get_or_init(|| {
+            let mut w = ByteWriter::new();
+            w.put_u64(self.len() as u64);
+            w.put_u64(self.static_instrs.len() as u64);
+            for (tag, payload) in self.core_sections() {
+                if tag == section::META {
+                    continue;
+                }
+                w.put_u32(tag);
+                w.put_u64(xxh64(&payload, u64::from(tag)));
+            }
+            xxh64(&w.into_bytes(), 0)
+        })
+    }
+
+    /// The checksummed sections of the durable format, minus the optional
+    /// dependence graph: metadata, static image, and the four dynamic
+    /// arrays.
+    fn core_sections(&self) -> Vec<(u32, Vec<u8>)> {
+        let mut meta = ByteWriter::new();
+        meta.put_u64(self.len() as u64);
+        meta.put_u64(self.static_instrs.len() as u64);
+        write_summary(&mut meta, &self.summary);
+
+        let mut instrs = ByteWriter::new();
+        for instr in &self.static_instrs {
+            write_instr(&mut instrs, instr);
+        }
+        let mut procs = ByteWriter::new();
+        for proc in &self.static_procs {
+            procs.put_u32(u32::try_from(proc.0).expect("procedure ids fit in u32"));
+        }
+        let mut pcs = ByteWriter::new();
+        for &pc in &self.pcs {
+            pcs.put_u32(pc);
+        }
+        let mut mems = ByteWriter::new();
+        for &addr in &self.mem_addrs {
+            mems.put_u64(addr);
+        }
+        let mut redirects = ByteWriter::new();
+        for &target in &self.redirect_targets {
+            redirects.put_u32(target);
+        }
+        vec![
+            (section::META, meta.into_bytes()),
+            (section::STATIC_INSTRS, instrs.into_bytes()),
+            (section::STATIC_PROCS, procs.into_bytes()),
+            (section::PCS, pcs.into_bytes()),
+            (section::FLAGS, self.flag_bits.clone()),
+            (section::MEM_ADDRS, mems.into_bytes()),
+            (section::REDIRECTS, redirects.into_bytes()),
+        ]
+    }
+}
+
+/// Magic of the durable trace artifact.
+pub const TRACE_MAGIC: [u8; 8] = *b"DVITRAC1";
+/// Newest trace-artifact format version this build reads and writes.
+pub const TRACE_VERSION: u32 = 1;
+
+/// Section tags of the trace artifact. Tags below `0x100` are reserved
+/// for the trace itself; dependent crates embedding extra sections in
+/// their own artifacts (oracle recordings, checkpoints) use tags at or
+/// above `0x100`.
+pub mod section {
+    /// Record count, static image length and the recording's
+    /// [`crate::ExecSummary`].
+    pub const META: u32 = 1;
+    /// Static instruction image, 12 bytes per PC. This is a *total* wide
+    /// encoding (tag + operand bytes + a 64-bit payload), not the ISA's
+    /// 32-bit word: in-memory images legitimately hold immediates that
+    /// exceed the 16-bit field of [`dvi_isa::encode_instr`] (e.g. data
+    /// base addresses materialized by `load_imm`).
+    pub const STATIC_INSTRS: u32 = 2;
+    /// Owning procedure of each static instruction, one `u32` per PC.
+    pub const STATIC_PROCS: u32 = 3;
+    /// Program counter of each dynamic record.
+    pub const PCS: u32 = 4;
+    /// Flags byte of each dynamic record.
+    pub const FLAGS: u32 = 5;
+    /// Effective addresses of memory records, in execution order.
+    pub const MEM_ADDRS: u32 = 6;
+    /// Targets of non-fall-through records, in execution order.
+    pub const REDIRECTS: u32 = 7;
+    /// Optional serialized [`crate::DepGraph`].
+    pub const DEPGRAPH: u32 = 8;
+}
+
+fn write_summary(w: &mut ByteWriter, summary: &ExecSummary) {
+    w.put_u64(summary.instructions);
+    w.put_bool(summary.halted);
+    match summary.error {
+        None => {
+            w.put_u8(0);
+            w.put_u64(0);
+        }
+        Some(InterpError::PcOutOfRange(pc)) => {
+            w.put_u8(1);
+            w.put_u64(u64::from(pc));
+        }
+        Some(InterpError::StackOverflow(depth)) => {
+            w.put_u8(2);
+            w.put_u64(depth as u64);
+        }
+        Some(InterpError::StepLimit(n)) => {
+            w.put_u8(3);
+            w.put_u64(n);
+        }
+    }
+    match summary.depgraph_build_nanos {
+        None => {
+            w.put_bool(false);
+            w.put_u64(0);
+        }
+        Some(nanos) => {
+            w.put_bool(true);
+            w.put_u64(nanos);
+        }
+    }
+}
+
+fn read_summary(r: &mut ByteReader<'_>) -> Result<ExecSummary, ArtifactError> {
+    let instructions = r.u64()?;
+    let halted = r.bool()?;
+    let tag = r.u8()?;
+    let value = r.u64()?;
+    let error = match tag {
+        0 => None,
+        1 => Some(InterpError::PcOutOfRange(u32::try_from(value).map_err(|_| {
+            ArtifactError::Malformed { context: format!("error PC {value} exceeds u32") }
+        })?)),
+        2 => Some(InterpError::StackOverflow(usize::try_from(value).map_err(|_| {
+            ArtifactError::Malformed { context: format!("stack depth {value} exceeds usize") }
+        })?)),
+        3 => Some(InterpError::StepLimit(value)),
+        other => {
+            return Err(ArtifactError::Malformed {
+                context: format!("unknown interpreter-error tag {other}"),
+            })
+        }
+    };
+    let has_nanos = r.bool()?;
+    let nanos = r.u64()?;
+    Ok(ExecSummary {
+        instructions,
+        halted,
+        error,
+        depgraph_build_nanos: has_nanos.then_some(nanos),
+    })
+}
+
+// Wide, total instruction codec of the STATIC_INSTRS section: one tag
+// byte, three operand bytes (registers / operation indices; zero when
+// unused) and one 64-bit payload (immediate, offset, target or kill mask).
+
+fn alu_op_index(op: dvi_isa::AluOp) -> u8 {
+    dvi_isa::AluOp::all().iter().position(|o| *o == op).expect("known ALU op") as u8
+}
+
+fn cmp_op_index(op: dvi_isa::CmpOp) -> u8 {
+    dvi_isa::CmpOp::all().iter().position(|o| *o == op).expect("known compare op") as u8
+}
+
+fn write_instr(w: &mut ByteWriter, instr: &Instr) {
+    let (tag, a, b, c, payload): (u8, u8, u8, u8, u64) = match *instr {
+        Instr::Nop => (0, 0, 0, 0, 0),
+        Instr::Alu { op, rd, rs, rt } => {
+            (1, alu_op_index(op), rd.index() as u8, rs.index() as u8, rt.index() as u64)
+        }
+        Instr::AluImm { op, rd, rs, imm } => {
+            (2, alu_op_index(op), rd.index() as u8, rs.index() as u8, u64::from(imm as u32))
+        }
+        Instr::Load { rd, base, offset } => {
+            (3, rd.index() as u8, base.index() as u8, 0, u64::from(offset as u32))
+        }
+        Instr::Store { rs, base, offset } => {
+            (4, rs.index() as u8, base.index() as u8, 0, u64::from(offset as u32))
+        }
+        Instr::LiveLoad { rd, base, offset } => {
+            (5, rd.index() as u8, base.index() as u8, 0, u64::from(offset as u32))
+        }
+        Instr::LiveStore { rs, base, offset } => {
+            (6, rs.index() as u8, base.index() as u8, 0, u64::from(offset as u32))
+        }
+        Instr::Branch { op, rs, rt, target } => {
+            (7, cmp_op_index(op), rs.index() as u8, rt.index() as u8, u64::from(target))
+        }
+        Instr::Jump { target } => (8, 0, 0, 0, u64::from(target)),
+        Instr::Call { target } => (9, 0, 0, 0, u64::from(target)),
+        Instr::Return => (10, 0, 0, 0, 0),
+        Instr::Kill { mask } => (11, 0, 0, 0, u64::from(mask.bits())),
+        Instr::LvmSave { base, offset } => (12, base.index() as u8, 0, 0, u64::from(offset as u32)),
+        Instr::LvmLoad { base, offset } => (13, base.index() as u8, 0, 0, u64::from(offset as u32)),
+        Instr::Halt => (14, 0, 0, 0, 0),
+    };
+    w.put_u8(tag);
+    w.put_u8(a);
+    w.put_u8(b);
+    w.put_u8(c);
+    w.put_u64(payload);
+}
+
+fn read_instr(r: &mut ByteReader<'_>) -> Result<Instr, ArtifactError> {
+    let malformed = |context: String| -> ArtifactError { ArtifactError::Malformed { context } };
+    let tag = r.u8()?;
+    let a = r.u8()?;
+    let b = r.u8()?;
+    let c = r.u8()?;
+    let payload = r.u64()?;
+    let reg = |index: u8| {
+        dvi_isa::ArchReg::try_new(index)
+            .ok_or_else(|| malformed(format!("register index {index} out of range")))
+    };
+    let alu_op = |index: u8| {
+        dvi_isa::AluOp::all()
+            .get(index as usize)
+            .copied()
+            .ok_or_else(|| malformed(format!("ALU op index {index} out of range")))
+    };
+    let cmp_op = |index: u8| {
+        dvi_isa::CmpOp::all()
+            .get(index as usize)
+            .copied()
+            .ok_or_else(|| malformed(format!("compare op index {index} out of range")))
+    };
+    let imm = payload as u32 as i32;
+    let target = u32::try_from(payload)
+        .map_err(|_| malformed(format!("control target {payload} exceeds u32")));
+    Ok(match tag {
+        0 => Instr::Nop,
+        1 => Instr::Alu {
+            op: alu_op(a)?,
+            rd: reg(b)?,
+            rs: reg(c)?,
+            rt: reg(u8::try_from(payload)
+                .map_err(|_| malformed(format!("register index {payload} out of range")))?)?,
+        },
+        2 => Instr::AluImm { op: alu_op(a)?, rd: reg(b)?, rs: reg(c)?, imm },
+        3 => Instr::Load { rd: reg(a)?, base: reg(b)?, offset: imm },
+        4 => Instr::Store { rs: reg(a)?, base: reg(b)?, offset: imm },
+        5 => Instr::LiveLoad { rd: reg(a)?, base: reg(b)?, offset: imm },
+        6 => Instr::LiveStore { rs: reg(a)?, base: reg(b)?, offset: imm },
+        7 => Instr::Branch { op: cmp_op(a)?, rs: reg(b)?, rt: reg(c)?, target: target? },
+        8 => Instr::Jump { target: target? },
+        9 => Instr::Call { target: target? },
+        10 => Instr::Return,
+        11 => Instr::Kill {
+            mask: dvi_isa::RegMask::from_bits(
+                u32::try_from(payload)
+                    .map_err(|_| malformed(format!("kill mask {payload} exceeds u32")))?,
+            ),
+        },
+        12 => Instr::LvmSave { base: reg(a)?, offset: imm },
+        13 => Instr::LvmLoad { base: reg(a)?, offset: imm },
+        14 => Instr::Halt,
+        other => return Err(malformed(format!("unknown instruction tag {other}"))),
+    })
 }
 
 impl<'a> IntoIterator for &'a CapturedTrace {
@@ -436,5 +861,42 @@ mod tests {
         let trace = CapturedTrace::record(&layout, 0);
         assert!(trace.is_empty());
         assert_eq!(trace.replay().count(), 0);
+    }
+
+    #[test]
+    fn artifact_roundtrip_preserves_the_stream_and_summary() {
+        let layout = mixed_program();
+        let mut trace = CapturedTrace::record(&layout, u64::MAX);
+        trace.build_depgraph();
+        let loaded = CapturedTrace::from_bytes(&trace.to_bytes()).expect("clean bytes load");
+        assert_eq!(loaded.summary(), trace.summary());
+        assert_eq!(
+            loaded.replay().collect::<Vec<_>>(),
+            trace.replay().collect::<Vec<_>>(),
+            "a reloaded trace must replay bit-identically"
+        );
+        let graph = loaded.depgraph().expect("attached graph travels with the trace");
+        assert_eq!(graph.len(), trace.len());
+        assert_eq!(loaded.fingerprint(), trace.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_ignores_the_derived_graph_but_not_the_stream() {
+        let layout = mixed_program();
+        let mut trace = CapturedTrace::record(&layout, u64::MAX);
+        let bare = trace.fingerprint();
+        trace.build_depgraph();
+        assert_eq!(trace.fingerprint(), bare, "the graph is derived data");
+        let shorter = CapturedTrace::record(&layout, 5);
+        assert_ne!(shorter.fingerprint(), bare, "different streams must differ");
+    }
+
+    #[test]
+    fn empty_trace_roundtrips_through_the_artifact() {
+        let layout = mixed_program();
+        let trace = CapturedTrace::record(&layout, 0);
+        let loaded = CapturedTrace::from_bytes(&trace.to_bytes()).expect("empty trace loads");
+        assert!(loaded.is_empty());
+        assert_eq!(loaded.fingerprint(), trace.fingerprint());
     }
 }

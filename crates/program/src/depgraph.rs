@@ -377,6 +377,41 @@ impl DepGraph {
             + self.flags.capacity()
             + self.depth.capacity() * std::mem::size_of::<u32>()
     }
+
+    /// Serializes the graph for embedding in a trace artifact (see
+    /// [`crate::artifact`]): record count, then the producer pairs, flag
+    /// bytes and call depths, all little-endian.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = crate::artifact::ByteWriter::new();
+        w.put_u64(self.len() as u64);
+        for &[a, b] in &self.prod {
+            w.put_u32(a);
+            w.put_u32(b);
+        }
+        w.put_bytes(&self.flags);
+        for &d in &self.depth {
+            w.put_u32(d);
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a graph serialized by [`DepGraph::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<DepGraph, crate::artifact::ArtifactError> {
+        let mut r = crate::artifact::ByteReader::new(bytes, "dependence graph");
+        let n = r.count()?;
+        let mut prod = Vec::with_capacity(n);
+        for _ in 0..n {
+            prod.push([r.u32()?, r.u32()?]);
+        }
+        let flags = r.bytes(n)?.to_vec();
+        let mut depth = Vec::with_capacity(n);
+        for _ in 0..n {
+            depth.push(r.u32()?);
+        }
+        r.finish()?;
+        Ok(DepGraph { prod, flags, depth })
+    }
 }
 
 #[cfg(test)]

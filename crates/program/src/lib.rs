@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 mod builder;
 pub mod captured;
 pub mod depgraph;
@@ -56,6 +57,7 @@ mod ir;
 mod layout;
 mod trace;
 
+pub use artifact::ArtifactError;
 pub use builder::{ProcBuilder, ProgramBuilder};
 pub use captured::{CapturedTrace, Replay, TraceCursor};
 pub use depgraph::{DepGraph, SrcDep};

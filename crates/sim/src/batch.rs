@@ -62,7 +62,54 @@
 //! distributes the members over the host's cores, each running to
 //! completion privately, with statistics bit-identical to the serial
 //! runner at any thread count (`tests/parallel_equiv.rs`).
+//!
+//! # Fault isolation
+//!
+//! A sweep is only as useful as its worst member: one wedged or panicking
+//! configuration must not take down the statistics of its siblings. Every
+//! member therefore runs inside a panic boundary and reports a
+//! [`MemberOutcome`] instead of bare statistics
+//! ([`SweepRunner::run_outcomes`] and the parallel variants):
+//!
+//! * a panic in one member (a modelling bug, a poisoned shared product, an
+//!   injected test fault) is caught, the member is **retried once from
+//!   record 0 on private live structures** — dropping every shared oracle,
+//!   which is always safe because the oracles are a host-time optimization
+//!   with bit-identical statistics — and reported as
+//!   [`MemberOutcome::Degraded`] on success or [`MemberOutcome::Panicked`]
+//!   if the retry dies too;
+//! * a watchdog abort surfaces as [`MemberOutcome::Deadlocked`] carrying
+//!   the partial statistics and the structured
+//!   [`crate::stats::DeadlockReport`];
+//! * pre-recorded oracle bundles loaded from disk
+//!   ([`SweepRunner::with_recorded_oracles`]) are integrity-checked
+//!   against the trace fingerprint before any member consumes them; on
+//!   mismatch the sweep degrades to live per-member simulation instead of
+//!   replaying a stream recorded from some other trace.
+//!
+//! The compatibility entry points ([`SweepRunner::run`] and friends) keep
+//! their `Vec<SimStats>` signature by folding outcomes back: degraded
+//! members contribute their (bit-identical) fallback statistics, deadlocks
+//! contribute flagged partial statistics, and only a double failure —
+//! panic plus failed retry — re-raises the panic.
+//!
+//! # Checkpoint/resume
+//!
+//! Long sweeps can persist their progress: [`SweepRunner::with_checkpoint`]
+//! snapshots completed-member outcomes and in-progress trace positions to a
+//! checksummed artifact after every scheduling turn (atomic
+//! write-then-rename, so a kill mid-write leaves the previous snapshot
+//! intact), and [`SweepRunner::resume`] reconstructs the run from the
+//! snapshot. Completed members are restored verbatim; interrupted members
+//! are re-run from record 0, which is **bit-identical** to the
+//! uninterrupted run because member statistics are a pure function of
+//! (configuration, trace, shared products) — the same determinism contract
+//! the parallel runner rests on (locked by `tests/fault_tolerance.rs`,
+//! which kills sweeps at every turn boundary and resumes them).
 
+use crate::checkpoint::{
+    config_fingerprint, MemberCheckpoint, MemberCheckpointState, SweepCheckpoint,
+};
 use crate::config::{DmemGeometry, SimConfig};
 use crate::dvi_engine::{DviEngine, ReclaimList};
 use crate::frontend::{FetchPredictor, StaticDecodeTable};
@@ -73,9 +120,13 @@ use dvi_bpred::{PredictorConfig, PredictorStats};
 use dvi_core::{DviConfig, DviStats};
 use dvi_isa::{Abi, Instr, RegMask, NUM_ARCH_REGS};
 use dvi_mem::{AccessKind, Cache, CacheConfig, CacheStats};
-use dvi_program::{CapturedTrace, DepGraph, LayoutProgram, TraceCursor};
+use dvi_program::artifact::{ArtifactReader, ArtifactWriter, ByteReader, ByteWriter};
+use dvi_program::{ArtifactError, CapturedTrace, DepGraph, LayoutProgram, TraceCursor};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Compile-time proof that one copy of every sweep-shared product can be
@@ -115,6 +166,32 @@ impl BitStream {
     #[inline]
     fn get(&self, idx: usize) -> bool {
         (self.words[idx >> 6] >> (idx & 63)) & 1 == 1
+    }
+
+    /// Appends the stream to an artifact payload (bit length, then the
+    /// packed words).
+    fn write(&self, w: &mut ByteWriter) {
+        w.put_u64(self.len as u64);
+        w.put_u64(self.words.len() as u64);
+        for &word in &self.words {
+            w.put_u64(word);
+        }
+    }
+
+    /// Reads a stream written by [`BitStream::write`], validating that the
+    /// word count matches the bit length.
+    fn read(r: &mut ByteReader<'_>) -> Result<BitStream, ArtifactError> {
+        let len = usize::try_from(r.u64()?)
+            .map_err(|_| ArtifactError::Malformed { context: "bitstream length".into() })?;
+        let words_len = r.count()?;
+        if words_len != len.div_ceil(64) {
+            return Err(ArtifactError::Malformed { context: "bitstream word count".into() });
+        }
+        let mut words = Vec::with_capacity(words_len);
+        for _ in 0..words_len {
+            words.push(r.u64()?);
+        }
+        Ok(BitStream { words, len })
     }
 }
 
@@ -684,6 +761,512 @@ pub struct SharedTables {
     pub dvi: Option<Arc<DviOracle>>,
 }
 
+/// How one sweep member ended: the per-member unit of fault isolation.
+///
+/// Every run entry point that returns outcomes
+/// ([`SweepRunner::run_outcomes`], [`SweepRunner::run_parallel_outcomes`],
+/// [`SweepRunner::run_parallel_threads_outcomes`]) reports one of these per
+/// configuration, in grid order, so one failing member cannot take down
+/// its siblings' statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MemberOutcome {
+    /// The member ran to completion on the first attempt.
+    Ok(SimStats),
+    /// The first attempt panicked (or a shared-product integrity check
+    /// failed before it started) and the member was re-run from record 0
+    /// on private live structures. The fallback statistics are
+    /// bit-identical to what a healthy shared-product run would have
+    /// produced — sharing is a host-time optimization only — so `stats`
+    /// is fully trustworthy; `reason` says why the fallback was needed.
+    Degraded {
+        /// Statistics of the successful live re-run.
+        stats: SimStats,
+        /// The panic payload or integrity-check failure of the first
+        /// attempt.
+        reason: String,
+    },
+    /// The forward-progress watchdog aborted the member; `partial`
+    /// describes the truncated run (its [`SimStats::deadlocked`] flag is
+    /// set and [`SimStats::deadlock`] carries the same report).
+    Deadlocked {
+        /// Statistics up to the abort — a partial run, not a result.
+        partial: SimStats,
+        /// The watchdog's structured diagnosis.
+        report: crate::stats::DeadlockReport,
+    },
+    /// Both the primary attempt and the degraded retry panicked; no
+    /// statistics exist for this member.
+    Panicked {
+        /// The panic payload of the final attempt.
+        payload: String,
+    },
+}
+
+impl MemberOutcome {
+    /// The member's statistics, when any exist. `Ok` and `Degraded`
+    /// statistics are complete and bit-identical to a healthy run;
+    /// `Deadlocked` statistics are partial (flagged via
+    /// [`SimStats::deadlocked`]); `Panicked` members have none.
+    #[must_use]
+    pub fn stats(&self) -> Option<&SimStats> {
+        match self {
+            MemberOutcome::Ok(stats) | MemberOutcome::Degraded { stats, .. } => Some(stats),
+            MemberOutcome::Deadlocked { partial, .. } => Some(partial),
+            MemberOutcome::Panicked { .. } => None,
+        }
+    }
+
+    /// Whether the member produced complete, trustworthy statistics
+    /// (`Ok` or `Degraded`).
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        matches!(self, MemberOutcome::Ok(_) | MemberOutcome::Degraded { .. })
+    }
+
+    /// Folds the outcome back to the legacy `Vec<SimStats>` contract:
+    /// complete statistics pass through, deadlocked members contribute
+    /// their flagged partial statistics (exactly what the pre-outcome
+    /// runner returned), and a double failure re-raises the panic it
+    /// caught.
+    ///
+    /// # Panics
+    ///
+    /// Panics (re-raising the member's own failure) on
+    /// [`MemberOutcome::Panicked`].
+    #[must_use]
+    pub fn into_stats(self) -> SimStats {
+        match self {
+            MemberOutcome::Ok(stats) | MemberOutcome::Degraded { stats, .. } => stats,
+            MemberOutcome::Deadlocked { partial, .. } => partial,
+            MemberOutcome::Panicked { payload } => {
+                panic!("sweep member failed twice (shared-product run and live retry): {payload}")
+            }
+        }
+    }
+}
+
+impl fmt::Display for MemberOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemberOutcome::Ok(stats) => write!(f, "ok: {stats}"),
+            MemberOutcome::Degraded { stats, reason } => {
+                write!(f, "degraded to live simulation ({reason}): {stats}")
+            }
+            MemberOutcome::Deadlocked { report, .. } => write!(f, "deadlocked: {report}"),
+            MemberOutcome::Panicked { payload } => write!(f, "failed: {payload}"),
+        }
+    }
+}
+
+/// Per-sweep health roll-up of [`MemberOutcome`]s — what a figure table
+/// prints alongside its numbers so a degraded or deadlocked member is
+/// visible in the output instead of silently averaged in.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepSummary {
+    /// Members that completed on the first attempt.
+    pub ok: usize,
+    /// Members that completed on the live-fallback retry.
+    pub degraded: usize,
+    /// Members aborted by the forward-progress watchdog.
+    pub deadlocked: usize,
+    /// Members that failed both attempts (no statistics).
+    pub failed: usize,
+}
+
+impl SweepSummary {
+    /// Tallies a slice of outcomes.
+    #[must_use]
+    pub fn of(outcomes: &[MemberOutcome]) -> SweepSummary {
+        let mut summary = SweepSummary::default();
+        for outcome in outcomes {
+            match outcome {
+                MemberOutcome::Ok(_) => summary.ok += 1,
+                MemberOutcome::Degraded { .. } => summary.degraded += 1,
+                MemberOutcome::Deadlocked { .. } => summary.deadlocked += 1,
+                MemberOutcome::Panicked { .. } => summary.failed += 1,
+            }
+        }
+        summary
+    }
+
+    /// Folds another summary in (figures aggregate across benchmarks).
+    pub fn merge(&mut self, other: SweepSummary) {
+        self.ok += other.ok;
+        self.degraded += other.degraded;
+        self.deadlocked += other.deadlocked;
+        self.failed += other.failed;
+    }
+
+    /// Whether every member completed on the first attempt.
+    #[must_use]
+    pub fn all_ok(&self) -> bool {
+        self.degraded == 0 && self.deadlocked == 0 && self.failed == 0
+    }
+
+    /// Total members tallied.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.ok + self.degraded + self.deadlocked + self.failed
+    }
+}
+
+impl fmt::Display for SweepSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} members: {} ok", self.total(), self.ok)?;
+        if self.degraded > 0 {
+            write!(f, ", {} degraded to live simulation", self.degraded)?;
+        }
+        if self.deadlocked > 0 {
+            write!(f, ", {} deadlocked", self.deadlocked)?;
+        }
+        if self.failed > 0 {
+            write!(f, ", {} failed", self.failed)?;
+        }
+        Ok(())
+    }
+}
+
+/// A test-only injected fault: panic a chosen member once it has fetched
+/// `after_records` records. Cloned into parallel jobs; the `fired` flag is
+/// shared so a one-shot fault stays one-shot across the degraded retry.
+#[derive(Debug, Clone)]
+struct FaultSpec {
+    member: usize,
+    after_records: u64,
+    sticky: bool,
+    fired: Arc<AtomicBool>,
+}
+
+/// Fires an injected fault when the member has crossed its threshold.
+/// One-shot faults fire on the first crossing only (the degraded retry
+/// then completes); sticky faults fire on every crossing (the retry dies
+/// too, exercising [`MemberOutcome::Panicked`]).
+fn trip_fault(fault: Option<&FaultSpec>, fetched: u64) {
+    if let Some(f) = fault {
+        if fetched >= f.after_records && (f.sticky || !f.fired.swap(true, Ordering::Relaxed)) {
+            panic!("injected fault: member {} at record {}", f.member, fetched);
+        }
+    }
+}
+
+/// Renders a caught panic payload for [`MemberOutcome`] reporting.
+fn panic_payload(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
+    }
+}
+
+/// Classifies a finished member's statistics into its outcome.
+fn classify(stats: SimStats, degraded: Option<String>) -> MemberOutcome {
+    if let Some(report) = stats.deadlock {
+        MemberOutcome::Deadlocked { partial: stats, report }
+    } else if let Some(reason) = degraded {
+        MemberOutcome::Degraded { stats, reason }
+    } else {
+        MemberOutcome::Ok(stats)
+    }
+}
+
+/// Artifact container identity of a [`RecordedOracles`] bundle.
+pub const ORACLES_MAGIC: [u8; 8] = *b"DVIORCL1";
+/// Current [`RecordedOracles`] artifact version. Bump on any layout
+/// change; old readers reject newer files with
+/// [`ArtifactError::VersionSkew`] instead of misparsing them.
+pub const ORACLES_VERSION: u32 = 1;
+
+/// Section tags inside a [`RecordedOracles`] artifact.
+mod oracle_section {
+    /// Trace fingerprint + presence flags.
+    pub const META: u32 = 1;
+    /// The branch oracle (predictor config, totals, bitstream).
+    pub const BRANCHES: u32 = 2;
+    /// The I-cache oracle (geometry, totals, bitstream).
+    pub const ICACHE: u32 = 3;
+    /// One section per recorded DVI event stream.
+    pub const DVI: u32 = 4;
+}
+
+/// A durable bundle of recorded sweep oracles, keyed to the captured
+/// trace they were recorded from.
+///
+/// Recording the branch/I-cache/DVI oracles costs a full pass over the
+/// trace each ([`BranchOracle::record`] and friends); a sweep service that
+/// re-times the same capture across many invocations can record them once,
+/// [`RecordedOracles::save`] them next to the trace artifact, and hand
+/// them to later sweeps via [`SweepRunner::with_recorded_oracles`].
+///
+/// The bundle stores the [`CapturedTrace::fingerprint`] of the recording
+/// trace. Loading rejects a bundle whose fingerprint does not match the
+/// expected one ([`ArtifactError::FingerprintMismatch`]), and the sweep
+/// runner re-checks at run time — a stale bundle degrades the sweep to
+/// live per-member simulation (bit-identical, just slower) instead of
+/// replaying another trace's event stream.
+#[derive(Debug, Clone)]
+pub struct RecordedOracles {
+    trace_fingerprint: u64,
+    branches: Option<Arc<BranchOracle>>,
+    icache: Option<Arc<IcacheOracle>>,
+    dvi: Vec<Arc<DviOracle>>,
+}
+
+impl RecordedOracles {
+    /// Records the requested oracle streams from `trace` (one extra trace
+    /// pass per stream).
+    #[must_use]
+    pub fn record(
+        trace: &CapturedTrace,
+        predictor: Option<PredictorConfig>,
+        icache: Option<CacheConfig>,
+        dvi_configs: &[DviConfig],
+    ) -> RecordedOracles {
+        RecordedOracles {
+            trace_fingerprint: trace.fingerprint(),
+            branches: predictor.map(|p| Arc::new(BranchOracle::record(trace, p))),
+            icache: icache.map(|g| Arc::new(IcacheOracle::record(trace, g))),
+            dvi: dvi_configs.iter().map(|&d| Arc::new(DviOracle::record(trace, d))).collect(),
+        }
+    }
+
+    /// Fingerprint of the trace the streams were recorded from.
+    #[must_use]
+    pub fn trace_fingerprint(&self) -> u64 {
+        self.trace_fingerprint
+    }
+
+    /// The recorded branch oracle, if one was requested.
+    #[must_use]
+    pub fn branches(&self) -> Option<&Arc<BranchOracle>> {
+        self.branches.as_ref()
+    }
+
+    /// The recorded I-cache oracle, if one was requested.
+    #[must_use]
+    pub fn icache(&self) -> Option<&Arc<IcacheOracle>> {
+        self.icache.as_ref()
+    }
+
+    /// The recorded DVI event streams.
+    #[must_use]
+    pub fn dvi(&self) -> &[Arc<DviOracle>] {
+        &self.dvi
+    }
+
+    /// Serializes the bundle into an artifact container (see
+    /// [`dvi_program::artifact`] for the checksummed layout).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.build().to_bytes()
+    }
+
+    /// Assembles the artifact sections (shared by
+    /// [`RecordedOracles::to_bytes`] and [`RecordedOracles::save`]).
+    fn build(&self) -> ArtifactWriter {
+        let mut w = ArtifactWriter::new(ORACLES_MAGIC, ORACLES_VERSION);
+        let mut meta = ByteWriter::new();
+        meta.put_u64(self.trace_fingerprint);
+        meta.put_bool(self.branches.is_some());
+        meta.put_bool(self.icache.is_some());
+        meta.put_u64(self.dvi.len() as u64);
+        w.section(oracle_section::META, meta.into_bytes());
+        if let Some(branches) = &self.branches {
+            let mut b = ByteWriter::new();
+            write_predictor_config(&mut b, branches.predictor);
+            write_predictor_stats(&mut b, branches.totals);
+            branches.bits.write(&mut b);
+            w.section(oracle_section::BRANCHES, b.into_bytes());
+        }
+        if let Some(icache) = &self.icache {
+            let mut b = ByteWriter::new();
+            write_cache_config(&mut b, icache.geometry);
+            b.put_u64(icache.totals.accesses);
+            b.put_u64(icache.totals.misses);
+            icache.bits.write(&mut b);
+            w.section(oracle_section::ICACHE, b.into_bytes());
+        }
+        for oracle in &self.dvi {
+            let mut b = ByteWriter::new();
+            write_dvi_config(&mut b, oracle.config);
+            b.put_u64(oracle.idvi_mask_len);
+            oracle.elim.write(&mut b);
+            b.put_u64(oracle.unmaps.len() as u64);
+            for mask in &oracle.unmaps {
+                b.put_u32(mask.bits());
+            }
+            w.section(oracle_section::DVI, b.into_bytes());
+        }
+        w
+    }
+
+    /// Parses a bundle serialized by [`RecordedOracles::to_bytes`],
+    /// verifying the container checksums and — when `expected_fingerprint`
+    /// is given — that the bundle was recorded from that trace.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ArtifactError`] from the container (bad magic, version skew,
+    /// truncation, checksum mismatch, malformed payload), plus
+    /// [`ArtifactError::FingerprintMismatch`] when the bundle belongs to a
+    /// different trace.
+    pub fn from_bytes(
+        bytes: &[u8],
+        expected_fingerprint: Option<u64>,
+    ) -> Result<RecordedOracles, ArtifactError> {
+        let reader = ArtifactReader::parse(bytes, ORACLES_MAGIC, ORACLES_VERSION)?;
+        let mut meta = ByteReader::new(reader.section(oracle_section::META)?, "oracle meta");
+        let trace_fingerprint = meta.u64()?;
+        let has_branches = meta.bool()?;
+        let has_icache = meta.bool()?;
+        let dvi_count = meta.count()?;
+        meta.finish()?;
+        if let Some(expected) = expected_fingerprint {
+            if trace_fingerprint != expected {
+                return Err(ArtifactError::FingerprintMismatch {
+                    expected,
+                    found: trace_fingerprint,
+                });
+            }
+        }
+        let branches = if has_branches {
+            let mut b = ByteReader::new(reader.section(oracle_section::BRANCHES)?, "branch oracle");
+            let predictor = read_predictor_config(&mut b)?;
+            let totals = read_predictor_stats(&mut b)?;
+            let bits = BitStream::read(&mut b)?;
+            b.finish()?;
+            Some(Arc::new(BranchOracle { bits, predictor, totals }))
+        } else {
+            None
+        };
+        let icache = if has_icache {
+            let mut b = ByteReader::new(reader.section(oracle_section::ICACHE)?, "icache oracle");
+            let geometry = read_cache_config(&mut b)?;
+            let totals = CacheStats { accesses: b.u64()?, misses: b.u64()? };
+            let bits = BitStream::read(&mut b)?;
+            b.finish()?;
+            Some(Arc::new(IcacheOracle { bits, geometry, totals }))
+        } else {
+            None
+        };
+        let mut dvi = Vec::with_capacity(dvi_count);
+        for payload in reader.sections_with_tag(oracle_section::DVI) {
+            let mut b = ByteReader::new(payload, "dvi oracle");
+            let config = read_dvi_config(&mut b)?;
+            let idvi_mask_len = b.u64()?;
+            let elim = BitStream::read(&mut b)?;
+            let unmap_count = b.count()?;
+            let mut unmaps = Vec::with_capacity(unmap_count);
+            for _ in 0..unmap_count {
+                unmaps.push(RegMask::from_bits(b.u32()?));
+            }
+            b.finish()?;
+            dvi.push(Arc::new(DviOracle { config, elim, unmaps, idvi_mask_len }));
+        }
+        if dvi.len() != dvi_count {
+            return Err(ArtifactError::Malformed { context: "dvi oracle count".into() });
+        }
+        Ok(RecordedOracles { trace_fingerprint, branches, icache, dvi })
+    }
+
+    /// Atomically writes the bundle to `path` (temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Io`] on filesystem failure.
+    pub fn save(&self, path: &Path) -> Result<(), ArtifactError> {
+        self.build().write_atomic(path)
+    }
+
+    /// Loads a bundle saved by [`RecordedOracles::save`]. See
+    /// [`RecordedOracles::from_bytes`] for the checks performed.
+    ///
+    /// # Errors
+    ///
+    /// As [`RecordedOracles::from_bytes`], plus [`ArtifactError::Io`].
+    pub fn load(
+        path: &Path,
+        expected_fingerprint: Option<u64>,
+    ) -> Result<RecordedOracles, ArtifactError> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| ArtifactError::Io(format!("reading {}: {e}", path.display())))?;
+        RecordedOracles::from_bytes(&bytes, expected_fingerprint)
+    }
+}
+
+fn write_predictor_config(w: &mut ByteWriter, p: PredictorConfig) {
+    w.put_u64(p.bimodal_entries as u64);
+    w.put_u64(p.gshare_entries as u64);
+    w.put_u32(p.history_bits);
+    w.put_u64(p.chooser_entries as u64);
+    w.put_u64(p.btb.entries as u64);
+    w.put_u64(p.ras_entries as u64);
+}
+
+fn read_predictor_config(r: &mut ByteReader<'_>) -> Result<PredictorConfig, ArtifactError> {
+    Ok(PredictorConfig {
+        bimodal_entries: r.count()?,
+        gshare_entries: r.count()?,
+        history_bits: r.u32()?,
+        chooser_entries: r.count()?,
+        btb: dvi_bpred::BtbConfig { entries: r.count()? },
+        ras_entries: r.count()?,
+    })
+}
+
+fn write_predictor_stats(w: &mut ByteWriter, s: PredictorStats) {
+    w.put_u64(s.direction_predictions);
+    w.put_u64(s.direction_mispredictions);
+    w.put_u64(s.return_predictions);
+    w.put_u64(s.return_mispredictions);
+}
+
+fn read_predictor_stats(r: &mut ByteReader<'_>) -> Result<PredictorStats, ArtifactError> {
+    Ok(PredictorStats {
+        direction_predictions: r.u64()?,
+        direction_mispredictions: r.u64()?,
+        return_predictions: r.u64()?,
+        return_mispredictions: r.u64()?,
+    })
+}
+
+fn write_cache_config(w: &mut ByteWriter, c: CacheConfig) {
+    w.put_u64(c.size_bytes);
+    w.put_u64(c.line_bytes);
+    w.put_u64(c.associativity as u64);
+    w.put_u64(c.latency);
+}
+
+fn read_cache_config(r: &mut ByteReader<'_>) -> Result<CacheConfig, ArtifactError> {
+    Ok(CacheConfig {
+        size_bytes: r.u64()?,
+        line_bytes: r.u64()?,
+        associativity: r.count()?,
+        latency: r.u64()?,
+    })
+}
+
+fn write_dvi_config(w: &mut ByteWriter, d: DviConfig) {
+    w.put_bool(d.use_idvi);
+    w.put_bool(d.use_edvi);
+    w.put_bool(d.reclaim_phys_regs);
+    w.put_bool(d.eliminate_saves);
+    w.put_bool(d.eliminate_restores);
+    w.put_u64(d.lvm_stack_entries as u64);
+}
+
+fn read_dvi_config(r: &mut ByteReader<'_>) -> Result<DviConfig, ArtifactError> {
+    Ok(DviConfig {
+        use_idvi: r.bool()?,
+        use_edvi: r.bool()?,
+        reclaim_phys_regs: r.bool()?,
+        eliminate_saves: r.bool()?,
+        eliminate_restores: r.bool()?,
+        lvm_stack_entries: r.count()?,
+    })
+}
+
 /// The default of [`SweepRunner::with_oracle_min_members`]: the smallest
 /// number of members sharing a recorded oracle for which the recording
 /// pays for itself. Each recording is a full extra pass over the trace
@@ -735,7 +1318,7 @@ const RECORDS_PER_TURN: u64 = 65_536;
 #[derive(Debug)]
 pub struct SweepRunner<'a> {
     trace: &'a CapturedTrace,
-    members: Vec<Member<'a>>,
+    members: Vec<MemberSlot<'a>>,
     /// Products shared by every member (decode table, and — once
     /// [`SweepRunner::prepare_shared`] has run — the branch/I-cache
     /// oracles and the dependence graph where applicable).
@@ -751,34 +1334,71 @@ pub struct SweepRunner<'a> {
     use_depgraph: bool,
     /// Whether `prepare_shared` has run.
     prepared: bool,
+    /// The trace fingerprint claimed by preloaded oracle products
+    /// ([`SweepRunner::with_recorded_oracles`]): the integrity check
+    /// `prepare_shared` enforces before any member replays them.
+    products_fingerprint: Option<u64>,
+    /// Whether the branch/I-cache/DVI oracles were installed from a
+    /// recorded bundle (suppresses re-recording in `prepare_shared`).
+    preloaded_oracles: bool,
+    /// Injected test faults ([`SweepRunner::with_member_fault`]).
+    faults: Vec<FaultSpec>,
+    /// Checkpoint policy ([`SweepRunner::with_checkpoint`]).
+    checkpoint: Option<CheckpointPolicy>,
+    /// Test hook: panic at the top of this (0-based) scheduling turn, after
+    /// earlier turns' checkpoints have been written.
+    abort_after_turns: Option<u64>,
 }
 
-/// One sweep member's lifecycle. Sessions are materialized only when first
-/// scheduled and retired to their statistics the moment they drain, so at
-/// any instant only the members actually inside the current trace window
-/// hold live pipeline state — when the scheduling chunk covers the whole
-/// trace that is *one* session at a time, and its allocations are recycled
-/// member to member (the hand-rolled serial loop's allocator warmth,
-/// measured worth ~10% on the reference container, is preserved).
+/// Where and how often [`SweepRunner::run_outcomes`] persists its progress.
+#[derive(Debug, Clone)]
+struct CheckpointPolicy {
+    path: PathBuf,
+    /// Snapshot cadence in scheduling turns (≥ 1).
+    every_turns: u64,
+}
+
+/// One sweep member: its configuration, its lifecycle state, and — when a
+/// first attempt already failed — the reason it is being retried on
+/// private live structures.
+///
+/// Sessions are materialized only when first scheduled and retired to
+/// their outcome the moment they drain, so at any instant only the members
+/// actually inside the current trace window hold live pipeline state —
+/// when the scheduling chunk covers the whole trace that is *one* session
+/// at a time, and its allocations are recycled member to member (the
+/// hand-rolled serial loop's allocator warmth, measured worth ~10% on the
+/// reference container, is preserved).
 #[derive(Debug)]
-enum Member<'a> {
-    /// Not yet scheduled; holds the configuration to build the session
-    /// from.
-    Pending(Box<SimConfig>),
+struct MemberSlot<'a> {
+    /// The machine configuration (kept alongside the live session so a
+    /// caught panic can rebuild the member from scratch).
+    config: Box<SimConfig>,
+    /// `Some(reason)` once the member's first attempt failed and it is
+    /// (or was) re-run on private live structures.
+    degraded: Option<String>,
+    state: MemberState<'a>,
+}
+
+/// A member's lifecycle state.
+#[derive(Debug)]
+enum MemberState<'a> {
+    /// Not yet scheduled (or reset for a degraded retry).
+    Pending,
     /// Currently holding live pipeline state.
     Active(Box<SimSession<TraceCursor<'a>>>),
-    /// Finished; holds the final statistics.
-    Done(Box<SimStats>),
+    /// Finished; holds the member's outcome.
+    Done(Box<MemberOutcome>),
 }
 
-impl Member<'_> {
+impl MemberSlot<'_> {
     /// The member's position in the trace: records fetched so far, or
     /// `None` once finished.
     fn position(&self) -> Option<u64> {
-        match self {
-            Member::Pending(_) => Some(0),
-            Member::Active(session) => Some(session.stats().fetched_instrs),
-            Member::Done(_) => None,
+        match &self.state {
+            MemberState::Pending => Some(0),
+            MemberState::Active(session) => Some(session.stats().fetched_instrs),
+            MemberState::Done(_) => None,
         }
     }
 }
@@ -795,7 +1415,14 @@ impl<'a> SweepRunner<'a> {
             decode: Some(Arc::new(StaticDecodeTable::for_trace(trace))),
             ..SharedTables::default()
         };
-        let members = configs.into_iter().map(|c| Member::Pending(Box::new(c))).collect();
+        let members = configs
+            .into_iter()
+            .map(|c| MemberSlot {
+                config: Box::new(c),
+                degraded: None,
+                state: MemberState::Pending,
+            })
+            .collect();
         SweepRunner {
             trace,
             members,
@@ -804,7 +1431,163 @@ impl<'a> SweepRunner<'a> {
             oracle_min_members: ORACLE_MIN_MEMBERS,
             use_depgraph: true,
             prepared: false,
+            products_fingerprint: None,
+            preloaded_oracles: false,
+            faults: Vec::new(),
+            checkpoint: None,
+            abort_after_turns: None,
         }
+    }
+
+    /// Installs a pre-recorded oracle bundle (normally loaded from a
+    /// [`RecordedOracles`] artifact) in place of recording the streams at
+    /// run time. Before any member replays them, `prepare_shared` verifies
+    /// the bundle's trace fingerprint against the sweep's trace; on
+    /// mismatch every member **degrades to live per-member simulation**
+    /// (reported as [`MemberOutcome::Degraded`] — statistics are
+    /// bit-identical either way, the stale bundle just stops paying for
+    /// itself). A bundle whose predictor/L1I streams don't match a
+    /// member's configuration degrades that member the same way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after the sweep has started.
+    #[must_use]
+    pub fn with_recorded_oracles(mut self, oracles: &RecordedOracles) -> Self {
+        assert!(!self.prepared, "install recorded oracles before running the sweep");
+        self.shared.branches = oracles.branches.clone();
+        self.shared.icache = oracles.icache.clone();
+        self.dvi_oracles = oracles.dvi.clone();
+        self.products_fingerprint = Some(oracles.trace_fingerprint);
+        self.preloaded_oracles = true;
+        self
+    }
+
+    /// Test-only fault injection: panics member `member` once it has
+    /// fetched `after_records` records, exactly once. The member's first
+    /// attempt dies mid-flight and the degraded retry completes, so the
+    /// sweep reports [`MemberOutcome::Degraded`] with statistics
+    /// bit-identical to a healthy run — the invariant the fault-tolerance
+    /// suite locks.
+    #[must_use]
+    pub fn with_member_fault(mut self, member: usize, after_records: u64) -> Self {
+        self.faults.push(FaultSpec {
+            member,
+            after_records,
+            sticky: false,
+            fired: Arc::new(AtomicBool::new(false)),
+        });
+        self
+    }
+
+    /// Test-only fault injection, sticky variant: the fault fires on every
+    /// attempt, so the degraded retry dies too and the sweep reports
+    /// [`MemberOutcome::Panicked`] for the member.
+    #[must_use]
+    pub fn with_sticky_member_fault(mut self, member: usize, after_records: u64) -> Self {
+        self.faults.push(FaultSpec {
+            member,
+            after_records,
+            sticky: true,
+            fired: Arc::new(AtomicBool::new(false)),
+        });
+        self
+    }
+
+    /// Persists sweep progress to `path` after every scheduling turn (see
+    /// the module documentation's *Checkpoint/resume*): completed members'
+    /// outcomes plus the in-progress members' trace positions, in a
+    /// checksummed artifact written atomically. Resume with
+    /// [`SweepRunner::resume`].
+    ///
+    /// A turn whose snapshot would resume to the exact same outcomes as
+    /// the one already on disk — nothing newly completed, only in-flight
+    /// fetch positions moved, and resume re-runs in-flight members from
+    /// record 0 regardless — skips the disk write, so the durable-write
+    /// cadence is one write per *member completion*, not per turn.
+    ///
+    /// Only the serial runner ([`SweepRunner::run`] /
+    /// [`SweepRunner::run_outcomes`]) checkpoints; the parallel runners
+    /// hand their members to worker threads whole, so there is no turn
+    /// boundary to snapshot at.
+    #[must_use]
+    pub fn with_checkpoint(self, path: impl Into<PathBuf>) -> Self {
+        self.with_checkpoint_every(path, 1)
+    }
+
+    /// [`SweepRunner::with_checkpoint`] with an explicit cadence: snapshot
+    /// every `every_turns` scheduling turns (clamped to ≥ 1). A final
+    /// snapshot is always written when the sweep completes.
+    #[must_use]
+    pub fn with_checkpoint_every(mut self, path: impl Into<PathBuf>, every_turns: u64) -> Self {
+        self.checkpoint =
+            Some(CheckpointPolicy { path: path.into(), every_turns: every_turns.max(1) });
+        self
+    }
+
+    /// Test hook for the kill/resume suite: panic at the top of scheduling
+    /// turn `turns` (0-based), after earlier turns' checkpoints were
+    /// written — simulating a crash at an arbitrary point mid-sweep.
+    #[must_use]
+    pub fn with_abort_after_turns(mut self, turns: u64) -> Self {
+        self.abort_after_turns = Some(turns);
+        self
+    }
+
+    /// Reconstructs a sweep from a checkpoint written by a previous
+    /// [`SweepRunner::with_checkpoint`] run over the same trace and
+    /// configuration grid. Members the snapshot recorded as finished are
+    /// restored verbatim; interrupted members re-run from record 0 when
+    /// the resumed sweep runs — bit-identical to the uninterrupted run,
+    /// because member statistics are a pure function of (configuration,
+    /// trace, shared products).
+    ///
+    /// Builder options (checkpointing, recorded oracles, fault hooks) are
+    /// not persisted; re-apply them to the returned runner as needed —
+    /// typically `.with_checkpoint(path)` again to keep snapshotting.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ArtifactError`] from reading the snapshot, plus
+    /// [`ArtifactError::FingerprintMismatch`] when the snapshot belongs to
+    /// a different trace and [`ArtifactError::Malformed`] when the
+    /// configuration grid doesn't match the one the snapshot was taken
+    /// from.
+    pub fn resume(
+        trace: &'a CapturedTrace,
+        configs: impl IntoIterator<Item = SimConfig>,
+        path: &Path,
+    ) -> Result<SweepRunner<'a>, ArtifactError> {
+        let snapshot = SweepCheckpoint::load(path)?;
+        let mut runner = SweepRunner::new(trace, configs);
+        let found = trace.fingerprint();
+        if snapshot.trace_fingerprint != found {
+            return Err(ArtifactError::FingerprintMismatch {
+                expected: snapshot.trace_fingerprint,
+                found,
+            });
+        }
+        if snapshot.members.len() != runner.members.len() {
+            return Err(ArtifactError::Malformed {
+                context: format!(
+                    "checkpoint describes {} members, sweep has {}",
+                    snapshot.members.len(),
+                    runner.members.len()
+                ),
+            });
+        }
+        for (i, (slot, member)) in runner.members.iter_mut().zip(&snapshot.members).enumerate() {
+            let expected = config_fingerprint(&slot.config);
+            if member.config_fingerprint != expected {
+                return Err(ArtifactError::Malformed {
+                    context: format!("checkpoint member {i} was taken from a different config"),
+                });
+            }
+            if let MemberCheckpointState::Done(outcome) = &member.state {
+                slot.state = MemberState::Done(outcome.clone());
+            }
+        }
+        Ok(runner)
     }
 
     /// Disables dependence-graph dispatch wiring for this sweep: members
@@ -855,14 +1638,7 @@ impl<'a> SweepRunner<'a> {
             return;
         }
         self.prepared = true;
-        let configs: Vec<&SimConfig> = self
-            .members
-            .iter()
-            .map(|m| match m {
-                Member::Pending(c) => &**c,
-                _ => unreachable!("members are pending until the sweep runs"),
-            })
-            .collect();
+        let configs: Vec<&SimConfig> = self.members.iter().map(|m| &*m.config).collect();
         // Only event-driven members consume the graph (the naive scan's
         // reference loops re-check per-operand ready bits), so a grid
         // without any skips the build entirely.
@@ -874,6 +1650,30 @@ impl<'a> SweepRunner<'a> {
             None if configs.len() >= 2 => Some(Arc::new(DepGraph::build(self.trace))),
             None => None,
         };
+        if self.preloaded_oracles {
+            // Integrity gate for products loaded from an artifact: a
+            // bundle recorded from a different trace would drive members
+            // through another trace's event stream. Degrade the whole
+            // sweep to live per-member structures instead — statistics
+            // are bit-identical, the stale bundle just stops helping.
+            let found = self.trace.fingerprint();
+            if self.products_fingerprint != Some(found) {
+                let reason = format!(
+                    "recorded oracle bundle was captured from a different trace \
+                     (bundle fingerprint {:#018x}, trace fingerprint {found:#018x})",
+                    self.products_fingerprint.unwrap_or(0)
+                );
+                self.shared.branches = None;
+                self.shared.icache = None;
+                self.dvi_oracles.clear();
+                for slot in &mut self.members {
+                    if !matches!(slot.state, MemberState::Done(_)) {
+                        slot.degraded = Some(reason.clone());
+                    }
+                }
+            }
+            return;
+        }
         if let Some(first) = configs.first().filter(|_| configs.len() >= self.oracle_min_members) {
             if configs.iter().all(|c| c.predictor == first.predictor) {
                 self.shared.branches =
@@ -905,6 +1705,14 @@ impl<'a> SweepRunner<'a> {
         tables
     }
 
+    /// Private-fallback product bundle for a degraded retry: only the
+    /// static decode table survives (recomputed locally from the trace in
+    /// [`SweepRunner::new`], never loaded from an artifact); the member
+    /// carries live predictor/L1I/DVI structures and alias-table renaming.
+    fn private_tables(&self) -> SharedTables {
+        SharedTables { decode: self.shared.decode.clone(), ..SharedTables::default() }
+    }
+
     /// Number of sweep members.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -931,9 +1739,42 @@ impl<'a> SweepRunner<'a> {
     /// cheapest schedule when the whole trace is cache-resident anyway
     /// (see [`RECORDS_PER_TURN`]).
     #[must_use]
-    pub fn run(mut self) -> Vec<SimStats> {
+    pub fn run(self) -> Vec<SimStats> {
+        self.run_outcomes().into_iter().map(MemberOutcome::into_stats).collect()
+    }
+
+    /// [`SweepRunner::run`] with per-member fault isolation surfaced: one
+    /// [`MemberOutcome`] per configuration, in grid order. A member that
+    /// panics (or fails a shared-product integrity check) is retried once
+    /// from record 0 on private live structures and reported as
+    /// [`MemberOutcome::Degraded`]; a watchdog abort is reported as
+    /// [`MemberOutcome::Deadlocked`]; only a double failure yields
+    /// [`MemberOutcome::Panicked`] — and none of them perturb sibling
+    /// members.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`SweepRunner::with_checkpoint`] snapshot cannot be
+    /// written (a durability request the caller made explicitly), or at
+    /// the [`SweepRunner::with_abort_after_turns`] test hook.
+    #[must_use]
+    pub fn run_outcomes(mut self) -> Vec<MemberOutcome> {
         self.prepare_shared();
+        // The fingerprint is a whole-trace hash; compute it once per run,
+        // not once per checkpointed turn.
+        let trace_fp = self.checkpoint.as_ref().map(|_| self.trace.fingerprint());
+        let mut turns: u64 = 0;
+        // Done-member count at the last snapshot actually written. A
+        // resumed sweep restores `Done` members and re-runs in-flight ones
+        // from record 0, so a snapshot whose only change is in-flight
+        // fetch positions resumes to the same outcomes as its predecessor
+        // — those writes are skipped (`None` = nothing written yet, so the
+        // first eligible turn always writes).
+        let mut written_done: Option<usize> = None;
         loop {
+            if self.abort_after_turns.is_some_and(|n| turns >= n) {
+                panic!("sweep aborted by test hook at scheduling turn {turns}");
+            }
             let mut laggard: Option<(usize, u64)> = None;
             for (i, member) in self.members.iter().enumerate() {
                 let Some(pos) = member.position() else { continue };
@@ -943,14 +1784,59 @@ impl<'a> SweepRunner<'a> {
             }
             let Some((i, pos)) = laggard else { break };
             self.advance(i, pos + RECORDS_PER_TURN);
+            turns += 1;
+            if let (Some(policy), Some(fp)) = (&self.checkpoint, trace_fp) {
+                if turns.is_multiple_of(policy.every_turns) {
+                    let done = self.done_count();
+                    if written_done != Some(done) {
+                        self.snapshot(fp, turns)
+                            .save(&policy.path)
+                            .expect("sweep checkpoint write failed");
+                        written_done = Some(done);
+                    }
+                }
+            }
+        }
+        // Always leave a final snapshot: resuming a finished sweep must
+        // restore every outcome instead of re-running anything.
+        if let (Some(policy), Some(fp)) = (&self.checkpoint, trace_fp) {
+            if written_done != Some(self.members.len()) {
+                self.snapshot(fp, turns).save(&policy.path).expect("sweep checkpoint write failed");
+            }
         }
         self.members
             .into_iter()
-            .map(|m| match m {
-                Member::Done(stats) => *stats,
+            .map(|m| match m.state {
+                MemberState::Done(outcome) => *outcome,
                 _ => unreachable!("every member is finished when the laggard scan comes up empty"),
             })
             .collect()
+    }
+
+    /// How many members have finished (their outcome is final).
+    fn done_count(&self) -> usize {
+        self.members.iter().filter(|m| matches!(m.state, MemberState::Done(_))).count()
+    }
+
+    /// The checkpoint image of the sweep's current progress.
+    fn snapshot(&self, trace_fingerprint: u64, turns: u64) -> SweepCheckpoint {
+        SweepCheckpoint {
+            trace_fingerprint,
+            turns,
+            members: self
+                .members
+                .iter()
+                .map(|slot| MemberCheckpoint {
+                    config_fingerprint: config_fingerprint(&slot.config),
+                    state: match &slot.state {
+                        MemberState::Done(outcome) => MemberCheckpointState::Done(outcome.clone()),
+                        _ => MemberCheckpointState::InFlight {
+                            fetched: slot.position().unwrap_or(0),
+                        },
+                    },
+                })
+                .collect(),
+        }
     }
 
     /// Groups the member indices by data-side geometry
@@ -964,10 +1850,7 @@ impl<'a> SweepRunner<'a> {
     pub fn dmem_geometry_groups(&self) -> Vec<(DmemGeometry, Vec<usize>)> {
         let mut groups: Vec<(DmemGeometry, Vec<usize>)> = Vec::new();
         for (i, member) in self.members.iter().enumerate() {
-            let Member::Pending(config) = member else {
-                unreachable!("members are pending until the sweep runs")
-            };
-            let geometry = config.dmem_geometry();
+            let geometry = member.config.dmem_geometry();
             match groups.iter_mut().find(|(g, _)| *g == geometry) {
                 Some((_, indices)) => indices.push(i),
                 None => groups.push((geometry, vec![i])),
@@ -999,8 +1882,17 @@ impl<'a> SweepRunner<'a> {
     /// degenerates to the serial member-at-a-time schedule.
     #[must_use]
     pub fn run_parallel(self) -> Vec<SimStats> {
+        self.run_parallel_outcomes().into_iter().map(MemberOutcome::into_stats).collect()
+    }
+
+    /// [`SweepRunner::run_parallel`] with per-member fault isolation
+    /// surfaced (see [`SweepRunner::run_outcomes`]): each member runs to
+    /// completion inside its own panic boundary on whatever rayon worker
+    /// picked it up, so one failing member costs exactly its own slot.
+    #[must_use]
+    pub fn run_parallel_outcomes(self) -> Vec<MemberOutcome> {
         let (trace, jobs) = self.into_parallel_jobs();
-        jobs.into_par_iter().map(|(config, tables)| run_member(trace, config, tables)).collect()
+        jobs.into_par_iter().map(|job| run_member_outcome(trace, job)).collect()
     }
 
     /// [`SweepRunner::run_parallel`] with an explicit worker-thread count
@@ -1009,13 +1901,23 @@ impl<'a> SweepRunner<'a> {
     /// straggler member does not idle the other threads.
     #[must_use]
     pub fn run_parallel_threads(self, threads: usize) -> Vec<SimStats> {
+        self.run_parallel_threads_outcomes(threads)
+            .into_iter()
+            .map(MemberOutcome::into_stats)
+            .collect()
+    }
+
+    /// [`SweepRunner::run_parallel_threads`] with per-member fault
+    /// isolation surfaced (see [`SweepRunner::run_outcomes`]).
+    #[must_use]
+    pub fn run_parallel_threads_outcomes(self, threads: usize) -> Vec<MemberOutcome> {
         let (trace, jobs) = self.into_parallel_jobs();
         let threads = threads.clamp(1, jobs.len().max(1));
         if threads == 1 {
-            return jobs.into_iter().map(|(c, t)| run_member(trace, c, t)).collect();
+            return jobs.into_iter().map(|job| run_member_outcome(trace, job)).collect();
         }
         let next = AtomicUsize::new(0);
-        let mut results: Vec<Option<SimStats>> = (0..jobs.len()).map(|_| None).collect();
+        let mut results: Vec<Option<MemberOutcome>> = (0..jobs.len()).map(|_| None).collect();
         let jobs = &jobs;
         let next = &next;
         std::thread::scope(|scope| {
@@ -1025,77 +1927,257 @@ impl<'a> SweepRunner<'a> {
                         let mut done = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
-                            let Some((config, tables)) = jobs.get(i) else { break };
-                            done.push((i, run_member(trace, config.clone(), tables.clone())));
+                            let Some(job) = jobs.get(i) else { break };
+                            done.push((i, run_member_outcome(trace, job.clone())));
                         }
                         done
                     })
                 })
                 .collect();
             for worker in workers {
-                for (i, stats) in worker.join().expect("sweep worker panicked") {
-                    results[i] = Some(stats);
+                // A worker that dies wholesale (it shouldn't: every member
+                // already runs inside its own panic boundary) loses only
+                // the members it claimed; the survivors' results stand.
+                if let Ok(done) = worker.join() {
+                    for (i, outcome) in done {
+                        results[i] = Some(outcome);
+                    }
                 }
             }
         });
-        results.into_iter().map(|s| s.expect("every member runs exactly once")).collect()
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.unwrap_or_else(|| MemberOutcome::Panicked {
+                    payload: "sweep worker thread died before reporting this member".into(),
+                })
+            })
+            .collect()
     }
 
-    /// Records the shared products and flattens the pending members into
-    /// standalone `(config, tables)` jobs for the parallel runners.
-    fn into_parallel_jobs(mut self) -> (&'a CapturedTrace, Vec<(SimConfig, SharedTables)>) {
+    /// Records the shared products and flattens the members into
+    /// standalone jobs for the parallel runners, running the
+    /// shared-product integrity pre-check per member (a mismatch degrades
+    /// that job to private live structures up front).
+    fn into_parallel_jobs(mut self) -> (&'a CapturedTrace, Vec<ParallelJob>) {
         self.prepare_shared();
-        let tables: Vec<SharedTables> = self
+        let prepared: Vec<(SharedTables, Option<String>)> = self
             .members
             .iter()
-            .map(|m| match m {
-                Member::Pending(config) => self.tables_for(config),
-                _ => unreachable!("members are pending until the sweep runs"),
+            .map(|slot| {
+                let tables = self.tables_for(&slot.config);
+                let mut degraded = slot.degraded.clone();
+                if degraded.is_none() {
+                    if let Err(reason) = integrity_check(&slot.config, &tables) {
+                        degraded = Some(reason);
+                    }
+                }
+                if degraded.is_some() {
+                    (self.private_tables(), degraded)
+                } else {
+                    (tables, degraded)
+                }
             })
             .collect();
+        let trace = self.trace;
+        let faults = self.faults;
         let jobs = self
             .members
             .into_iter()
-            .zip(tables)
-            .map(|(m, t)| match m {
-                Member::Pending(config) => (*config, t),
-                _ => unreachable!("members are pending until the sweep runs"),
+            .zip(prepared)
+            .enumerate()
+            .map(|(i, (slot, (tables, degraded)))| ParallelJob {
+                config: *slot.config,
+                tables,
+                degraded,
+                fault: faults.iter().find(|f| f.member == i).cloned(),
+                done: match slot.state {
+                    MemberState::Done(outcome) => Some(*outcome),
+                    _ => None,
+                },
             })
             .collect();
-        (self.trace, jobs)
+        (trace, jobs)
     }
 
     /// Advances member `i` until it has fetched `target` records,
-    /// materializing its session on first schedule and retiring it to bare
-    /// statistics the moment it finishes.
+    /// materializing its session on first schedule and retiring it to its
+    /// outcome the moment it finishes. Panics anywhere in the member —
+    /// session construction, the pipeline itself, an exhausted oracle, an
+    /// injected fault — are caught at this boundary and turn into a
+    /// degraded retry or a `Panicked` outcome, never into a torn-down
+    /// sweep.
     fn advance(&mut self, i: usize, target: u64) {
-        if let Member::Pending(config) = &self.members[i] {
-            let tables = self.tables_for(config);
-            self.members[i] = Member::Active(Box::new(SimSession::with_shared_tables(
-                (**config).clone(),
-                self.trace.cursor(),
-                tables,
-            )));
+        if matches!(self.members[i].state, MemberState::Pending) && !self.build_member(i) {
+            return;
         }
-        let member = &mut self.members[i];
-        let Member::Active(session) = member else {
+        let fault = self.faults.iter().find(|f| f.member == i).cloned();
+        let slot = &mut self.members[i];
+        let MemberState::Active(session) = &mut slot.state else {
             unreachable!("the scheduler only advances unfinished members")
         };
-        if !session.advance_until_fetched(target) {
-            let Member::Active(session) = std::mem::replace(member, Member::Done(Box::default()))
-            else {
-                unreachable!("checked active above")
-            };
-            *member = Member::Done(Box::new(session.finish()));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let more = session.advance_until_fetched(target);
+            trip_fault(fault.as_ref(), session.stats().fetched_instrs);
+            more
+        }));
+        match result {
+            Ok(true) => {}
+            Ok(false) => {
+                let MemberState::Active(session) =
+                    std::mem::replace(&mut slot.state, MemberState::Pending)
+                else {
+                    unreachable!("checked active above")
+                };
+                let outcome = classify(session.finish(), slot.degraded.take());
+                slot.state = MemberState::Done(Box::new(outcome));
+            }
+            Err(payload) => self.fail_member(i, panic_payload(payload)),
+        }
+    }
+
+    /// Materializes member `i`'s session, running the shared-product
+    /// integrity pre-check and catching construction panics. Returns
+    /// whether the member is now active.
+    fn build_member(&mut self, i: usize) -> bool {
+        let slot = &self.members[i];
+        let mut degraded = slot.degraded.clone();
+        let mut tables =
+            if degraded.is_some() { self.private_tables() } else { self.tables_for(&slot.config) };
+        if degraded.is_none() {
+            if let Err(reason) = integrity_check(&slot.config, &tables) {
+                degraded = Some(reason);
+                tables = self.private_tables();
+            }
+        }
+        let config = (*slot.config).clone();
+        let trace = self.trace;
+        let built = catch_unwind(AssertUnwindSafe(move || {
+            Box::new(SimSession::with_shared_tables(config, trace.cursor(), tables))
+        }));
+        self.members[i].degraded = degraded;
+        match built {
+            Ok(session) => {
+                self.members[i].state = MemberState::Active(session);
+                true
+            }
+            Err(payload) => {
+                self.fail_member(i, panic_payload(payload));
+                false
+            }
+        }
+    }
+
+    /// Handles a caught member failure: the first one resets the member
+    /// for a degraded retry from record 0 on private live structures; a
+    /// second retires it as [`MemberOutcome::Panicked`].
+    fn fail_member(&mut self, i: usize, reason: String) {
+        let slot = &mut self.members[i];
+        if slot.degraded.is_none() {
+            slot.degraded = Some(reason);
+            slot.state = MemberState::Pending;
+        } else {
+            slot.state = MemberState::Done(Box::new(MemberOutcome::Panicked { payload: reason }));
         }
     }
 }
 
+/// One member of a parallel sweep: its configuration and product bundle,
+/// detached from the runner so whatever thread picks it up owns it whole.
+#[derive(Debug, Clone)]
+struct ParallelJob {
+    config: SimConfig,
+    tables: SharedTables,
+    /// Pre-run degradation (failed integrity check): the job starts on
+    /// private live structures and reports [`MemberOutcome::Degraded`].
+    degraded: Option<String>,
+    /// Injected test fault, if any targets this member.
+    fault: Option<FaultSpec>,
+    /// The already-known outcome of a member restored from a checkpoint;
+    /// passed through without re-running.
+    done: Option<MemberOutcome>,
+}
+
+/// Cheap, deterministic pre-check that a member's shared products describe
+/// the machine the member is configured as — the guard that matters when
+/// products come from a [`RecordedOracles`] artifact rather than being
+/// recorded under this sweep's own agreement policy. (The oracles' own
+/// in-stream exhaustion asserts remain the backstop, caught at the member
+/// panic boundary.)
+fn integrity_check(config: &SimConfig, tables: &SharedTables) -> Result<(), String> {
+    if let Some(oracle) = &tables.branches {
+        if oracle.predictor() != config.predictor {
+            return Err(
+                "recorded branch oracle does not match the member's predictor configuration"
+                    .to_string(),
+            );
+        }
+    }
+    if let Some(oracle) = &tables.icache {
+        if oracle.geometry() != config.icache {
+            return Err(
+                "recorded I-cache oracle does not match the member's L1I geometry".to_string()
+            );
+        }
+    }
+    if let Some(oracle) = &tables.dvi {
+        if oracle.config() != config.dvi {
+            return Err(
+                "recorded DVI oracle does not match the member's DVI configuration".to_string()
+            );
+        }
+    }
+    Ok(())
+}
+
 /// One member of a parallel sweep, run start to finish on whatever thread
-/// picked it up: a fresh session over its own cursor into the shared
-/// trace, consuming the shared product bundle by reference.
-fn run_member(trace: &CapturedTrace, config: SimConfig, tables: SharedTables) -> SimStats {
-    SimSession::with_shared_tables(config, trace.cursor(), tables).run_to_completion()
+/// picked it up, inside its own panic boundary: a panic on the primary
+/// attempt triggers one degraded retry from record 0 on private live
+/// structures, exactly like the serial scheduler's boundary.
+fn run_member_outcome(trace: &CapturedTrace, job: ParallelJob) -> MemberOutcome {
+    if let Some(done) = job.done {
+        return done;
+    }
+    let ParallelJob { config, tables, degraded, fault, .. } = job;
+    let decode = tables.decode.clone();
+    match run_member_attempt(trace, config.clone(), tables, fault.as_ref()) {
+        Ok(stats) => classify(stats, degraded),
+        Err(reason) => {
+            if degraded.is_some() {
+                return MemberOutcome::Panicked { payload: reason };
+            }
+            let private = SharedTables { decode, ..SharedTables::default() };
+            match run_member_attempt(trace, config, private, fault.as_ref()) {
+                Ok(stats) => classify(stats, Some(reason)),
+                Err(payload) => MemberOutcome::Panicked { payload },
+            }
+        }
+    }
+}
+
+/// One complete run of one member under a panic boundary. The run is
+/// chunked at [`RECORDS_PER_TURN`] with the fault hook checked between
+/// chunks, mirroring the serial scheduler's turn boundary so an injected
+/// fault fires at the same trace position on both paths.
+fn run_member_attempt(
+    trace: &CapturedTrace,
+    config: SimConfig,
+    tables: SharedTables,
+    fault: Option<&FaultSpec>,
+) -> Result<SimStats, String> {
+    catch_unwind(AssertUnwindSafe(move || {
+        let mut session = SimSession::with_shared_tables(config, trace.cursor(), tables);
+        loop {
+            let target = session.stats().fetched_instrs + RECORDS_PER_TURN;
+            let more = session.advance_until_fetched(target);
+            trip_fault(fault, session.stats().fetched_instrs);
+            if !more {
+                break;
+            }
+        }
+        session.finish()
+    }))
+    .map_err(panic_payload)
 }
 
 /// Convenience wrapper: runs `configs` over `trace` in one batched pass

@@ -124,6 +124,7 @@ impl LegacySimulator {
     {
         let mut trace = trace.into_iter();
         let mut last_progress = (0u64, 0u64); // (cycle, committed)
+        let mut last_fetch = (0u64, 0u64); // (cycle, fetched)
         loop {
             self.commit();
             self.writeback();
@@ -147,11 +148,28 @@ impl LegacySimulator {
             if self.front.is_drained() && self.window.is_empty() {
                 break;
             }
+            if self.stats.fetched_instrs != last_fetch.1 {
+                last_fetch = (self.cycle, self.stats.fetched_instrs);
+            }
             if self.stats.committed_entries != last_progress.1 {
                 last_progress = (self.cycle, self.stats.committed_entries);
             } else if self.cycle - last_progress.0 > PROGRESS_LIMIT {
-                debug_assert!(false, "pipeline deadlock: no commit in {PROGRESS_LIMIT} cycles");
+                // Demoted from an assert to a structured report, matching
+                // the session-driven core (`SimSession::tick`).
                 self.stats.deadlocked = true;
+                self.stats.deadlock = Some(crate::stats::DeadlockReport {
+                    stall_cycle: last_progress.0,
+                    detected_cycle: self.cycle,
+                    window_occupancy: self.window.len(),
+                    // Legacy window entries do not carry record sequence
+                    // numbers; the event-driven core's report does.
+                    head_seq: None,
+                    last_stage: if last_fetch.0 > last_progress.0 {
+                        crate::stats::ProgressStage::Fetch
+                    } else {
+                        crate::stats::ProgressStage::Commit
+                    },
+                });
                 break;
             }
         }

@@ -117,6 +117,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod checkpoint;
 mod config;
 mod dvi_engine;
 pub mod frontend;
@@ -131,9 +132,10 @@ mod stats;
 mod window;
 
 pub use batch::{
-    sweep, sweep_parallel, BranchOracle, DviCursor, DviOracle, IcacheOracle, SharedTables,
-    SweepRunner,
+    sweep, sweep_parallel, BranchOracle, DviCursor, DviOracle, IcacheOracle, MemberOutcome,
+    RecordedOracles, SharedTables, SweepRunner, SweepSummary,
 };
+pub use checkpoint::SweepCheckpoint;
 pub use config::DmemGeometry;
 pub use config::{ConfigError, SchedulerKind, SimConfig};
 pub use dvi_engine::{DviEngine, ReclaimList};
@@ -143,5 +145,5 @@ pub use pipeline::Simulator;
 pub use rename::{PhysReg, RenameState};
 pub use session::SimSession;
 pub use smallvec::SmallVec;
-pub use stats::SimStats;
+pub use stats::{DeadlockReport, ProgressStage, SimStats};
 pub use window::{EntryState, WindowRing};

@@ -401,6 +401,19 @@ impl Core {
         self.front.is_drained() && self.window.is_empty()
     }
 
+    /// Instructions currently in flight in the window (deadlock
+    /// diagnostics).
+    pub(crate) fn window_occupancy(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Trace record sequence number of the window-head instruction, when
+    /// one is in flight (deadlock diagnostics: identifies the wedged
+    /// instruction in the trace).
+    pub(crate) fn head_record_seq(&self) -> Option<u64> {
+        (!self.window.is_empty()).then(|| self.window.dseq(self.window.head_seq()))
+    }
+
     /// Drain-time reclaim release: registers reclaimed by a trailing
     /// `kill` (or left pending when rename stalled at trace end) have no
     /// later dispatched instruction to ride to commit — release them here
@@ -781,7 +794,10 @@ mod tests {
         let layout = prog.layout().unwrap();
         let interp = Interpreter::new(&layout).with_step_limit(1_000_000);
         let stats = Simulator::new(config).run(interp);
-        assert!(!stats.deadlocked, "watchdog fired: statistics describe a partial run");
+        // The watchdog no longer asserts inside the pipeline; it returns a
+        // structured report instead. These unit workloads must never trip
+        // it, so surface the report (not a bare flag) if one ever does.
+        assert_eq!(stats.deadlock, None, "watchdog fired: statistics describe a partial run");
         stats
     }
 

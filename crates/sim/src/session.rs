@@ -14,7 +14,7 @@
 use crate::batch::SharedTables;
 use crate::config::SimConfig;
 use crate::pipeline::{Core, PROGRESS_LIMIT};
-use crate::stats::SimStats;
+use crate::stats::{DeadlockReport, ProgressStage, SimStats};
 use dvi_program::InstrSource;
 
 /// A resumable timing simulation: one machine configuration consuming one
@@ -48,6 +48,9 @@ pub struct SimSession<S> {
     /// Forward-progress watchdog state: (cycle, committed) at the last
     /// cycle that committed an instruction.
     last_progress: (u64, u64),
+    /// (cycle, fetched) at the last cycle fetch advanced — the watchdog's
+    /// evidence for which stage was last alive ([`ProgressStage`]).
+    last_fetch: (u64, u64),
     finished: bool,
 }
 
@@ -141,7 +144,7 @@ impl<S: InstrSource> SimSession<S> {
     }
 
     fn from_core(core: Core, source: S) -> SimSession<S> {
-        SimSession { core, source, last_progress: (0, 0), finished: false }
+        SimSession { core, source, last_progress: (0, 0), last_fetch: (0, 0), finished: false }
     }
 
     /// Advances the machine one cycle; returns `true` while there is more
@@ -150,7 +153,8 @@ impl<S: InstrSource> SimSession<S> {
     /// Returns `false` — permanently — once the source is exhausted and
     /// the pipeline has drained, or once the forward-progress watchdog
     /// fires (no commit for `PROGRESS_LIMIT` cycles, a modelling bug
-    /// surfaced as [`SimStats::deadlocked`]). Further calls are no-ops.
+    /// surfaced as [`SimStats::deadlocked`] with a structured
+    /// [`DeadlockReport`] attached). Further calls are no-ops.
     pub fn tick(&mut self) -> bool {
         if self.finished {
             return false;
@@ -161,11 +165,28 @@ impl<S: InstrSource> SimSession<S> {
             self.finished = true;
             return false;
         }
+        if self.core.stats.fetched_instrs != self.last_fetch.1 {
+            self.last_fetch = (self.core.cycle, self.core.stats.fetched_instrs);
+        }
         if self.core.stats.committed_entries != self.last_progress.1 {
             self.last_progress = (self.core.cycle, self.core.stats.committed_entries);
         } else if self.core.cycle - self.last_progress.0 > PROGRESS_LIMIT {
-            debug_assert!(false, "pipeline deadlock: no commit in {PROGRESS_LIMIT} cycles");
+            // The watchdog's finding is *returned*, not asserted: one
+            // wedged sweep member must surface as a diagnosable outcome,
+            // not abort its siblings.
+            let last_stage = if self.last_fetch.0 > self.last_progress.0 {
+                ProgressStage::Fetch
+            } else {
+                ProgressStage::Commit
+            };
             self.core.stats.deadlocked = true;
+            self.core.stats.deadlock = Some(DeadlockReport {
+                stall_cycle: self.last_progress.0,
+                detected_cycle: self.core.cycle,
+                window_occupancy: self.core.window_occupancy(),
+                head_seq: self.core.head_record_seq(),
+                last_stage,
+            });
             self.finished = true;
             return false;
         }

@@ -39,10 +39,69 @@ pub struct SimStats {
     pub peak_phys_regs_used: usize,
     /// Whether the run was aborted by the forward-progress watchdog: no
     /// instruction committed for `PROGRESS_LIMIT` consecutive cycles. This
-    /// indicates a modelling bug (debug builds also assert), and every other
-    /// counter in the struct describes a *partial* run — consumers must
-    /// check this flag instead of trusting silently truncated statistics.
+    /// indicates a modelling bug, and every other counter in the struct
+    /// describes a *partial* run — consumers must check this flag instead
+    /// of trusting silently truncated statistics.
     pub deadlocked: bool,
+    /// The watchdog's structured diagnosis when [`SimStats::deadlocked`]
+    /// is set: where the pipeline stalled and what it was holding. `None`
+    /// on healthy runs. The report is a pure function of the simulated
+    /// machine (no host state), so statistics stay bit-identical across
+    /// serial, batched and parallel execution even for deadlocked members.
+    pub deadlock: Option<DeadlockReport>,
+}
+
+/// The pipeline stage that last made forward progress before a watchdog
+/// abort — the first question a deadlock triage asks (a stuck *commit*
+/// with a full window is a scheduling bug; a stuck *fetch* with an empty
+/// window is a front-end bug).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgressStage {
+    /// An instruction last left the window (committed) after the last
+    /// fetch advanced: the back end was the last thing alive.
+    Commit,
+    /// Fetch advanced after the last commit: the front end was still
+    /// pulling records while the window starved.
+    Fetch,
+}
+
+/// What the forward-progress watchdog saw when it aborted a run (attached
+/// to [`SimStats::deadlock`]). Replaces the former bare `assert!` /
+/// boolean with a structured diagnosis that travels with the statistics,
+/// so a sweep can report *which* member wedged and why instead of
+/// aborting every sibling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlockReport {
+    /// Cycle of the last committed instruction (0 when nothing ever
+    /// committed).
+    pub stall_cycle: u64,
+    /// Cycle at which the watchdog fired.
+    pub detected_cycle: u64,
+    /// Instructions in flight in the window at detection.
+    pub window_occupancy: usize,
+    /// Trace record sequence number at the window head, when the window
+    /// was non-empty (identifies the wedged instruction in the trace).
+    pub head_seq: Option<u64>,
+    /// The stage that last made progress before the stall.
+    pub last_stage: ProgressStage,
+}
+
+impl fmt::Display for DeadlockReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "no commit since cycle {} (detected at cycle {}, {} in flight",
+            self.stall_cycle, self.detected_cycle, self.window_occupancy
+        )?;
+        if let Some(seq) = self.head_seq {
+            write!(f, ", head record {seq}")?;
+        }
+        let stage = match self.last_stage {
+            ProgressStage::Commit => "commit",
+            ProgressStage::Fetch => "fetch",
+        };
+        write!(f, ", last progress in {stage})")
+    }
 }
 
 impl SimStats {
@@ -89,7 +148,10 @@ impl fmt::Display for SimStats {
             self.pct_save_restores_eliminated()
         )?;
         if self.deadlocked {
-            write!(f, " [DEADLOCKED: partial run]")?;
+            match &self.deadlock {
+                Some(report) => write!(f, " [DEADLOCKED: partial run; {report}]")?,
+                None => write!(f, " [DEADLOCKED: partial run]")?,
+            }
         }
         Ok(())
     }
@@ -109,6 +171,23 @@ mod tests {
         let s = SimStats { cycles: 1000, program_instrs: 1800, ..SimStats::default() };
         assert!((s.ipc() - 1.8).abs() < 1e-12);
         assert!(s.to_string().contains("IPC"));
+    }
+
+    #[test]
+    fn deadlock_report_rides_the_display() {
+        let mut s = SimStats { cycles: 100_500, program_instrs: 10, ..SimStats::default() };
+        s.deadlocked = true;
+        s.deadlock = Some(DeadlockReport {
+            stall_cycle: 500,
+            detected_cycle: 100_501,
+            window_occupancy: 3,
+            head_seq: Some(42),
+            last_stage: ProgressStage::Commit,
+        });
+        let text = s.to_string();
+        assert!(text.contains("DEADLOCKED"), "{text}");
+        assert!(text.contains("head record 42"), "{text}");
+        assert!(text.contains("last progress in commit"), "{text}");
     }
 
     #[test]
