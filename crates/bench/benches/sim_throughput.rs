@@ -35,7 +35,12 @@
 //! parity on a single-core container, where it degenerates to the serial
 //! schedule). The comparison first asserts all three produce bit-identical
 //! `SimStats`, so the CI bench-smoke job also acts as a batching and
-//! parallelism regression test. A **backend** section records the SoA
+//! parallelism regression test. The sweep section also A/Bs the shared
+//! D-cache oracle (`sweep.dcache_oracle_vs_live`) and records the
+//! qualification measurement behind it (`dcache.qualification_rate`: the
+//! fraction of shareable-group members that reproduce their group
+//! leader's issue-order data-access stream, i.e. the members the oracle
+//! can serve without a divergence retry). A **backend** section records the SoA
 //! core's all-products serial cost against the PR-4 AoS back end
 //! (`backend.soa_vs_pr4`; the PR-4 side is a pinned same-container
 //! measurement, overridable via `BENCH_PR4_NS_PER_INSTR`).
@@ -216,6 +221,10 @@ impl Mix {
                 icache: Some(Arc::new(IcacheOracle::record(trace, reference.icache))),
                 depgraph: trace.depgraph().cloned(),
                 dvi: Some(Arc::new(DviOracle::record(trace, reference.dvi))),
+                // The replay_shared measurement keeps the trace-order
+                // products only; the issue-order D-cache oracle has its
+                // own A/B (`dcache_oracle_vs_live_ratio`).
+                dcache: None,
             })
             .collect();
         let precompute_seconds = start.elapsed().as_secs_f64();
@@ -360,6 +369,26 @@ fn run_sweep_parallel(mix: &Mix, grid: &[SimConfig]) -> u64 {
         .sum()
 }
 
+/// The batched runner with the shared D-cache oracle enabled: one
+/// recording run per geometry group (the whole grid is one group), then
+/// replayed L1D outcomes for every member that reproduces the recording
+/// stream — members that diverge fall back to a live retry, and that cost
+/// is exactly what this measurement is honest about. Returns total
+/// simulated instructions.
+fn run_sweep_batch_dcache(mix: &Mix, grid: &[SimConfig]) -> u64 {
+    mix.traces
+        .iter()
+        .map(|trace| {
+            SweepRunner::new(trace, grid.iter().cloned())
+                .with_dcache_oracle()
+                .run()
+                .iter()
+                .map(|s| s.program_instrs)
+                .sum::<u64>()
+        })
+        .sum()
+}
+
 /// Asserts the batched and parallel runners reproduce the serial
 /// statistics bit for bit on the bench's own grid and traces (the
 /// bench-smoke CI job runs this in quick mode, so a batching or
@@ -376,6 +405,49 @@ fn verify_sweep_equivalence(mix: &Mix, grid: &[SimConfig]) {
         assert_eq!(parallel, serial, "parallel sweep diverged from serial replays");
         let pinned = SweepRunner::new(trace, grid.iter().cloned()).run_parallel_threads(2);
         assert_eq!(pinned, serial, "2-thread sweep diverged from serial replays");
+        let oracled = SweepRunner::new(trace, grid.iter().cloned()).with_dcache_oracle().run();
+        assert_eq!(oracled, serial, "D-cache-oracle sweep diverged from serial replays");
+    }
+}
+
+/// Interleaved A/B of the batched runner with and without the D-cache
+/// oracle, as a throughput ratio (>1: the oracle run was faster). The
+/// oracle pays one extra recording run per geometry group and a live
+/// retry per diverging member, so on a grid whose members perturb issue
+/// order this can come out *below* 1 — which is the honest number, and
+/// `dcache.qualification_rate` right next to it says why.
+fn dcache_oracle_vs_live_ratio(mix: &Mix, grid: &[SimConfig]) -> f64 {
+    let mut best = [f64::MAX; 2];
+    for _ in 0..reps() {
+        let start = Instant::now();
+        let live = run_sweep_batch(mix, grid);
+        best[0] = best[0].min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        let oracled = run_sweep_batch_dcache(mix, grid);
+        best[1] = best[1].min(start.elapsed().as_secs_f64());
+        assert_eq!(live, oracled, "both sides must simulate the same instructions");
+    }
+    best[0] / best[1]
+}
+
+/// The qualification rate behind the oracle's effectiveness on this grid:
+/// across the mix's traces, the fraction of shareable-group members whose
+/// instrumented D-cache access stream matches their group leader's
+/// (`SweepRunner::measure_dcache_qualification`) — exactly the members the
+/// oracle serves without a divergence retry.
+fn dcache_qualification_rate(mix: &Mix, grid: &[SimConfig]) -> f64 {
+    let (mut matching, mut members) = (0usize, 0usize);
+    for trace in &mix.traces {
+        let measured = SweepRunner::new(trace, grid.iter().cloned()).measure_dcache_qualification();
+        for group in measured.groups.iter().filter(|g| g.members >= 2) {
+            matching += group.matching;
+            members += group.members;
+        }
+    }
+    if members == 0 {
+        1.0
+    } else {
+        matching as f64 / members as f64
     }
 }
 
@@ -494,6 +566,12 @@ struct SweepResult {
     /// writes happen once per member completion; see
     /// `checkpoint_overhead_ratio`).
     checkpoint_overhead: f64,
+    /// Throughput of the D-cache-oracle batched run relative to the plain
+    /// batched run (see `dcache_oracle_vs_live_ratio`).
+    dcache_oracle_vs_live: f64,
+    /// Fraction of shareable-group members whose access stream matches
+    /// their group leader's (see `dcache_qualification_rate`).
+    dcache_qualification: f64,
     /// One save -> load round trip of every trace in the mix, seconds.
     save_load_seconds: f64,
 }
@@ -551,7 +629,8 @@ fn write_json(results: &[MachineResult], sweep: &SweepResult, mix: &Mix) -> std:
         f,
         "  \"sweep\": {{\"configs\": {}, \"serial_mips\": {:.3}, \"batch_mips\": {:.3}, \
          \"batch_vs_serial\": {:.3}, \"parallel_mips\": {:.3}, \"parallel_vs_serial\": {:.3}, \
-         \"parallel_threads\": {}, \"checkpoint_overhead\": {:.3}}},",
+         \"parallel_threads\": {}, \"checkpoint_overhead\": {:.3}, \
+         \"dcache_oracle_vs_live\": {:.3}}},",
         sweep.configs,
         sweep.serial_mips,
         sweep.batch_mips,
@@ -560,7 +639,9 @@ fn write_json(results: &[MachineResult], sweep: &SweepResult, mix: &Mix) -> std:
         sweep.parallel_mips / sweep.serial_mips,
         sweep.threads,
         sweep.checkpoint_overhead,
+        sweep.dcache_oracle_vs_live,
     )?;
+    writeln!(f, "  \"dcache\": {{\"qualification_rate\": {:.3}}},", sweep.dcache_qualification,)?;
     writeln!(f, "  \"artifact\": {{\"save_load_seconds\": {:.4}}}", sweep.save_load_seconds,)?;
     writeln!(f, "}}")?;
     println!("sim_throughput: wrote {path}");
@@ -624,6 +705,8 @@ fn bench(c: &mut Criterion) {
     verify_sweep_equivalence(&mix, &grid);
     let (serial_mips, batch_mips, parallel_mips) = sweep_mips(&mix, &grid);
     let checkpoint_overhead = checkpoint_overhead_ratio();
+    let dcache_oracle_vs_live = dcache_oracle_vs_live_ratio(&mix, &grid);
+    let dcache_qualification = dcache_qualification_rate(&mix, &grid);
     let save_load_seconds = artifact_save_load_seconds(&mix);
     let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let sweep = SweepResult {
@@ -633,6 +716,8 @@ fn bench(c: &mut Criterion) {
         parallel_mips,
         threads,
         checkpoint_overhead,
+        dcache_oracle_vs_live,
+        dcache_qualification,
         save_load_seconds,
     };
     println!(
@@ -656,6 +741,15 @@ fn bench(c: &mut Criterion) {
     println!(
         "sim_throughput/sweep/checkpoint_overhead:  {checkpoint_overhead:.3}x (max-cadence \
          durable snapshots — one atomic write per member completion — vs none)"
+    );
+    println!(
+        "sim_throughput/sweep/dcache_oracle:        {dcache_oracle_vs_live:.3}x vs plain batched \
+         (one recording run per geometry group, live retry per diverging member)"
+    );
+    println!(
+        "sim_throughput/dcache/qualification_rate:  {:.1}% of shareable-group members reproduce \
+         their group leader's access stream",
+        100.0 * dcache_qualification
     );
     println!(
         "sim_throughput/artifact/save_load:         {save_load_seconds:.4}s for one save -> load \
@@ -712,6 +806,9 @@ fn bench(c: &mut Criterion) {
     });
     g.bench_function("sweep_parallel_8cfg", |b| {
         b.iter(|| run_sweep_parallel(&mix, &grid));
+    });
+    g.bench_function("sweep_batch_dcache_8cfg", |b| {
+        b.iter(|| run_sweep_batch_dcache(&mix, &grid));
     });
     g.finish();
 }

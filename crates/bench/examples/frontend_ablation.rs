@@ -58,6 +58,9 @@ fn main() {
             icache: Some(Arc::new(IcacheOracle::record(trace, config.icache))),
             depgraph: Some(Arc::new(DepGraph::build(trace))),
             dvi: Some(Arc::new(DviOracle::record(trace, config.dvi))),
+            // Trace-order products only: the ablation isolates the
+            // D-cache *drive* cost, so the L1D stays a live tag array.
+            dcache: None,
         })
         .collect();
 

@@ -223,6 +223,23 @@ pub fn sweep_parallel_outcomes(
     SweepRunner::new(trace, configs).run_parallel_outcomes()
 }
 
+/// [`sweep_outcomes`] with the shared D-cache oracle enabled
+/// (`SweepRunner::with_dcache_oracle`): each qualifying data-side geometry
+/// group additionally records one L1D outcome stream and replays it into
+/// every group member. Statistics stay bit-identical to [`sweep`] — a
+/// member whose issue order diverges from the recording member's access
+/// stream is retried live and comes back as [`MemberOutcome::Degraded`]
+/// (`dvi-sim/tests/dcache_equiv.rs`), which is why the figure drivers keep
+/// the oracle off: their golden fixtures include sweep-health lines, and a
+/// host-time optimization must not be able to change them.
+#[must_use]
+pub fn sweep_dcache_oracle_outcomes(
+    trace: &CapturedTrace,
+    configs: impl IntoIterator<Item = SimConfig>,
+) -> Vec<MemberOutcome> {
+    SweepRunner::new(trace, configs).with_dcache_oracle().run_outcomes()
+}
+
 /// Splits fault-isolated sweep results into per-member statistics (grid
 /// order preserved) and a health summary for the figure's table.
 ///
@@ -292,6 +309,23 @@ mod tests {
     fn mean_handles_empty_slices() {
         assert_eq!(mean(&[]), 0.0);
         assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dcache_oracle_sweep_matches_the_plain_sweep() {
+        let budget = Budget { instrs_per_run: 10_000 };
+        let captured = CapturedBinaries::build(&WorkloadSpec::small("dco", 6), budget);
+        let grid = [
+            SimConfig::micro97(),
+            SimConfig::micro97().with_dvi(DviConfig::full()),
+            SimConfig::micro97().with_phys_regs(48),
+        ];
+        let plain = sweep(&captured.edvi, grid.iter().cloned());
+        let (oracle, health) =
+            fold_outcomes(sweep_dcache_oracle_outcomes(&captured.edvi, grid.iter().cloned()));
+        assert_eq!(oracle, plain, "the D-cache oracle must be invisible to the statistics");
+        assert_eq!(health.failed, 0, "no member may be lost to the oracle");
+        assert_eq!(health.deadlocked, 0);
     }
 
     #[test]

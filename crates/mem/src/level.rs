@@ -12,11 +12,12 @@
 //!   data access to an L1D hit/miss and account it. The default
 //!   implementation is a [`CacheLevel`] (a real tag array), but any model
 //!   can stand in per simulated machine: an always-hit [`PerfectDcache`]
-//!   for an upper-bound machine, or — the design target — a future
-//!   pre-recorded D-cache oracle cursor shared by sweep members that agree
-//!   on the data-side geometry, the same way the I-cache oracle already
-//!   bypasses private L1I tag arrays. Only the L1D *outcome* goes through
-//!   the trait; a miss's unified-L2 interaction stays on the owning
+//!   for an upper-bound machine, or the pre-recorded
+//!   [`crate::DcacheOracleCursor`] shared by sweep members that agree on
+//!   the data-side geometry *and* produce the recording member's exact
+//!   access stream, the same way the I-cache oracle already bypasses
+//!   private L1I tag arrays. Only the L1D *outcome* goes through the
+//!   trait; a miss's unified-L2 interaction stays on the owning
 //!   hierarchy, which is what keeps the L2 entanglement (instruction
 //!   fetches and data misses share it) modelled per machine.
 //!

@@ -8,11 +8,20 @@
 //! [`ArtifactError::TruncatedArtifact`] (or a header error) and every
 //! flipped payload byte as [`ArtifactError::ChecksumMismatch`] naming the
 //! corrupted section, never as a panic or a silently different trace.
+//!
+//! The same container carries the sweep runner's oracle bundle
+//! (`dvi_sim::RecordedOracles`, a dev-only dependency cycle), so the tail
+//! of this suite drills its newest tagged section — the D-cache oracle —
+//! through the identical gauntlet: bit-exact roundtrip, truncation,
+//! checksum corruption pinned to the D-cache section tag, version skew and
+//! stale-trace-fingerprint rejection.
 
 use dvi_program::captured::{TRACE_MAGIC, TRACE_VERSION};
 use dvi_program::{
     ArtifactError, CapturedTrace, LayoutProgram, ProcBuilder, ProgramBuilder, DATA_BASE,
 };
+use dvi_sim::batch::{oracle_section, ORACLES_VERSION};
+use dvi_sim::{record_dcache_oracle, RecordedOracles, SimConfig};
 use proptest::prelude::*;
 
 use dvi_isa::{AluOp, ArchReg, CmpOp, Instr};
@@ -182,4 +191,105 @@ fn save_and_load_round_trip_through_the_filesystem() {
         .collect();
     assert!(leftovers.is_empty(), "stray files after atomic save: {leftovers:?}");
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// An oracle bundle whose D-cache section is populated from a real
+/// recording run over `trace` (the paper geometry), alongside the branch
+/// and I-cache streams so the section walker sees a realistic mix.
+fn dcache_bundle(trace: &CapturedTrace) -> RecordedOracles {
+    let config = SimConfig::micro97();
+    RecordedOracles::record(trace, Some(config.predictor), Some(config.icache), &[])
+        .with_dcache(config.dmem_geometry(), record_dcache_oracle(trace, &config))
+}
+
+#[test]
+fn dcache_oracle_section_roundtrips_bit_exactly() {
+    let trace = CapturedTrace::record(&mixed_program(6), 400);
+    let bundle = dcache_bundle(&trace);
+    let bytes = bundle.to_bytes();
+    let loaded = RecordedOracles::from_bytes(&bytes, Some(trace.fingerprint()))
+        .expect("a clean bundle loads");
+
+    assert_eq!(loaded.trace_fingerprint(), bundle.trace_fingerprint());
+    let [(geometry, oracle)] = loaded.dcache() else {
+        panic!("the bundle carries exactly one D-cache oracle");
+    };
+    let [(want_geometry, want)] = bundle.dcache() else { unreachable!("recorded above") };
+    assert_eq!(geometry, want_geometry);
+    assert!(!want.is_empty(), "the recording run produced data accesses");
+    assert_eq!(oracle.geometry(), want.geometry());
+    assert_eq!(oracle.len(), want.len());
+    assert_eq!(oracle.totals(), want.totals());
+    assert_eq!(oracle.addrs(), want.addrs());
+    assert_eq!(oracle.writes(), want.writes());
+    assert_eq!(oracle.hits(), want.hits());
+    assert_eq!(
+        oracle.stream_fingerprint(),
+        want.stream_fingerprint(),
+        "the replayed access stream must hash identically to the recorded one"
+    );
+}
+
+#[test]
+fn truncated_dcache_bundles_are_rejected_with_typed_errors() {
+    let trace = CapturedTrace::record(&mixed_program(5), 300);
+    let bytes = dcache_bundle(&trace).to_bytes();
+    // Every cut that lands inside the D-cache section (the last one
+    // written), plus the usual boundary cuts.
+    let spans = section_spans(&bytes);
+    let (_, dcache_start, dcache_len) =
+        *spans.iter().find(|(tag, ..)| *tag == oracle_section::DCACHE).expect("dcache section");
+    for cut in [0, 7, 15, dcache_start - 1, dcache_start + dcache_len / 2, bytes.len() - 1] {
+        let err = RecordedOracles::from_bytes(&bytes[..cut], None)
+            .expect_err("a truncated bundle must not load");
+        assert!(
+            matches!(err, ArtifactError::TruncatedArtifact { .. } | ArtifactError::BadMagic { .. }),
+            "cut at {cut} gave {err:?}"
+        );
+    }
+}
+
+#[test]
+fn corrupted_dcache_section_is_a_checksum_mismatch_pinned_to_its_tag() {
+    let trace = CapturedTrace::record(&mixed_program(5), 300);
+    let bytes = dcache_bundle(&trace).to_bytes();
+    for (tag, start, len) in section_spans(&bytes) {
+        if len == 0 {
+            continue;
+        }
+        let mut corrupt = bytes.clone();
+        corrupt[start + len / 2] ^= 0x40;
+        let err = RecordedOracles::from_bytes(&corrupt, None)
+            .expect_err("a corrupted bundle must not load");
+        assert_eq!(
+            err,
+            ArtifactError::ChecksumMismatch { section: tag },
+            "flip in section {tag} must be pinned to that section"
+        );
+    }
+}
+
+#[test]
+fn dcache_bundle_version_skew_and_stale_fingerprints_are_rejected() {
+    let trace = CapturedTrace::record(&mixed_program(4), 250);
+    let bytes = dcache_bundle(&trace).to_bytes();
+
+    // A bundle from a future format version must not parse (the D-cache
+    // section is what bumped ORACLES_VERSION to 2; a version-3 reader
+    // could give its sections new meaning).
+    let mut future = bytes.clone();
+    future[8..12].copy_from_slice(&(ORACLES_VERSION + 1).to_le_bytes());
+    assert_eq!(
+        RecordedOracles::from_bytes(&future, None).expect_err("future version must not load"),
+        ArtifactError::VersionSkew { found: ORACLES_VERSION + 1, supported: ORACLES_VERSION }
+    );
+
+    // A bundle recorded from a different trace is rejected at load time
+    // when the caller supplies the trace fingerprint it expects.
+    let other = CapturedTrace::record(&mixed_program(9), 350);
+    assert_ne!(other.fingerprint(), trace.fingerprint(), "distinct traces for the stale check");
+    assert!(matches!(
+        RecordedOracles::from_bytes(&bytes, Some(other.fingerprint())),
+        Err(ArtifactError::FingerprintMismatch { .. })
+    ));
 }

@@ -45,6 +45,20 @@
 //!   configuration on the grid and shared by every member that agrees on
 //!   it (fig05/fig06 vary the DVI axis; members in undersized groups fall
 //!   back to live engines).
+//! * optionally ([`SweepRunner::with_dcache_oracle`]) one
+//!   [`dvi_mem::DcacheOracle`] per qualifying data-side geometry group
+//!   ([`SweepRunner::dmem_geometry_groups`]): the group leader's L1D
+//!   outcome stream is recorded once and replayed by every member of the
+//!   group in place of a private L1D tag array. Unlike every product
+//!   above, the D-cache access stream is **issue-order dependent** — a
+//!   member whose configuration perturbs issue order (register pressure,
+//!   width, ports, DVI elimination) may produce a different stream — so
+//!   the replay cursor checks every access against the recording and a
+//!   diverging member degrades to live simulation
+//!   ([`MemberOutcome::Degraded`], bit-identical statistics) instead of
+//!   ever replaying wrong outcomes. How often members actually share
+//!   their group leader's stream is an empirical per-grid question;
+//!   [`SweepRunner::measure_dcache_qualification`] measures it.
 //!
 //! # Equivalence
 //!
@@ -110,7 +124,7 @@
 use crate::checkpoint::{
     config_fingerprint, MemberCheckpoint, MemberCheckpointState, SweepCheckpoint,
 };
-use crate::config::{DmemGeometry, SimConfig};
+use crate::config::{DcacheModelKind, DmemGeometry, SimConfig};
 use crate::dvi_engine::{DviEngine, ReclaimList};
 use crate::frontend::{FetchPredictor, StaticDecodeTable};
 use crate::rename::RenameState;
@@ -119,7 +133,10 @@ use crate::stats::SimStats;
 use dvi_bpred::{PredictorConfig, PredictorStats};
 use dvi_core::{DviConfig, DviStats};
 use dvi_isa::{Abi, Instr, RegMask, NUM_ARCH_REGS};
-use dvi_mem::{AccessKind, Cache, CacheConfig, CacheStats};
+use dvi_mem::{
+    AccessKind, Cache, CacheConfig, CacheStats, DcacheFingerprinter, DcacheOracle, DcacheRecorder,
+    PackedBits,
+};
 use dvi_program::artifact::{ArtifactReader, ArtifactWriter, ByteReader, ByteWriter};
 use dvi_program::{ArtifactError, CapturedTrace, DepGraph, LayoutProgram, TraceCursor};
 use rayon::prelude::*;
@@ -141,6 +158,7 @@ const _: () = {
     shared_across_member_threads::<BranchOracle>();
     shared_across_member_threads::<IcacheOracle>();
     shared_across_member_threads::<DviOracle>();
+    shared_across_member_threads::<DcacheOracle>();
     shared_across_member_threads::<DepGraph>();
     shared_across_member_threads::<SharedTables>();
 };
@@ -759,6 +777,13 @@ pub struct SharedTables {
     /// Pre-recorded decode-stage DVI event stream (replaces the private
     /// live [`DviEngine`]; must match the member's [`DviConfig`]).
     pub dvi: Option<Arc<DviOracle>>,
+    /// Pre-recorded L1D outcome stream of the member's data-side geometry
+    /// group (replaces the private L1D tag array). Valid only while the
+    /// member reproduces the recording member's exact access stream — the
+    /// replay cursor checks every access and panics on divergence, which
+    /// the member panic boundary turns into a degraded live retry instead
+    /// of wrong statistics.
+    pub dcache: Option<Arc<DcacheOracle>>,
 }
 
 /// How one sweep member ended: the per-member unit of fault isolation.
@@ -976,10 +1001,11 @@ pub const ORACLES_MAGIC: [u8; 8] = *b"DVIORCL1";
 /// Current [`RecordedOracles`] artifact version. Bump on any layout
 /// change; old readers reject newer files with
 /// [`ArtifactError::VersionSkew`] instead of misparsing them.
-pub const ORACLES_VERSION: u32 = 1;
+/// Version 2 added the D-cache oracle sections (and their count in META).
+pub const ORACLES_VERSION: u32 = 2;
 
 /// Section tags inside a [`RecordedOracles`] artifact.
-mod oracle_section {
+pub mod oracle_section {
     /// Trace fingerprint + presence flags.
     pub const META: u32 = 1;
     /// The branch oracle (predictor config, totals, bitstream).
@@ -988,6 +1014,9 @@ mod oracle_section {
     pub const ICACHE: u32 = 3;
     /// One section per recorded DVI event stream.
     pub const DVI: u32 = 4;
+    /// One section per recorded D-cache outcome stream (geometry group
+    /// key + full access/outcome streams).
+    pub const DCACHE: u32 = 5;
 }
 
 /// A durable bundle of recorded sweep oracles, keyed to the captured
@@ -1011,6 +1040,9 @@ pub struct RecordedOracles {
     branches: Option<Arc<BranchOracle>>,
     icache: Option<Arc<IcacheOracle>>,
     dvi: Vec<Arc<DviOracle>>,
+    /// Recorded D-cache outcome streams, keyed by the full data-side
+    /// geometry group they were recorded for ([`SimConfig::dmem_geometry`]).
+    dcache: Vec<(DmemGeometry, Arc<DcacheOracle>)>,
 }
 
 impl RecordedOracles {
@@ -1028,7 +1060,33 @@ impl RecordedOracles {
             branches: predictor.map(|p| Arc::new(BranchOracle::record(trace, p))),
             icache: icache.map(|g| Arc::new(IcacheOracle::record(trace, g))),
             dvi: dvi_configs.iter().map(|&d| Arc::new(DviOracle::record(trace, d))).collect(),
+            dcache: Vec::new(),
         }
+    }
+
+    /// Adds a recorded D-cache outcome stream for one data-side geometry
+    /// group (normally produced by [`record_dcache_oracle`]). The sweep
+    /// runner hands the stream to members whose
+    /// [`SimConfig::dmem_geometry`] matches `geometry` exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `geometry` is not a stock-model group, or if the oracle
+    /// was recorded under a different L1D shape than `geometry` claims.
+    #[must_use]
+    pub fn with_dcache(mut self, geometry: DmemGeometry, oracle: Arc<DcacheOracle>) -> Self {
+        assert_eq!(
+            geometry.model,
+            DcacheModelKind::Stock,
+            "a D-cache oracle records the stock tag array"
+        );
+        assert_eq!(
+            oracle.geometry(),
+            geometry.dcache,
+            "the oracle was recorded under a different L1D geometry than the group key claims"
+        );
+        self.dcache.push((geometry, oracle));
+        self
     }
 
     /// Fingerprint of the trace the streams were recorded from.
@@ -1055,6 +1113,12 @@ impl RecordedOracles {
         &self.dvi
     }
 
+    /// The recorded D-cache outcome streams and their geometry-group keys.
+    #[must_use]
+    pub fn dcache(&self) -> &[(DmemGeometry, Arc<DcacheOracle>)] {
+        &self.dcache
+    }
+
     /// Serializes the bundle into an artifact container (see
     /// [`dvi_program::artifact`] for the checksummed layout).
     #[must_use]
@@ -1071,6 +1135,7 @@ impl RecordedOracles {
         meta.put_bool(self.branches.is_some());
         meta.put_bool(self.icache.is_some());
         meta.put_u64(self.dvi.len() as u64);
+        meta.put_u64(self.dcache.len() as u64);
         w.section(oracle_section::META, meta.into_bytes());
         if let Some(branches) = &self.branches {
             let mut b = ByteWriter::new();
@@ -1098,6 +1163,17 @@ impl RecordedOracles {
             }
             w.section(oracle_section::DVI, b.into_bytes());
         }
+        for (geometry, oracle) in &self.dcache {
+            let mut b = ByteWriter::new();
+            write_dmem_geometry(&mut b, *geometry);
+            b.put_u64(oracle.len() as u64);
+            for &addr in oracle.addrs() {
+                b.put_u64(addr);
+            }
+            write_packed_bits(&mut b, oracle.writes());
+            write_packed_bits(&mut b, oracle.hits());
+            w.section(oracle_section::DCACHE, b.into_bytes());
+        }
         w
     }
 
@@ -1121,6 +1197,7 @@ impl RecordedOracles {
         let has_branches = meta.bool()?;
         let has_icache = meta.bool()?;
         let dvi_count = meta.count()?;
+        let dcache_count = meta.count()?;
         meta.finish()?;
         if let Some(expected) = expected_fingerprint {
             if trace_fingerprint != expected {
@@ -1167,7 +1244,31 @@ impl RecordedOracles {
         if dvi.len() != dvi_count {
             return Err(ArtifactError::Malformed { context: "dvi oracle count".into() });
         }
-        Ok(RecordedOracles { trace_fingerprint, branches, icache, dvi })
+        let mut dcache = Vec::with_capacity(dcache_count);
+        for payload in reader.sections_with_tag(oracle_section::DCACHE) {
+            let mut b = ByteReader::new(payload, "dcache oracle");
+            let geometry = read_dmem_geometry(&mut b)?;
+            let accesses = b.count()?;
+            let mut addrs = Vec::with_capacity(accesses);
+            for _ in 0..accesses {
+                addrs.push(b.u64()?);
+            }
+            let writes = read_packed_bits(&mut b)?;
+            let hits = read_packed_bits(&mut b)?;
+            b.finish()?;
+            // Totals and the stream fingerprint are recomputed from the
+            // streams, so a parsed oracle is self-consistent by
+            // construction.
+            let oracle = DcacheOracle::from_parts(geometry.dcache, addrs, writes, hits)
+                .ok_or_else(|| ArtifactError::Malformed {
+                    context: "dcache oracle stream lengths".into(),
+                })?;
+            dcache.push((geometry, Arc::new(oracle)));
+        }
+        if dcache.len() != dcache_count {
+            return Err(ArtifactError::Malformed { context: "dcache oracle count".into() });
+        }
+        Ok(RecordedOracles { trace_fingerprint, branches, icache, dvi, dcache })
     }
 
     /// Atomically writes the bundle to `path` (temp file + rename).
@@ -1267,6 +1368,84 @@ fn read_dvi_config(r: &mut ByteReader<'_>) -> Result<DviConfig, ArtifactError> {
     })
 }
 
+fn write_dmem_geometry(w: &mut ByteWriter, g: DmemGeometry) {
+    w.put_u32(match g.model {
+        DcacheModelKind::Stock => 0,
+        DcacheModelKind::Perfect => 1,
+    });
+    write_cache_config(w, g.dcache);
+    write_cache_config(w, g.l2);
+    w.put_u64(g.memory_latency);
+}
+
+fn read_dmem_geometry(r: &mut ByteReader<'_>) -> Result<DmemGeometry, ArtifactError> {
+    let model = match r.u32()? {
+        0 => DcacheModelKind::Stock,
+        1 => DcacheModelKind::Perfect,
+        _ => return Err(ArtifactError::Malformed { context: "dcache model kind".into() }),
+    };
+    Ok(DmemGeometry {
+        model,
+        dcache: read_cache_config(r)?,
+        l2: read_cache_config(r)?,
+        memory_latency: r.u64()?,
+    })
+}
+
+fn write_packed_bits(w: &mut ByteWriter, bits: &PackedBits) {
+    w.put_u64(bits.len() as u64);
+    w.put_u64(bits.words().len() as u64);
+    for &word in bits.words() {
+        w.put_u64(word);
+    }
+}
+
+fn read_packed_bits(r: &mut ByteReader<'_>) -> Result<PackedBits, ArtifactError> {
+    let len = usize::try_from(r.u64()?)
+        .map_err(|_| ArtifactError::Malformed { context: "packed bit length".into() })?;
+    let words_len = r.count()?;
+    let mut words = Vec::with_capacity(words_len);
+    for _ in 0..words_len {
+        words.push(r.u64()?);
+    }
+    PackedBits::from_raw(words, len)
+        .ok_or_else(|| ArtifactError::Malformed { context: "packed bit words".into() })
+}
+
+/// Records a standalone D-cache oracle: one full run of `config` over
+/// `trace` with a recording tag array behind the
+/// [`dvi_mem::DataMemModel`] seam. The recording run is bit-identical to a
+/// stock run of the same member (the recorder drives a real tag array and
+/// only logs on the side); the recorded stream then replays for any member
+/// that reproduces the recording member's exact data-access stream —
+/// normally the members of its [`SimConfig::dmem_geometry`] group. Bundle
+/// the result into a [`RecordedOracles`] artifact with
+/// [`RecordedOracles::with_dcache`].
+///
+/// # Panics
+///
+/// Panics if `config` does not use the stock D-cache model, fails
+/// [`SimConfig::validate`], or deadlocks on the trace (a truncated
+/// recording must not be replayed as if complete).
+#[must_use]
+pub fn record_dcache_oracle(trace: &CapturedTrace, config: &SimConfig) -> Arc<DcacheOracle> {
+    assert_eq!(
+        config.dcache_model,
+        DcacheModelKind::Stock,
+        "a D-cache oracle records the stock tag array"
+    );
+    let (recorder, recording) = DcacheRecorder::new(config.dcache);
+    let stats = SimSession::with_dcache_model(
+        config.clone(),
+        trace.cursor(),
+        SharedTables::default(),
+        Box::new(recorder),
+    )
+    .run_to_completion();
+    assert!(!stats.deadlocked, "the D-cache recording run deadlocked; its stream is truncated");
+    Arc::new(recording.finish())
+}
+
 /// The default of [`SweepRunner::with_oracle_min_members`]: the smallest
 /// number of members sharing a recorded oracle for which the recording
 /// pays for itself. Each recording is a full extra pass over the trace
@@ -1327,6 +1506,13 @@ pub struct SweepRunner<'a> {
     /// enough members share (members whose group is smaller fall back to
     /// private live engines).
     dvi_oracles: Vec<Arc<DviOracle>>,
+    /// One recorded L1D outcome stream per qualifying data-side geometry
+    /// group ([`SweepRunner::with_dcache_oracle`]), keyed by the full
+    /// [`DmemGeometry`] the group agrees on.
+    dcache_oracles: Vec<(DmemGeometry, Arc<DcacheOracle>)>,
+    /// Whether `prepare_shared` records D-cache oracles (opt-in:
+    /// [`SweepRunner::with_dcache_oracle`]).
+    record_dcache: bool,
     /// Minimum members sharing a recording before it is worth making.
     oracle_min_members: usize,
     /// Whether members wire dispatch through the shared dependence graph
@@ -1428,6 +1614,8 @@ impl<'a> SweepRunner<'a> {
             members,
             shared,
             dvi_oracles: Vec::new(),
+            dcache_oracles: Vec::new(),
+            record_dcache: false,
             oracle_min_members: ORACLE_MIN_MEMBERS,
             use_depgraph: true,
             prepared: false,
@@ -1458,8 +1646,39 @@ impl<'a> SweepRunner<'a> {
         self.shared.branches = oracles.branches.clone();
         self.shared.icache = oracles.icache.clone();
         self.dvi_oracles = oracles.dvi.clone();
+        self.dcache_oracles = oracles.dcache.clone();
         self.products_fingerprint = Some(oracles.trace_fingerprint);
         self.preloaded_oracles = true;
+        self
+    }
+
+    /// Enables the shared D-cache oracle for this sweep (off by default):
+    /// when the sweep runs, the first member of each qualifying
+    /// stock-model geometry group ([`SweepRunner::dmem_geometry_groups`],
+    /// at least [`SweepRunner::with_oracle_min_members`] members) runs
+    /// once with a recording tag array — one extra full member-run per
+    /// group, amortized across the group — and every member of the group
+    /// then replays the recorded L1D outcomes instead of driving a
+    /// private tag array.
+    ///
+    /// The D-cache access stream is **issue-order dependent**, so a group
+    /// member whose configuration perturbs issue order (register
+    /// pressure, width, ports, DVI elimination…) may produce a different
+    /// stream than the recording member. The replay cursor checks every
+    /// access against the recorded (address, kind) stream and panics at
+    /// the first divergence; the member panic boundary then retries the
+    /// member live and reports [`MemberOutcome::Degraded`] — statistics
+    /// stay bit-identical, a diverging member only costs host time.
+    /// Measure how often members actually share their group leader's
+    /// stream with [`SweepRunner::measure_dcache_qualification`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after the sweep has started.
+    #[must_use]
+    pub fn with_dcache_oracle(mut self) -> Self {
+        assert!(!self.prepared, "enable the D-cache oracle before running the sweep");
+        self.record_dcache = true;
         self
     }
 
@@ -1632,7 +1851,11 @@ impl<'a> SweepRunner<'a> {
     /// * one **DVI oracle per distinct [`DviConfig`]** shared by at least
     ///   the threshold number of members (fig05/fig06-style sweeps vary
     ///   the DVI axis, so agreement is per group, not global); members in
-    ///   smaller groups fall back to private live engines.
+    ///   smaller groups fall back to private live engines;
+    /// * when [`SweepRunner::with_dcache_oracle`] opted in, one **D-cache
+    ///   oracle per qualifying stock-model [`DmemGeometry`] group**
+    ///   ([`SweepRunner::record_dcache_oracles`]), recorded by running the
+    ///   group's first member once with a recording tag array.
     fn prepare_shared(&mut self) {
         if self.prepared {
             return;
@@ -1666,6 +1889,7 @@ impl<'a> SweepRunner<'a> {
                 self.shared.branches = None;
                 self.shared.icache = None;
                 self.dvi_oracles.clear();
+                self.dcache_oracles.clear();
                 for slot in &mut self.members {
                     if !matches!(slot.state, MemberState::Done(_)) {
                         slot.degraded = Some(reason.clone());
@@ -1695,13 +1919,113 @@ impl<'a> SweepRunner<'a> {
             .filter(|&(_, count)| count >= self.oracle_min_members)
             .map(|(dvi, _)| Arc::new(DviOracle::record(self.trace, dvi)))
             .collect();
+        if self.record_dcache {
+            self.record_dcache_oracles();
+        }
+    }
+
+    /// Records one [`DcacheOracle`] per qualifying data-side geometry
+    /// group: stock L1D model, at least the oracle threshold of members.
+    /// The group's first member runs once with a recording tag array
+    /// substituted behind the [`dvi_mem::DataMemModel`] seam (consuming
+    /// the already-recorded trace-order oracles, so the run is itself
+    /// accelerated); the recorded (address, kind, outcome) stream then
+    /// stands in for the whole group's private tag arrays. A recording run
+    /// that panics or trips the deadlock watchdog simply leaves its group
+    /// on live tag arrays — the oracle is a host-time optimization, never
+    /// load-bearing for statistics.
+    fn record_dcache_oracles(&mut self) {
+        for (geometry, indices) in self.dmem_geometry_groups() {
+            if geometry.model != DcacheModelKind::Stock || indices.len() < self.oracle_min_members {
+                continue;
+            }
+            let config = (*self.members[indices[0]].config).clone();
+            let tables = self.tables_for(&config);
+            let trace = self.trace;
+            let (recorder, recording) = DcacheRecorder::new(config.dcache);
+            let run = catch_unwind(AssertUnwindSafe(move || {
+                SimSession::with_dcache_model(config, trace.cursor(), tables, Box::new(recorder))
+                    .run_to_completion()
+            }));
+            match run {
+                Ok(stats) if !stats.deadlocked => {
+                    self.dcache_oracles.push((geometry, Arc::new(recording.finish())));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// The qualification measurement behind the D-cache oracle's sharing
+    /// rule: instruments every member of every stock-model geometry group
+    /// with a [`DcacheFingerprinter`] — a stock tag array that additionally
+    /// folds the member's (address, kind, issue-order) data-access stream
+    /// into a [`dvi_mem::StreamFingerprint`] — runs the members live over
+    /// decode-only shared tables, and reports, per group, how many members
+    /// reproduced the group leader's exact stream.
+    ///
+    /// The resulting rate is exactly the fraction of members a recorded
+    /// [`DcacheOracle`] can serve without divergence: replay is valid iff
+    /// the member's stream is byte-for-byte the recording member's, and
+    /// the fingerprint hashes the full stream. The measurement runs every
+    /// member once (live, unaccelerated), so it costs about one full sweep
+    /// — it is a reporting/bench tool, not part of the sweep fast path.
+    /// Members that panic or deadlock under instrumentation count as
+    /// non-matching.
+    #[must_use]
+    pub fn measure_dcache_qualification(&self) -> DcacheQualification {
+        let decode = self.shared.decode.clone();
+        let mut groups = Vec::new();
+        for (geometry, indices) in self.dmem_geometry_groups() {
+            if geometry.model != DcacheModelKind::Stock {
+                continue;
+            }
+            let prints: Vec<Option<(u64, u64)>> = indices
+                .iter()
+                .map(|&i| {
+                    let config = (*self.members[i].config).clone();
+                    let tables = SharedTables { decode: decode.clone(), ..SharedTables::default() };
+                    let (model, probe) = DcacheFingerprinter::new(config.dcache);
+                    let trace = self.trace;
+                    let run = catch_unwind(AssertUnwindSafe(move || {
+                        SimSession::with_dcache_model(
+                            config,
+                            trace.cursor(),
+                            tables,
+                            Box::new(model),
+                        )
+                        .run_to_completion()
+                    }));
+                    match run {
+                        Ok(stats) if !stats.deadlocked => {
+                            let probe = probe.lock().expect("fingerprint probe poisoned");
+                            Some((probe.value(), probe.len()))
+                        }
+                        _ => None,
+                    }
+                })
+                .collect();
+            let matching = match prints.first().copied().flatten() {
+                Some(leader) => prints.iter().filter(|p| **p == Some(leader)).count(),
+                None => 0,
+            };
+            groups.push(DcacheGroupQualification { geometry, members: indices.len(), matching });
+        }
+        DcacheQualification { groups }
     }
 
     /// The shared-product bundle member `config` consumes: the globally
-    /// shared products plus its DVI group's oracle, if one was recorded.
+    /// shared products plus its DVI group's oracle and its data-side
+    /// geometry group's D-cache oracle, if recorded. The D-cache lookup
+    /// keys on the full [`DmemGeometry`] — model included — so a
+    /// [`dvi_mem::PerfectDcache`] member never receives a stock-tag-array
+    /// recording.
     fn tables_for(&self, config: &SimConfig) -> SharedTables {
         let mut tables = self.shared.clone();
         tables.dvi = self.dvi_oracles.iter().find(|o| o.config() == config.dvi).map(Arc::clone);
+        let geometry = config.dmem_geometry();
+        tables.dcache =
+            self.dcache_oracles.iter().find(|(g, _)| *g == geometry).map(|(_, o)| Arc::clone(o));
         tables
     }
 
@@ -1841,11 +2165,14 @@ impl<'a> SweepRunner<'a> {
 
     /// Groups the member indices by data-side geometry
     /// ([`SimConfig::dmem_geometry`]), in first-appearance order. Members
-    /// of one group make identical L1D hit/miss decisions for identical
-    /// access sequences — the agreement rule a future shared D-cache
-    /// product (the data-side analogue of [`IcacheOracle`]) will be
-    /// recorded and shared under, exactly as [`DviOracle`]s are grouped
-    /// per distinct [`DviConfig`] today.
+    /// of one group model identical L1 data sides — same tag-array
+    /// geometry *and* same model kind — so they make identical L1D
+    /// hit/miss decisions for identical access sequences. This is the
+    /// agreement rule the shared [`DcacheOracle`] is recorded under
+    /// ([`SweepRunner::with_dcache_oracle`]), exactly as [`DviOracle`]s
+    /// are grouped per distinct [`DviConfig`]; how often group members
+    /// actually reproduce each other's access streams is what
+    /// [`SweepRunner::measure_dcache_qualification`] measures.
     #[must_use]
     pub fn dmem_geometry_groups(&self) -> Vec<(DmemGeometry, Vec<usize>)> {
         let mut groups: Vec<(DmemGeometry, Vec<usize>)> = Vec::new();
@@ -2082,6 +2409,54 @@ impl<'a> SweepRunner<'a> {
     }
 }
 
+/// One data-side geometry group's share of a
+/// [`SweepRunner::measure_dcache_qualification`] measurement: how many of
+/// the group's members reproduced the group leader's exact data-access
+/// stream (and would therefore replay a [`DcacheOracle`] recorded by the
+/// leader without divergence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DcacheGroupQualification {
+    /// The data-side geometry the group agrees on.
+    pub geometry: DmemGeometry,
+    /// Total members in the group.
+    pub members: usize,
+    /// Members whose instrumented access-stream fingerprint matched the
+    /// group leader's (the leader itself included, so a healthy group
+    /// reports at least 1). Zero when the leader's own instrumented run
+    /// failed.
+    pub matching: usize,
+}
+
+/// Result of [`SweepRunner::measure_dcache_qualification`]: per-group
+/// stream-agreement counts for every stock-model data-side geometry group
+/// in the sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DcacheQualification {
+    /// One entry per stock-model geometry group, in
+    /// [`SweepRunner::dmem_geometry_groups`] order.
+    pub groups: Vec<DcacheGroupQualification>,
+}
+
+impl DcacheQualification {
+    /// Fraction of members (across groups with at least two members —
+    /// singleton groups have nobody to share with, so they neither help
+    /// nor hurt) that would replay their group's oracle without
+    /// divergence. `1.0` when no group is shareable at all.
+    #[must_use]
+    pub fn qualification_rate(&self) -> f64 {
+        let (mut matching, mut members) = (0usize, 0usize);
+        for group in self.groups.iter().filter(|g| g.members >= 2) {
+            matching += group.matching.min(group.members);
+            members += group.members;
+        }
+        if members == 0 {
+            1.0
+        } else {
+            matching as f64 / members as f64
+        }
+    }
+}
+
 /// One member of a parallel sweep: its configuration and product bundle,
 /// detached from the runner so whatever thread picks it up owns it whole.
 #[derive(Debug, Clone)]
@@ -2124,6 +2499,13 @@ fn integrity_check(config: &SimConfig, tables: &SharedTables) -> Result<(), Stri
         if oracle.config() != config.dvi {
             return Err(
                 "recorded DVI oracle does not match the member's DVI configuration".to_string()
+            );
+        }
+    }
+    if let Some(oracle) = &tables.dcache {
+        if oracle.geometry() != config.dcache || config.dcache_model != DcacheModelKind::Stock {
+            return Err(
+                "recorded D-cache oracle does not match the member's L1 data side".to_string()
             );
         }
     }

@@ -132,13 +132,15 @@ mod stats;
 mod window;
 
 pub use batch::{
-    sweep, sweep_parallel, BranchOracle, DviCursor, DviOracle, IcacheOracle, MemberOutcome,
-    RecordedOracles, SharedTables, SweepRunner, SweepSummary,
+    record_dcache_oracle, sweep, sweep_parallel, BranchOracle, DcacheGroupQualification,
+    DcacheQualification, DviCursor, DviOracle, IcacheOracle, MemberOutcome, RecordedOracles,
+    SharedTables, SweepRunner, SweepSummary,
 };
 pub use checkpoint::SweepCheckpoint;
 pub use config::DmemGeometry;
-pub use config::{ConfigError, SchedulerKind, SimConfig};
+pub use config::{ConfigError, DcacheModelKind, SchedulerKind, SimConfig};
 pub use dvi_engine::{DviEngine, ReclaimList};
+pub use dvi_mem::DcacheOracle;
 pub use frontend::{DecodeKind, DecodeMemo, StaticDecode, StaticDecodeTable};
 pub use fu::FuPool;
 pub use pipeline::Simulator;

@@ -39,7 +39,7 @@
 //! bit-for-bit.
 
 use crate::batch::{DviCursor, IcacheCursor, OracleCursor, SharedTables};
-use crate::config::{SchedulerKind, SimConfig};
+use crate::config::{DcacheModelKind, SchedulerKind, SimConfig};
 use crate::dvi_engine::{DviEngine, DviModel};
 use crate::frontend::{Dispatch, FetchPredictor, FrontEnd};
 use crate::fu::FuPool;
@@ -49,7 +49,7 @@ use crate::session::SimSession;
 use crate::stats::SimStats;
 use crate::window::{EntryState, WindowRing};
 use dvi_isa::{Abi, FuKind, InstrClass};
-use dvi_mem::{CachePorts, DataMemModel, MemoryHierarchy};
+use dvi_mem::{CachePorts, DataMemModel, DcacheOracleCursor, MemoryHierarchy, PerfectDcache};
 use dvi_program::{DepGraph, DynInst, InstrSource};
 use std::sync::Arc;
 
@@ -294,13 +294,24 @@ impl Core {
 
     /// [`Core::with_shared`] with an optional substitute L1-data-side
     /// model (see [`dvi_mem::DataMemModel`]): the session-level seam for a
-    /// per-member D-cache — a perfect cache for an upper-bound machine, or
-    /// a future pre-recorded D-cache oracle cursor.
+    /// per-member D-cache — a recording instrument, a fingerprint probe,
+    /// or any explicit stand-in. When no explicit model is given and the
+    /// shared tables carry a D-cache oracle, the member replays the
+    /// recorded L1D outcomes through a [`DcacheOracleCursor`] instead of
+    /// driving a private tag array.
     pub(crate) fn with_shared_and_dcache(
         config: SimConfig,
         tables: SharedTables,
         dcache: Option<Box<dyn DataMemModel>>,
     ) -> Core {
+        // An explicit model wins over the shared oracle: recording and
+        // qualification runs pass instruments here while consuming the
+        // rest of the shared bundle.
+        let dcache = dcache.or_else(|| {
+            tables.dcache.as_ref().map(|oracle| {
+                Box::new(DcacheOracleCursor::new(Arc::clone(oracle))) as Box<dyn DataMemModel>
+            })
+        });
         let pred = match tables.branches {
             Some(oracle) => FetchPredictor::Oracle(OracleCursor::new(oracle)),
             None => FetchPredictor::live(config.predictor),
@@ -339,6 +350,8 @@ impl Core {
             MemoryHierarchy::new(config.icache, config.dcache, config.l2, config.memory_latency);
         if let Some(model) = dcache {
             mem = mem.with_dcache_model(model);
+        } else if config.dcache_model == DcacheModelKind::Perfect {
+            mem = mem.with_dcache_model(Box::new(PerfectDcache::new(config.dcache.latency)));
         }
         // The longest schedulable latency is a load missing every level.
         let max_latency = config.dcache.latency + config.l2.latency + config.memory_latency + 64;

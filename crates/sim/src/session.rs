@@ -73,9 +73,13 @@ impl<S: InstrSource> SimSession<S> {
     /// place of a live branch predictor, an [`crate::IcacheOracle`]
     /// bitstream in place of the private L1I tag array, a
     /// [`dvi_program::DepGraph`] wiring dispatch directly to producer
-    /// window entries in place of alias-table source renaming, and/or a
+    /// window entries in place of alias-table source renaming, a
     /// [`crate::DviOracle`] event stream in place of the live decode-stage
-    /// DVI machinery. All leave the modelled machine bit-identical;
+    /// DVI machinery, and/or a [`crate::DcacheOracle`] in place of the
+    /// private L1D tag array (valid only for members that reproduce the
+    /// recording member's exact data-access stream — the replay cursor
+    /// checks every access and panics on divergence rather than replay
+    /// wrong outcomes). All leave the modelled machine bit-identical;
     /// [`crate::batch::SweepRunner`] uses this to share the products
     /// across every member of a sweep.
     ///
@@ -112,6 +116,19 @@ impl<S: InstrSource> SimSession<S> {
                 "DVI oracle was recorded under a different DVI configuration"
             );
         }
+        if let Some(oracle) = &tables.dcache {
+            assert_eq!(
+                oracle.geometry(),
+                config.dcache,
+                "D-cache oracle was recorded under a different L1D geometry"
+            );
+            assert_eq!(
+                config.dcache_model,
+                crate::config::DcacheModelKind::Stock,
+                "D-cache oracle replays a stock tag array; this member models a \
+                 different L1 data side"
+            );
+        }
         SimSession::from_core(Core::with_shared(config, tables), source)
     }
 
@@ -124,11 +141,13 @@ impl<S: InstrSource> SimSession<S> {
     /// [`SharedTables::default`] for a fully private session).
     ///
     /// Substituting a model that makes the same hit/miss decisions (a
-    /// fresh [`dvi_mem::CacheLevel`] of the member's own geometry — or,
-    /// the design target, a pre-recorded D-cache oracle cursor) leaves
+    /// fresh [`dvi_mem::CacheLevel`] of the member's own geometry, a
+    /// [`dvi_mem::DcacheRecorder`]/[`dvi_mem::DcacheFingerprinter`]
+    /// instrument, or a matching [`dvi_mem::DcacheOracleCursor`]) leaves
     /// the statistics bit-identical; any other model simulates a
     /// different machine on purpose (e.g. [`dvi_mem::PerfectDcache`] for
-    /// an upper-bound run).
+    /// an upper-bound run). An explicit model here wins over a D-cache
+    /// oracle in `tables`.
     ///
     /// # Panics
     ///

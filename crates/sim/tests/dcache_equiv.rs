@@ -1,0 +1,296 @@
+//! D-cache-oracle differential tests.
+//!
+//! The shared D-cache oracle (`SweepRunner::with_dcache_oracle`) replays a
+//! recorded L1D outcome stream into every member of a data-side geometry
+//! group — but unlike the branch/I-cache/DVI oracles, the D-cache access
+//! stream depends on *issue order*, so a member may legitimately diverge
+//! from the recording member. The contract these tests lock down is
+//! therefore two-sided:
+//!
+//! * **bit-identity** — whatever mix of replayed, diverged-and-retried and
+//!   oracle-less members a sweep ends up with, per-member `SimStats` are
+//!   bit-identical to serial `Simulator::run(trace.replay())` runs, across
+//!   the full Figure 10 workload mix with a heterogeneous-geometry grid
+//!   and across random presets × grids × thread counts (proptest);
+//! * **graceful degradation** — a member whose access stream diverges from
+//!   the recorded one (forced here with a corrupted oracle bundle) is
+//!   reported as `MemberOutcome::Degraded` with correct live-retry
+//!   statistics, never as wrong replayed statistics;
+//!
+//! plus the grouping regression (`PerfectDcache` members must not share a
+//! geometry group with stock-L1D members of the same shape) and the
+//! qualification measurement (`SweepRunner::measure_dcache_qualification`)
+//! being deterministic and exact for replicated grids.
+
+use dvi_core::DviConfig;
+use dvi_isa::Abi;
+use dvi_mem::{CacheConfig, DcacheOracle, PackedBits};
+use dvi_program::{CapturedTrace, LayoutProgram};
+use dvi_sim::{
+    DcacheModelKind, MemberOutcome, RecordedOracles, SimConfig, SimStats, Simulator, SweepRunner,
+};
+use dvi_workloads::{presets, WorkloadSpec};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn edvi_layout(spec: &WorkloadSpec) -> LayoutProgram {
+    let program = dvi_workloads::generate(spec);
+    let abi = Abi::mips_like();
+    let compiled = dvi_compiler::compile(&program, &abi, dvi_compiler::CompileOptions::default())
+        .expect("workload compiles");
+    compiled.program.layout().expect("binary lays out")
+}
+
+/// A second L1D shape for heterogeneous grids: half the size, half the
+/// associativity of the paper's 64KB 4-way L1D.
+fn small_l1d() -> CacheConfig {
+    CacheConfig { size_bytes: 32 * 1024, associativity: 2, ..CacheConfig::micro97_l1d() }
+}
+
+/// Asserts that one oracle-enabled batched pass over `trace` matches
+/// serial replays of the same grid, config for config and bit for bit —
+/// regardless of which members replayed the oracle and which diverged into
+/// a degraded live retry. No member may be lost to `Panicked` or
+/// `Deadlocked`.
+fn assert_dcache_oracle_equivalent(trace: &CapturedTrace, grid: &[SimConfig], context: &str) {
+    let outcomes =
+        SweepRunner::new(trace, grid.iter().cloned()).with_dcache_oracle().run_outcomes();
+    assert_eq!(outcomes.len(), grid.len());
+    let serial: Vec<SimStats> =
+        grid.iter().map(|config| Simulator::new(config.clone()).run(trace.replay())).collect();
+    for (i, (outcome, serial)) in outcomes.iter().zip(&serial).enumerate() {
+        assert!(
+            outcome.is_complete(),
+            "{context}: member {i} did not complete under the D-cache oracle: {outcome}"
+        );
+        assert_eq!(
+            outcome.stats(),
+            Some(serial),
+            "{context}: oracle-enabled batched stats diverge from the serial replay for \
+             grid member {i}"
+        );
+    }
+}
+
+/// A grid that varies the data side itself alongside back-end pressure:
+/// two stock L1D shapes, a perfect-D-cache member, and register-file /
+/// port / DVI variation inside each geometry group.
+fn heterogeneous_geometry_grid() -> Vec<SimConfig> {
+    let small = |config: SimConfig| SimConfig { dcache: small_l1d(), ..config };
+    vec![
+        // Group 1: paper L1D, stock model.
+        SimConfig::micro97(),
+        SimConfig::micro97().with_dvi(DviConfig::full()),
+        SimConfig::micro97().with_phys_regs(48),
+        SimConfig::micro97().with_cache_ports(1),
+        // Group 2: halved L1D, stock model.
+        small(SimConfig::micro97()),
+        small(SimConfig::micro97().with_dvi(DviConfig::full())),
+        small(SimConfig::micro97().with_phys_regs(40)),
+        // Group 3: perfect D-cache — same *shape* as group 1 but a
+        // different model, so it must not consume group 1's oracle.
+        SimConfig::micro97().with_perfect_dcache(),
+    ]
+}
+
+/// The acceptance-criterion test: across the Figure 10 workload mix, an
+/// oracle-enabled batched pass with a heterogeneous-geometry grid produces
+/// `SimStats` bit-identical to serial replays.
+#[test]
+fn fig10_mix_dcache_oracle_sweep_is_bit_identical_to_serial_replays() {
+    const STEPS: u64 = 15_000;
+    let grid = heterogeneous_geometry_grid();
+    for spec in presets::save_restore_suite() {
+        let layout = edvi_layout(&spec);
+        let trace = CapturedTrace::record(&layout, STEPS);
+        assert!(!trace.is_empty(), "{}: capture produced an empty trace", spec.name);
+        assert_dcache_oracle_equivalent(&trace, &grid, &spec.name);
+    }
+}
+
+/// A replicated-identical-configuration group is the oracle's best case:
+/// every member reproduces the recording member's access stream exactly,
+/// so replay must succeed for all of them — `Ok`, not `Degraded` — with
+/// bit-identical statistics.
+#[test]
+fn replicated_group_replays_the_oracle_without_degradation() {
+    let layout = edvi_layout(&presets::perl_like());
+    let trace = CapturedTrace::record(&layout, 12_000);
+    let config = SimConfig::micro97().with_dvi(DviConfig::full());
+    let grid = [config.clone(), config.clone(), config];
+    let outcomes =
+        SweepRunner::new(&trace, grid.iter().cloned()).with_dcache_oracle().run_outcomes();
+    let serial = Simulator::new(grid[0].clone()).run(trace.replay());
+    for (i, outcome) in outcomes.iter().enumerate() {
+        let MemberOutcome::Ok(stats) = outcome else {
+            panic!("replicated member {i} should replay the oracle cleanly, got: {outcome}");
+        };
+        assert_eq!(stats, &serial, "replicated member {i} diverges from the serial replay");
+    }
+}
+
+/// Forced divergence: a corrupted oracle bundle (a one-access stream that
+/// cannot possibly match any real run) must degrade every stock member to
+/// a live retry with *correct* statistics — wrong replayed statistics are
+/// the one unacceptable outcome.
+#[test]
+fn corrupted_oracle_stream_degrades_to_live_not_wrong_replay() {
+    let layout = edvi_layout(&WorkloadSpec::small("diverge", 5));
+    let trace = CapturedTrace::record(&layout, 8_000);
+    let grid =
+        [SimConfig::micro97(), SimConfig::micro97(), SimConfig::micro97().with_phys_regs(48)];
+
+    let mut writes = PackedBits::default();
+    writes.push(false);
+    let mut hits = PackedBits::default();
+    hits.push(true);
+    let bogus = DcacheOracle::from_parts(grid[0].dcache, vec![0xdead_beef_0000], writes, hits)
+        .expect("a well-formed (if useless) one-access stream");
+    let bundle = RecordedOracles::record(&trace, None, None, &[])
+        .with_dcache(grid[0].dmem_geometry(), Arc::new(bogus));
+
+    let outcomes = SweepRunner::new(&trace, grid.iter().cloned())
+        .with_recorded_oracles(&bundle)
+        .run_outcomes();
+    let serial: Vec<SimStats> =
+        grid.iter().map(|config| Simulator::new(config.clone()).run(trace.replay())).collect();
+    for (i, (outcome, serial)) in outcomes.iter().zip(&serial).enumerate() {
+        let MemberOutcome::Degraded { stats, reason } = outcome else {
+            panic!("member {i} should degrade on the corrupted oracle, got: {outcome}");
+        };
+        assert!(
+            reason.contains("D-cache oracle"),
+            "member {i}: degradation reason should name the diverging oracle, got: {reason}"
+        );
+        assert_eq!(stats, serial, "member {i}: degraded retry must match the serial replay");
+    }
+}
+
+/// Grouping regression: `PerfectDcache` members share an L1D *shape* with
+/// stock members but not hit/miss behaviour — `dmem_geometry_groups` must
+/// key on the model, never hand a perfect member a stock recording.
+#[test]
+fn perfect_dcache_members_get_their_own_geometry_group() {
+    let layout = edvi_layout(&WorkloadSpec::small("grouping", 3));
+    let trace = CapturedTrace::record(&layout, 4_000);
+    let grid = [
+        SimConfig::micro97(),
+        SimConfig::micro97().with_perfect_dcache(),
+        SimConfig::micro97(),
+        SimConfig::micro97().with_perfect_dcache(),
+    ];
+    let runner = SweepRunner::new(&trace, grid.iter().cloned());
+    let groups = runner.dmem_geometry_groups();
+    assert_eq!(groups.len(), 2, "stock and perfect members must not share a group");
+    assert_eq!(groups[0].0.model, DcacheModelKind::Stock);
+    assert_eq!(groups[0].1, vec![0, 2]);
+    assert_eq!(groups[1].0.model, DcacheModelKind::Perfect);
+    assert_eq!(groups[1].1, vec![1, 3]);
+    // And the perfect members really do model a different machine: fewer
+    // (or equal) total cycles than the stock members, never the same
+    // D-cache miss count on a trace with any misses.
+    let stats = runner.with_dcache_oracle().run();
+    assert_eq!(stats[0], stats[2], "replicated stock members must agree");
+    assert_eq!(stats[1], stats[3], "replicated perfect members must agree");
+    assert_eq!(stats[1].memory.l1d.misses, 0, "a perfect D-cache never misses");
+}
+
+/// The qualification measurement is deterministic, reports every stock
+/// group, and scores a replicated group at exactly 1.0 — identical
+/// configurations reproduce each other's access streams by construction.
+#[test]
+fn qualification_measurement_is_deterministic_and_exact_for_replicated_groups() {
+    let layout = edvi_layout(&presets::perl_like());
+    let trace = CapturedTrace::record(&layout, 10_000);
+    let config = SimConfig::micro97().with_dvi(DviConfig::full());
+    let grid = [
+        config.clone(),
+        config.clone(),
+        config,
+        SimConfig::micro97().with_perfect_dcache(),
+        SimConfig { dcache: small_l1d(), ..SimConfig::micro97() },
+    ];
+    let runner = SweepRunner::new(&trace, grid.iter().cloned());
+    let first = runner.measure_dcache_qualification();
+    let second = runner.measure_dcache_qualification();
+    assert_eq!(first, second, "the measurement must be deterministic");
+    // Two stock groups (the perfect member is excluded from measurement).
+    assert_eq!(first.groups.len(), 2);
+    assert_eq!(first.groups[0].members, 3);
+    assert_eq!(
+        first.groups[0].matching, 3,
+        "a replicated group reproduces its leader's stream exactly"
+    );
+    assert_eq!(first.groups[1].members, 1, "the off-geometry member is its own group");
+    // The singleton group has nobody to share with; the rate covers only
+    // the replicated group and is exactly 1.
+    assert!((first.qualification_rate() - 1.0).abs() < f64::EPSILON);
+}
+
+fn dvi_scheme(index: u8) -> DviConfig {
+    match index % 5 {
+        0 => DviConfig::none(),
+        1 => DviConfig::idvi_only(),
+        2 => DviConfig::lvm_scheme(),
+        3 => DviConfig::lvm_stack_scheme(),
+        _ => DviConfig::full(),
+    }
+}
+
+/// One pseudo-random grid member over the axes the D-cache oracle cares
+/// about: two L1D shapes, the perfect-model escape hatch, and back-end
+/// pressure (register-file size, ports, DVI scheme) that perturbs issue
+/// order within a geometry group.
+fn grid_member(bits: u64) -> SimConfig {
+    let phys_regs = 34 + (bits % 63) as usize; // 34..=96
+    let ports = 1 + ((bits >> 8) % 3) as usize; // 1..=3
+    #[allow(clippy::cast_possible_truncation)]
+    let scheme = (bits >> 16) as u8;
+    let mut config = SimConfig::micro97()
+        .with_phys_regs(phys_regs)
+        .with_cache_ports(ports)
+        .with_dvi(dvi_scheme(scheme));
+    if (bits >> 24) & 1 == 1 {
+        config = SimConfig { dcache: small_l1d(), ..config };
+    }
+    if (bits >> 25) & 3 == 3 {
+        config = config.with_perfect_dcache();
+    }
+    config
+}
+
+proptest! {
+    #[test]
+    fn dcache_oracle_sweep_matches_serial_for_random_presets_grids_and_threads(
+        preset in 0usize..7,
+        seed in any::<u64>(),
+        members in proptest::collection::vec(any::<u64>(), 3..8),
+        threads in 1usize..5,
+    ) {
+        let spec = presets::by_index(preset).with_seed(seed).with_outer_iterations(3);
+        let layout = edvi_layout(&spec);
+        let trace = CapturedTrace::record(&layout, 2_000);
+        let grid: Vec<SimConfig> = members.into_iter().map(grid_member).collect();
+        let serial: Vec<SimStats> = grid
+            .iter()
+            .map(|config| Simulator::new(config.clone()).run(trace.replay()))
+            .collect();
+        // Threshold 1 so even tiny random groups record an oracle — more
+        // replay coverage per case, not less.
+        let outcomes = SweepRunner::new(&trace, grid.iter().cloned())
+            .with_oracle_min_members(1)
+            .with_dcache_oracle()
+            .run_parallel_threads_outcomes(threads);
+        for (i, (outcome, serial)) in outcomes.iter().zip(&serial).enumerate() {
+            prop_assert!(
+                outcome.is_complete(),
+                "{}: member {i} did not complete: {outcome}", spec.name
+            );
+            prop_assert_eq!(
+                outcome.stats(),
+                Some(serial),
+                "{}: member {i} diverges from the serial replay", spec.name
+            );
+        }
+    }
+}

@@ -126,8 +126,9 @@ fn builder_options_compose_with_run_parallel() {
 }
 
 /// `dmem_geometry_groups` clusters members exactly by the data-side axes
-/// (L1D + L2 + memory latency) and ignores everything else — the
-/// agreement rule a future shared D-cache product is recorded under.
+/// (L1D model + L1D + L2 + memory latency) and ignores everything else —
+/// the agreement rule the shared D-cache oracle is recorded under
+/// (`tests/dcache_equiv.rs` locks the model axis and the oracle itself).
 #[test]
 fn dmem_geometry_groups_cluster_by_data_side_axes() {
     let layout = edvi_layout(&WorkloadSpec::small("geometry", 3));

@@ -16,8 +16,8 @@ use dvi_core::DviConfig;
 use dvi_isa::Abi;
 use dvi_program::{CapturedTrace, Interpreter, LayoutProgram};
 use dvi_sim::{
-    BranchOracle, DviOracle, IcacheOracle, SchedulerKind, SharedTables, SimConfig, SimSession,
-    SimStats, Simulator, StaticDecodeTable,
+    record_dcache_oracle, BranchOracle, DviOracle, IcacheOracle, SchedulerKind, SharedTables,
+    SimConfig, SimSession, SimStats, Simulator, StaticDecodeTable,
 };
 use dvi_workloads::{presets, WorkloadSpec};
 use proptest::prelude::*;
@@ -78,9 +78,10 @@ fn assert_replay_equivalent(
 
 /// The depgraph path: a serial session consuming *every* precomputed
 /// trace-pure product — decode table, branch and I-cache oracles, the
-/// dependence graph (producer-link dispatch wiring) and the DVI oracle —
-/// must still be bit-identical to live interpretation (`expected` is the
-/// live event-driven run the caller already produced).
+/// dependence graph (producer-link dispatch wiring), the DVI oracle and
+/// the D-cache oracle — must still be bit-identical to live
+/// interpretation (`expected` is the live event-driven run the caller
+/// already produced).
 fn assert_shared_products_equivalent(
     trace: &CapturedTrace,
     config: &SimConfig,
@@ -89,19 +90,17 @@ fn assert_shared_products_equivalent(
 ) {
     let mut owned = trace.clone();
     let depgraph = owned.build_depgraph();
+    let replay_config = config.clone().with_scheduler(SchedulerKind::EventDriven);
     let tables = SharedTables {
         decode: Some(Arc::new(StaticDecodeTable::for_trace(&owned))),
         branches: Some(Arc::new(BranchOracle::record(&owned, config.predictor))),
         icache: Some(Arc::new(IcacheOracle::record(&owned, config.icache))),
         depgraph: Some(depgraph),
         dvi: Some(Arc::new(DviOracle::record(&owned, config.dvi))),
+        dcache: Some(record_dcache_oracle(&owned, &replay_config)),
     };
-    let shared = SimSession::with_shared_tables(
-        config.clone().with_scheduler(SchedulerKind::EventDriven),
-        owned.cursor(),
-        tables,
-    )
-    .run_to_completion();
+    let shared =
+        SimSession::with_shared_tables(replay_config, owned.cursor(), tables).run_to_completion();
     assert_eq!(
         expected, &shared,
         "{context}: shared-products session diverges from live interpretation"
