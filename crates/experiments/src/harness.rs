@@ -215,11 +215,27 @@ pub fn sweep_outcomes(
 /// cores — the fault-isolated counterpart of [`sweep_parallel`]. A worker
 /// thread dying no longer takes the run down: its members come back as
 /// [`MemberOutcome::Panicked`].
+///
+/// When the `DVI_RESULT_CACHE` environment variable names a directory,
+/// the sweep routes through the service layer's content-addressed result
+/// cache (`dvi_service::cached_sweep`): members already memoized under
+/// (trace fingerprint, config fingerprint) are served from disk, the rest
+/// simulate and are stored. Outcomes are bit-identical either way —
+/// memoization rests on the same purity invariant as replay and resume —
+/// so the figure drivers' golden fixtures hold with the cache on or off.
 #[must_use]
 pub fn sweep_parallel_outcomes(
     trace: &CapturedTrace,
     configs: impl IntoIterator<Item = SimConfig>,
 ) -> Vec<MemberOutcome> {
+    let configs: Vec<SimConfig> = configs.into_iter().collect();
+    if let Ok(dir) = std::env::var("DVI_RESULT_CACHE") {
+        if !dir.is_empty() {
+            if let Ok(cache) = dvi_service::ResultCache::open(dir) {
+                return dvi_service::cached_sweep(trace, &configs, &cache);
+            }
+        }
+    }
     SweepRunner::new(trace, configs).run_parallel_outcomes()
 }
 

@@ -251,6 +251,14 @@ impl ByteWriter {
         self.buf.push(u8::from(v));
     }
 
+    /// Appends a UTF-8 string as a `u64` byte-length prefix followed by
+    /// the raw bytes (the container-wide string encoding; read back with
+    /// [`ByteReader::str`]).
+    pub fn put_str(&mut self, v: &str) {
+        self.put_u64(v.len() as u64);
+        self.put_bytes(v.as_bytes());
+    }
+
     /// The encoded payload.
     #[must_use]
     pub fn into_bytes(self) -> Vec<u8> {
@@ -316,6 +324,17 @@ impl<'a> ByteReader<'a> {
                 context: format!("{}: byte {other} is not a bool", self.context),
             }),
         }
+    }
+
+    /// Reads a length-prefixed UTF-8 string written by
+    /// [`ByteWriter::put_str`]; invalid UTF-8 is
+    /// [`ArtifactError::Malformed`].
+    pub fn str(&mut self) -> Result<String, ArtifactError> {
+        let len = self.count()?;
+        let bytes = self.bytes(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ArtifactError::Malformed {
+            context: format!("{}: non-UTF-8 string", self.context),
+        })
     }
 
     /// Reads a `u64` count/length prefix and narrows it to `usize`.
@@ -592,6 +611,25 @@ mod tests {
         assert!(r.bool().unwrap());
         assert_eq!(r.bytes(3).unwrap(), &[1, 2, 3]);
         r.finish().unwrap();
+    }
+
+    #[test]
+    fn strings_roundtrip_and_bad_utf8_is_typed() {
+        let mut w = ByteWriter::new();
+        w.put_str("");
+        w.put_str("memoized sweep results — keyed by fingerprints");
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes, "strings");
+        assert_eq!(r.str().unwrap(), "");
+        assert_eq!(r.str().unwrap(), "memoized sweep results — keyed by fingerprints");
+        r.finish().unwrap();
+
+        let mut w = ByteWriter::new();
+        w.put_u64(2);
+        w.put_bytes(&[0xFF, 0xFE]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes, "bad utf8");
+        assert!(matches!(r.str(), Err(ArtifactError::Malformed { .. })));
     }
 
     #[test]

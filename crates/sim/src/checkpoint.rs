@@ -185,8 +185,12 @@ impl SweepCheckpoint {
     }
 }
 
-/// Serializes a member outcome (tag byte + payload).
-pub(crate) fn write_outcome(w: &mut ByteWriter, outcome: &MemberOutcome) {
+/// Serializes a member outcome (tag byte + payload) into a section
+/// payload. Public because the sweep service's result cache memoizes
+/// per-member outcomes on disk in exactly the checkpoint encoding — one
+/// serializer means a cache entry and a checkpoint member can never
+/// disagree about what a stored outcome looks like.
+pub fn write_outcome(w: &mut ByteWriter, outcome: &MemberOutcome) {
     match outcome {
         MemberOutcome::Ok(stats) => {
             w.put_u8(0);
@@ -211,7 +215,13 @@ pub(crate) fn write_outcome(w: &mut ByteWriter, outcome: &MemberOutcome) {
 }
 
 /// Reads an outcome written by [`write_outcome`].
-pub(crate) fn read_outcome(r: &mut ByteReader<'_>) -> Result<MemberOutcome, ArtifactError> {
+///
+/// # Errors
+///
+/// [`ArtifactError::TruncatedArtifact`] when the payload ends early and
+/// [`ArtifactError::Malformed`] on an unknown outcome tag or an internally
+/// inconsistent payload.
+pub fn read_outcome(r: &mut ByteReader<'_>) -> Result<MemberOutcome, ArtifactError> {
     match r.u8()? {
         0 => Ok(MemberOutcome::Ok(read_stats(r)?)),
         1 => {
@@ -232,15 +242,11 @@ pub(crate) fn read_outcome(r: &mut ByteReader<'_>) -> Result<MemberOutcome, Arti
 }
 
 fn write_string(w: &mut ByteWriter, s: &str) {
-    w.put_u64(s.len() as u64);
-    w.put_bytes(s.as_bytes());
+    w.put_str(s);
 }
 
 fn read_string(r: &mut ByteReader<'_>) -> Result<String, ArtifactError> {
-    let len = r.count()?;
-    let bytes = r.bytes(len)?;
-    String::from_utf8(bytes.to_vec())
-        .map_err(|_| ArtifactError::Malformed { context: "non-UTF-8 string".into() })
+    r.str()
 }
 
 /// Serializes a complete [`SimStats`] field by field (fixed-width
@@ -480,5 +486,84 @@ mod tests {
         let base = SimConfig::micro97();
         assert_eq!(config_fingerprint(&base), config_fingerprint(&SimConfig::micro97()));
         assert_ne!(config_fingerprint(&base), config_fingerprint(&base.clone().with_phys_regs(48)));
+    }
+
+    /// The result cache keys memoized statistics by [`config_fingerprint`],
+    /// so a configuration field the fingerprint does not cover would let
+    /// two *different* machines share one cache entry — silently wrong
+    /// statistics. The fingerprint hashes the complete `Debug` rendering,
+    /// which covers a field exactly when that rendering names it. This
+    /// test pins both halves of that argument:
+    ///
+    /// * the exhaustive destructure (no `..`) fails to **compile** when a
+    ///   field is added to [`SimConfig`], forcing this list — and with it
+    ///   the coverage check below — to be extended;
+    /// * the rendering check fails when a hand-written `Debug`
+    ///   implementation ever replaces the derive and drops a field.
+    #[test]
+    fn config_fingerprint_covers_every_simconfig_field() {
+        let config = SimConfig::micro97();
+        let SimConfig {
+            fetch_width: _,
+            decode_width: _,
+            issue_width: _,
+            commit_width: _,
+            window_size: _,
+            fetch_queue: _,
+            phys_regs: _,
+            int_alu_units: _,
+            int_mul_units: _,
+            cache_ports: _,
+            mispredict_penalty: _,
+            icache: _,
+            dcache: _,
+            dcache_model: _,
+            l2: _,
+            memory_latency: _,
+            predictor: _,
+            dvi: _,
+            scheduler: _,
+        } = config.clone();
+        let rendered = format!("{config:?}");
+        for field in [
+            "fetch_width",
+            "decode_width",
+            "issue_width",
+            "commit_width",
+            "window_size",
+            "fetch_queue",
+            "phys_regs",
+            "int_alu_units",
+            "int_mul_units",
+            "cache_ports",
+            "mispredict_penalty",
+            "icache",
+            "dcache",
+            "dcache_model",
+            "l2",
+            "memory_latency",
+            "predictor",
+            "dvi",
+            "scheduler",
+        ] {
+            assert!(
+                rendered.contains(field),
+                "the fingerprint's Debug rendering does not cover `{field}` — \
+                 extend the fingerprint before trusting the result cache"
+            );
+        }
+    }
+
+    #[test]
+    fn outcome_serialization_is_reusable_outside_checkpoints() {
+        // The result cache calls the outcome serializer directly; lock the
+        // standalone (non-checkpoint) round trip.
+        let outcome = MemberOutcome::Ok(sample_stats(31));
+        let mut w = ByteWriter::new();
+        write_outcome(&mut w, &outcome);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes, "standalone outcome");
+        assert_eq!(read_outcome(&mut r).expect("roundtrips"), outcome);
+        r.finish().expect("no trailing bytes");
     }
 }
