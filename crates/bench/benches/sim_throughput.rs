@@ -204,6 +204,9 @@ struct Mix {
     capture_seconds: f64,
     /// Wall-clock seconds the one-off dependence-graph builds took.
     depgraph_seconds: f64,
+    /// Wall-clock seconds the one-off dispatch-group fusion-table builds
+    /// took (one 4-wide table per trace, amortized like capture).
+    fusion_seconds: f64,
     /// Wall-clock seconds recording the remaining shared products took
     /// (decode table, branch/I-cache/DVI oracles).
     precompute_seconds: f64,
@@ -223,6 +226,11 @@ impl Mix {
         let depgraph_seconds = start.elapsed().as_secs_f64();
         let reference = narrow_machine();
         let start = Instant::now();
+        for trace in &mut traces {
+            trace.build_fusion(reference.decode_width);
+        }
+        let fusion_seconds = start.elapsed().as_secs_f64();
+        let start = Instant::now();
         let shared = traces
             .iter()
             .map(|trace| SharedTables {
@@ -235,11 +243,82 @@ impl Mix {
                 // products only; the issue-order D-cache oracle has its
                 // own A/B (`dcache_oracle_vs_live_ratio`).
                 dcache: None,
+                // The headline replay_shared stays on the slow dispatch
+                // loop; dispatch-group fusion has its own interleaved A/B
+                // (`fusion_vs_live_ratio`) against exactly this baseline.
+                fusion: None,
             })
             .collect();
         let precompute_seconds = start.elapsed().as_secs_f64();
-        Mix { layouts, traces, shared, capture_seconds, depgraph_seconds, precompute_seconds }
+        Mix {
+            layouts,
+            traces,
+            shared,
+            capture_seconds,
+            depgraph_seconds,
+            fusion_seconds,
+            precompute_seconds,
+        }
     }
+}
+
+/// Interleaved A/B of the serial all-products path with and without
+/// dispatch-group fusion on the narrow machine, as a throughput ratio
+/// (>1: fused dispatch was faster) plus the measured fast-path coverage
+/// (fused records / dispatched records over the whole mix). Both sides
+/// run the identical shared bundle — the fused side just attaches the
+/// mix's precomputed 4-wide fusion tables — and bit-identity is asserted
+/// on full `SimStats` before anything is timed, so the bench-smoke CI
+/// job also regression-tests the fusion purity invariant.
+fn fusion_vs_live_ratio(mix: &Mix, config: &SimConfig) -> (f64, f64) {
+    let fused: Vec<SharedTables> = mix
+        .traces
+        .iter()
+        .zip(&mix.shared)
+        .map(|(trace, shared)| {
+            let mut tables = shared.clone();
+            tables.fusion = trace.fusion_for(config.decode_width).cloned();
+            assert!(tables.fusion.is_some(), "the mix precomputes 4-wide fusion tables");
+            tables
+        })
+        .collect();
+    let run = |tables: &[SharedTables]| -> u64 {
+        mix.traces
+            .iter()
+            .zip(tables)
+            .map(|(trace, tables)| {
+                SimSession::with_shared_tables(config.clone(), trace.cursor(), tables.clone())
+                    .run_to_completion()
+                    .program_instrs
+            })
+            .sum()
+    };
+    let (mut fused_records, mut fallback_records) = (0u64, 0u64);
+    for ((trace, shared), fused) in mix.traces.iter().zip(&mix.shared).zip(&fused) {
+        let live = SimSession::with_shared_tables(config.clone(), trace.cursor(), shared.clone())
+            .run_to_completion();
+        let fast = SimSession::with_shared_tables(config.clone(), trace.cursor(), fused.clone())
+            .run_to_completion();
+        assert_eq!(live, fast, "fused dispatch diverged from the slow loop");
+        assert!(
+            fast.fusion.fused_records > 0,
+            "the fused side must actually exercise the fast path"
+        );
+        fused_records += fast.fusion.fused_records;
+        fallback_records += fast.fusion.fallback_records;
+    }
+    let coverage = fused_records as f64 / (fused_records + fallback_records) as f64;
+    let mut best = [f64::MAX; 2];
+    for _ in 0..reps() {
+        let start = Instant::now();
+        let live = run(&mix.shared);
+        best[0] = best[0].min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        let with_fusion = run(&fused);
+        best[1] = best[1].min(start.elapsed().as_secs_f64());
+        assert_eq!(live, with_fusion, "both sides must simulate the same instructions");
+    }
+    (best[0] / best[1], coverage)
 }
 
 /// Runs the whole mix once, returning simulated instructions.
@@ -687,6 +766,8 @@ fn write_json(
     sweep: &SweepResult,
     service: &ServiceBenchResult,
     mix: &Mix,
+    fusion_vs_live: f64,
+    fused_coverage: f64,
 ) -> std::io::Result<()> {
     let path =
         std::env::var("BENCH_JSON_PATH").unwrap_or_else(|_| "BENCH_sim_throughput.json".to_owned());
@@ -732,8 +813,14 @@ fn write_json(
         f,
         "  \"backend\": {{\"soa_ns_per_instr\": {this_run_soa_ns:.2}, \
          \"ab_soa_ns_per_instr\": {soa_ns:.2}, \"ab_pr4_ns_per_instr\": {pr4_ns:.2}, \
-         \"soa_vs_pr4\": {:.3}, \"method\": \"pinned alternating-binary A/B (see bench docs)\"}},",
+         \"soa_vs_pr4\": {:.3}, \"fusion_vs_live\": {fusion_vs_live:.3}, \
+         \"method\": \"pinned alternating-binary A/B (see bench docs)\"}},",
         pr4_ns / soa_ns,
+    )?;
+    writeln!(
+        f,
+        "  \"fusion\": {{\"table_build_seconds\": {:.4}, \"fused_coverage\": {fused_coverage:.3}}},",
+        mix.fusion_seconds
     )?;
     writeln!(
         f,
@@ -823,6 +910,7 @@ fn bench(c: &mut Criterion) {
     // batching regression test.
     let grid = sweep_grid();
     verify_sweep_equivalence(&mix, &grid);
+    let (fusion_vs_live, fused_coverage) = fusion_vs_live_ratio(&mix, &machines[0].1);
     let (serial_mips, batch_mips, parallel_mips) = sweep_mips(&mix, &grid);
     let checkpoint_overhead = checkpoint_overhead_ratio();
     let dcache_oracle_vs_live = dcache_oracle_vs_live_ratio(&mix, &grid);
@@ -894,8 +982,15 @@ fn bench(c: &mut Criterion) {
          against the pin is host noise, re-run the A/B before reading anything into it)",
         pr4_ns / soa_ns,
     );
+    println!(
+        "sim_throughput/backend/fusion_vs_live:     {fusion_vs_live:.3}x serial all-products \
+         with fused dispatch vs the slow loop ({:.1}% of dispatches on the fast path; \
+         bit-identity asserted first; table builds took {:.4}s one-off, amortized like capture)",
+        100.0 * fused_coverage,
+        mix.fusion_seconds,
+    );
 
-    if let Err(e) = write_json(&results, &sweep, &service, &mix) {
+    if let Err(e) = write_json(&results, &sweep, &service, &mix, fusion_vs_live, fused_coverage) {
         eprintln!("sim_throughput: could not write JSON artifact: {e}");
     }
 

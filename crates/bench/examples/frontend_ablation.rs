@@ -61,6 +61,9 @@ fn main() {
             // Trace-order products only: the ablation isolates the
             // D-cache *drive* cost, so the L1D stays a live tag array.
             dcache: None,
+            // Per-stage ablation wants the slow dispatch loop's cost
+            // visible, not fused away.
+            fusion: None,
         })
         .collect();
 

@@ -48,6 +48,7 @@ use crate::artifact::{
 };
 use crate::depgraph::DepGraph;
 use crate::error::InterpError;
+use crate::fusion::FusionTable;
 use crate::interp::{ExecSummary, Interpreter};
 use crate::ir::ProcId;
 use crate::layout::LayoutProgram;
@@ -93,6 +94,11 @@ pub struct CapturedTrace {
     /// ([`CapturedTrace::build_depgraph`]); shared by reference with every
     /// consumer of the trace.
     depgraph: Option<Arc<DepGraph>>,
+    /// Dispatch-group fusion tables, one per decode width built so far
+    /// ([`CapturedTrace::build_fusion`]). Derived data like the dependence
+    /// graph — shared by reference, excluded from the fingerprint, and not
+    /// persisted in the trace artifact (oracle bundles carry them instead).
+    fusion: Vec<Arc<FusionTable>>,
     /// Lazily computed [`CapturedTrace::fingerprint`]. The hash covers the
     /// whole dynamic stream (~1 ms per 10⁵ records), and checkpointed
     /// sweeps, artifact saves and oracle-bundle validation all ask for it —
@@ -120,6 +126,7 @@ impl CapturedTrace {
             redirect_targets: Vec::new(),
             summary: interp.summary(),
             depgraph: None,
+            fusion: Vec::new(),
             fingerprint: OnceLock::new(),
         };
         for d in interp.by_ref() {
@@ -191,6 +198,7 @@ impl CapturedTrace {
             + self.static_instrs.len() * std::mem::size_of::<Instr>()
             + self.static_procs.len() * std::mem::size_of::<ProcId>()
             + self.depgraph.as_ref().map_or(0, |g| g.approx_bytes())
+            + self.fusion.iter().map(|f| f.approx_bytes()).sum::<usize>()
     }
 
     /// The precomputed dependence graph attached to this trace, if
@@ -214,6 +222,31 @@ impl CapturedTrace {
             self.depgraph = Some(graph);
         }
         Arc::clone(self.depgraph.as_ref().expect("just built"))
+    }
+
+    /// The dispatch-group fusion table for decode width `width`, if
+    /// [`CapturedTrace::build_fusion`] has built one.
+    #[must_use]
+    pub fn fusion_for(&self, width: usize) -> Option<&Arc<FusionTable>> {
+        self.fusion.iter().find(|f| f.width() == width)
+    }
+
+    /// Builds the [`FusionTable`] for decode width `width` (building the
+    /// [`DepGraph`] first if the trace has none), attaches it for every
+    /// consumer to share by reference, and returns it. Idempotent per
+    /// width. The build's wall-clock cost accumulates in
+    /// [`ExecSummary::fusion_build_nanos`].
+    pub fn build_fusion(&mut self, width: usize) -> Arc<FusionTable> {
+        if self.fusion_for(width).is_none() {
+            let graph = self.build_depgraph();
+            let start = std::time::Instant::now();
+            let table = FusionTable::build_shared(self, &graph, width);
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.summary.fusion_build_nanos =
+                Some(self.summary.fusion_build_nanos.unwrap_or(0).saturating_add(nanos));
+            self.fusion.push(table);
+        }
+        Arc::clone(self.fusion_for(width).expect("just built"))
     }
 
     /// The static instruction image the trace was recorded from, indexed by
@@ -291,7 +324,7 @@ impl CapturedTrace {
         let mut meta = ByteReader::new(r.section(section::META)?, "trace metadata");
         let records = meta.count()?;
         let static_len = meta.count()?;
-        let summary = read_summary(&mut meta)?;
+        let summary = read_summary(&mut meta, r.version())?;
         meta.finish()?;
 
         let mut instrs = ByteReader::new(r.section(section::STATIC_INSTRS)?, "static code");
@@ -379,6 +412,7 @@ impl CapturedTrace {
             redirect_targets,
             summary,
             depgraph,
+            fusion: Vec::new(),
             fingerprint: OnceLock::new(),
         })
     }
@@ -453,7 +487,9 @@ impl CapturedTrace {
 /// Magic of the durable trace artifact.
 pub const TRACE_MAGIC: [u8; 8] = *b"DVITRAC1";
 /// Newest trace-artifact format version this build reads and writes.
-pub const TRACE_VERSION: u32 = 1;
+/// Version 2 appended the fusion-table build time to the metadata summary;
+/// version-1 artifacts still load (the field reads back as `None`).
+pub const TRACE_VERSION: u32 = 2;
 
 /// Section tags of the trace artifact. Tags below `0x100` are reserved
 /// for the trace itself; dependent crates embedding extra sections in
@@ -504,7 +540,12 @@ fn write_summary(w: &mut ByteWriter, summary: &ExecSummary) {
             w.put_u64(n);
         }
     }
-    match summary.depgraph_build_nanos {
+    write_opt_nanos(w, summary.depgraph_build_nanos);
+    write_opt_nanos(w, summary.fusion_build_nanos);
+}
+
+fn write_opt_nanos(w: &mut ByteWriter, nanos: Option<u64>) {
+    match nanos {
         None => {
             w.put_bool(false);
             w.put_u64(0);
@@ -516,7 +557,7 @@ fn write_summary(w: &mut ByteWriter, summary: &ExecSummary) {
     }
 }
 
-fn read_summary(r: &mut ByteReader<'_>) -> Result<ExecSummary, ArtifactError> {
+fn read_summary(r: &mut ByteReader<'_>, version: u32) -> Result<ExecSummary, ArtifactError> {
     let instructions = r.u64()?;
     let halted = r.bool()?;
     let tag = r.u8()?;
@@ -538,11 +579,21 @@ fn read_summary(r: &mut ByteReader<'_>) -> Result<ExecSummary, ArtifactError> {
     };
     let has_nanos = r.bool()?;
     let nanos = r.u64()?;
+    // The fusion pair was appended in trace-format version 2; earlier
+    // artifacts simply never measured a fusion build.
+    let fusion_build_nanos = if version >= 2 {
+        let has = r.bool()?;
+        let v = r.u64()?;
+        has.then_some(v)
+    } else {
+        None
+    };
     Ok(ExecSummary {
         instructions,
         halted,
         error,
         depgraph_build_nanos: has_nanos.then_some(nanos),
+        fusion_build_nanos,
     })
 }
 

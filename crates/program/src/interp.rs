@@ -233,6 +233,10 @@ pub struct ExecSummary {
     /// has been built. Reported here so sweep drivers can account the
     /// one-off precompute cost next to the capture cost it amortizes with.
     pub depgraph_build_nanos: Option<u64>,
+    /// Wall-clock nanoseconds spent building dispatch-group fusion tables
+    /// ([`crate::CapturedTrace::build_fusion`]), accumulated across decode
+    /// widths; `None` while none has been built.
+    pub fusion_build_nanos: Option<u64>,
 }
 
 /// Functional interpreter over a [`LayoutProgram`].
@@ -313,6 +317,7 @@ impl<'a> Interpreter<'a> {
             halted: self.halted,
             error: self.error,
             depgraph_build_nanos: None,
+            fusion_build_nanos: None,
         }
     }
 

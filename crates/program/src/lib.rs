@@ -52,6 +52,7 @@ mod builder;
 pub mod captured;
 pub mod depgraph;
 mod error;
+pub mod fusion;
 mod interp;
 mod ir;
 mod layout;
@@ -62,6 +63,7 @@ pub use builder::{ProcBuilder, ProgramBuilder};
 pub use captured::{CapturedTrace, Replay, TraceCursor};
 pub use depgraph::{DepGraph, SrcDep};
 pub use error::{InterpError, ProgramError};
+pub use fusion::FusionTable;
 pub use interp::{ArchState, ExecSummary, Interpreter, DATA_BASE, STACK_BASE};
 pub use ir::{BasicBlock, BlockId, ProcId, Procedure, Program};
 pub use layout::{LayoutProgram, INSTR_ADDR_SHIFT};

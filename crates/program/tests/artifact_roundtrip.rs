@@ -11,9 +11,10 @@
 //!
 //! The same container carries the sweep runner's oracle bundle
 //! (`dvi_sim::RecordedOracles`, a dev-only dependency cycle), so the tail
-//! of this suite drills its newest tagged section — the D-cache oracle —
-//! through the identical gauntlet: bit-exact roundtrip, truncation,
-//! checksum corruption pinned to the D-cache section tag, version skew and
+//! of this suite drills its tagged sections — the D-cache oracle (bundle
+//! v2) and the dispatch-group fusion tables (bundle v3) — through the
+//! identical gauntlet: bit-exact roundtrip, truncation, checksum
+//! corruption pinned to the section tag, version skew and
 //! stale-trace-fingerprint rejection.
 
 use dvi_program::captured::{TRACE_MAGIC, TRACE_VERSION};
@@ -269,14 +270,75 @@ fn corrupted_dcache_section_is_a_checksum_mismatch_pinned_to_its_tag() {
     }
 }
 
+/// An oracle bundle whose FUSION sections are populated from real table
+/// builds over `trace` (two decode widths), alongside the other streams so
+/// the section walker sees a realistic mix.
+fn fusion_bundle(trace: &CapturedTrace) -> RecordedOracles {
+    let mut owned = trace.clone();
+    let config = SimConfig::micro97();
+    RecordedOracles::record(trace, Some(config.predictor), Some(config.icache), &[])
+        .with_fusion(owned.build_fusion(4))
+        .with_fusion(owned.build_fusion(8))
+}
+
+#[test]
+fn fusion_sections_roundtrip_bit_exactly() {
+    let trace = CapturedTrace::record(&mixed_program(6), 400);
+    let bundle = fusion_bundle(&trace);
+    let bytes = bundle.to_bytes();
+    let loaded = RecordedOracles::from_bytes(&bytes, Some(trace.fingerprint()))
+        .expect("a clean bundle loads");
+
+    assert_eq!(loaded.fusion().len(), 2, "both width classes survive the trip");
+    for (got, want) in loaded.fusion().iter().zip(bundle.fusion()) {
+        assert_eq!(got.width(), want.width());
+        assert_eq!(got.len(), want.len());
+        assert!(want.fused_records() > 0, "the mixed program carries fusable groups");
+        assert_eq!(got.group_count(), want.group_count());
+        assert_eq!(got.fused_records(), want.fused_records());
+        assert_eq!(
+            got.to_bytes(),
+            want.to_bytes(),
+            "width-{} table must survive the round trip bit-exactly",
+            want.width()
+        );
+    }
+}
+
+#[test]
+fn corrupted_or_truncated_fusion_sections_are_rejected_with_typed_errors() {
+    let trace = CapturedTrace::record(&mixed_program(5), 300);
+    let bytes = fusion_bundle(&trace).to_bytes();
+    let spans = section_spans(&bytes);
+    let fusion_spans: Vec<_> =
+        spans.iter().filter(|(tag, ..)| *tag == oracle_section::FUSION).collect();
+    assert_eq!(fusion_spans.len(), 2, "one section per bundled width");
+    for &&(tag, start, len) in &fusion_spans {
+        let mut corrupt = bytes.clone();
+        corrupt[start + len / 2] ^= 0x40;
+        assert_eq!(
+            RecordedOracles::from_bytes(&corrupt, None)
+                .expect_err("a corrupted bundle must not load"),
+            ArtifactError::ChecksumMismatch { section: tag },
+            "flip in a fusion section must be pinned to its tag"
+        );
+        let err = RecordedOracles::from_bytes(&bytes[..start + len / 2], None)
+            .expect_err("a truncated bundle must not load");
+        assert!(
+            matches!(err, ArtifactError::TruncatedArtifact { .. }),
+            "cut inside a fusion section gave {err:?}"
+        );
+    }
+}
+
 #[test]
 fn dcache_bundle_version_skew_and_stale_fingerprints_are_rejected() {
     let trace = CapturedTrace::record(&mixed_program(4), 250);
     let bytes = dcache_bundle(&trace).to_bytes();
 
     // A bundle from a future format version must not parse (the D-cache
-    // section is what bumped ORACLES_VERSION to 2; a version-3 reader
-    // could give its sections new meaning).
+    // section bumped ORACLES_VERSION to 2 and the fusion tables to 3; a
+    // later reader could give its sections new meaning).
     let mut future = bytes.clone();
     future[8..12].copy_from_slice(&(ORACLES_VERSION + 1).to_le_bytes());
     assert_eq!(

@@ -208,6 +208,17 @@ pub struct MetricsSnapshot {
     /// Members whose cache entry existed but failed verification and
     /// degraded to a live run.
     pub cache_damaged: u64,
+    /// Dispatch-group fusion groups dispatched whole across all simulated
+    /// members (host-policy observability riding each member's
+    /// `SimStats::fusion`; cached members add nothing — nothing was
+    /// dispatched for them).
+    pub fusion_groups: u64,
+    /// Records dispatched by the fusion fast path across all simulated
+    /// members.
+    pub fusion_fused_records: u64,
+    /// Records dispatched by the fallback slow loop (while a fusion table
+    /// was attached) across all simulated members.
+    pub fusion_fallback_records: u64,
     /// Batch attempts that died (panicked) and went through the
     /// checkpoint/resume retry.
     pub worker_deaths: u64,
@@ -257,6 +268,20 @@ impl MetricsSnapshot {
             0.0
         } else {
             self.queue_wait_seconds / picked as f64
+        }
+    }
+
+    /// Fraction of fusion-eligible dispatch work carried by the fused fast
+    /// path across all simulated members, in percent (0 when nothing was
+    /// simulated). A service whose grids mostly fall back is *visible*
+    /// here instead of silently slow.
+    #[must_use]
+    pub fn fusion_coverage_pct(&self) -> f64 {
+        let total = self.fusion_fused_records + self.fusion_fallback_records;
+        if total == 0 {
+            0.0
+        } else {
+            self.fusion_fused_records as f64 / total as f64 * 100.0
         }
     }
 
@@ -329,6 +354,9 @@ struct MetricsCounters {
     cache_hits: u64,
     cache_misses: u64,
     cache_damaged: u64,
+    fusion_groups: u64,
+    fusion_fused_records: u64,
+    fusion_fallback_records: u64,
     worker_deaths: u64,
     outcomes: SweepSummary,
     queue_wait_seconds: f64,
@@ -596,6 +624,9 @@ impl SweepService {
             cache_hits: m.cache_hits,
             cache_misses: m.cache_misses,
             cache_damaged: m.cache_damaged,
+            fusion_groups: m.fusion_groups,
+            fusion_fused_records: m.fusion_fused_records,
+            fusion_fallback_records: m.fusion_fallback_records,
             worker_deaths: m.worker_deaths,
             outcomes: m.outcomes,
             queue_wait_seconds: m.queue_wait_seconds,
@@ -740,7 +771,15 @@ fn run_batch(inner: &ServiceInner, batch: &Batch) {
     let mut fresh: HashMap<u64, MemberOutcome> = HashMap::new();
     if !miss_configs.is_empty() {
         let outcomes = run_with_durability(inner, &trace, &miss_configs, trace_fp, &miss_fps);
-        lock(&inner.metrics).members_simulated += miss_configs.len() as u64;
+        {
+            let mut m = lock(&inner.metrics);
+            m.members_simulated += miss_configs.len() as u64;
+            for fusion in outcomes.iter().filter_map(|o| o.stats().map(|s| s.fusion)) {
+                m.fusion_groups += fusion.groups;
+                m.fusion_fused_records += fusion.fused_records;
+                m.fusion_fallback_records += fusion.fallback_records;
+            }
+        }
         for (fp, outcome) in miss_fps.iter().zip(outcomes) {
             // A failed store only costs a future re-simulation, never
             // correctness — the member's result is already in hand.

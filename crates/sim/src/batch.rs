@@ -138,7 +138,9 @@ use dvi_mem::{
     PackedBits,
 };
 use dvi_program::artifact::{ArtifactReader, ArtifactWriter, ByteReader, ByteWriter};
-use dvi_program::{ArtifactError, CapturedTrace, DepGraph, LayoutProgram, TraceCursor};
+use dvi_program::{
+    ArtifactError, CapturedTrace, DepGraph, FusionTable, LayoutProgram, TraceCursor,
+};
 use rayon::prelude::*;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -160,6 +162,7 @@ const _: () = {
     shared_across_member_threads::<DviOracle>();
     shared_across_member_threads::<DcacheOracle>();
     shared_across_member_threads::<DepGraph>();
+    shared_across_member_threads::<FusionTable>();
     shared_across_member_threads::<SharedTables>();
 };
 
@@ -784,6 +787,15 @@ pub struct SharedTables {
     /// the member panic boundary turns into a degraded live retry instead
     /// of wrong statistics.
     pub dcache: Option<Arc<DcacheOracle>>,
+    /// Precomputed dispatch-group fusion table
+    /// ([`dvi_program::FusionTable`]) for the member's decode width:
+    /// dispatch consumes whole fetch groups via table lookups (bulk window
+    /// push, batched free-list allocation, precomputed wakeup wiring) and
+    /// falls back to the cycle loop at structural-hazard and oracle-event
+    /// boundaries. Requires the dependence graph; ignored by members whose
+    /// width or scheduler does not match. Bit-identity with unfused
+    /// dispatch is locked by `tests/fusion_equiv.rs`.
+    pub fusion: Option<Arc<FusionTable>>,
 }
 
 /// How one sweep member ended: the per-member unit of fault isolation.
@@ -1002,7 +1014,9 @@ pub const ORACLES_MAGIC: [u8; 8] = *b"DVIORCL1";
 /// change; old readers reject newer files with
 /// [`ArtifactError::VersionSkew`] instead of misparsing them.
 /// Version 2 added the D-cache oracle sections (and their count in META).
-pub const ORACLES_VERSION: u32 = 2;
+/// Version 3 added the dispatch-group fusion-table sections (and their
+/// count in META); version-2 bundles still load, with no fusion tables.
+pub const ORACLES_VERSION: u32 = 3;
 
 /// Section tags inside a [`RecordedOracles`] artifact.
 pub mod oracle_section {
@@ -1017,6 +1031,9 @@ pub mod oracle_section {
     /// One section per recorded D-cache outcome stream (geometry group
     /// key + full access/outcome streams).
     pub const DCACHE: u32 = 5;
+    /// One section per dispatch-group fusion table (one per decode
+    /// width; the table serializes its own width).
+    pub const FUSION: u32 = 6;
 }
 
 /// A durable bundle of recorded sweep oracles, keyed to the captured
@@ -1043,6 +1060,8 @@ pub struct RecordedOracles {
     /// Recorded D-cache outcome streams, keyed by the full data-side
     /// geometry group they were recorded for ([`SimConfig::dmem_geometry`]).
     dcache: Vec<(DmemGeometry, Arc<DcacheOracle>)>,
+    /// Precomputed dispatch-group fusion tables, one per decode width.
+    fusion: Vec<Arc<FusionTable>>,
 }
 
 impl RecordedOracles {
@@ -1061,6 +1080,7 @@ impl RecordedOracles {
             icache: icache.map(|g| Arc::new(IcacheOracle::record(trace, g))),
             dvi: dvi_configs.iter().map(|&d| Arc::new(DviOracle::record(trace, d))).collect(),
             dcache: Vec::new(),
+            fusion: Vec::new(),
         }
     }
 
@@ -1086,6 +1106,25 @@ impl RecordedOracles {
             "the oracle was recorded under a different L1D geometry than the group key claims"
         );
         self.dcache.push((geometry, oracle));
+        self
+    }
+
+    /// Adds a precomputed dispatch-group fusion table (normally the
+    /// trace's own, from [`CapturedTrace::build_fusion`]). The sweep
+    /// runner hands the table to event-driven members whose decode width
+    /// matches; a bundle carries at most one table per width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bundle already holds a table for the same width.
+    #[must_use]
+    pub fn with_fusion(mut self, table: Arc<FusionTable>) -> Self {
+        assert!(
+            !self.fusion.iter().any(|t| t.width() == table.width()),
+            "bundle already holds a fusion table for width {}",
+            table.width()
+        );
+        self.fusion.push(table);
         self
     }
 
@@ -1119,6 +1158,12 @@ impl RecordedOracles {
         &self.dcache
     }
 
+    /// The bundled dispatch-group fusion tables (one per decode width).
+    #[must_use]
+    pub fn fusion(&self) -> &[Arc<FusionTable>] {
+        &self.fusion
+    }
+
     /// Serializes the bundle into an artifact container (see
     /// [`dvi_program::artifact`] for the checksummed layout).
     #[must_use]
@@ -1136,6 +1181,7 @@ impl RecordedOracles {
         meta.put_bool(self.icache.is_some());
         meta.put_u64(self.dvi.len() as u64);
         meta.put_u64(self.dcache.len() as u64);
+        meta.put_u64(self.fusion.len() as u64);
         w.section(oracle_section::META, meta.into_bytes());
         if let Some(branches) = &self.branches {
             let mut b = ByteWriter::new();
@@ -1174,6 +1220,9 @@ impl RecordedOracles {
             write_packed_bits(&mut b, oracle.hits());
             w.section(oracle_section::DCACHE, b.into_bytes());
         }
+        for table in &self.fusion {
+            w.section(oracle_section::FUSION, table.to_bytes());
+        }
         w
     }
 
@@ -1198,6 +1247,8 @@ impl RecordedOracles {
         let has_icache = meta.bool()?;
         let dvi_count = meta.count()?;
         let dcache_count = meta.count()?;
+        // Fusion tables arrived in bundle version 3.
+        let fusion_count = if reader.version() >= 3 { meta.count()? } else { 0 };
         meta.finish()?;
         if let Some(expected) = expected_fingerprint {
             if trace_fingerprint != expected {
@@ -1268,7 +1319,20 @@ impl RecordedOracles {
         if dcache.len() != dcache_count {
             return Err(ArtifactError::Malformed { context: "dcache oracle count".into() });
         }
-        Ok(RecordedOracles { trace_fingerprint, branches, icache, dvi, dcache })
+        let mut fusion = Vec::with_capacity(fusion_count);
+        for payload in reader.sections_with_tag(oracle_section::FUSION) {
+            let table = FusionTable::from_bytes(payload)?;
+            if fusion.iter().any(|t: &Arc<FusionTable>| t.width() == table.width()) {
+                return Err(ArtifactError::Malformed {
+                    context: format!("duplicate fusion table for width {}", table.width()),
+                });
+            }
+            fusion.push(Arc::new(table));
+        }
+        if fusion.len() != fusion_count {
+            return Err(ArtifactError::Malformed { context: "fusion table count".into() });
+        }
+        Ok(RecordedOracles { trace_fingerprint, branches, icache, dvi, dcache, fusion })
     }
 
     /// Atomically writes the bundle to `path` (temp file + rename).
@@ -1518,6 +1582,13 @@ pub struct SweepRunner<'a> {
     /// Whether members wire dispatch through the shared dependence graph
     /// (see [`SweepRunner::without_depgraph`]).
     use_depgraph: bool,
+    /// One dispatch-group fusion table per distinct decode width among the
+    /// event-driven members (built or adopted in `prepare_shared`; members
+    /// pick the width-matching table in [`SweepRunner::tables_for`]).
+    fusion_tables: Vec<Arc<FusionTable>>,
+    /// Whether members dispatch whole fetch groups through fusion tables
+    /// (see [`SweepRunner::without_fusion`]).
+    use_fusion: bool,
     /// Whether `prepare_shared` has run.
     prepared: bool,
     /// The trace fingerprint claimed by preloaded oracle products
@@ -1618,6 +1689,8 @@ impl<'a> SweepRunner<'a> {
             record_dcache: false,
             oracle_min_members: ORACLE_MIN_MEMBERS,
             use_depgraph: true,
+            fusion_tables: Vec::new(),
+            use_fusion: true,
             prepared: false,
             products_fingerprint: None,
             preloaded_oracles: false,
@@ -1647,6 +1720,12 @@ impl<'a> SweepRunner<'a> {
         self.shared.icache = oracles.icache.clone();
         self.dvi_oracles = oracles.dvi.clone();
         self.dcache_oracles = oracles.dcache.clone();
+        // Fusion tables indexed past the trace would panic at dispatch, so
+        // a length mismatch (a bundle from a truncated capture of the same
+        // program, say) drops the table and rebuilds live in
+        // `prepare_shared` — never wrong statistics, just no head start.
+        self.fusion_tables =
+            oracles.fusion.iter().filter(|t| t.len() == self.trace.len()).cloned().collect();
         self.products_fingerprint = Some(oracles.trace_fingerprint);
         self.preloaded_oracles = true;
         self
@@ -1824,6 +1903,19 @@ impl<'a> SweepRunner<'a> {
         self
     }
 
+    /// Disables dispatch-group fusion for this sweep: members dispatch
+    /// every record through the cycle-accurate slow loop even when a
+    /// fusion table could carry whole fetch groups. A host-time policy
+    /// knob only — statistics are bit-identical either way (the invariant
+    /// the `fusion_equiv` suite locks); the A/B half of the
+    /// `backend.fusion_vs_live` bench measurement.
+    #[must_use]
+    pub fn without_fusion(mut self) -> Self {
+        assert!(!self.prepared, "set the fusion policy before running the sweep");
+        self.use_fusion = false;
+        self
+    }
+
     /// Sets the oracle-recording amortization threshold: a pre-recorded
     /// event stream (branch, I-cache or DVI oracle) is only recorded when
     /// at least `n` members would share it, since each recording costs a
@@ -1890,12 +1982,15 @@ impl<'a> SweepRunner<'a> {
                 self.shared.icache = None;
                 self.dvi_oracles.clear();
                 self.dcache_oracles.clear();
+                self.fusion_tables.clear();
                 for slot in &mut self.members {
                     if !matches!(slot.state, MemberState::Done(_)) {
                         slot.degraded = Some(reason.clone());
                     }
                 }
+                return;
             }
+            self.prepare_fusion();
             return;
         }
         if let Some(first) = configs.first().filter(|_| configs.len() >= self.oracle_min_members) {
@@ -1921,6 +2016,44 @@ impl<'a> SweepRunner<'a> {
             .collect();
         if self.record_dcache {
             self.record_dcache_oracles();
+        }
+        self.prepare_fusion();
+    }
+
+    /// Builds (or adopts) one dispatch-group fusion table per distinct
+    /// decode width among the event-driven members. Fusion piggybacks on
+    /// the dependence graph (the fast path wires wakeups from precomputed
+    /// producer offsets, so it only ever attaches alongside the graph);
+    /// when the graph is disabled or absent, fusion is too. Tables already
+    /// attached to the trace ([`CapturedTrace::build_fusion`]) or adopted
+    /// from a recorded bundle are reused; missing widths are built live
+    /// here — one `O(records)` pass each, amortized across every member
+    /// that shares the width.
+    fn prepare_fusion(&mut self) {
+        if !self.use_fusion || self.shared.depgraph.is_none() {
+            self.fusion_tables.clear();
+            return;
+        }
+        let graph = Arc::clone(self.shared.depgraph.as_ref().expect("gated above"));
+        let mut widths: Vec<usize> = Vec::new();
+        for slot in &self.members {
+            let config = &slot.config;
+            if config.scheduler == crate::config::SchedulerKind::EventDriven
+                && (1..=FusionTable::MAX_WIDTH).contains(&config.decode_width)
+                && !widths.contains(&config.decode_width)
+            {
+                widths.push(config.decode_width);
+            }
+        }
+        for width in widths {
+            if self.fusion_tables.iter().any(|t| t.width() == width) {
+                continue;
+            }
+            let table = match self.trace.fusion_for(width) {
+                Some(table) => Arc::clone(table),
+                None => FusionTable::build_shared(self.trace, &graph, width),
+            };
+            self.fusion_tables.push(table);
         }
     }
 
@@ -2026,6 +2159,8 @@ impl<'a> SweepRunner<'a> {
         let geometry = config.dmem_geometry();
         tables.dcache =
             self.dcache_oracles.iter().find(|(g, _)| *g == geometry).map(|(_, o)| Arc::clone(o));
+        tables.fusion =
+            self.fusion_tables.iter().find(|t| t.width() == config.decode_width).map(Arc::clone);
         tables
     }
 
@@ -2507,6 +2642,11 @@ fn integrity_check(config: &SimConfig, tables: &SharedTables) -> Result<(), Stri
             return Err(
                 "recorded D-cache oracle does not match the member's L1 data side".to_string()
             );
+        }
+    }
+    if let Some(table) = &tables.fusion {
+        if table.width() != config.decode_width {
+            return Err("fusion table does not match the member's decode width".to_string());
         }
     }
     Ok(())

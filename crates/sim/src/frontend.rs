@@ -103,6 +103,12 @@ impl FetchQueue {
     }
 
     #[inline]
+    fn get(&self, i: usize) -> &DynInst {
+        debug_assert!(i < self.len(), "fetch queue index {i} out of range");
+        &self.slots[((self.head + i as u64) & self.mask) as usize]
+    }
+
+    #[inline]
     fn pop_front(&mut self) {
         debug_assert!(!self.is_empty(), "pop from empty fetch queue");
         self.head += 1;
@@ -516,6 +522,34 @@ impl FrontEnd {
     /// Whether the trace is exhausted and the fetch queue drained.
     pub(crate) fn is_drained(&self) -> bool {
         self.trace_done && self.fetch_queue.is_empty()
+    }
+
+    // Fused-dispatch peeking: the fast path reads whole fetch groups out of
+    // the queue before consuming them, and falls back to `next_dispatch`
+    // (which sees an untouched queue) whenever a group cannot dispatch.
+
+    /// Number of queued instructions awaiting dispatch.
+    pub(crate) fn queue_len(&self) -> usize {
+        self.fetch_queue.len()
+    }
+
+    /// The `i`-th queued instruction from the front.
+    pub(crate) fn queued(&self, i: usize) -> &DynInst {
+        self.fetch_queue.get(i)
+    }
+
+    /// Drops the first `n` queued instructions (dispatched by the fused
+    /// fast path).
+    pub(crate) fn consume_queued(&mut self, n: usize) {
+        for _ in 0..n {
+            self.fetch_queue.pop_front();
+        }
+    }
+
+    /// The sequence number of the unresolved mispredicted record fetch is
+    /// stalled on, if any.
+    pub(crate) fn unresolved_mispredict(&self) -> Option<u64> {
+        self.pending_mispredict
     }
 
     /// Called by writeback when the mispredicted branch/return resolves:

@@ -48,8 +48,9 @@ use crate::sched::{Calendar, ReadyRing, Waiters};
 use crate::session::SimSession;
 use crate::stats::SimStats;
 use crate::window::{EntryState, WindowRing};
-use dvi_isa::{Abi, FuKind, InstrClass};
+use dvi_isa::{Abi, ArchReg, FuKind, InstrClass};
 use dvi_mem::{CachePorts, DataMemModel, DcacheOracleCursor, MemoryHierarchy, PerfectDcache};
+use dvi_program::fusion::{fusion_flag, FusionTable};
 use dvi_program::{DepGraph, DynInst, InstrSource};
 use std::sync::Arc;
 
@@ -261,6 +262,11 @@ pub(crate) struct Core {
     /// sources through the alias table (the default, and the only option
     /// for the naive-scan scheduler and live instruction sources).
     dep: Option<DepWire>,
+    /// Shared dispatch-group fusion table (trace-pure group boundaries,
+    /// intra-group wakeup wiring, rename demand); `None` dispatches every
+    /// record through the cycle-accurate slow loop. Only attached together
+    /// with producer-link wiring (`dep`) at a matching decode width.
+    fusion: Option<Arc<FusionTable>>,
     calendar: Calendar,
     waiters: Waiters,
     ready: ReadyRing,
@@ -281,7 +287,7 @@ impl Core {
     pub(crate) fn new(config: SimConfig) -> Core {
         let pred = FetchPredictor::live(config.predictor);
         let front = FrontEnd::new(&config);
-        Core::build(config, pred, front, None, None, None)
+        Core::build(config, pred, front, None, None, None, None)
     }
 
     /// Builds a core consuming immutable trace-pure products shared across
@@ -322,16 +328,23 @@ impl Core {
         // per-operand physical-register ready bits, so those members keep
         // alias-table renaming.
         let depgraph = tables.depgraph.filter(|_| config.scheduler == SchedulerKind::EventDriven);
+        // Fusion rides the producer-link wiring (its precomputed wakeup
+        // edges are window positions) and is partitioned per decode width;
+        // anything else falls back to the slow loop wholesale.
+        let fusion =
+            tables.fusion.filter(|f| depgraph.is_some() && f.width() == config.decode_width);
         let dvi = tables.dvi.map(|oracle| DviModel::Oracle(DviCursor::new(oracle)));
         let front = FrontEnd::with_shared(&config, tables.decode, icache, depgraph.is_some());
-        Core::build(config, pred, front, depgraph, dvi, dcache)
+        Core::build(config, pred, front, depgraph, fusion, dvi, dcache)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn build(
         config: SimConfig,
         pred: FetchPredictor,
         front: FrontEnd,
         depgraph: Option<Arc<DepGraph>>,
+        fusion: Option<Arc<FusionTable>>,
         dvi: Option<DviModel>,
         dcache: Option<Box<dyn DataMemModel>>,
     ) -> Core {
@@ -368,6 +381,7 @@ impl Core {
             stats: SimStats::default(),
             event_driven: config.scheduler == SchedulerKind::EventDriven,
             dep,
+            fusion,
             calendar: Calendar::new(max_latency),
             waiters: Waiters::new(waiter_keys),
             ready: ReadyRing::new(window.ring_size()),
@@ -684,9 +698,157 @@ impl Core {
     }
 
     // --------------------------------------------------- rename/dispatch --
+
+    /// Fused fast path: bulk-dispatches a prefix of the fusion run at the
+    /// fetch-queue front via [`FusionTable`] lookups, or returns `None`
+    /// when the front record needs the slow loop — no table, an ineligible
+    /// record, or a structural hazard (no window slot, or a destination
+    /// with no free register) that the cycle-accurate loop must resolve
+    /// record-at-a-time, reproducing its stall counters and per-attempt
+    /// billing exactly. The take is capped at the width budget, the queue
+    /// depth, the window's free slots and the free list, so dynamic
+    /// dispatch can split a static group across cycles (and resume it
+    /// mid-group) without ever leaving the fast path.
+    ///
+    /// Per record, the fast path performs the same side effects in the
+    /// same order as [`FrontEnd::next_dispatch`] + the dispatch arm of
+    /// [`Core::rename_dispatch`]: memory-reference accounting, free-list
+    /// allocation (identical LIFO order), DVI destination liveness, window
+    /// push, reclaim drain, and producer-link wiring. Intra-group wakeup
+    /// edges come from the table as a distance back in window slots —
+    /// every group member occupies exactly one slot, so the producer of a
+    /// record is always `wseq - distance` no matter which cycle dispatched
+    /// it — guarded by the same committed/complete probes as
+    /// [`DepWire::resolve_pair`]. Fused and unfused dispatch are therefore
+    /// bit-identical (locked by `tests/fusion_equiv.rs`).
+    fn try_dispatch_group(&mut self, dispatched: usize) -> Option<usize> {
+        let fusion = self.fusion.as_deref()?;
+        let dep = self.dep.as_mut()?;
+        let queue_len = self.front.queue_len();
+        if queue_len == 0 {
+            return None;
+        }
+        let start = self.front.queued(0).seq as usize;
+        let run = fusion.run_len(start);
+        if run == 0 {
+            return None;
+        }
+        let budget = self.config.decode_width - dispatched;
+        let mut take = run.min(budget).min(queue_len).min(self.window.free_slots());
+        if take == 0 {
+            return None;
+        }
+        let free = self.rename.free_count();
+        if free < take.min(fusion.run_dsts(start)) {
+            // The free list cannot cover the whole take's worst case:
+            // dispatch up to (not including) the destination-bearing
+            // record the slow loop would stall renaming, so the stall is
+            // attempted — and billed — exactly where the slow loop bills
+            // it.
+            let mut dsts = 0;
+            let mut n = 0;
+            while n < take {
+                if fusion.flags(start + n) & fusion_flag::HAS_DST != 0 {
+                    if dsts == free {
+                        break;
+                    }
+                    dsts += 1;
+                }
+                n += 1;
+            }
+            if n == 0 {
+                return None;
+            }
+            take = n;
+        }
+        let mispredict = self.front.unresolved_mispredict();
+        let ring_mask = self.window.ring_size() - 1;
+        let head = self.window.head_seq();
+        for i in 0..take {
+            let d = self.front.queued(i);
+            let (seq, mem_addr) = (d.seq, d.mem_addr);
+            let rec = start + i;
+            debug_assert_eq!(seq as usize, rec, "fetch queue out of step with fusion run");
+            let m = fusion.record(rec);
+            let flags = m.flags;
+            if flags & fusion_flag::IS_MEM != 0 {
+                self.stats.mem_refs += 1;
+            }
+            let (dst, old_dst) = if flags & fusion_flag::HAS_DST != 0 {
+                let ar = ArchReg::new(m.dst);
+                let (new, old) =
+                    self.rename.rename_dst(ar).expect("free-list precheck covered the take");
+                self.dvi.on_dest_rename(ar);
+                (Some(new), old)
+            } else {
+                (None, None)
+            };
+            let wseq = self.window.push(
+                mem_addr,
+                dst,
+                old_dst,
+                [None, None],
+                m.class,
+                seq,
+                mispredict == Some(seq),
+            );
+            self.front.drain_reclaim_into(self.window.reclaim_mut(wseq));
+            if flags & fusion_flag::HAS_FU == 0 {
+                self.window.set_done(wseq);
+                dep.ensure_span(seq, &self.window);
+                dep.mark(seq, wseq);
+            } else {
+                dep.ensure_span(seq, &self.window);
+                let mut missing = 0u8;
+                if flags & fusion_flag::ANY_EXTERNAL != 0 {
+                    // An operand's producer predates the group: probe the
+                    // dependence ring exactly like the slow loop (it also
+                    // covers the other, possibly intra-group, operand —
+                    // earlier group members are already marked).
+                    for pw in dep.resolve_pair(seq, &self.window).into_iter().flatten() {
+                        self.waiters.wait((pw & ring_mask) as usize, wseq);
+                        missing += 1;
+                    }
+                } else {
+                    // Purely intra-group (or ready-at-dispatch) operands:
+                    // the producer sits `w` window slots back. A producer
+                    // dispatched in an earlier cycle may already have
+                    // completed or committed, so the same two probes as
+                    // `resolve_pair` gate the wakeup edge; the
+                    // member-dependent DVI sever bits are applied here
+                    // too.
+                    let cut = m.dep_flags & dep.sever;
+                    for (k, &w) in m.wait.iter().enumerate() {
+                        if w == FusionTable::NO_WAIT || cut & DepGraph::OPERAND_CUT[k] != 0 {
+                            continue;
+                        }
+                        let pw = wseq - u64::from(w);
+                        if pw >= head && !self.window.is_done(pw) {
+                            self.waiters.wait((pw & ring_mask) as usize, wseq);
+                            missing += 1;
+                        }
+                    }
+                }
+                dep.mark(seq, wseq);
+                self.window.set_missing(wseq, missing);
+                if missing == 0 {
+                    self.ready.set(wseq);
+                }
+            }
+        }
+        self.front.consume_queued(take);
+        self.stats.fusion.groups += 1;
+        self.stats.fusion.fused_records += take as u64;
+        Some(take)
+    }
+
     fn rename_dispatch(&mut self) {
         let mut dispatched = 0;
         while dispatched < self.config.decode_width {
+            if let Some(n) = self.try_dispatch_group(dispatched) {
+                dispatched += n;
+                continue;
+            }
             let outcome = self.front.next_dispatch(
                 self.window.is_full(),
                 &mut self.dvi,
@@ -696,6 +858,9 @@ impl Core {
             match outcome {
                 Dispatch::Empty | Dispatch::StallWindow | Dispatch::StallRename => break,
                 Dispatch::Consumed { seq } => {
+                    if self.fusion.is_some() {
+                        self.stats.fusion.fallback_records += 1;
+                    }
                     if let Some(dep) = &mut self.dep {
                         // Consumed at decode: the record never produces a
                         // window entry, so any (well-formed-ly impossible)
@@ -706,6 +871,9 @@ impl Core {
                     dispatched += 1;
                 }
                 Dispatch::Enter(e) => {
+                    if self.fusion.is_some() {
+                        self.stats.fusion.fallback_records += 1;
+                    }
                     let wseq = self.window.push(
                         e.mem_addr,
                         e.dst,

@@ -129,6 +129,14 @@ impl<S: InstrSource> SimSession<S> {
                  different L1 data side"
             );
         }
+        if let Some(table) = &tables.fusion {
+            assert_eq!(
+                table.width(),
+                config.decode_width,
+                "fusion table was built for a different decode width \
+                 (its group boundaries describe a different fetch grouping)"
+            );
+        }
         SimSession::from_core(Core::with_shared(config, tables), source)
     }
 

@@ -169,6 +169,13 @@ impl WindowRing {
         self.len() >= self.capacity
     }
 
+    /// Free entry slots remaining — the fused dispatch path's one-compare
+    /// structural-hazard check for a whole fetch group.
+    #[must_use]
+    pub fn free_slots(&self) -> usize {
+        self.capacity - self.len()
+    }
+
     /// Sequence number of the oldest entry (the next to commit), if any.
     #[must_use]
     pub fn head_seq(&self) -> u64 {

@@ -1,0 +1,313 @@
+//! Dispatch-group fusion differential tests.
+//!
+//! Fusion tables precompute, per decode width, how the slow rename/dispatch
+//! loop would carve the fetch stream into dispatch groups and how the
+//! members of each group depend on each other — so the back end can push
+//! whole groups into the window per table lookup instead of re-deriving the
+//! same decisions record by record, falling back to the cycle-accurate loop
+//! at every structural-hazard or oracle-event boundary. The contract this
+//! suite locks is the purity invariant:
+//!
+//! * **bit-identity** — fused sweeps produce `SimStats` bit-identical to
+//!   `without_fusion()` sweeps and to serial `Simulator::run(trace.replay())`
+//!   runs, across the full Figure 10 workload mix with a heterogeneous grid
+//!   (mixed decode widths, starved windows and register files, a naive-scan
+//!   member that never fuses) and across random presets × grids × thread
+//!   counts (proptest);
+//! * **honest fallback** — machines whose structural hazards interrupt
+//!   groups mid-dispatch take the slow loop exactly there, visible in
+//!   `SimStats::fusion` (fused *and* fallback records both non-zero), with
+//!   statistics still bit-identical;
+//! * **graceful degradation** — a stale recorded bundle (wrong trace
+//!   fingerprint) degrades members to live runs with *correct* statistics,
+//!   and a bundle whose fusion table indexes a different trace length is
+//!   dropped in favour of a live rebuild — wrong statistics are the one
+//!   unacceptable outcome, a missing table only costs host time.
+
+use dvi_core::DviConfig;
+use dvi_isa::Abi;
+use dvi_program::{CapturedTrace, LayoutProgram};
+use dvi_sim::{
+    MemberOutcome, RecordedOracles, SchedulerKind, SimConfig, SimStats, Simulator, SweepRunner,
+};
+use dvi_workloads::{presets, WorkloadSpec};
+use proptest::prelude::*;
+
+fn edvi_layout(spec: &WorkloadSpec) -> LayoutProgram {
+    let program = dvi_workloads::generate(spec);
+    let abi = Abi::mips_like();
+    let compiled = dvi_compiler::compile(&program, &abi, dvi_compiler::CompileOptions::default())
+        .expect("workload compiles");
+    compiled.program.layout().expect("binary lays out")
+}
+
+/// A grid exercising every way fusion can engage or bail: two decode
+/// widths (two tables), full-DVI members (oracle kills break groups at
+/// decode), a starved window and a starved register file (structural
+/// hazards force mid-group fallback), and a naive-scan member (no
+/// dependence graph, so no fusion at all).
+fn heterogeneous_grid() -> Vec<SimConfig> {
+    vec![
+        SimConfig::micro97(),
+        SimConfig::micro97().with_dvi(DviConfig::full()),
+        SimConfig::micro97().with_issue_width(8),
+        SimConfig::micro97().with_issue_width(8).with_dvi(DviConfig::full()),
+        SimConfig { window_size: 8, ..SimConfig::micro97() },
+        SimConfig::micro97().with_phys_regs(34),
+        SimConfig::micro97().with_scheduler(SchedulerKind::NaiveScan),
+        SimConfig::micro97().with_dvi(DviConfig::lvm_scheme()),
+        SimConfig::micro97().with_cache_ports(1),
+    ]
+}
+
+/// Asserts one fused batched pass, one `without_fusion()` batched pass and
+/// per-config serial replays all agree bit for bit, and returns the fused
+/// outcomes for counter inspection.
+fn assert_fusion_equivalent(
+    trace: &CapturedTrace,
+    grid: &[SimConfig],
+    context: &str,
+) -> Vec<MemberOutcome> {
+    let fused = SweepRunner::new(trace, grid.iter().cloned()).run_outcomes();
+    let unfused = SweepRunner::new(trace, grid.iter().cloned()).without_fusion().run_outcomes();
+    assert_eq!(fused.len(), grid.len());
+    let serial: Vec<SimStats> =
+        grid.iter().map(|config| Simulator::new(config.clone()).run(trace.replay())).collect();
+    for (i, ((fused, unfused), serial)) in fused.iter().zip(&unfused).zip(&serial).enumerate() {
+        assert!(fused.is_complete(), "{context}: fused member {i} did not complete: {fused}");
+        assert_eq!(
+            fused.stats(),
+            Some(serial),
+            "{context}: fused batched stats diverge from the serial replay for grid member {i}"
+        );
+        assert_eq!(
+            unfused.stats(),
+            Some(serial),
+            "{context}: unfused batched stats diverge from the serial replay for grid member {i}"
+        );
+        let off = unfused.stats().expect("complete above").fusion;
+        assert_eq!(
+            off.fused_records + off.fallback_records,
+            0,
+            "{context}: a without_fusion() member must never touch the fusion counters"
+        );
+    }
+    fused
+}
+
+/// The acceptance-criterion test: across the Figure 10 workload mix and the
+/// heterogeneous grid, fused dispatch is bit-identical to the slow loop and
+/// to serial replays — and the fast path actually carries work (a vacuous
+/// pass where fusion never engages would also "never diverge").
+#[test]
+fn fig10_mix_fused_sweep_is_bit_identical_to_unfused_and_serial() {
+    const STEPS: u64 = 15_000;
+    let grid = heterogeneous_grid();
+    for spec in presets::save_restore_suite() {
+        let layout = edvi_layout(&spec);
+        let trace = CapturedTrace::record(&layout, STEPS);
+        assert!(!trace.is_empty(), "{}: capture produced an empty trace", spec.name);
+        let fused = assert_fusion_equivalent(&trace, &grid, &spec.name);
+        let total_fused: u64 =
+            fused.iter().filter_map(|o| o.stats()).map(|s| s.fusion.fused_records).sum();
+        assert!(total_fused > 0, "{}: the fast path never engaged on the fused sweep", spec.name);
+        let naive = fused[6].stats().expect("naive member completes").fusion;
+        assert_eq!(
+            naive.fused_records + naive.fallback_records,
+            0,
+            "{}: the naive-scan member has no dependence graph and must never fuse",
+            spec.name
+        );
+    }
+}
+
+/// Structural-hazard boundaries: machines starved of window slots or
+/// physical registers interrupt groups mid-dispatch, so the fast path must
+/// bail to the slow loop *exactly* there — both counters non-zero,
+/// statistics still bit-identical. (A fast path that mishandled partial
+/// dispatch would double-count stall statistics like `mem_refs`, which the
+/// slow loop bills per attempt.)
+#[test]
+fn forced_fallback_boundaries_stay_bit_identical() {
+    let layout = edvi_layout(&presets::gcc_like());
+    let trace = CapturedTrace::record(&layout, 12_000);
+    let starved = [
+        SimConfig { window_size: 8, ..SimConfig::micro97() },
+        SimConfig { window_size: 4, fetch_queue: 4, ..SimConfig::micro97() },
+        SimConfig::micro97().with_phys_regs(34),
+        SimConfig::micro97().with_phys_regs(36).with_dvi(DviConfig::full()),
+    ];
+    let fused = assert_fusion_equivalent(&trace, &starved, "starved grid");
+    for (i, outcome) in fused.iter().enumerate() {
+        let counters = outcome.stats().expect("member completes").fusion;
+        assert!(
+            counters.fallback_records > 0,
+            "starved member {i} should hit structural-hazard fallbacks, got {counters:?}"
+        );
+        assert!(
+            counters.fused_records > 0,
+            "starved member {i} should still fuse between hazards, got {counters:?}"
+        );
+        assert!(counters.coverage_pct() < 100.0 && counters.coverage_pct() > 0.0);
+    }
+}
+
+/// A recorded bundle from a *different* trace must degrade every member to
+/// a live run with correct statistics — the stale fusion table (like the
+/// stale oracles it travels with) stops helping, never starts lying.
+#[test]
+fn stale_fusion_bundle_degrades_to_live_with_correct_stats() {
+    let trace = CapturedTrace::record(&edvi_layout(&WorkloadSpec::small("fusion-live", 5)), 8_000);
+    let mut other = CapturedTrace::record(&edvi_layout(&presets::perl_like()), 8_000);
+    assert_ne!(other.fingerprint(), trace.fingerprint(), "distinct traces for the stale check");
+    let bundle =
+        RecordedOracles::record(&other, None, None, &[]).with_fusion(other.build_fusion(4));
+
+    let grid = [SimConfig::micro97(), SimConfig::micro97().with_dvi(DviConfig::full())];
+    let outcomes = SweepRunner::new(&trace, grid.iter().cloned())
+        .with_recorded_oracles(&bundle)
+        .run_outcomes();
+    let serial: Vec<SimStats> =
+        grid.iter().map(|config| Simulator::new(config.clone()).run(trace.replay())).collect();
+    for (i, (outcome, serial)) in outcomes.iter().zip(&serial).enumerate() {
+        let MemberOutcome::Degraded { stats, reason } = outcome else {
+            panic!("member {i} should degrade on the stale bundle, got: {outcome}");
+        };
+        assert!(
+            reason.contains("different trace"),
+            "member {i}: degradation reason should name the stale bundle, got: {reason}"
+        );
+        assert_eq!(stats, serial, "member {i}: degraded retry must match the serial replay");
+    }
+}
+
+/// A bundle whose fingerprint matches but whose fusion table was built
+/// from a shorter recording (e.g. a truncated capture of the same program)
+/// must not be replayed — its group lengths would index past the trace.
+/// The runner drops the mismatched table and rebuilds live: members stay
+/// `Ok` (not even degraded) with bit-identical statistics and the fast
+/// path still engages on the rebuilt table.
+#[test]
+fn wrong_length_fusion_table_is_dropped_for_a_live_rebuild() {
+    let layout = edvi_layout(&presets::perl_like());
+    let trace = CapturedTrace::record(&layout, 10_000);
+    let mut short = CapturedTrace::record(&layout, 2_000);
+    assert!(short.len() < trace.len());
+    let bundle =
+        RecordedOracles::record(&trace, None, None, &[]).with_fusion(short.build_fusion(4));
+
+    let grid = [SimConfig::micro97(), SimConfig::micro97().with_phys_regs(48)];
+    let outcomes = SweepRunner::new(&trace, grid.iter().cloned())
+        .with_recorded_oracles(&bundle)
+        .run_outcomes();
+    let serial: Vec<SimStats> =
+        grid.iter().map(|config| Simulator::new(config.clone()).run(trace.replay())).collect();
+    for (i, (outcome, serial)) in outcomes.iter().zip(&serial).enumerate() {
+        let MemberOutcome::Ok(stats) = outcome else {
+            panic!("member {i} should run cleanly on the live-rebuilt table, got: {outcome}");
+        };
+        assert_eq!(stats, serial, "member {i} diverges from the serial replay");
+        assert!(
+            stats.fusion.fused_records > 0,
+            "member {i}: the live-rebuilt table should still drive the fast path"
+        );
+    }
+}
+
+/// Fusion survives the artifact round trip: a bundle carrying tables for
+/// both grid widths replays them into a sweep with statistics bit-identical
+/// to serial runs, and the fast path engages for both widths.
+#[test]
+fn recorded_fusion_tables_drive_the_sweep_after_a_round_trip() {
+    let layout = edvi_layout(&presets::gcc_like());
+    let mut trace = CapturedTrace::record(&layout, 10_000);
+    let bundle = RecordedOracles::record(&trace, None, None, &[])
+        .with_fusion(trace.build_fusion(4))
+        .with_fusion(trace.build_fusion(8));
+    let loaded = RecordedOracles::from_bytes(&bundle.to_bytes(), Some(trace.fingerprint()))
+        .expect("a clean bundle loads");
+    assert_eq!(loaded.fusion().len(), 2);
+
+    let grid = [
+        SimConfig::micro97(),
+        SimConfig::micro97().with_issue_width(8),
+        SimConfig::micro97().with_dvi(DviConfig::full()),
+    ];
+    let outcomes = SweepRunner::new(&trace, grid.iter().cloned())
+        .with_recorded_oracles(&loaded)
+        .run_outcomes();
+    let serial: Vec<SimStats> =
+        grid.iter().map(|config| Simulator::new(config.clone()).run(trace.replay())).collect();
+    for (i, (outcome, serial)) in outcomes.iter().zip(&serial).enumerate() {
+        let MemberOutcome::Ok(stats) = outcome else {
+            panic!("member {i} should replay the bundled tables cleanly, got: {outcome}");
+        };
+        assert_eq!(stats, serial, "member {i} diverges from the serial replay");
+        assert!(stats.fusion.fused_records > 0, "member {i}: bundled table should engage");
+    }
+}
+
+fn dvi_scheme(index: u8) -> DviConfig {
+    match index % 5 {
+        0 => DviConfig::none(),
+        1 => DviConfig::idvi_only(),
+        2 => DviConfig::lvm_scheme(),
+        3 => DviConfig::lvm_stack_scheme(),
+        _ => DviConfig::full(),
+    }
+}
+
+/// One pseudo-random grid member over the axes fusion cares about: decode
+/// width (which table), window and register-file pressure (how often the
+/// fast path bails), DVI scheme (which records are eligible at all) and
+/// the scheduler kind (naive members never fuse).
+fn grid_member(bits: u64) -> SimConfig {
+    let phys_regs = 34 + (bits % 63) as usize; // 34..=96
+    #[allow(clippy::cast_possible_truncation)]
+    let scheme = (bits >> 16) as u8;
+    let mut config = SimConfig::micro97().with_phys_regs(phys_regs).with_dvi(dvi_scheme(scheme));
+    match (bits >> 8) % 3 {
+        0 => {}
+        1 => config = config.with_issue_width(2),
+        _ => config = config.with_issue_width(8),
+    }
+    if (bits >> 24) & 1 == 1 {
+        config.window_size = config.issue_width.max(8);
+    }
+    if (bits >> 25) & 3 == 3 {
+        config = config.with_scheduler(SchedulerKind::NaiveScan);
+    }
+    config
+}
+
+proptest! {
+    #[test]
+    fn fused_sweep_matches_serial_for_random_presets_grids_and_threads(
+        preset in 0usize..7,
+        seed in any::<u64>(),
+        members in proptest::collection::vec(any::<u64>(), 2..8),
+        threads in 1usize..5,
+    ) {
+        let spec = presets::by_index(preset).with_seed(seed).with_outer_iterations(3);
+        let layout = edvi_layout(&spec);
+        let trace = CapturedTrace::record(&layout, 2_000);
+        let grid: Vec<SimConfig> = members.into_iter().map(grid_member).collect();
+        let serial: Vec<SimStats> = grid
+            .iter()
+            .map(|config| Simulator::new(config.clone()).run(trace.replay()))
+            .collect();
+        let outcomes = SweepRunner::new(&trace, grid.iter().cloned())
+            .run_parallel_threads_outcomes(threads);
+        for (i, (outcome, serial)) in outcomes.iter().zip(&serial).enumerate() {
+            prop_assert!(
+                outcome.is_complete(),
+                "{}: member {i} did not complete: {outcome}", spec.name
+            );
+            prop_assert_eq!(
+                outcome.stats(),
+                Some(serial),
+                "{}: fused member {i} diverges from the serial replay", spec.name
+            );
+        }
+    }
+}

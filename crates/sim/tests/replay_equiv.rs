@@ -91,6 +91,7 @@ fn assert_shared_products_equivalent(
     let mut owned = trace.clone();
     let depgraph = owned.build_depgraph();
     let replay_config = config.clone().with_scheduler(SchedulerKind::EventDriven);
+    let fusion = owned.build_fusion(replay_config.decode_width);
     let tables = SharedTables {
         decode: Some(Arc::new(StaticDecodeTable::for_trace(&owned))),
         branches: Some(Arc::new(BranchOracle::record(&owned, config.predictor))),
@@ -98,6 +99,7 @@ fn assert_shared_products_equivalent(
         depgraph: Some(depgraph),
         dvi: Some(Arc::new(DviOracle::record(&owned, config.dvi))),
         dcache: Some(record_dcache_oracle(&owned, &replay_config)),
+        fusion: Some(fusion),
     };
     let shared =
         SimSession::with_shared_tables(replay_config, owned.cursor(), tables).run_to_completion();
