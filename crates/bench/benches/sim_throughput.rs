@@ -45,6 +45,15 @@
 //! (`backend.soa_vs_pr4`; the PR-4 side is a pinned same-container
 //! measurement, overridable via `BENCH_PR4_NS_PER_INSTR`).
 //!
+//! A **matrix** section times the whole-matrix (trace × config) runner
+//! (`dvi_sim::MatrixRunner`) against the per-figure loop it replaced —
+//! one `SweepRunner` pass per trace over the same grid —
+//! (`matrix.vs_per_figure`, interleaved min-of-N, bit-identity incl. a
+//! 2-shard run asserted before timing), and asserts the shared-build
+//! reuse counters on a duplicated submission
+//! (`matrix.shared_build_reuse`: one build pass per distinct trace, the
+//! second copy of every cell deduplicated member-for-member).
+//!
 //! A **service** section measures the persistent sweep service end to end
 //! against a direct `SweepRunner` pass on the same (trace × grid) matrix:
 //! `service.end_to_end_overhead` is the cold-cache (all-miss) submission
@@ -66,8 +75,8 @@ use dvi_isa::Abi;
 use dvi_program::{CapturedTrace, Interpreter, LayoutProgram};
 use dvi_service::{JobSpec, ServiceConfig, SweepService, TraceSource};
 use dvi_sim::{
-    BranchOracle, DviOracle, IcacheOracle, MemberOutcome, SchedulerKind, SharedTables, SimConfig,
-    SimSession, SimStats, Simulator, StaticDecodeTable, SweepRunner,
+    BranchOracle, DviOracle, IcacheOracle, MatrixRunner, MemberOutcome, SchedulerKind,
+    SharedTables, SimConfig, SimSession, SimStats, Simulator, StaticDecodeTable, SweepRunner,
 };
 use std::io::Write as _;
 use std::sync::Arc;
@@ -728,6 +737,130 @@ fn service_measurements(mix: &Mix) -> ServiceBenchResult {
     }
 }
 
+/// The whole-matrix-vs-per-figure numbers (see `matrix_measurements`).
+struct MatrixBenchResult {
+    /// Per-figure wall time relative to the whole-matrix pass (>1: the
+    /// matrix was faster). On this single-CPU container the matrix's
+    /// unified work-stealing queue degenerates to the same serial member
+    /// schedule as the per-figure loop, so the honest expectation here is
+    /// parity (~1.0x) — the queue-unification win needs cores to steal
+    /// across, and the build-reuse win needs traces shared across cells
+    /// (counted separately below, not timed into this ratio).
+    vs_per_figure: f64,
+    /// Best per-figure pass (one `SweepRunner` per trace), seconds.
+    per_figure_seconds: f64,
+    /// Best whole-matrix pass over the identical (trace × grid) cells,
+    /// seconds.
+    matrix_seconds: f64,
+    /// Cells in the timed matrix (one per trace).
+    cells: usize,
+    /// Grid slots across all timed cells.
+    requested_members: usize,
+    /// Distinct traces the registry resolved in the duplicated-cells
+    /// reuse check.
+    distinct_traces: usize,
+    /// Shared-product build passes in the duplicated-cells reuse check —
+    /// exactly one per distinct trace even though every cell appears
+    /// twice.
+    shared_builds: u64,
+    /// Grid slots served without a build pass in the reuse check.
+    build_reuse_hits: u64,
+    /// Duplicate grid slots that mapped onto an already-registered member
+    /// in the reuse check (the whole second submission).
+    member_dedup_hits: u64,
+    /// Worker threads the matrix used.
+    threads: usize,
+    /// Shards of the sharded bit-identity check.
+    shards: usize,
+}
+
+/// Times the whole-matrix runner against the per-figure loop it replaced:
+/// the same fig5-style grid over every mix trace, run as one
+/// `SweepRunner::run_parallel_outcomes` pass per trace (how each figure
+/// driver used to sweep on its own) versus one `MatrixRunner` over all
+/// (trace × grid) cells at once, interleaved min-of-N per side.
+/// Bit-identity across the per-figure loop, the in-process matrix and a
+/// 2-shard matrix is asserted on full `MemberOutcome`s before anything is
+/// timed, so the bench-smoke CI job also regression-tests the shard-merge
+/// contract. A separate duplicated-cells run (every cell submitted twice)
+/// asserts the shared-build reuse counters: one build per distinct trace,
+/// the entire second submission deduplicated member-for-member.
+fn matrix_measurements(mix: &Mix, grid: &[SimConfig]) -> MatrixBenchResult {
+    let cells: Vec<(&CapturedTrace, Vec<SimConfig>)> =
+        mix.traces.iter().map(|trace| (trace, grid.to_vec())).collect();
+
+    let reference: Vec<Vec<MemberOutcome>> = mix
+        .traces
+        .iter()
+        .map(|trace| SweepRunner::new(trace, grid.iter().cloned()).run_parallel_outcomes())
+        .collect();
+    let matrixed = MatrixRunner::new(cells.clone()).run();
+    let threads = matrixed.report.threads;
+    assert_eq!(
+        matrixed.into_cells(),
+        reference,
+        "the whole-matrix pass diverged from the per-figure loop"
+    );
+    let shards = 2;
+    let sharded = MatrixRunner::new(cells.clone()).shards(shards).run();
+    assert_eq!(
+        sharded.into_cells(),
+        reference,
+        "the sharded matrix diverged from the per-figure loop"
+    );
+
+    let doubled: Vec<(&CapturedTrace, Vec<SimConfig>)> =
+        cells.iter().chain(cells.iter()).cloned().collect();
+    let reuse = MatrixRunner::new(doubled).run().report;
+    assert_eq!(reuse.distinct_traces, mix.traces.len(), "one registry entry per distinct trace");
+    assert_eq!(reuse.shared_builds, mix.traces.len() as u64, "one build pass per distinct trace");
+    assert_eq!(
+        reuse.member_dedup_hits,
+        (mix.traces.len() * grid.len()) as u64,
+        "the duplicated submission must dedup member-for-member"
+    );
+
+    let mut best = [f64::MAX; 2];
+    for _ in 0..reps() {
+        let start = Instant::now();
+        let per_figure: u64 = mix
+            .traces
+            .iter()
+            .map(|trace| {
+                SweepRunner::new(trace, grid.iter().cloned())
+                    .run_parallel_outcomes()
+                    .iter()
+                    .filter_map(|o| o.stats().map(|s| s.program_instrs))
+                    .sum::<u64>()
+            })
+            .sum();
+        best[0] = best[0].min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        let whole_matrix: u64 = MatrixRunner::new(cells.clone())
+            .run()
+            .into_cells()
+            .iter()
+            .flatten()
+            .filter_map(|o| o.stats().map(|s| s.program_instrs))
+            .sum();
+        best[1] = best[1].min(start.elapsed().as_secs_f64());
+        assert_eq!(per_figure, whole_matrix, "both sides must simulate the same instructions");
+    }
+    MatrixBenchResult {
+        vs_per_figure: best[0] / best[1],
+        per_figure_seconds: best[0],
+        matrix_seconds: best[1],
+        cells: cells.len(),
+        requested_members: cells.len() * grid.len(),
+        distinct_traces: reuse.distinct_traces,
+        shared_builds: reuse.shared_builds,
+        build_reuse_hits: reuse.build_reuse_hits,
+        member_dedup_hits: reuse.member_dedup_hits,
+        threads,
+        shards,
+    }
+}
+
 /// One machine's headline numbers.
 struct MachineResult {
     name: &'static str,
@@ -765,6 +898,7 @@ fn write_json(
     results: &[MachineResult],
     sweep: &SweepResult,
     service: &ServiceBenchResult,
+    matrix: &MatrixBenchResult,
     mix: &Mix,
     fusion_vs_live: f64,
     fused_coverage: f64,
@@ -839,6 +973,25 @@ fn write_json(
         sweep.dcache_oracle_vs_live,
     )?;
     writeln!(f, "  \"dcache\": {{\"qualification_rate\": {:.3}}},", sweep.dcache_qualification,)?;
+    writeln!(
+        f,
+        "  \"matrix\": {{\"vs_per_figure\": {:.3}, \"per_figure_seconds\": {:.4}, \
+         \"matrix_seconds\": {:.4}, \"cells\": {}, \"requested_members\": {}, \
+         \"parallel_threads\": {}, \"shards\": {}, \
+         \"shared_build_reuse\": {{\"distinct_traces\": {}, \"shared_builds\": {}, \
+         \"build_reuse_hits\": {}, \"member_dedup_hits\": {}}}}},",
+        matrix.vs_per_figure,
+        matrix.per_figure_seconds,
+        matrix.matrix_seconds,
+        matrix.cells,
+        matrix.requested_members,
+        matrix.threads,
+        matrix.shards,
+        matrix.distinct_traces,
+        matrix.shared_builds,
+        matrix.build_reuse_hits,
+        matrix.member_dedup_hits,
+    )?;
     writeln!(f, "  \"artifact\": {{\"save_load_seconds\": {:.4}}},", sweep.save_load_seconds,)?;
     writeln!(
         f,
@@ -916,6 +1069,7 @@ fn bench(c: &mut Criterion) {
     let dcache_oracle_vs_live = dcache_oracle_vs_live_ratio(&mix, &grid);
     let dcache_qualification = dcache_qualification_rate(&mix, &grid);
     let save_load_seconds = artifact_save_load_seconds(&mix);
+    let matrix = matrix_measurements(&mix, &grid);
     let service = service_measurements(&mix);
     let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let sweep = SweepResult {
@@ -965,6 +1119,24 @@ fn bench(c: &mut Criterion) {
          round trip of the whole mix"
     );
     println!(
+        "sim_throughput/matrix/vs_per_figure:       {:.3}x whole-matrix vs one SweepRunner pass \
+         per trace ({} cells x {} configs, {} threads; parity is the honest single-CPU \
+         expectation — bit-identity incl. a {}-shard run asserted first)",
+        matrix.vs_per_figure,
+        matrix.cells,
+        matrix.requested_members / matrix.cells.max(1),
+        matrix.threads,
+        matrix.shards,
+    );
+    println!(
+        "sim_throughput/matrix/shared_build_reuse:  duplicated submission: {} distinct traces, \
+         {} build passes, {} build-reuse hits, {} member-dedup hits",
+        matrix.distinct_traces,
+        matrix.shared_builds,
+        matrix.build_reuse_hits,
+        matrix.member_dedup_hits,
+    );
+    println!(
         "sim_throughput/service/end_to_end_overhead: {:.3}x vs direct SweepRunner (target \
          <= 1.05x; cold cache, single checkpointed worker, {:.4}s vs {:.4}s)",
         service.end_to_end_overhead, service.miss_seconds, service.direct_seconds,
@@ -990,7 +1162,9 @@ fn bench(c: &mut Criterion) {
         mix.fusion_seconds,
     );
 
-    if let Err(e) = write_json(&results, &sweep, &service, &mix, fusion_vs_live, fused_coverage) {
+    if let Err(e) =
+        write_json(&results, &sweep, &service, &matrix, &mix, fusion_vs_live, fused_coverage)
+    {
         eprintln!("sim_throughput: could not write JSON artifact: {e}");
     }
 

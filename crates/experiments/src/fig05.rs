@@ -1,6 +1,6 @@
 //! Figure 5: average IPC as a function of physical register file size.
 
-use crate::harness::{fold_outcomes, mean, sweep_parallel_outcomes, Budget, CapturedBinaries};
+use crate::harness::{fold_outcomes, mean, sweep_matrix, Budget, CapturedBinaries};
 use crate::table::Table;
 use dvi_core::DviConfig;
 use dvi_sim::SimConfig;
@@ -68,42 +68,52 @@ pub fn run(budget: Budget) -> Figure05 {
 #[must_use]
 pub fn run_with(budget: Budget, benchmarks: &[WorkloadSpec], sizes: &[usize]) -> Figure05 {
     // Capture each benchmark's traces once (the capture passes are the
-    // only remaining interpreter work), then drive the entire size ×
-    // scheme grid through one batched sweep per trace: every register-file
-    // size re-times the shared capture in a single co-scheduled pass
-    // instead of one serial replay per grid point.
-    let per_bench: Vec<(Vec<SimStats>, Vec<SimStats>, SweepSummary)> = benchmarks
-        .par_iter()
-        .map(|spec| {
-            let binaries = CapturedBinaries::build(spec, budget);
+    // only remaining interpreter work), then drive every benchmark's
+    // entire size × scheme grid as cells of ONE whole-matrix sweep: the
+    // matrix builds each trace's shared products once and drains all
+    // benchmarks' grid points through a single work-stealing queue
+    // instead of one batched pass per trace.
+    let captured: Vec<CapturedBinaries> =
+        benchmarks.par_iter().map(|spec| CapturedBinaries::build(spec, budget)).collect();
+    let cells = captured
+        .iter()
+        .flat_map(|binaries| {
             // Grid order: [none(size0), idvi(size0), none(size1), ...].
-            let base_grid = sizes.iter().flat_map(|&n| {
-                let cfg = SimConfig::micro97().with_phys_regs(n);
-                [cfg.clone().with_dvi(DviConfig::none()), cfg.with_dvi(DviConfig::idvi_only())]
-            });
-            let edvi_grid = sizes
+            let base_grid: Vec<SimConfig> = sizes
                 .iter()
-                .map(|&n| SimConfig::micro97().with_phys_regs(n).with_dvi(DviConfig::full()));
-            let (base, mut health) =
-                fold_outcomes(sweep_parallel_outcomes(&binaries.baseline, base_grid));
-            let (edvi, edvi_health) =
-                fold_outcomes(sweep_parallel_outcomes(&binaries.edvi, edvi_grid));
-            health.merge(edvi_health);
-            (base, edvi, health)
+                .flat_map(|&n| {
+                    let cfg = SimConfig::micro97().with_phys_regs(n);
+                    [cfg.clone().with_dvi(DviConfig::none()), cfg.with_dvi(DviConfig::idvi_only())]
+                })
+                .collect();
+            let edvi_grid: Vec<SimConfig> = sizes
+                .iter()
+                .map(|&n| SimConfig::micro97().with_phys_regs(n).with_dvi(DviConfig::full()))
+                .collect();
+            [(&binaries.baseline, base_grid), (&binaries.edvi, edvi_grid)]
         })
         .collect();
+    let mut outcomes = sweep_matrix(cells).into_iter();
     let mut health = SweepSummary::default();
-    for (_, _, h) in &per_bench {
-        health.merge(*h);
-    }
+    let per_bench: Vec<(Vec<SimStats>, Vec<SimStats>)> = captured
+        .iter()
+        .map(|_| {
+            let (base, base_health) =
+                fold_outcomes(outcomes.next().expect("one matrix cell per baseline grid"));
+            let (edvi, edvi_health) =
+                fold_outcomes(outcomes.next().expect("one matrix cell per E-DVI grid"));
+            health.merge(base_health);
+            health.merge(edvi_health);
+            (base, edvi)
+        })
+        .collect();
     let points = sizes
         .iter()
         .enumerate()
         .map(|(i, &n)| {
-            let no_dvi: Vec<f64> = per_bench.iter().map(|(base, _, _)| base[2 * i].ipc()).collect();
-            let idvi: Vec<f64> =
-                per_bench.iter().map(|(base, _, _)| base[2 * i + 1].ipc()).collect();
-            let full: Vec<f64> = per_bench.iter().map(|(_, edvi, _)| edvi[i].ipc()).collect();
+            let no_dvi: Vec<f64> = per_bench.iter().map(|(base, _)| base[2 * i].ipc()).collect();
+            let idvi: Vec<f64> = per_bench.iter().map(|(base, _)| base[2 * i + 1].ipc()).collect();
+            let full: Vec<f64> = per_bench.iter().map(|(_, edvi)| edvi[i].ipc()).collect();
             SizePoint {
                 phys_regs: n,
                 ipc_no_dvi: mean(&no_dvi),

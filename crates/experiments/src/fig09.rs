@@ -1,6 +1,6 @@
 //! Figure 9: dynamic saves and restores eliminated.
 
-use crate::harness::{fold_outcomes, mean, sweep_parallel_outcomes, Budget, CapturedBinaries};
+use crate::harness::{fold_outcomes, mean, sweep_matrix, Budget, CapturedBinaries};
 use crate::table::Table;
 use dvi_core::DviConfig;
 use dvi_sim::{SimConfig, SweepSummary};
@@ -62,17 +62,26 @@ pub fn run(budget: Budget) -> Figure09 {
 /// Runs both schemes on an explicit benchmark list.
 #[must_use]
 pub fn run_with(budget: Budget, benchmarks: &[dvi_workloads::WorkloadSpec]) -> Figure09 {
-    let per_bench: Vec<(EliminationRow, SweepSummary)> = benchmarks
-        .par_iter()
-        .map(|spec| {
-            // One capture serves both hardware schemes, which ride a
-            // single batched pass over it.
-            let binaries = CapturedBinaries::build(spec, budget);
-            let (stats, health) = fold_outcomes(sweep_parallel_outcomes(
-                &binaries.edvi,
-                [DviConfig::lvm_scheme(), DviConfig::lvm_stack_scheme()]
-                    .map(|dvi| SimConfig::micro97().with_dvi(dvi)),
-            ));
+    // Capture every benchmark's traces in parallel, then time both
+    // hardware schemes of every benchmark as cells of one whole-matrix
+    // sweep (one shared-product build per trace, one work queue).
+    let captured: Vec<CapturedBinaries> =
+        benchmarks.par_iter().map(|spec| CapturedBinaries::build(spec, budget)).collect();
+    let cells = captured
+        .iter()
+        .map(|binaries| {
+            let grid = [DviConfig::lvm_scheme(), DviConfig::lvm_stack_scheme()]
+                .map(|dvi| SimConfig::micro97().with_dvi(dvi));
+            (&binaries.edvi, grid.to_vec())
+        })
+        .collect();
+    let mut health = SweepSummary::default();
+    let rows = captured
+        .iter()
+        .zip(sweep_matrix(cells))
+        .map(|(binaries, outcomes)| {
+            let (stats, cell_health) = fold_outcomes(outcomes);
+            health.merge(cell_health);
             let pcts = |s: &dvi_sim::SimStats| {
                 (
                     s.pct_save_restores_eliminated(),
@@ -80,20 +89,11 @@ pub fn run_with(budget: Budget, benchmarks: &[dvi_workloads::WorkloadSpec]) -> F
                     s.pct_instrs_eliminated(),
                 )
             };
-            let row = EliminationRow {
-                name: spec.name.clone(),
+            EliminationRow {
+                name: binaries.name.clone(),
                 lvm: pcts(&stats[0]),
                 lvm_stack: pcts(&stats[1]),
-            };
-            (row, health)
-        })
-        .collect();
-    let mut health = SweepSummary::default();
-    let rows = per_bench
-        .into_iter()
-        .map(|(row, h)| {
-            health.merge(h);
-            row
+            }
         })
         .collect();
     Figure09 { rows, health }

@@ -1,6 +1,6 @@
 //! Figure 10: IPC speedups from dead save/restore elimination.
 
-use crate::harness::{fold_outcomes, replay, sweep_parallel_outcomes, Budget, CapturedBinaries};
+use crate::harness::{fold_outcomes, sweep_matrix, Budget, CapturedBinaries};
 use crate::table::Table;
 use dvi_core::DviConfig;
 use dvi_sim::{SimConfig, SweepSummary};
@@ -48,33 +48,38 @@ pub fn run(budget: Budget) -> Figure10 {
 /// Runs the speedup study on an explicit benchmark list.
 #[must_use]
 pub fn run_with(budget: Budget, benchmarks: &[dvi_workloads::WorkloadSpec]) -> Figure10 {
-    let per_bench: Vec<(SpeedupRow, SweepSummary)> = benchmarks
-        .par_iter()
-        .map(|spec| {
-            // One capture serves the baseline machine and both schemes;
-            // the two schemes ride one batched pass over the E-DVI trace.
-            let binaries = CapturedBinaries::build(spec, budget);
-            let base = replay(&binaries.baseline, SimConfig::micro97()).ipc();
-            let (schemes, health) = fold_outcomes(sweep_parallel_outcomes(
-                &binaries.edvi,
-                [DviConfig::lvm_scheme(), DviConfig::lvm_stack_scheme()]
-                    .map(|dvi| SimConfig::micro97().with_dvi(dvi)),
-            ));
-            let row = SpeedupRow {
-                name: spec.name.clone(),
+    // Capture every benchmark's traces in parallel; the baseline-machine
+    // point and both schemes of every benchmark then run as cells of one
+    // whole-matrix sweep — the baseline replay that used to be a lone
+    // serial call is now just a one-member cell on the same work queue.
+    let captured: Vec<CapturedBinaries> =
+        benchmarks.par_iter().map(|spec| CapturedBinaries::build(spec, budget)).collect();
+    let cells = captured
+        .iter()
+        .flat_map(|binaries| {
+            let schemes = [DviConfig::lvm_scheme(), DviConfig::lvm_stack_scheme()]
+                .map(|dvi| SimConfig::micro97().with_dvi(dvi));
+            [(&binaries.baseline, vec![SimConfig::micro97()]), (&binaries.edvi, schemes.to_vec())]
+        })
+        .collect();
+    let mut outcomes = sweep_matrix(cells).into_iter();
+    let mut health = SweepSummary::default();
+    let rows = captured
+        .iter()
+        .map(|binaries| {
+            let (base, base_health) =
+                fold_outcomes(outcomes.next().expect("one matrix cell per baseline machine"));
+            let (schemes, scheme_health) =
+                fold_outcomes(outcomes.next().expect("one matrix cell per scheme grid"));
+            health.merge(base_health);
+            health.merge(scheme_health);
+            let base = base[0].ipc();
+            SpeedupRow {
+                name: binaries.name.clone(),
                 base_ipc: base,
                 lvm_speedup_pct: 100.0 * (schemes[0].ipc() / base - 1.0),
                 lvm_stack_speedup_pct: 100.0 * (schemes[1].ipc() / base - 1.0),
-            };
-            (row, health)
-        })
-        .collect();
-    let mut health = SweepSummary::default();
-    let rows = per_bench
-        .into_iter()
-        .map(|(row, h)| {
-            health.merge(h);
-            row
+            }
         })
         .collect();
     Figure10 { rows, health }

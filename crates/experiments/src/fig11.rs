@@ -1,7 +1,7 @@
 //! Figure 11: sensitivity of save/restore elimination to data-cache
 //! bandwidth (ports) and issue width.
 
-use crate::harness::{fold_outcomes, sweep_parallel_outcomes, Budget, CapturedBinaries};
+use crate::harness::{fold_outcomes, sweep_matrix, Budget, CapturedBinaries};
 use crate::table::Table;
 use dvi_core::DviConfig;
 use dvi_sim::{SimConfig, SweepSummary};
@@ -71,51 +71,54 @@ pub fn run_with(
     widths: &[usize],
     ports: &[usize],
 ) -> Figure11 {
-    // One task per benchmark (binaries are built and their traces captured
-    // once per benchmark); the whole width × port grid rides one batched
-    // pass over each capture, and the row order stays benchmark-major as
-    // before.
-    let per_bench: Vec<(Vec<SensitivityRow>, SweepSummary)> = benchmarks
-        .par_iter()
-        .map(|spec| {
-            let binaries = CapturedBinaries::build(spec, budget);
-            let machines: Vec<SimConfig> = widths
+    // Binaries are built and their traces captured once per benchmark (in
+    // parallel); the whole benchmark × width × port grid then runs as
+    // cells of one whole-matrix sweep, and the row order stays
+    // benchmark-major as before.
+    let machines: Vec<SimConfig> = widths
+        .iter()
+        .flat_map(|&width| {
+            ports
                 .iter()
-                .flat_map(|&width| {
-                    ports.iter().map(move |&np| {
-                        SimConfig::micro97().with_issue_width(width).with_cache_ports(np)
-                    })
-                })
-                .collect();
-            let (base, mut health) = fold_outcomes(sweep_parallel_outcomes(
-                &binaries.baseline,
-                machines.iter().cloned(),
-            ));
-            let (dvi, dvi_health) = fold_outcomes(sweep_parallel_outcomes(
-                &binaries.edvi,
-                machines.iter().map(|m| m.clone().with_dvi(DviConfig::full())),
-            ));
+                .map(move |&np| SimConfig::micro97().with_issue_width(width).with_cache_ports(np))
+        })
+        .collect();
+    let captured: Vec<CapturedBinaries> =
+        benchmarks.par_iter().map(|spec| CapturedBinaries::build(spec, budget)).collect();
+    let cells = captured
+        .iter()
+        .flat_map(|binaries| {
+            [
+                (&binaries.baseline, machines.clone()),
+                (
+                    &binaries.edvi,
+                    machines.iter().map(|m| m.clone().with_dvi(DviConfig::full())).collect(),
+                ),
+            ]
+        })
+        .collect();
+    let mut outcomes = sweep_matrix(cells).into_iter();
+    let mut health = SweepSummary::default();
+    let rows = captured
+        .iter()
+        .flat_map(|binaries| {
+            let (base, base_health) =
+                fold_outcomes(outcomes.next().expect("one matrix cell per baseline grid"));
+            let (dvi, dvi_health) =
+                fold_outcomes(outcomes.next().expect("one matrix cell per DVI grid"));
+            health.merge(base_health);
             health.merge(dvi_health);
-            let rows = machines
+            machines
                 .iter()
-                .zip(base.iter().zip(&dvi))
+                .zip(base.into_iter().zip(dvi))
                 .map(|(machine, (base, dvi))| SensitivityRow {
-                    name: spec.name.clone(),
+                    name: binaries.name.clone(),
                     issue_width: machine.issue_width,
                     cache_ports: machine.cache_ports,
                     base_ipc: base.ipc(),
                     dvi_ipc: dvi.ipc(),
                 })
-                .collect();
-            (rows, health)
-        })
-        .collect();
-    let mut health = SweepSummary::default();
-    let rows = per_bench
-        .into_iter()
-        .flat_map(|(rows, h)| {
-            health.merge(h);
-            rows
+                .collect::<Vec<_>>()
         })
         .collect();
     Figure11 { rows, health }

@@ -1,6 +1,6 @@
 //! Figure 13: E-DVI overhead.
 
-use crate::harness::{fold_outcomes, sweep_parallel_outcomes, Budget, CapturedBinaries};
+use crate::harness::{fold_outcomes, sweep_matrix, Budget, CapturedBinaries};
 use crate::table::Table;
 use dvi_core::DviConfig;
 use dvi_sim::{SimConfig, SweepSummary};
@@ -54,22 +54,33 @@ pub fn run(budget: Budget) -> Figure13 {
 /// Runs the overhead study on an explicit benchmark list.
 #[must_use]
 pub fn run_with(budget: Budget, benchmarks: &[dvi_workloads::WorkloadSpec]) -> Figure13 {
-    let per_bench: Vec<(OverheadRow, SweepSummary)> = benchmarks
-        .par_iter()
-        .map(|spec| {
-            // One capture serves both instruction-cache geometries, which
-            // ride one batched pass over each binary's trace.
-            let binaries = CapturedBinaries::build(spec, budget);
-            // The paper compares IPC of binaries with and without E-DVI in
-            // the *absence* of the DVI optimizations, so the annotations are
-            // pure fetch overhead.
-            let no_dvi = DviConfig::none();
-            let geometries = [SimConfig::micro97(), SimConfig::micro97_small_icache()]
-                .map(|c| c.with_dvi(no_dvi));
-            let (base, mut health) =
-                fold_outcomes(sweep_parallel_outcomes(&binaries.baseline, geometries.clone()));
+    // One capture per benchmark (in parallel); both binaries × both
+    // instruction-cache geometries of every benchmark then run as cells
+    // of one whole-matrix sweep.
+    //
+    // The paper compares IPC of binaries with and without E-DVI in the
+    // *absence* of the DVI optimizations, so the annotations are pure
+    // fetch overhead.
+    let geometries = [SimConfig::micro97(), SimConfig::micro97_small_icache()]
+        .map(|c| c.with_dvi(DviConfig::none()));
+    let captured: Vec<CapturedBinaries> =
+        benchmarks.par_iter().map(|spec| CapturedBinaries::build(spec, budget)).collect();
+    let cells = captured
+        .iter()
+        .flat_map(|binaries| {
+            [(&binaries.baseline, geometries.to_vec()), (&binaries.edvi, geometries.to_vec())]
+        })
+        .collect();
+    let mut outcomes = sweep_matrix(cells).into_iter();
+    let mut health = SweepSummary::default();
+    let rows = captured
+        .iter()
+        .map(|binaries| {
+            let (base, base_health) =
+                fold_outcomes(outcomes.next().expect("one matrix cell per baseline binary"));
             let (edvi, edvi_health) =
-                fold_outcomes(sweep_parallel_outcomes(&binaries.edvi, geometries));
+                fold_outcomes(outcomes.next().expect("one matrix cell per E-DVI binary"));
+            health.merge(base_health);
             health.merge(edvi_health);
             let ipc_overhead = |i: usize| 100.0 * (base[i].ipc() / edvi[i].ipc() - 1.0);
             let (ipc64, ipc32) = (ipc_overhead(0), ipc_overhead(1));
@@ -81,22 +92,13 @@ pub fn run_with(budget: Budget, benchmarks: &[dvi_workloads::WorkloadSpec]) -> F
                 // instruction.
                 100.0 * edvi64.fetched_kills as f64 / edvi64.program_instrs as f64
             };
-            let row = OverheadRow {
-                name: spec.name.clone(),
+            OverheadRow {
+                name: binaries.name.clone(),
                 dynamic_fetch_overhead_pct: fetch_overhead,
                 static_code_overhead_pct: binaries.code_growth_pct(),
                 ipc_overhead_32k_pct: ipc32,
                 ipc_overhead_64k_pct: ipc64,
-            };
-            (row, health)
-        })
-        .collect();
-    let mut health = SweepSummary::default();
-    let rows = per_bench
-        .into_iter()
-        .map(|(row, h)| {
-            health.merge(h);
-            row
+            }
         })
         .collect();
     Figure13 { rows, health }

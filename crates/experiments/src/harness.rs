@@ -15,7 +15,9 @@
 use dvi_core::EdviPlacement;
 use dvi_isa::Abi;
 use dvi_program::{CapturedTrace, Interpreter, LayoutProgram};
-use dvi_sim::{MemberOutcome, SimConfig, SimStats, Simulator, SweepRunner, SweepSummary};
+use dvi_sim::{
+    MatrixRunner, MemberOutcome, SimConfig, SimStats, Simulator, SweepRunner, SweepSummary,
+};
 use dvi_workloads::WorkloadSpec;
 
 /// How many instructions each timing simulation runs. The paper simulates
@@ -237,6 +239,37 @@ pub fn sweep_parallel_outcomes(
         }
     }
     SweepRunner::new(trace, configs).run_parallel_outcomes()
+}
+
+/// Runs many (trace × configuration-grid) cells as **one** whole-matrix
+/// sweep ([`dvi_sim::MatrixRunner`]): every distinct trace across the
+/// cells builds its trace-pure shared products (static-decode table,
+/// oracle bitstreams, dependence graph) exactly once, identical
+/// (trace, configuration) members are simulated once, and all members
+/// drain through a single work-stealing queue instead of one queue per
+/// figure grid. Results come back in cell order, each cell in grid
+/// order, and are bit-identical to calling [`sweep_parallel_outcomes`]
+/// once per cell (`dvi-sim/tests/matrix_equiv.rs`) — this is purely a
+/// host-time optimization, so the figure drivers' golden fixtures hold.
+///
+/// When the `DVI_RESULT_CACHE` environment variable names a directory,
+/// each cell routes through the service layer's content-addressed result
+/// cache (`dvi_service::cached_sweep`) exactly as
+/// [`sweep_parallel_outcomes`] would — memoization and the matrix rest on
+/// the same purity invariant, so outcomes are bit-identical either way.
+#[must_use]
+pub fn sweep_matrix(cells: Vec<(&CapturedTrace, Vec<SimConfig>)>) -> Vec<Vec<MemberOutcome>> {
+    if let Ok(dir) = std::env::var("DVI_RESULT_CACHE") {
+        if !dir.is_empty() {
+            if let Ok(cache) = dvi_service::ResultCache::open(dir) {
+                return cells
+                    .into_iter()
+                    .map(|(trace, configs)| dvi_service::cached_sweep(trace, &configs, &cache))
+                    .collect();
+            }
+        }
+    }
+    MatrixRunner::new(cells).run().into_cells()
 }
 
 /// [`sweep_outcomes`] with the shared D-cache oracle enabled

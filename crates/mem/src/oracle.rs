@@ -320,7 +320,7 @@ impl DataMemModel for DcacheFingerprinter {
 /// place of a private tag array with bit-identical statistics — and any
 /// member that does not is caught by the cursor's per-access comparison,
 /// never silently replayed wrong.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DcacheOracle {
     geometry: CacheConfig,
     addrs: Vec<u64>,

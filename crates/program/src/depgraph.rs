@@ -117,8 +117,10 @@ impl SrcDep {
 }
 
 /// The precomputed dependence graph of one captured trace. See the module
-/// documentation for contents and guarantees.
-#[derive(Debug)]
+/// documentation for contents and guarantees. `Clone` deep-copies the row
+/// storage, which is what shard-replicated sweeps use to give each worker
+/// pool a private copy of the read-only graph.
+#[derive(Debug, Clone)]
 pub struct DepGraph {
     /// Producer record indices of both source operands
     /// ([`DepGraph::NO_PRODUCER`] = ready at fetch), one row per record.

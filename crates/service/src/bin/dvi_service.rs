@@ -1,12 +1,14 @@
 //! The `dvi-service` command line: run the sweep service, or drive one.
 //!
 //! ```text
-//! dvi-service serve   --data-dir DIR [--addr 127.0.0.1:7117] [--workers N]
-//! dvi-service submit  (--preset NAME [--instrs N] | --trace FILE)
-//!                     [--grid JSON|fig10] (--server ADDR | --data-dir DIR)
-//!                     [--wait SECS]
-//! dvi-service status  [JOB] --server ADDR
-//! dvi-service results JOB --server ADDR
+//! dvi-service serve     --data-dir DIR [--addr 127.0.0.1:7117] [--workers N] [--shards N]
+//! dvi-service submit    (--preset NAME [--instrs N] | --trace FILE)
+//!                       [--grid JSON|fig10] (--server ADDR | --data-dir DIR)
+//!                       [--wait SECS]
+//! dvi-service status    [JOB] --server ADDR
+//! dvi-service results   JOB --server ADDR
+//! dvi-service cancel    JOB --server ADDR
+//! dvi-service run-shard IN OUT [--checkpoint DIR]
 //! ```
 //!
 //! `submit` has two modes: with `--server` it talks HTTP to a running
@@ -14,6 +16,14 @@
 //! the same on-disk result cache a server over that directory would use —
 //! so an offline submission still memoizes, and a later server run still
 //! hits.
+//!
+//! `run-shard` is the out-of-process execution arm of the matrix layer:
+//! it loads a serialized [`dvi_sim::ShardJob`] artifact (produced by
+//! [`dvi_sim::MatrixRunner::shard_jobs`]), runs its members — optionally
+//! checkpointed under `--checkpoint DIR` so a killed shard resumes — and
+//! writes the [`dvi_sim::ShardResult`] artifact the parent merges with
+//! [`dvi_sim::MatrixRunner::merge_shard_results`], bit-identical to the
+//! in-process run.
 
 #![forbid(unsafe_code)]
 
@@ -34,6 +44,8 @@ fn main() {
         Some("submit") => run(submit(&args[1..])),
         Some("status") => run(status(&args[1..])),
         Some("results") => run(results(&args[1..])),
+        Some("cancel") => run(cancel(&args[1..])),
+        Some("run-shard") => run(run_shard(&args[1..])),
         Some("--help" | "-h" | "help") | None => {
             print!("{}", usage());
             0
@@ -50,13 +62,19 @@ fn usage() -> String {
     [
         "dvi-service: persistent sweep service for the DVI simulator\n",
         "\nCommands:\n",
-        "  serve   --data-dir DIR [--addr 127.0.0.1:7117] [--workers N] [--checkpoint-every N]\n",
-        "  submit  (--preset NAME [--instrs N] | --trace FILE) [--grid JSON|fig10]\n",
-        "          (--server ADDR | --data-dir DIR) [--wait SECS]\n",
-        "  status  [JOB] --server ADDR\n",
-        "  results JOB --server ADDR\n",
+        "  serve     --data-dir DIR [--addr 127.0.0.1:7117] [--workers N]\n",
+        "            [--checkpoint-every N] [--shards N]\n",
+        "  submit    (--preset NAME [--instrs N] | --trace FILE) [--grid JSON|fig10]\n",
+        "            (--server ADDR | --data-dir DIR) [--wait SECS]\n",
+        "  status    [JOB] --server ADDR\n",
+        "  results   JOB --server ADDR\n",
+        "  cancel    JOB --server ADDR\n",
+        "  run-shard IN OUT [--checkpoint DIR]\n",
         "\nThe fig10 grid shorthand expands to the paper's Figure 10 study:\n",
         "  [{\"dvi\": \"lvm\"}, {\"dvi\": \"lvm-stack\"}]\n",
+        "\nrun-shard executes a serialized matrix shard job (IN) and writes its\n",
+        "result artifact (OUT) for the parent to merge, bit-identical to the\n",
+        "in-process run; --checkpoint DIR lets a killed shard resume.\n",
     ]
     .concat()
 }
@@ -122,6 +140,9 @@ fn serve(args: &[String]) -> Result<(), ServiceError> {
     }
     if let Some(every) = flags.get_u64("checkpoint-every")? {
         config = config.with_checkpoint_every_turns(every);
+    }
+    if let Some(shards) = flags.get_u64("shards")? {
+        config = config.with_shards(shards as usize);
     }
     let service = SweepService::start(config)?;
     let mut server = HttpServer::serve(service, addr)?;
@@ -299,5 +320,46 @@ fn results(args: &[String]) -> Result<(), ServiceError> {
         .ok_or_else(|| ServiceError::InvalidRequest("results needs a JOB id".into()))?;
     let reply = http_json(addr, "GET", &format!("/jobs/{job}/results"), None)?;
     println!("{}", reply.encode());
+    Ok(())
+}
+
+fn cancel(args: &[String]) -> Result<(), ServiceError> {
+    let flags = Flags::parse(args)?;
+    let addr = flags
+        .get("server")
+        .ok_or_else(|| ServiceError::InvalidRequest("cancel needs --server".into()))?;
+    let job = flags
+        .positional
+        .first()
+        .ok_or_else(|| ServiceError::InvalidRequest("cancel needs a JOB id".into()))?;
+    let reply = http_json(addr, "DELETE", &format!("/jobs/{job}"), None)?;
+    println!("{}", reply.encode());
+    Ok(())
+}
+
+/// Runs one serialized matrix shard job to its result artifact (the child
+/// half of out-of-process shard dispatch).
+fn run_shard(args: &[String]) -> Result<(), ServiceError> {
+    let flags = Flags::parse(args)?;
+    let [input, output] = flags.positional.as_slice() else {
+        return Err(ServiceError::InvalidRequest(
+            "run-shard needs IN and OUT artifact paths".into(),
+        ));
+    };
+    let job = dvi_sim::ShardJob::load(std::path::Path::new(input))?;
+    let checkpoint = flags.get("checkpoint").map(std::path::PathBuf::from);
+    let result = job.run(checkpoint.as_deref())?;
+    result.save(std::path::Path::new(output))?;
+    println!(
+        "{}",
+        Json::obj([
+            ("shard", Json::UInt(job.shard_index())),
+            ("shard_count", Json::UInt(job.shard_count())),
+            ("traces", Json::UInt(job.trace_count() as u64)),
+            ("members", Json::UInt(result.members.len() as u64)),
+            ("out", Json::Str(output.clone())),
+        ])
+        .encode()
+    );
     Ok(())
 }

@@ -18,6 +18,7 @@
 //! | `POST /jobs`           | submission JSON    | `{"job": id}` |
 //! | `GET /jobs/{id}`       | —                  | one job's status |
 //! | `GET /jobs/{id}/results` | —                | outcomes (202 + error body while the job runs) |
+//! | `DELETE /jobs/{id}`    | —                  | cancels the job; its terminal status (409 once terminal) |
 //! | `POST /traces`         | trace artifact     | `{"fingerprint": "0x…"}` |
 
 use crate::json::Json;
@@ -206,6 +207,10 @@ fn route(
                 200,
                 Json::obj([("fingerprint", Json::Str(wire::format_fingerprint(fingerprint)))]),
             ))
+        }
+        ("DELETE", _) if path.starts_with("/jobs/") => {
+            let id = parse_job_id(&path["/jobs/".len()..])?;
+            Ok((200, wire::status_to_json(&service.cancel(id)?)))
         }
         ("GET", _) if path.starts_with("/jobs/") => {
             let rest = &path["/jobs/".len()..];

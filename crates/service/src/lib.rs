@@ -8,17 +8,21 @@
 //! re-plumbing them:
 //!
 //! * **Job model & scheduler** ([`SweepService`]) — a job is one
-//!   (trace × configuration-grid) request. The scheduler flattens every
-//!   queued job into a shared (trace, config) work matrix: jobs waiting on
-//!   the *same* trace merge into one batch, so the trace-pure products
-//!   (`SharedTables`, dependence graph, oracles) the
-//!   [`dvi_sim::batch::SweepRunner`] records are amortized across all of
-//!   them, and identical configurations across jobs simulate **once**.
-//!   Workers run batches with `MemberOutcome` fault isolation and
-//!   `with_checkpoint`/`resume` durability: a worker that dies mid-batch
-//!   is restarted from the last snapshot and finishes bit-identical
-//!   (member statistics are a pure function of configuration, trace and
-//!   shared products).
+//!   (trace × configuration-grid) request. Each scheduling turn drains the
+//!   *entire* pending queue — spanning however many distinct traces — into
+//!   one [`dvi_sim::MatrixRunner`] matrix: the fingerprint-keyed trace
+//!   registry builds the trace-pure products (`SharedTables`, dependence
+//!   graph, oracles) exactly once per distinct trace, identical
+//!   (trace, configuration) members across jobs simulate **once**, and the
+//!   matrix optionally shards with per-shard trace replication
+//!   ([`ServiceConfig::with_shards`]). Turns run with `MemberOutcome`
+//!   fault isolation and checkpoint/resume durability: an attempt that
+//!   dies mid-matrix is retried from the per-trace snapshots and finishes
+//!   bit-identical (member statistics are a pure function of
+//!   configuration, trace and shared products). Jobs can be cancelled
+//!   ([`SweepService::cancel`]): queued members leave the matrix
+//!   immediately, in-flight members stop cooperatively at the next
+//!   scheduling claim.
 //! * **Content-addressed result cache** ([`ResultCache`]) — completed
 //!   member statistics are memoized on disk keyed by
 //!   (`CapturedTrace::fingerprint`, `checkpoint::config_fingerprint`) in
@@ -29,7 +33,10 @@
 //!   `std::net::TcpListener` (no async runtime: the vendor policy ships no
 //!   tokio/hyper) with a minimal JSON codec ([`json`]), plus the
 //!   `dvi-service` binary whose `serve` / `submit` / `status` / `results`
-//!   subcommands drive the same scheduler in-process or over the wire.
+//!   / `cancel` / `run-shard` subcommands drive the same scheduler
+//!   in-process or over the wire (`run-shard` executes a serialized
+//!   [`dvi_sim::ShardJob`] in a child process and writes its
+//!   [`dvi_sim::ShardResult`] artifact).
 //!
 //! # Quickstart
 //!
@@ -97,6 +104,10 @@ pub enum ServiceError {
         /// Why it failed.
         reason: String,
     },
+    /// The job was cancelled; it has no results.
+    JobCancelled(u64),
+    /// The job already reached a terminal state and cannot be cancelled.
+    JobNotCancellable(u64),
     /// A grid configuration failed [`dvi_sim::SimConfig::check`].
     Config(ConfigError),
     /// A trace or cache artifact failed to load or save.
@@ -126,7 +137,9 @@ impl ServiceError {
             | ServiceError::Config(_)
             | ServiceError::Artifact(_) => 400,
             ServiceError::UnknownTrace(_) | ServiceError::UnknownJob(_) => 404,
-            ServiceError::JobNotDone(_) => 409,
+            ServiceError::JobNotDone(_)
+            | ServiceError::JobCancelled(_)
+            | ServiceError::JobNotCancellable(_) => 409,
             ServiceError::JobFailed { .. }
             | ServiceError::Io(_)
             | ServiceError::Http { .. }
@@ -149,6 +162,10 @@ impl fmt::Display for ServiceError {
             ServiceError::UnknownJob(id) => write!(f, "no job {id}"),
             ServiceError::JobNotDone(id) => write!(f, "job {id} has not finished yet"),
             ServiceError::JobFailed { job, reason } => write!(f, "job {job} failed: {reason}"),
+            ServiceError::JobCancelled(id) => write!(f, "job {id} was cancelled"),
+            ServiceError::JobNotCancellable(id) => {
+                write!(f, "job {id} already reached a terminal state")
+            }
             ServiceError::Config(e) => write!(f, "invalid machine configuration: {e}"),
             ServiceError::Artifact(e) => write!(f, "artifact error: {e}"),
             ServiceError::Io(msg) => write!(f, "I/O error: {msg}"),

@@ -3,28 +3,32 @@
 //! A **job** is one (trace × configuration-grid) request. The scheduler
 //! flattens every queued job into a shared (trace, config) work matrix:
 //! jobs submitted against the same trace source merge into one **batch**
-//! while it is still queued, so the trace-pure shared products a
-//! [`SweepRunner`] records are amortized across all of them — and each
-//! distinct configuration in a batch simulates at most once, however many
-//! jobs asked for it.
+//! while it is still queued, and each scheduling turn drains the *entire*
+//! pending queue — however many traces it spans — into one
+//! [`MatrixRunner`] run. The matrix's fingerprint-keyed trace registry
+//! builds the trace-pure shared products exactly once per distinct trace
+//! (even when two batch keys resolve to the same trace), and each distinct
+//! (trace, configuration) member simulates at most once, however many jobs
+//! asked for it.
 //!
-//! Workers pull whole batches. Each batch run gets the substrate's full
-//! durability story: the cache is probed per distinct configuration
-//! (hits simulate nothing), the misses run under
-//! [`SweepRunner::with_checkpoint_every`] inside a scoped thread whose
-//! panic is caught — a dead worker run is retried once via
-//! [`SweepRunner::resume`] from the last snapshot, bit-identical to the
-//! uninterrupted run because member statistics are a pure function of
-//! (configuration, trace, shared products) — and fresh `Ok` results are
-//! memoized for every later job.
+//! Each matrix turn gets the substrate's full durability story: the cache
+//! is probed per distinct member (hits simulate nothing), the misses run
+//! through [`MatrixRunner`] with per-trace checkpoints inside a scoped
+//! thread whose panic is caught — a dead attempt is retried once, resuming
+//! every checkpointed member bit-identical to the uninterrupted run
+//! because member statistics are a pure function of (configuration,
+//! trace, shared products) — and fresh results are memoized for every
+//! later job. Cancellation rides the matrix's cooperative cell gate: a
+//! cancelled job's queued units leave the pending queue immediately, and
+//! its in-flight members are skipped at the next scheduling claim unless
+//! another live job wants them too.
 
 use crate::cache::{CacheProbe, ResultCache};
 use crate::workload::{build_preset_trace, preset_names};
 use crate::ServiceError;
-use dvi_program::artifact::xxh64;
 use dvi_program::CapturedTrace;
 use dvi_sim::checkpoint::config_fingerprint;
-use dvi_sim::{MemberOutcome, SimConfig, SweepRunner, SweepSummary};
+use dvi_sim::{MatrixOutcome, MatrixRunner, MemberOutcome, SimConfig, SweepRunner, SweepSummary};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -43,8 +47,14 @@ pub struct ServiceConfig {
     /// Checkpoint cadence for batch runs, in scheduling turns
     /// (see [`SweepRunner::with_checkpoint_every`]).
     pub checkpoint_every_turns: u64,
-    /// Test hook for the kill/resume suite: the **first** batch attempt
-    /// after startup dies (panics) at this scheduling turn, exercising the
+    /// Shards each matrix turn is partitioned into (see
+    /// [`MatrixRunner::shards`]): above 1, every shard replicates its
+    /// traces and shared products privately, keeping hot read-only state
+    /// local on multi-socket hosts.
+    pub shards: usize,
+    /// Test hook for the kill/resume suite: the **first** matrix attempt
+    /// after startup dies (panics) once this many members have completed
+    /// — after their checkpoints were written — exercising the
     /// checkpoint/resume retry exactly as a crashed worker would.
     pub fault_abort_after_turns: Option<u64>,
 }
@@ -59,6 +69,7 @@ impl ServiceConfig {
             data_dir: data_dir.into(),
             workers: std::thread::available_parallelism().map_or(2, |n| n.get().min(4)),
             checkpoint_every_turns: 1,
+            shards: 1,
             fault_abort_after_turns: None,
         }
     }
@@ -74,6 +85,13 @@ impl ServiceConfig {
     #[must_use]
     pub fn with_checkpoint_every_turns(mut self, turns: u64) -> ServiceConfig {
         self.checkpoint_every_turns = turns.max(1);
+        self
+    }
+
+    /// Sets the matrix shard count (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> ServiceConfig {
+        self.shards = shards.max(1);
         self
     }
 
@@ -122,6 +140,10 @@ pub enum JobState {
     Done,
     /// The job could not run at all (e.g. its trace failed to build).
     Failed(String),
+    /// The job was cancelled by [`SweepService::cancel`]: queued members
+    /// left the matrix immediately, in-flight members were skipped at the
+    /// next scheduling claim.
+    Cancelled,
 }
 
 impl JobState {
@@ -131,14 +153,15 @@ impl JobState {
         matches!(self, JobState::Done)
     }
 
-    /// Whether the job reached a terminal state (done or failed).
+    /// Whether the job reached a terminal state (done, failed or
+    /// cancelled).
     #[must_use]
     pub fn is_terminal(&self) -> bool {
-        matches!(self, JobState::Done | JobState::Failed(_))
+        matches!(self, JobState::Done | JobState::Failed(_) | JobState::Cancelled)
     }
 
-    /// A stable lowercase label (`queued` / `running` / `done` / `failed`)
-    /// for wire encodings and CLI output.
+    /// A stable lowercase label (`queued` / `running` / `done` / `failed`
+    /// / `cancelled`) for wire encodings and CLI output.
     #[must_use]
     pub fn label(&self) -> &'static str {
         match self {
@@ -146,6 +169,7 @@ impl JobState {
             JobState::Running => "running",
             JobState::Done => "done",
             JobState::Failed(_) => "failed",
+            JobState::Cancelled => "cancelled",
         }
     }
 }
@@ -183,7 +207,7 @@ pub struct JobResults {
 
 /// A point-in-time view of the service's counters (the `/metrics`
 /// endpoint and the CLI `status` command render this).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct MetricsSnapshot {
     /// Jobs accepted by [`SweepService::submit`].
     pub jobs_submitted: u64,
@@ -191,10 +215,15 @@ pub struct MetricsSnapshot {
     pub jobs_completed: u64,
     /// Jobs that reached [`JobState::Failed`].
     pub jobs_failed: u64,
+    /// Jobs cancelled by [`SweepService::cancel`].
+    pub jobs_cancelled: u64,
     /// Jobs currently waiting for a worker.
     pub jobs_queued: u64,
     /// Jobs currently running.
     pub jobs_running: u64,
+    /// Grid members currently sitting in the pending queue (the matrix
+    /// backlog the next scheduling turn will drain).
+    pub queue_depth: u64,
     /// Sweep members submitted across all jobs.
     pub members_submitted: u64,
     /// Members actually simulated (distinct cache misses; a resubmitted
@@ -222,6 +251,23 @@ pub struct MetricsSnapshot {
     /// Batch attempts that died (panicked) and went through the
     /// checkpoint/resume retry.
     pub worker_deaths: u64,
+    /// Matrix scheduling turns run (each drains the whole pending queue).
+    pub matrix_turns: u64,
+    /// Distinct traces seen across all matrix turns after
+    /// fingerprint-keyed registry deduplication.
+    pub matrix_distinct_traces: u64,
+    /// Shared-product build passes actually run — exactly one per
+    /// distinct trace per matrix turn.
+    pub matrix_shared_builds: u64,
+    /// Scheduled members that consumed shared products without triggering
+    /// a build pass (the matrix's reuse proof).
+    pub matrix_build_reuse_hits: u64,
+    /// Members workers stole from other shards' queues across all matrix
+    /// turns.
+    pub matrix_steals: u64,
+    /// Unique members assigned to each shard in the most recent matrix
+    /// turn.
+    pub matrix_shard_members: Vec<u64>,
     /// Outcome health roll-up across all completed jobs.
     pub outcomes: SweepSummary,
     /// Total queued time across picked-up jobs, in seconds.
@@ -234,6 +280,8 @@ pub struct MetricsSnapshot {
     pub uptime_seconds: f64,
     /// Worker-pool size.
     pub workers: usize,
+    /// Configured matrix shard count.
+    pub shards: usize,
 }
 
 impl MetricsSnapshot {
@@ -344,11 +392,12 @@ struct SchedState {
     shutting_down: bool,
 }
 
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 struct MetricsCounters {
     jobs_submitted: u64,
     jobs_completed: u64,
     jobs_failed: u64,
+    jobs_cancelled: u64,
     members_submitted: u64,
     members_simulated: u64,
     cache_hits: u64,
@@ -358,6 +407,12 @@ struct MetricsCounters {
     fusion_fused_records: u64,
     fusion_fallback_records: u64,
     worker_deaths: u64,
+    matrix_turns: u64,
+    matrix_distinct_traces: u64,
+    matrix_shared_builds: u64,
+    matrix_build_reuse_hits: u64,
+    matrix_steals: u64,
+    matrix_shard_members: Vec<u64>,
     outcomes: SweepSummary,
     queue_wait_seconds: f64,
     run_seconds: f64,
@@ -568,8 +623,47 @@ impl SweepService {
             JobState::Failed(reason) => {
                 Err(ServiceError::JobFailed { job: id, reason: reason.clone() })
             }
+            JobState::Cancelled => Err(ServiceError::JobCancelled(id)),
             JobState::Queued | JobState::Running => Err(ServiceError::JobNotDone(id)),
         }
+    }
+
+    /// Cancels a job. A queued job's members leave the pending matrix
+    /// immediately (a batch left with no members is dropped); a running
+    /// job's in-flight members are stopped cooperatively at the next
+    /// scheduling claim — the matrix's cell gate skips every member no
+    /// live job still wants. Members shared with other live jobs keep
+    /// running for them. Returns the job's (now terminal) status.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownJob`] for an id the service never issued,
+    /// [`ServiceError::JobNotCancellable`] when the job is already done,
+    /// failed or cancelled.
+    pub fn cancel(&self, id: u64) -> Result<JobStatus, ServiceError> {
+        let status = {
+            let mut state = lock(&self.0.state);
+            let job = state.jobs.get(&id).ok_or(ServiceError::UnknownJob(id))?;
+            match job.state {
+                JobState::Queued => {
+                    for batch in &mut state.pending {
+                        batch.units.retain(|unit| unit.job != id);
+                    }
+                    state.pending.retain(|batch| !batch.units.is_empty());
+                }
+                JobState::Running => {}
+                JobState::Done | JobState::Failed(_) | JobState::Cancelled => {
+                    return Err(ServiceError::JobNotCancellable(id));
+                }
+            }
+            let job = state.jobs.get_mut(&id).expect("job existence was just checked");
+            job.state = JobState::Cancelled;
+            job.finished = Some(Instant::now());
+            job_status(id, job)
+        };
+        lock(&self.0.metrics).jobs_cancelled += 1;
+        self.0.done.notify_all();
+        Ok(status)
     }
 
     /// Blocks until the job reaches a terminal state and returns its
@@ -604,21 +698,24 @@ impl SweepService {
     /// A point-in-time snapshot of the service's counters.
     #[must_use]
     pub fn metrics(&self) -> MetricsSnapshot {
-        let (jobs_queued, jobs_running) = {
+        let (jobs_queued, jobs_running, queue_depth) = {
             let state = lock(&self.0.state);
             let queued =
                 state.jobs.values().filter(|j| matches!(j.state, JobState::Queued)).count();
             let running =
                 state.jobs.values().filter(|j| matches!(j.state, JobState::Running)).count();
-            (queued as u64, running as u64)
+            let depth: usize = state.pending.iter().map(|b| b.units.len()).sum();
+            (queued as u64, running as u64, depth as u64)
         };
-        let m = *lock(&self.0.metrics);
+        let m = lock(&self.0.metrics).clone();
         MetricsSnapshot {
             jobs_submitted: m.jobs_submitted,
             jobs_completed: m.jobs_completed,
             jobs_failed: m.jobs_failed,
+            jobs_cancelled: m.jobs_cancelled,
             jobs_queued,
             jobs_running,
+            queue_depth,
             members_submitted: m.members_submitted,
             members_simulated: m.members_simulated,
             cache_hits: m.cache_hits,
@@ -628,17 +725,24 @@ impl SweepService {
             fusion_fused_records: m.fusion_fused_records,
             fusion_fallback_records: m.fusion_fallback_records,
             worker_deaths: m.worker_deaths,
+            matrix_turns: m.matrix_turns,
+            matrix_distinct_traces: m.matrix_distinct_traces,
+            matrix_shared_builds: m.matrix_shared_builds,
+            matrix_build_reuse_hits: m.matrix_build_reuse_hits,
+            matrix_steals: m.matrix_steals,
+            matrix_shard_members: m.matrix_shard_members,
             outcomes: m.outcomes,
             queue_wait_seconds: m.queue_wait_seconds,
             run_seconds: m.run_seconds,
             busy_seconds: m.busy_seconds,
             uptime_seconds: self.0.started.elapsed().as_secs_f64(),
             workers: self.0.config.workers,
+            shards: self.0.config.shards,
         }
     }
 
     /// Stops accepting jobs, wakes every idle worker, and joins the pool.
-    /// A worker mid-batch finishes that batch first; batches still queued
+    /// A worker mid-turn finishes its matrix first; batches still queued
     /// stay queued (their checkpoints and cache entries make re-submission
     /// after a restart cheap). Idempotent.
     pub fn shutdown(&self) {
@@ -680,26 +784,29 @@ fn job_status(id: u64, job: &Job) -> JobStatus {
 // ------------------------------------------------------------- workers --
 
 fn worker_loop(inner: &ServiceInner) {
-    while let Some(batch) = next_batch(inner) {
+    while let Some(batches) = next_turn(inner) {
         let busy = Instant::now();
-        run_batch(inner, &batch);
+        run_turn(inner, batches);
         lock(&inner.metrics).busy_seconds += busy.elapsed().as_secs_f64();
     }
 }
 
-/// Blocks for the next queued batch, marking its jobs running on the way
-/// out. `None` means the service is shutting down.
-fn next_batch(inner: &ServiceInner) -> Option<Batch> {
+/// Blocks for queued work, then drains the **entire** pending queue —
+/// every batch, spanning however many traces — into one matrix turn,
+/// marking every drained job running on the way out. `None` means the
+/// service is shutting down.
+fn next_turn(inner: &ServiceInner) -> Option<Vec<Batch>> {
     let mut state = lock(&inner.state);
     loop {
         if state.shutting_down {
             return None;
         }
-        if let Some(batch) = state.pending.pop_front() {
+        if !state.pending.is_empty() {
+            let batches: Vec<Batch> = state.pending.drain(..).collect();
             let now = Instant::now();
             let mut wait_total = 0.0;
             let mut seen = HashSet::new();
-            for unit in &batch.units {
+            for unit in batches.iter().flat_map(|b| &b.units) {
                 if !seen.insert(unit.job) {
                     continue;
                 }
@@ -713,7 +820,7 @@ fn next_batch(inner: &ServiceInner) -> Option<Batch> {
             }
             drop(state);
             lock(&inner.metrics).queue_wait_seconds += wait_total;
-            return Some(batch);
+            return Some(batches);
         }
         state = inner.work.wait(state).unwrap_or_else(PoisonError::into_inner);
     }
@@ -726,69 +833,146 @@ enum Probe {
     Damaged,
 }
 
-fn run_batch(inner: &ServiceInner, batch: &Batch) {
-    let trace = match materialize_trace(inner, &batch.key) {
-        Ok(trace) => trace,
-        Err(e) => return fail_batch(inner, batch, &e.to_string()),
-    };
-    let trace_fp = trace.fingerprint();
+/// One matrix cell's bookkeeping: which batch it came from, which job it
+/// belongs to, and the per-slot configuration fingerprints of the cell's
+/// grid.
+struct CellMeta {
+    batch: usize,
+    job: u64,
+    config_fps: Vec<u64>,
+}
 
-    // Probe the cache once per distinct configuration; count per unit so
-    // the hit rate reflects members served, not probes issued.
-    let mut probes: HashMap<u64, Probe> = HashMap::new();
-    for unit in &batch.units {
-        probes.entry(unit.config_fp).or_insert_with(|| {
-            match inner.cache.probe(trace_fp, unit.config_fp) {
-                CacheProbe::Hit(outcome) => Probe::Hit(outcome),
-                CacheProbe::Miss => Probe::Miss,
-                CacheProbe::Damaged(_) => Probe::Damaged,
-            }
-        });
+/// Runs one scheduling turn: the whole drained queue as a single
+/// [`MatrixRunner`] matrix — one cell per (batch, job) over that job's
+/// cache misses, deduplicated across cells by the matrix registry.
+fn run_turn(inner: &ServiceInner, batches: Vec<Batch>) {
+    // Materialize every batch's trace; a batch whose trace cannot build
+    // fails its jobs without taking the rest of the turn down.
+    let mut prepared: Vec<(Batch, Arc<CapturedTrace>)> = Vec::new();
+    for batch in batches {
+        match materialize_trace(inner, &batch.key) {
+            Ok(trace) => prepared.push((batch, trace)),
+            Err(e) => fail_batch(inner, &batch, &e.to_string()),
+        }
     }
-    {
-        let mut m = lock(&inner.metrics);
+    if prepared.is_empty() {
+        return;
+    }
+
+    // Probe the cache once per distinct (trace, configuration); count per
+    // unit so the hit rate reflects members served, not probes issued.
+    let mut probes: Vec<HashMap<u64, Probe>> = Vec::with_capacity(prepared.len());
+    for (batch, trace) in &prepared {
+        let trace_fp = trace.fingerprint();
+        let mut batch_probes: HashMap<u64, Probe> = HashMap::new();
         for unit in &batch.units {
-            match probes[&unit.config_fp] {
-                Probe::Hit(_) => m.cache_hits += 1,
-                Probe::Miss => m.cache_misses += 1,
-                Probe::Damaged => m.cache_damaged += 1,
-            }
+            batch_probes.entry(unit.config_fp).or_insert_with(|| {
+                match inner.cache.probe(trace_fp, unit.config_fp) {
+                    CacheProbe::Hit(outcome) => Probe::Hit(outcome),
+                    CacheProbe::Miss => Probe::Miss,
+                    CacheProbe::Damaged(_) => Probe::Damaged,
+                }
+            });
         }
-    }
-
-    // The distinct misses, in first-appearance order: each simulates once
-    // however many units (across however many jobs) asked for it.
-    let mut miss_fps: Vec<u64> = Vec::new();
-    let mut miss_configs: Vec<SimConfig> = Vec::new();
-    for unit in &batch.units {
-        if !matches!(probes[&unit.config_fp], Probe::Hit(_)) && !miss_fps.contains(&unit.config_fp)
-        {
-            miss_fps.push(unit.config_fp);
-            miss_configs.push(unit.config.clone());
-        }
-    }
-
-    let mut fresh: HashMap<u64, MemberOutcome> = HashMap::new();
-    if !miss_configs.is_empty() {
-        let outcomes = run_with_durability(inner, &trace, &miss_configs, trace_fp, &miss_fps);
         {
             let mut m = lock(&inner.metrics);
-            m.members_simulated += miss_configs.len() as u64;
-            for fusion in outcomes.iter().filter_map(|o| o.stats().map(|s| s.fusion)) {
-                m.fusion_groups += fusion.groups;
-                m.fusion_fused_records += fusion.fused_records;
-                m.fusion_fallback_records += fusion.fallback_records;
+            for unit in &batch.units {
+                match batch_probes[&unit.config_fp] {
+                    Probe::Hit(_) => m.cache_hits += 1,
+                    Probe::Miss => m.cache_misses += 1,
+                    Probe::Damaged => m.cache_damaged += 1,
+                }
             }
         }
-        for (fp, outcome) in miss_fps.iter().zip(outcomes) {
-            // A failed store only costs a future re-simulation, never
-            // correctness — the member's result is already in hand.
-            inner.cache.store(trace_fp, *fp, &outcome).ok();
-            fresh.insert(*fp, outcome);
+        probes.push(batch_probes);
+    }
+
+    // One matrix cell per (batch, job): the job's distinct misses in
+    // first-appearance order. The matrix registry dedups identical traces
+    // and identical (trace, configuration) members across cells, so
+    // shared products build once per distinct trace — even when two batch
+    // keys (say a preset and an uploaded trace) resolve to the same
+    // fingerprint — and shared members simulate once for every job that
+    // asked.
+    let mut cells: Vec<(&CapturedTrace, Vec<SimConfig>)> = Vec::new();
+    let mut cell_meta: Vec<CellMeta> = Vec::new();
+    for (b, (batch, trace)) in prepared.iter().enumerate() {
+        let mut job_order: Vec<u64> = Vec::new();
+        let mut by_job: HashMap<u64, (Vec<SimConfig>, Vec<u64>)> = HashMap::new();
+        for unit in &batch.units {
+            if matches!(probes[b][&unit.config_fp], Probe::Hit(_)) {
+                continue;
+            }
+            let entry = by_job.entry(unit.job).or_insert_with(|| {
+                job_order.push(unit.job);
+                (Vec::new(), Vec::new())
+            });
+            if !entry.1.contains(&unit.config_fp) {
+                entry.0.push(unit.config.clone());
+                entry.1.push(unit.config_fp);
+            }
+        }
+        for job in job_order {
+            let (configs, config_fps) = by_job.remove(&job).expect("job was grouped above");
+            cells.push((trace.as_ref(), configs));
+            cell_meta.push(CellMeta { batch: b, job, config_fps });
         }
     }
 
-    finalize_batch(inner, batch, &probes, &fresh);
+    // Fresh outcomes by (trace fingerprint, config fingerprint) — the
+    // global member identity, shared across batches.
+    let mut fresh: HashMap<(u64, u64), MemberOutcome> = HashMap::new();
+    if !cells.is_empty() {
+        match run_matrix_with_durability(inner, &cells, &cell_meta) {
+            Ok(outcome) => {
+                for (cell, meta) in outcome.cells.iter().zip(&cell_meta) {
+                    let trace_fp = prepared[meta.batch].1.fingerprint();
+                    for (slot, fp) in cell.iter().zip(&meta.config_fps) {
+                        if let Some(member) = slot {
+                            fresh.entry((trace_fp, *fp)).or_insert_with(|| member.clone());
+                        }
+                    }
+                }
+                let report = &outcome.report;
+                let mut m = lock(&inner.metrics);
+                m.members_simulated += report.unique_members as u64 - report.skipped_members;
+                for fusion in fresh.values().filter_map(|o| o.stats().map(|s| s.fusion)) {
+                    m.fusion_groups += fusion.groups;
+                    m.fusion_fused_records += fusion.fused_records;
+                    m.fusion_fallback_records += fusion.fallback_records;
+                }
+                m.matrix_turns += 1;
+                m.matrix_distinct_traces += report.distinct_traces as u64;
+                m.matrix_shared_builds += report.shared_builds;
+                m.matrix_build_reuse_hits += report.build_reuse_hits;
+                m.matrix_steals += report.shard_steals.iter().sum::<u64>();
+                m.matrix_shard_members = report.shard_members.iter().map(|&n| n as u64).collect();
+            }
+            Err(reason) => {
+                // Both attempts died: every scheduled member gets a
+                // `Panicked` outcome — a fault report, never a service
+                // crash.
+                for meta in &cell_meta {
+                    let trace_fp = prepared[meta.batch].1.fingerprint();
+                    for fp in &meta.config_fps {
+                        fresh
+                            .entry((trace_fp, *fp))
+                            .or_insert_with(|| MemberOutcome::Panicked { payload: reason.clone() });
+                    }
+                }
+                lock(&inner.metrics).members_simulated += fresh.len() as u64;
+            }
+        }
+        for ((trace_fp, config_fp), outcome) in &fresh {
+            // A failed store only costs a future re-simulation, never
+            // correctness — the member's result is already in hand.
+            inner.cache.store(*trace_fp, *config_fp, outcome).ok();
+        }
+    }
+
+    for (b, (batch, trace)) in prepared.iter().enumerate() {
+        finalize_batch(inner, batch, trace.fingerprint(), &probes[b], &fresh);
+    }
 }
 
 /// Resolves a batch key to its captured trace, building and memoizing
@@ -821,32 +1005,18 @@ fn materialize_trace(
     }
 }
 
-/// The checkpoint file for a batch run, named by the content of the work
-/// itself (trace + distinct miss configurations) so a resumed attempt
-/// finds exactly its own snapshot.
-fn checkpoint_path(inner: &ServiceInner, trace_fp: u64, fps: &[u64]) -> PathBuf {
-    let mut key = Vec::with_capacity(8 * (fps.len() + 1));
-    key.extend_from_slice(&trace_fp.to_le_bytes());
-    for fp in fps {
-        key.extend_from_slice(&fp.to_le_bytes());
-    }
-    let hash = xxh64(&key, 0);
-    inner.config.data_dir.join("checkpoints").join(format!("batch-{hash:016x}.dviswpck"))
-}
-
-/// Runs the miss configurations of a batch with the full durability story:
-/// checkpointed serial sweep in a scoped thread, one resume-from-snapshot
-/// retry if the attempt dies, `Panicked` outcomes (never a service crash)
-/// if the retry dies too.
-fn run_with_durability(
+/// Runs the matrix of one scheduling turn with the full durability story:
+/// per-trace checkpoints in a scoped thread, one resume-from-snapshot
+/// retry if the attempt dies (the matrix restores every checkpointed
+/// member and finishes bit-identical), and an `Err` with the panic reason
+/// (never a service crash) if the retry dies too — the checkpoints stay
+/// on disk for post-mortem inspection.
+fn run_matrix_with_durability(
     inner: &ServiceInner,
-    trace: &CapturedTrace,
-    configs: &[SimConfig],
-    trace_fp: u64,
-    fps: &[u64],
-) -> Vec<MemberOutcome> {
-    let ckpt = checkpoint_path(inner, trace_fp, fps);
-    let every = inner.config.checkpoint_every_turns;
+    cells: &[(&CapturedTrace, Vec<SimConfig>)],
+    cell_meta: &[CellMeta],
+) -> Result<MatrixOutcome, String> {
+    let ckpt_dir = inner.config.data_dir.join("checkpoints");
     // The one-shot kill hook arms exactly one attempt service-wide.
     let abort = if inner.config.fault_abort_after_turns.is_some()
         && inner.fault_armed.swap(false, Ordering::SeqCst)
@@ -856,53 +1026,46 @@ fn run_with_durability(
         None
     };
 
-    let attempt = |resume: bool, abort: Option<u64>| {
+    let attempt = |abort: Option<u64>| {
         std::thread::scope(|s| {
             s.spawn(|| {
-                let mut runner = if resume {
-                    match SweepRunner::resume(trace, configs.iter().cloned(), &ckpt) {
-                        Ok(runner) => runner,
-                        Err(_) => {
-                            // A checkpoint that fails validation (corrupt,
-                            // stale, foreign) is discarded: the retry runs
-                            // fresh, trading time for correctness.
-                            std::fs::remove_file(&ckpt).ok();
-                            SweepRunner::new(trace, configs.iter().cloned())
-                        }
-                    }
-                } else {
-                    SweepRunner::new(trace, configs.iter().cloned())
-                };
-                runner = runner.with_checkpoint_every(&ckpt, every);
-                if let Some(turns) = abort {
-                    runner = runner.with_abort_after_turns(turns);
+                let mut runner = MatrixRunner::new(cells.to_vec())
+                    .threads(inner.config.workers)
+                    .shards(inner.config.shards)
+                    .with_checkpoint_dir(&ckpt_dir)
+                    // The cooperative cancellation gate: a claimed member
+                    // runs only while some requesting job is still alive.
+                    .with_cell_gate(|requesters| {
+                        let state = lock(&inner.state);
+                        requesters.iter().any(|&cell| {
+                            state
+                                .jobs
+                                .get(&cell_meta[cell].job)
+                                .is_some_and(|job| !matches!(job.state, JobState::Cancelled))
+                        })
+                    });
+                if let Some(members) = abort {
+                    runner = runner.with_abort_after_members(members as usize);
                 }
-                runner.run_outcomes()
+                runner.run()
             })
             .join()
         })
     };
 
-    let outcomes = match attempt(false, abort) {
-        Ok(outcomes) => outcomes,
+    match attempt(abort) {
+        Ok(outcome) => Ok(outcome),
         Err(_) => {
             lock(&inner.metrics).worker_deaths += 1;
-            match attempt(true, None) {
-                Ok(outcomes) => outcomes,
+            match attempt(None) {
+                Ok(outcome) => Ok(outcome),
                 Err(payload) => {
                     lock(&inner.metrics).worker_deaths += 1;
-                    let reason = panic_message(payload.as_ref());
-                    // Keep the checkpoint for post-mortem inspection.
-                    return configs
-                        .iter()
-                        .map(|_| MemberOutcome::Panicked { payload: reason.clone() })
-                        .collect();
+                    Err(panic_message(payload.as_ref()))
                 }
             }
         }
-    };
-    std::fs::remove_file(&ckpt).ok();
-    outcomes
+    }
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -914,12 +1077,15 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 /// Fills every unit's result slot, completes jobs whose members are all
-/// in, and wakes waiters.
+/// in, and wakes waiters. Cancelled jobs are left terminal as they are: a
+/// member the cancellation gate skipped (because no live job wanted it)
+/// has no outcome, and a cancelled job is never marked done.
 fn finalize_batch(
     inner: &ServiceInner,
     batch: &Batch,
+    trace_fp: u64,
     probes: &HashMap<u64, Probe>,
-    fresh: &HashMap<u64, MemberOutcome>,
+    fresh: &HashMap<(u64, u64), MemberOutcome>,
 ) {
     let now = Instant::now();
     let mut run_secs = 0.0;
@@ -930,10 +1096,14 @@ fn finalize_batch(
         for unit in &batch.units {
             let filled = match &probes[&unit.config_fp] {
                 Probe::Hit(outcome) => ((**outcome).clone(), true),
-                Probe::Miss | Probe::Damaged => match fresh.get(&unit.config_fp) {
-                    Some(outcome) => (outcome.clone(), false),
-                    None => unreachable!("every non-hit configuration was simulated"),
-                },
+                Probe::Miss | Probe::Damaged => {
+                    match fresh.get(&(trace_fp, unit.config_fp)) {
+                        Some(outcome) => (outcome.clone(), false),
+                        // Only members every requesting job cancelled are
+                        // skipped by the gate and have nothing to fill.
+                        None => continue,
+                    }
+                }
             };
             if let Some(job) = state.jobs.get_mut(&unit.job) {
                 job.results[unit.index] = Some(filled);
@@ -984,6 +1154,9 @@ fn fail_batch(inner: &ServiceInner, batch: &Batch, reason: &str) {
                 continue;
             }
             if let Some(job) = state.jobs.get_mut(&unit.job) {
+                if job.state.is_terminal() {
+                    continue; // a cancelled job stays cancelled
+                }
                 job.state = JobState::Failed(reason.to_owned());
                 job.finished = Some(now);
                 failed += 1;

@@ -328,8 +328,10 @@ pub fn metrics_to_json(m: &MetricsSnapshot) -> Json {
         ("jobs_submitted", Json::UInt(m.jobs_submitted)),
         ("jobs_completed", Json::UInt(m.jobs_completed)),
         ("jobs_failed", Json::UInt(m.jobs_failed)),
+        ("jobs_cancelled", Json::UInt(m.jobs_cancelled)),
         ("jobs_queued", Json::UInt(m.jobs_queued)),
         ("jobs_running", Json::UInt(m.jobs_running)),
+        ("queue_depth", Json::UInt(m.queue_depth)),
         ("members_submitted", Json::UInt(m.members_submitted)),
         ("members_simulated", Json::UInt(m.members_simulated)),
         ("cache_hits", Json::UInt(m.cache_hits)),
@@ -341,6 +343,15 @@ pub fn metrics_to_json(m: &MetricsSnapshot) -> Json {
         ("fusion_fallback_records", Json::UInt(m.fusion_fallback_records)),
         ("fusion_coverage_pct", Json::Num(m.fusion_coverage_pct())),
         ("worker_deaths", Json::UInt(m.worker_deaths)),
+        ("matrix_turns", Json::UInt(m.matrix_turns)),
+        ("matrix_distinct_traces", Json::UInt(m.matrix_distinct_traces)),
+        ("matrix_shared_builds", Json::UInt(m.matrix_shared_builds)),
+        ("matrix_build_reuse_hits", Json::UInt(m.matrix_build_reuse_hits)),
+        ("matrix_steals", Json::UInt(m.matrix_steals)),
+        (
+            "matrix_shard_members",
+            Json::Arr(m.matrix_shard_members.iter().map(|&n| Json::UInt(n)).collect()),
+        ),
         (
             "outcomes",
             Json::obj([
@@ -358,6 +369,7 @@ pub fn metrics_to_json(m: &MetricsSnapshot) -> Json {
         ("worker_utilization", Json::Num(m.worker_utilization())),
         ("uptime_seconds", Json::Num(m.uptime_seconds)),
         ("workers", Json::UInt(m.workers as u64)),
+        ("shards", Json::UInt(m.shards as u64)),
     ])
 }
 

@@ -9,7 +9,7 @@ use dvi_program::CapturedTrace;
 use dvi_service::http::{http_json, http_request, HttpServer};
 use dvi_service::json::Json;
 use dvi_service::{
-    cached_sweep, wire, JobSpec, ResultCache, ServiceConfig, ServiceError, SweepService,
+    cached_sweep, wire, JobSpec, JobState, ResultCache, ServiceConfig, ServiceError, SweepService,
     TraceSource,
 };
 use dvi_sim::checkpoint::config_fingerprint;
@@ -59,6 +59,21 @@ fn test_grid() -> Vec<SimConfig> {
 fn direct_outcomes(trace: &CapturedTrace, grid: &[SimConfig]) -> Vec<MemberOutcome> {
     SweepRunner::new(trace, grid.iter().cloned()).run_outcomes()
 }
+
+/// A grid heavy enough (with a large instruction budget) to keep the
+/// single worker busy for a while — the window the cancellation tests use
+/// to act on a provably queued or running job.
+fn heavy_grid() -> Vec<SimConfig> {
+    let mut grid = test_grid();
+    for n in [40usize, 48, 64] {
+        grid.push(SimConfig::micro97().with_phys_regs(n));
+    }
+    grid
+}
+
+/// Instruction budget of the heavy jobs: long enough that trace capture
+/// plus six sweep members dominate any test-side sleep.
+const HEAVY_INSTRS: u64 = 400_000;
 
 #[test]
 fn submit_results_are_bit_identical_to_direct_sweeprunner() {
@@ -215,6 +230,160 @@ fn preset_jobs_share_one_trace_build_and_memoize_across_jobs() {
     let b = service.results(second).expect("second results");
     assert_eq!(a.outcomes[..2], b.outcomes[..], "shared members are identical across jobs");
     service.shutdown();
+}
+
+#[test]
+fn cancelled_queued_job_leaves_the_matrix_and_simulates_nothing() {
+    let service = SweepService::start(ServiceConfig::new(temp_dir("cancelq")).with_workers(1))
+        .expect("service starts");
+    let source = TraceSource::Preset { name: "li".into(), instrs: HEAVY_INSTRS };
+    let heavy = service
+        .submit(JobSpec { source: source.clone(), grid: heavy_grid() })
+        .expect("heavy job submits");
+    // Give the single worker time to drain the heavy job into its matrix
+    // turn; everything submitted from here on queues behind that turn.
+    std::thread::sleep(Duration::from_millis(50));
+
+    let queued = service
+        .submit(JobSpec { source, grid: vec![SimConfig::micro97().with_phys_regs(48)] })
+        .expect("queued job submits");
+    let status = service.cancel(queued).expect("queued job cancels");
+    assert_eq!(status.state, JobState::Cancelled);
+    assert!(matches!(service.results(queued), Err(ServiceError::JobCancelled(id)) if id == queued));
+    assert!(matches!(
+        service.cancel(queued),
+        Err(ServiceError::JobNotCancellable(id)) if id == queued
+    ));
+    let waited = service.wait(queued, WAIT).expect("cancelled job is terminal");
+    assert_eq!(waited.state, JobState::Cancelled);
+
+    let status = service.wait(heavy, WAIT).expect("heavy job finishes");
+    assert!(status.state.is_done(), "heavy job ended {:?}", status.state);
+    assert!(matches!(
+        service.cancel(heavy),
+        Err(ServiceError::JobNotCancellable(id)) if id == heavy
+    ));
+
+    let metrics = service.metrics();
+    assert_eq!(metrics.jobs_cancelled, 1);
+    assert_eq!(
+        metrics.members_simulated,
+        heavy_grid().len() as u64,
+        "the cancelled job's member left the queue without simulating"
+    );
+    // Matrix observability: one turn, one distinct trace, one shared
+    // build serving every member of the heavy grid.
+    assert_eq!(metrics.matrix_turns, 1);
+    assert_eq!(metrics.matrix_distinct_traces, 1);
+    assert_eq!(metrics.matrix_shared_builds, 1);
+    assert_eq!(metrics.matrix_build_reuse_hits, heavy_grid().len() as u64 - 1);
+    assert_eq!(
+        metrics.matrix_shard_members.iter().sum::<u64>(),
+        heavy_grid().len() as u64,
+        "every unique member was assigned to some shard"
+    );
+    assert_eq!(metrics.queue_depth, 0);
+    service.shutdown();
+}
+
+#[test]
+fn cancelling_a_running_job_stops_it_cooperatively() {
+    let service = SweepService::start(ServiceConfig::new(temp_dir("cancelrun")).with_workers(1))
+        .expect("service starts");
+    let heavy = service
+        .submit(JobSpec {
+            source: TraceSource::Preset { name: "li".into(), instrs: HEAVY_INSTRS },
+            grid: heavy_grid(),
+        })
+        .expect("submits");
+    std::thread::sleep(Duration::from_millis(50));
+
+    // The job is running (or at worst still queued) — both are
+    // cancellable; the matrix's cell gate skips its remaining members at
+    // the next scheduling claim.
+    let status = service.cancel(heavy).expect("running job cancels");
+    assert_eq!(status.state, JobState::Cancelled);
+    let waited = service.wait(heavy, WAIT).expect("terminal immediately");
+    assert_eq!(waited.state, JobState::Cancelled);
+    assert!(matches!(service.results(heavy), Err(ServiceError::JobCancelled(_))));
+
+    // The service stays healthy: a fresh job completes bit-identically.
+    let trace = small_trace(0x77, 12_000);
+    let grid = test_grid();
+    let direct = direct_outcomes(&trace, &grid);
+    let fp = service.register_trace(trace);
+    let job = service
+        .submit(JobSpec { source: TraceSource::Fingerprint(fp), grid: grid.clone() })
+        .expect("submits");
+    service.wait(job, WAIT).expect("finishes");
+    let results = service.results(job).expect("results available");
+    assert_eq!(results.outcomes, direct, "post-cancellation outcomes stay bit-identical");
+
+    let metrics = service.metrics();
+    assert_eq!(metrics.jobs_cancelled, 1);
+    assert_eq!(metrics.jobs_completed, 1);
+    service.shutdown();
+}
+
+#[test]
+fn sharded_service_matrix_is_bit_identical() {
+    let trace = small_trace(0x88, 12_000);
+    let grid = test_grid();
+    let direct = direct_outcomes(&trace, &grid);
+
+    let config = ServiceConfig::new(temp_dir("shards")).with_workers(2).with_shards(2);
+    let service = SweepService::start(config).expect("service starts");
+    let fp = service.register_trace(trace);
+    let job = service
+        .submit(JobSpec { source: TraceSource::Fingerprint(fp), grid: grid.clone() })
+        .expect("submits");
+    service.wait(job, WAIT).expect("finishes");
+    let results = service.results(job).expect("results available");
+    assert_eq!(results.outcomes, direct, "sharded matrix outcomes are bit-identical");
+
+    let metrics = service.metrics();
+    assert_eq!(metrics.shards, 2);
+    assert_eq!(metrics.matrix_shard_members.len(), 2, "the turn ran on two shards");
+    assert_eq!(metrics.matrix_shard_members.iter().sum::<u64>(), grid.len() as u64);
+    service.shutdown();
+}
+
+#[test]
+fn http_cancel_route_cancels_and_conflicts_once_terminal() {
+    let service = SweepService::start(ServiceConfig::new(temp_dir("httpcancel")).with_workers(1))
+        .expect("service starts");
+    let mut server = HttpServer::serve(service, "127.0.0.1:0").expect("binds");
+    let addr = server.local_addr().to_string();
+
+    let body = Json::obj([
+        ("preset", Json::Str("li".into())),
+        ("instrs", Json::UInt(HEAVY_INSTRS)),
+        ("grid", wire::fig10_grid_json()),
+    ]);
+    let reply = http_json(&addr, "POST", "/jobs", Some(&body)).expect("submits");
+    let job = reply.get("job").and_then(Json::as_u64).expect("job id");
+
+    // DELETE while queued or running: 200 with the terminal status.
+    let reply = http_json(&addr, "DELETE", &format!("/jobs/{job}"), None).expect("cancels");
+    assert_eq!(reply.get("state").and_then(Json::as_str), Some("cancelled"));
+
+    // Results of a cancelled job and a second DELETE both conflict.
+    let (status, _) =
+        http_request(&addr, "GET", &format!("/jobs/{job}/results"), &[], "text/plain")
+            .expect("request");
+    assert_eq!(status, 409);
+    let err = http_json(&addr, "DELETE", &format!("/jobs/{job}"), None).expect_err("must 409");
+    assert!(matches!(err, ServiceError::Http { status: 409, .. }), "got {err:?}");
+
+    // The metrics body carries the cancellation and matrix counters.
+    let metrics = http_json(&addr, "GET", "/metrics", None).expect("metrics");
+    assert_eq!(metrics.get("jobs_cancelled").and_then(Json::as_u64), Some(1));
+    assert!(metrics.get("matrix_turns").is_some());
+    assert!(metrics.get("matrix_build_reuse_hits").is_some());
+    assert!(metrics.get("matrix_shard_members").is_some());
+    assert!(metrics.get("queue_depth").is_some());
+
+    server.stop();
 }
 
 #[test]

@@ -124,7 +124,7 @@
 use crate::checkpoint::{
     config_fingerprint, MemberCheckpoint, MemberCheckpointState, SweepCheckpoint,
 };
-use crate::config::{DcacheModelKind, DmemGeometry, SimConfig};
+use crate::config::{DcacheModelKind, DmemGeometry, SchedulerKind, SimConfig};
 use crate::dvi_engine::{DviEngine, ReclaimList};
 use crate::frontend::{FetchPredictor, StaticDecodeTable};
 use crate::rename::RenameState;
@@ -167,7 +167,7 @@ const _: () = {
 };
 
 /// A packed bitstream with sequential append and random read.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct BitStream {
     words: Vec<u64>,
     len: usize,
@@ -225,7 +225,7 @@ impl BitStream {
 /// addresses, same RAS pushes), so replaying the bits through an
 /// [`OracleCursor`] is indistinguishable from fetching with a private
 /// predictor.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BranchOracle {
     /// Packed misprediction bits, one per branch/return record.
     bits: BitStream,
@@ -371,7 +371,7 @@ impl OracleCursor {
 /// performing each *miss*'s unified-L2 interaction — the part that is
 /// entangled with their own, config-dependent data accesses — on their own
 /// hierarchy.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct IcacheOracle {
     /// Packed hit bits, one per L1I access event in trace order.
     bits: BitStream,
@@ -491,7 +491,7 @@ impl IcacheCursor {
 /// unmap order (and therefore free-list order and every downstream
 /// allocation) and [`DviStats`] are bit-identical, locked by
 /// `tests/batch_equiv.rs` and `tests/depgraph_equiv.rs`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DviOracle {
     /// The DVI configuration the stream was recorded under.
     config: DviConfig,
@@ -967,7 +967,7 @@ impl fmt::Display for SweepSummary {
 /// `after_records` records. Cloned into parallel jobs; the `fired` flag is
 /// shared so a one-shot fault stays one-shot across the degraded retry.
 #[derive(Debug, Clone)]
-struct FaultSpec {
+pub(crate) struct FaultSpec {
     member: usize,
     after_records: u64,
     sticky: bool,
@@ -1453,6 +1453,90 @@ fn read_dmem_geometry(r: &mut ByteReader<'_>) -> Result<DmemGeometry, ArtifactEr
         dcache: read_cache_config(r)?,
         l2: read_cache_config(r)?,
         memory_latency: r.u64()?,
+    })
+}
+
+/// Serializes a full [`SimConfig`] — every field, so a decoded shard job
+/// reproduces the member machine exactly (the shard-side
+/// [`config_fingerprint`](crate::checkpoint::config_fingerprint) check
+/// depends on it).
+pub(crate) fn write_sim_config(w: &mut ByteWriter, c: &SimConfig) {
+    w.put_u64(c.fetch_width as u64);
+    w.put_u64(c.decode_width as u64);
+    w.put_u64(c.issue_width as u64);
+    w.put_u64(c.commit_width as u64);
+    w.put_u64(c.window_size as u64);
+    w.put_u64(c.fetch_queue as u64);
+    w.put_u64(c.phys_regs as u64);
+    w.put_u64(c.int_alu_units as u64);
+    w.put_u64(c.int_mul_units as u64);
+    w.put_u64(c.cache_ports as u64);
+    w.put_u64(c.mispredict_penalty);
+    write_cache_config(w, c.icache);
+    write_cache_config(w, c.dcache);
+    w.put_u32(match c.dcache_model {
+        DcacheModelKind::Stock => 0,
+        DcacheModelKind::Perfect => 1,
+    });
+    write_cache_config(w, c.l2);
+    w.put_u64(c.memory_latency);
+    write_predictor_config(w, c.predictor);
+    write_dvi_config(w, c.dvi);
+    w.put_u32(match c.scheduler {
+        SchedulerKind::EventDriven => 0,
+        SchedulerKind::NaiveScan => 1,
+    });
+}
+
+/// Inverse of [`write_sim_config`].
+pub(crate) fn read_sim_config(r: &mut ByteReader<'_>) -> Result<SimConfig, ArtifactError> {
+    let fetch_width = r.count()?;
+    let decode_width = r.count()?;
+    let issue_width = r.count()?;
+    let commit_width = r.count()?;
+    let window_size = r.count()?;
+    let fetch_queue = r.count()?;
+    let phys_regs = r.count()?;
+    let int_alu_units = r.count()?;
+    let int_mul_units = r.count()?;
+    let cache_ports = r.count()?;
+    let mispredict_penalty = r.u64()?;
+    let icache = read_cache_config(r)?;
+    let dcache = read_cache_config(r)?;
+    let dcache_model = match r.u32()? {
+        0 => DcacheModelKind::Stock,
+        1 => DcacheModelKind::Perfect,
+        _ => return Err(ArtifactError::Malformed { context: "dcache model kind".into() }),
+    };
+    let l2 = read_cache_config(r)?;
+    let memory_latency = r.u64()?;
+    let predictor = read_predictor_config(r)?;
+    let dvi = read_dvi_config(r)?;
+    let scheduler = match r.u32()? {
+        0 => SchedulerKind::EventDriven,
+        1 => SchedulerKind::NaiveScan,
+        _ => return Err(ArtifactError::Malformed { context: "scheduler kind".into() }),
+    };
+    Ok(SimConfig {
+        fetch_width,
+        decode_width,
+        issue_width,
+        commit_width,
+        window_size,
+        fetch_queue,
+        phys_regs,
+        int_alu_units,
+        int_mul_units,
+        cache_ports,
+        mispredict_penalty,
+        icache,
+        dcache,
+        dcache_model,
+        l2,
+        memory_latency,
+        predictor,
+        dvi,
+        scheduler,
     })
 }
 
@@ -2421,7 +2505,7 @@ impl<'a> SweepRunner<'a> {
     /// standalone jobs for the parallel runners, running the
     /// shared-product integrity pre-check per member (a mismatch degrades
     /// that job to private live structures up front).
-    fn into_parallel_jobs(mut self) -> (&'a CapturedTrace, Vec<ParallelJob>) {
+    pub(crate) fn into_parallel_jobs(mut self) -> (&'a CapturedTrace, Vec<ParallelJob>) {
         self.prepare_shared();
         let prepared: Vec<(SharedTables, Option<String>)> = self
             .members
@@ -2595,17 +2679,17 @@ impl DcacheQualification {
 /// One member of a parallel sweep: its configuration and product bundle,
 /// detached from the runner so whatever thread picks it up owns it whole.
 #[derive(Debug, Clone)]
-struct ParallelJob {
-    config: SimConfig,
-    tables: SharedTables,
+pub(crate) struct ParallelJob {
+    pub(crate) config: SimConfig,
+    pub(crate) tables: SharedTables,
     /// Pre-run degradation (failed integrity check): the job starts on
     /// private live structures and reports [`MemberOutcome::Degraded`].
-    degraded: Option<String>,
+    pub(crate) degraded: Option<String>,
     /// Injected test fault, if any targets this member.
-    fault: Option<FaultSpec>,
+    pub(crate) fault: Option<FaultSpec>,
     /// The already-known outcome of a member restored from a checkpoint;
     /// passed through without re-running.
-    done: Option<MemberOutcome>,
+    pub(crate) done: Option<MemberOutcome>,
 }
 
 /// Cheap, deterministic pre-check that a member's shared products describe
@@ -2656,7 +2740,7 @@ fn integrity_check(config: &SimConfig, tables: &SharedTables) -> Result<(), Stri
 /// picked it up, inside its own panic boundary: a panic on the primary
 /// attempt triggers one degraded retry from record 0 on private live
 /// structures, exactly like the serial scheduler's boundary.
-fn run_member_outcome(trace: &CapturedTrace, job: ParallelJob) -> MemberOutcome {
+pub(crate) fn run_member_outcome(trace: &CapturedTrace, job: ParallelJob) -> MemberOutcome {
     if let Some(done) = job.done {
         return done;
     }

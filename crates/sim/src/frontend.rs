@@ -242,7 +242,7 @@ impl DecodeMemo {
 /// are identical to what a memo would compute ([`StaticDecode::new`] is a
 /// pure function of the instruction), so sharing is invisible to the
 /// modelled machine.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct StaticDecodeTable {
     slots: Box<[StaticDecode]>,
 }

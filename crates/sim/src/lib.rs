@@ -123,6 +123,7 @@ mod dvi_engine;
 pub mod frontend;
 mod fu;
 pub mod legacy;
+pub mod matrix;
 mod pipeline;
 mod rename;
 pub mod sched;
@@ -143,6 +144,7 @@ pub use dvi_engine::{DviEngine, ReclaimList};
 pub use dvi_mem::DcacheOracle;
 pub use frontend::{DecodeKind, DecodeMemo, StaticDecode, StaticDecodeTable};
 pub use fu::FuPool;
+pub use matrix::{MatrixOutcome, MatrixReport, MatrixRunner, ShardJob, ShardResult};
 pub use pipeline::Simulator;
 pub use rename::{PhysReg, RenameState};
 pub use session::SimSession;
